@@ -1,0 +1,72 @@
+// Command roads-analysis prints the paper's closed-form analysis (§IV):
+// the update-overhead equations (1)-(3), the summary-maintenance bound
+// (4), and the Table I storage comparison, for the paper's parameters or
+// any override.
+//
+// Usage:
+//
+//	roads-analysis [-preset paper|sim] [-N owners] [-K records] [-r attrs]
+//	               [-m buckets] [-k children] [-L levels] [-tr s] [-ts s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"roads/internal/analysis"
+)
+
+func main() {
+	preset := flag.String("preset", "paper", "parameter preset: paper (Table I setting) or sim (§V setting)")
+	n := flag.Float64("N", 0, "number of resource owners (0 = preset)")
+	k := flag.Float64("K", 0, "records per owner (0 = preset)")
+	r := flag.Float64("r", 0, "attributes per record (0 = preset)")
+	m := flag.Float64("m", 0, "histogram buckets (0 = preset)")
+	kids := flag.Float64("k", 0, "children per server (0 = preset)")
+	l := flag.Float64("L", -1, "hierarchy levels (-1 = preset)")
+	tr := flag.Float64("tr", 0, "record update period, seconds (0 = preset)")
+	ts := flag.Float64("ts", 0, "summary update period, seconds (0 = preset)")
+	flag.Parse()
+
+	var p analysis.Params
+	switch *preset {
+	case "paper":
+		p = analysis.PaperParams()
+	case "sim":
+		p = analysis.SimParams()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+	if *n > 0 {
+		p.N = *n
+	}
+	if *k > 0 {
+		p.K = *k
+	}
+	if *r > 0 {
+		p.R = *r
+	}
+	if *m > 0 {
+		p.M = *m
+	}
+	if *kids > 0 {
+		p.K2 = *kids
+	}
+	if *l >= 0 {
+		p.L = *l
+		p.NServers = 0
+	}
+	if *tr > 0 {
+		p.Tr = *tr
+	}
+	if *ts > 0 {
+		p.Ts = *ts
+	}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Print(analysis.Report(p))
+}

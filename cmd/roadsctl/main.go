@@ -1,0 +1,79 @@
+// Command roadsctl queries a live ROADS federation. Predicates are given
+// as attr=lo:hi (numeric range) or attr=value (categorical equality),
+// matching the default aN attribute names of roadsd's synthetic schema.
+//
+//	roadsctl -server 127.0.0.1:7001 -q "a0=0.2:0.4" -q "a5=0.1:0.6"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"roads/internal/live"
+	"roads/internal/query"
+	"roads/internal/transport"
+)
+
+type predList []query.Predicate
+
+func (p *predList) String() string { return fmt.Sprint(*p) }
+
+func (p *predList) Set(v string) error {
+	pred, err := query.ParsePredicate(v)
+	if err != nil {
+		return err
+	}
+	*p = append(*p, pred)
+	return nil
+}
+
+func main() {
+	server := flag.String("server", "127.0.0.1:7000", "any ROADS server address (the overlay lets queries start anywhere)")
+	requester := flag.String("as", "anonymous", "requester identity presented to owners' sharing policies")
+	limit := flag.Int("limit", 20, "max records to print (0 = all)")
+	status := flag.Bool("status", false, "print the server's status snapshot instead of querying")
+	var preds predList
+	flag.Var(&preds, "q", "predicate attr=lo:hi, attr=value, attr>v or attr<v (repeatable)")
+	flag.Parse()
+
+	if *status {
+		client := live.NewClient(transport.NewTCP(), *requester)
+		st, err := client.Status(*server)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roadsctl:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("server %s at %s\n", st.ID, st.Addr)
+		if st.IsRoot {
+			fmt.Println("  role: root")
+		} else {
+			fmt.Printf("  parent: %s (root path %v)\n", st.ParentID, st.RootPath)
+		}
+		fmt.Printf("  children: %d, overlay replicas: %d, owners: %d\n", st.Children, st.Replicas, st.Owners)
+		fmt.Printf("  records: %d local, %d in branch\n", st.LocalRecords, st.BranchRecords)
+		fmt.Printf("  served: %d queries, %d redirects, %d summary reports\n",
+			st.QueriesServed, st.RedirectsIssued, st.SummariesRecv)
+		return
+	}
+	if len(preds) == 0 {
+		fmt.Fprintln(os.Stderr, "roadsctl: at least one -q predicate is required (or -status)")
+		os.Exit(2)
+	}
+	q := query.New("roadsctl", preds...)
+	client := live.NewClient(transport.NewTCP(), *requester)
+	recs, stats, err := client.Resolve(*server, q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roadsctl:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("query: %s\n", q)
+	fmt.Printf("matched %d records via %d servers in %v\n", len(recs), stats.Contacted, stats.Elapsed.Round(0))
+	for i, r := range recs {
+		if *limit > 0 && i >= *limit {
+			fmt.Printf("... and %d more\n", len(recs)-*limit)
+			break
+		}
+		fmt.Println(" ", r)
+	}
+}

@@ -1,0 +1,114 @@
+// Federation: voluntary sharing across administrative boundaries. Three
+// organizations share compute resources but retain final control: one
+// hosts its own server and exports raw records to it, one exports only
+// summaries to a third-party server, and each applies per-requester views
+// (a business partner sees more than a stranger) — the scenario of the
+// paper's Fig. 1 and §II.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"roads/internal/coords"
+	"roads/internal/core"
+	"roads/internal/netsim"
+	"roads/internal/policy"
+	"roads/internal/query"
+	"roads/internal/record"
+)
+
+func main() {
+	schema := record.MustSchema([]record.Attribute{
+		{Name: "cores", Kind: record.Numeric},
+		{Name: "gpu", Kind: record.Numeric},
+		{Name: "tier", Kind: record.Categorical}, // public | partner | internal
+		{Name: "site", Kind: record.Categorical},
+	})
+
+	rng := rand.New(rand.NewSource(21))
+	space := coords.MustNewSpace(4, coords.DefaultConfig(), rng)
+	sim := netsim.New(space)
+	cfg := core.DefaultConfig()
+	cfg.Summary.Buckets = 64
+	sys, err := core.NewSystem(schema, cfg, sim)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Server providers: a neutral exchange runs the root; three orgs run
+	// their own servers under it (Fig. 1's structure).
+	for i, id := range []string{"exchange", "alpha-srv", "beta-srv", "gamma-srv"} {
+		if _, err := sys.AddServer(id, i); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	mkRecords := func(org string, n int, tiers []string) []*record.Record {
+		recs := make([]*record.Record, n)
+		for i := range recs {
+			r := record.New(schema, fmt.Sprintf("%s-node%02d", org, i), org)
+			r.SetNum(0, rng.Float64())
+			r.SetNum(1, rng.Float64())
+			r.SetStr(2, tiers[rng.Intn(len(tiers))])
+			r.SetStr(3, org)
+			recs[i] = r
+		}
+		return recs
+	}
+
+	// Org alpha trusts its own server: raw records live on alpha-srv.
+	alpha := policy.NewOwner("alpha", schema, policy.NewPolicy(policy.ExportRecords))
+	alpha.SetRecords(mkRecords("alpha", 30, []string{"public", "partner", "internal"}))
+	if err := sys.AttachOwner("alpha-srv", alpha); err != nil {
+		log.Fatal(err)
+	}
+
+	// Org beta attaches to the exchange's server but exports summaries
+	// only — its records never leave beta, and its policy decides per
+	// requester what a query gets back.
+	betaPolicy := policy.NewPolicy(policy.ExportSummary)
+	betaPolicy.DefaultView = policy.View{
+		Name:   "public-only",
+		Filter: func(r *record.Record) bool { return r.Str(2) == "public" },
+	}
+	betaPolicy.SetView("alpha", policy.View{ // alpha is beta's business partner
+		Name:   "partner",
+		Filter: func(r *record.Record) bool { return r.Str(2) != "internal" },
+	})
+	beta := policy.NewOwner("beta", schema, betaPolicy)
+	beta.SetRecords(mkRecords("beta", 30, []string{"public", "partner", "internal"}))
+	if err := sys.AttachOwner("exchange", beta); err != nil {
+		log.Fatal(err)
+	}
+
+	// Org gamma shares everything it has, from its own server.
+	gamma := policy.NewOwner("gamma", schema, nil)
+	gamma.SetRecords(mkRecords("gamma", 30, []string{"public"}))
+	if err := sys.AttachOwner("gamma-srv", gamma); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := sys.Aggregate(); err != nil {
+		log.Fatal(err)
+	}
+
+	ask := func(requester string) {
+		q := query.New("gpu-hunt", query.NewAbove("gpu", 0.5))
+		q.Requester = requester
+		res, err := sys.ResolveAndRetrieve(q, "alpha-srv")
+		if err != nil {
+			log.Fatal(err)
+		}
+		perOrg := map[string]int{}
+		for _, r := range res.Records {
+			perOrg[r.Owner]++
+		}
+		fmt.Printf("requester %-8s -> %2d records (by org: %v)\n", requester, len(res.Records), perOrg)
+	}
+
+	fmt.Println("same query, different requesters — owners retain final control:")
+	ask("alpha")    // beta's partner: sees beta's public+partner tiers
+	ask("stranger") // only public tiers from beta; alpha/gamma share all
+}

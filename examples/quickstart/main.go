@@ -1,0 +1,104 @@
+// Quickstart: build a small ROADS federation in-process, attach resource
+// owners, aggregate summaries, and resolve a multi-dimensional range query
+// from an arbitrary server — the minimal end-to-end tour of the public
+// pieces (records, owners, the hierarchy, summaries, queries).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"roads/internal/coords"
+	"roads/internal/core"
+	"roads/internal/netsim"
+	"roads/internal/policy"
+	"roads/internal/query"
+	"roads/internal/record"
+)
+
+func main() {
+	// 1. The federation-wide schema: every participant describes resources
+	// with the same attributes (the paper assumes a common schema).
+	schema := record.MustSchema([]record.Attribute{
+		{Name: "cpu", Kind: record.Numeric},      // normalized load headroom
+		{Name: "mem", Kind: record.Numeric},      // normalized free memory
+		{Name: "disk", Kind: record.Numeric},     // normalized free disk
+		{Name: "os", Kind: record.Categorical},   // operating system
+		{Name: "arch", Kind: record.Categorical}, // CPU architecture
+	})
+
+	// 2. A simulated wide-area network and a ROADS deployment of 12
+	// servers (degree 3, so we get a real multi-level hierarchy).
+	rng := rand.New(rand.NewSource(7))
+	space := coords.MustNewSpace(12, coords.DefaultConfig(), rng)
+	sim := netsim.New(space)
+
+	cfg := core.DefaultConfig()
+	cfg.MaxChildren = 3
+	cfg.Summary.Buckets = 100
+	sys, err := core.NewSystem(schema, cfg, sim)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Twelve organizations, each hosting a server and sharing a handful
+	// of machines. Owners export only summaries — detailed records never
+	// leave them.
+	oses := []string{"linux", "bsd", "solaris"}
+	archs := []string{"x86", "sparc", "ppc"}
+	for i := 0; i < 12; i++ {
+		id := fmt.Sprintf("org%02d", i)
+		if _, err := sys.AddServer(id, i); err != nil {
+			log.Fatal(err)
+		}
+		owner := policy.NewOwner(id+"-resources", schema, nil)
+		var recs []*record.Record
+		for m := 0; m < 20; m++ {
+			r := record.New(schema, fmt.Sprintf("%s-machine%02d", id, m), id)
+			r.SetNum(0, rng.Float64())
+			r.SetNum(1, rng.Float64())
+			r.SetNum(2, rng.Float64())
+			r.SetStr(3, oses[rng.Intn(len(oses))])
+			r.SetStr(4, archs[rng.Intn(len(archs))])
+			recs = append(recs, r)
+		}
+		owner.SetRecords(recs)
+		if err := sys.AttachOwner(id, owner); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 4. One soft-state refresh: owners export summaries, branches
+	// aggregate bottom-up, and the replication overlay spreads them.
+	if err := sys.Aggregate(); err != nil {
+		log.Fatal(err)
+	}
+	root, _ := sys.Server(sys.Tree.Root().ID)
+	fmt.Printf("hierarchy: %d servers, %d levels; root %s sees %d records\n",
+		sys.NumServers(), sys.Tree.Depth(), root.ID, root.BranchSummary().Records)
+
+	// 5. A multi-dimensional range query, started at an arbitrary server —
+	// the overlay means no root round trip.
+	q := query.New("find-worker",
+		query.NewAbove("cpu", 0.7),
+		query.NewAbove("mem", 0.5),
+		query.NewEq("os", "linux"),
+	)
+	res, err := sys.ResolveAndRetrieve(q, "org07")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %q from org07:\n", q)
+	fmt.Printf("  contacted %d of %d servers, forwarding latency %v, %d bytes\n",
+		len(res.Contacted), sys.NumServers(), res.Latency.Round(time.Millisecond), res.QueryBytes)
+	fmt.Printf("  %d matching machines from %d owners:\n", len(res.Records), len(res.Endpoints))
+	for i, r := range res.Records {
+		if i == 5 {
+			fmt.Printf("    ... and %d more\n", len(res.Records)-5)
+			break
+		}
+		fmt.Printf("    %s (cpu=%.2f mem=%.2f os=%s)\n", r.ID, r.Num(0), r.Num(1), r.Str(3))
+	}
+}

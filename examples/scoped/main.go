@@ -1,0 +1,114 @@
+// Scoped: the paper's §III-C search-scope control through the public
+// facade. A client at a leaf widens its search level by level — own
+// organization first, then the regional branch, then the whole federation
+// — trading coverage against latency and traffic, and a new owner picks
+// its attachment point by capacity.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"roads"
+)
+
+func main() {
+	schema, err := roads.NewSchema([]roads.Attribute{
+		{Name: "cores", Kind: roads.Numeric},
+		{Name: "region", Kind: roads.Categorical},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const n = 21 // degree 4: root + 4 regions + 16 sites -> 3 levels
+	cfg := roads.DefaultSystemConfig()
+	cfg.MaxChildren = 4
+	cfg.Summary.Buckets = 64
+	sys, err := roads.NewSimulatedSystem(schema, cfg, n, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	regions := []string{"eu", "us", "apac", "latam"}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("site%02d", i)
+		if _, err := sys.AddServer(id, i); err != nil {
+			log.Fatal(err)
+		}
+		owner := roads.NewOwner(id+"-owner", schema, nil)
+		var recs []*roads.Record
+		for m := 0; m < 15; m++ {
+			r := roads.NewRecord(schema, fmt.Sprintf("%s-m%02d", id, m), id)
+			r.SetNum(0, rng.Float64())
+			r.SetStr(1, regions[i%len(regions)])
+			recs = append(recs, r)
+		}
+		owner.SetRecords(recs)
+		if err := sys.AttachOwner(id, owner); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sys.Aggregate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A leaf deep in the hierarchy widens its search scope step by step.
+	var leaf string
+	for _, srv := range sys.Servers() {
+		if srv.Level() >= 2 {
+			leaf = srv.ID
+			break
+		}
+	}
+	q := roads.NewQuery("find-cores", roads.Above("cores", 0.5))
+	fmt.Printf("widening search from %s (deeper scope = wider coverage):\n", leaf)
+	for scope := 0; ; scope++ {
+		res, err := sys.ResolveScoped(q.Clone(), leaf, scope)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Retrieve(q.Clone(), res, 0); err != nil {
+			log.Fatal(err)
+		}
+		branch, _ := sys.SubtreeServers(leaf, scope)
+		fmt.Printf("  scope %d: branch of %2d servers -> %3d records, %2d contacted, latency %v, %d B\n",
+			scope, len(branch), len(res.Records), len(res.Contacted),
+			res.Latency.Round(time.Millisecond), res.QueryBytes)
+		if len(branch) == sys.NumServers() {
+			break
+		}
+	}
+
+	// A new owner joins the federation: attachment-point selection walks
+	// the same least-depth descent as server joins, balancing load.
+	id, err := sys.SelectAttachmentPoint(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnew owner's attachment point (capacity 2 owners/server): %s\n", id)
+	newcomer := roads.NewOwner("newcomer", schema, nil)
+	r := roads.NewRecord(schema, "newcomer-m0", "newcomer")
+	r.SetNum(0, 0.99)
+	r.SetStr(1, "eu")
+	newcomer.SetRecords([]*roads.Record{r})
+	if err := sys.AttachOwner(id, newcomer); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Aggregate(); err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.ResolveAndRetrieve(roads.NewQuery("q2", roads.Above("cores", 0.98)), leaf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	found := false
+	for _, rec := range res.Records {
+		if rec.Owner == "newcomer" {
+			found = true
+		}
+	}
+	fmt.Printf("newcomer's record discoverable after one refresh epoch: %v\n", found)
+}

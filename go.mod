@@ -1,0 +1,3 @@
+module roads
+
+go 1.22

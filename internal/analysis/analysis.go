@@ -1,0 +1,203 @@
+// Package analysis implements the paper's closed-form overhead analysis
+// (§IV): the per-second resource update overhead of ROADS, SWORD and the
+// centralized repository (Eqs. 1-3), ROADS' summary maintenance overhead
+// (Eq. 4), and the storage overhead comparison of Table I. All formulas use
+// the paper's notation and units (an attribute value has size 1, so a
+// record has size r and a summary has size m*r).
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Params are the paper's analysis parameters.
+type Params struct {
+	N  float64 // number of resource owners
+	K  float64 // records per owner
+	R  float64 // attributes per record (record size)
+	M  float64 // histogram buckets per attribute
+	K2 float64 // k: children per ROADS server
+	L  float64 // hierarchy has L+1 levels
+	Tr float64 // record update period (seconds)
+	Ts float64 // summary update period (seconds)
+	// NServers overrides the derived server count when positive (used for
+	// settings where n is given directly, like the simulation parameters).
+	NServers float64
+}
+
+// PaperParams returns the parameter setting the paper evaluates its
+// formulas with: r=25 attributes, m=100 buckets, k=5 children, L=4 levels
+// (156 servers), t_r/t_s = 0.1, N=1000 owners, K=10000 records.
+func PaperParams() Params {
+	return Params{
+		N:  1000,
+		K:  10000,
+		R:  25,
+		M:  100,
+		K2: 5,
+		L:  4,
+		Tr: 60,
+		Ts: 600,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.N <= 0 || p.K <= 0 || p.R <= 0 || p.M <= 0 || p.K2 <= 0 || p.L < 0 {
+		return fmt.Errorf("analysis: all size parameters must be positive: %+v", p)
+	}
+	if p.Tr <= 0 || p.Ts <= 0 {
+		return fmt.Errorf("analysis: update periods must be positive")
+	}
+	return nil
+}
+
+// Servers returns n, the number of servers in a full k-ary hierarchy of
+// L+1 levels: (k^(L) - 1)/(k-1) ... the paper's example (k=5, L=4) counts
+// 156 = 1 + 5 + 25 + 125 servers, i.e. levels 0..3 full: sum_{i=0..L-1} k^i.
+// When NServers is set it takes precedence.
+func (p Params) Servers() float64 {
+	if p.NServers > 0 {
+		return p.NServers
+	}
+	if p.K2 == 1 {
+		return p.L
+	}
+	return (math.Pow(p.K2, p.L) - 1) / (p.K2 - 1)
+}
+
+// SimParams returns the paper's §V simulation setting: 320 servers, 500
+// records per node, 16 attributes, degree 8, with the analysis-section
+// histogram size m=100. Under these parameters the SWORD/ROADS update
+// ratio is the paper's headline "1-2 orders of magnitude".
+func SimParams() Params {
+	return Params{
+		N:        320,
+		K:        500,
+		R:        16,
+		M:        100,
+		K2:       8,
+		L:        3,
+		Tr:       60,
+		Ts:       600,
+		NServers: 320,
+	}
+}
+
+// SummarySize returns the size of one summary, m*r.
+func (p Params) SummarySize() float64 { return p.M * p.R }
+
+// RecordSize returns the size of one record, r.
+func (p Params) RecordSize() float64 { return p.R }
+
+// UpdateROADS is Eq. (1): per-second update overhead of ROADS,
+// rm(N + k*n*log n)/t_s — summary exports plus bottom-up aggregation plus
+// top-down overlay replication, each refreshed every t_s seconds.
+func (p Params) UpdateROADS() float64 {
+	n := p.Servers()
+	return p.R * p.M * (p.N + p.K2*n*math.Log2(n)) / p.Ts
+}
+
+// UpdateSWORD is Eq. (2): per-second update overhead of SWORD,
+// r^2*K*N*log(n)/t_r — every record re-registered in r rings, each
+// registration routed in O(log n) hops, every t_r seconds.
+func (p Params) UpdateSWORD() float64 {
+	n := p.Servers()
+	return p.R * p.R * p.K * p.N * math.Log2(n) / p.Tr
+}
+
+// UpdateCentral is Eq. (3): per-second update overhead of the central
+// repository, r*K*N/t_r — every record re-exported directly.
+func (p Params) UpdateCentral() float64 {
+	return p.R * p.K * p.N / p.Tr
+}
+
+// MaintenanceROADSWorst is Eq. (4): the worst-case per-node summary
+// maintenance message count per second, O(k^2 log n)/t_s.
+func (p Params) MaintenanceROADSWorst() float64 {
+	n := p.Servers()
+	return p.K2 * p.K2 * math.Log2(n) / p.Ts
+}
+
+// MaintenanceMessagesPerNode returns the per-epoch summary message count
+// for a level-i node, ~k^2*i (it forwards its k children's summaries to
+// each child, plus the overlay traffic along its root path).
+func (p Params) MaintenanceMessagesPerNode(level float64) float64 {
+	return p.K2 * p.K2 * level
+}
+
+// StorageROADS returns Table I's ROADS row: a level-i node stores k child
+// summaries plus k*i replicated summaries, each of size rm -> rmk(i+1).
+// The worst case is a leaf, i = L.
+func (p Params) StorageROADS(level float64) float64 {
+	return p.R * p.M * p.K2 * (level + 1)
+}
+
+// StorageROADSWorst is the leaf-level storage, the value Table I reports.
+func (p Params) StorageROADSWorst() float64 { return p.StorageROADS(p.L) }
+
+// StorageSWORD returns Table I's SWORD row: all KN records stored in each
+// of the r rings of n/r servers -> r*K*N/(n/r) = r^2*K*N/n per server.
+func (p Params) StorageSWORD() float64 {
+	return p.R * p.R * p.K * p.N / p.Servers()
+}
+
+// StorageCentral returns Table I's central row: all KN records of size r.
+func (p Params) StorageCentral() float64 {
+	return p.R * p.K * p.N
+}
+
+// UpdateRatioROADSvsSWORD returns SWORD/ROADS update overhead — the paper's
+// headline "1-2 orders of magnitude" claim (§IV-B).
+func (p Params) UpdateRatioROADSvsSWORD() float64 {
+	return p.UpdateSWORD() / p.UpdateROADS()
+}
+
+// Table1Row is one row of the storage overhead comparison.
+type Table1Row struct {
+	System  string
+	Formula string
+	Value   float64
+}
+
+// Table1 reproduces Table I with the given parameters. PaperValue holds the
+// figure printed in the paper for its exemplary setting (2e5 / 6.4e8 / 1e9);
+// see EXPERIMENTS.md for the reconciliation of the ROADS and SWORD cells
+// (the paper's exemplary numbers imply slightly different level/n choices
+// than its stated defaults, but the ordering and orders of magnitude are
+// what the table demonstrates and both hold under our parameters).
+func Table1(p Params) []Table1Row {
+	return []Table1Row{
+		{System: "ROADS", Formula: "rmk(i+1)", Value: p.StorageROADSWorst()},
+		{System: "SWORD", Formula: "r^2*K*N/n", Value: p.StorageSWORD()},
+		{System: "Central", Formula: "r*K*N", Value: p.StorageCentral()},
+	}
+}
+
+// PaperTable1Values are the exemplary values printed in the paper.
+var PaperTable1Values = map[string]float64{
+	"ROADS":   2e5,
+	"SWORD":   6.4e8,
+	"Central": 1e9,
+}
+
+// Report renders the full analysis as a human-readable table.
+func Report(p Params) string {
+	var b strings.Builder
+	n := p.Servers()
+	fmt.Fprintf(&b, "Parameters: N=%.0f owners, K=%.0f records, r=%.0f attrs, m=%.0f buckets, k=%.0f children, L=%.0f -> n=%.0f servers, tr=%.0fs, ts=%.0fs\n\n",
+		p.N, p.K, p.R, p.M, p.K2, p.L, n, p.Tr, p.Ts)
+	fmt.Fprintf(&b, "Update overhead per second (Eqs. 1-3):\n")
+	fmt.Fprintf(&b, "  ROADS   (Eq.1)  %14.3g  rm(N+kn*logn)/ts\n", p.UpdateROADS())
+	fmt.Fprintf(&b, "  SWORD   (Eq.2)  %14.3g  r^2*K*N*logn/tr\n", p.UpdateSWORD())
+	fmt.Fprintf(&b, "  Central (Eq.3)  %14.3g  r*K*N/tr\n", p.UpdateCentral())
+	fmt.Fprintf(&b, "  SWORD/ROADS ratio: %.1fx (paper: 1-2 orders of magnitude)\n\n", p.UpdateRatioROADSvsSWORD())
+	fmt.Fprintf(&b, "Summary maintenance, worst-case messages/s per node (Eq.4): %.3g\n\n", p.MaintenanceROADSWorst())
+	fmt.Fprintf(&b, "Storage overhead per server (Table I):\n")
+	for _, row := range Table1(p) {
+		fmt.Fprintf(&b, "  %-8s %-12s %14.3g   (paper: %.3g)\n", row.System, row.Formula, row.Value, PaperTable1Values[row.System])
+	}
+	return b.String()
+}

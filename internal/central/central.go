@@ -1,0 +1,110 @@
+// Package central implements the centralized-repository baseline: every
+// owner exports its raw records to one repository server, which answers
+// queries locally in a single round trip. It is the third design in the
+// paper's analysis (Eq. 3, Table I) and the comparison system in the
+// prototype benchmark (Fig. 11).
+package central
+
+import (
+	"fmt"
+	"time"
+
+	"roads/internal/netsim"
+	"roads/internal/query"
+	"roads/internal/record"
+	"roads/internal/store"
+)
+
+// Repository is the central server.
+type Repository struct {
+	Schema *record.Schema
+	Sim    *netsim.Sim
+	// Host is the repository's index in the latency space.
+	Host  int
+	Store *store.Store
+}
+
+// New creates a repository at the given host.
+func New(schema *record.Schema, cost store.CostModel, sim *netsim.Sim, host int) *Repository {
+	return &Repository{
+		Schema: schema,
+		Sim:    sim,
+		Host:   host,
+		Store:  store.New(schema, cost),
+	}
+}
+
+// Export pushes one owner's records to the repository, accounting one
+// direct update message per record (Eq. 3: rKN/t_r per second).
+func (r *Repository) Export(ownerHost int, recs []*record.Record) {
+	size := 0
+	for _, rec := range recs {
+		size += rec.SizeBytes(r.Schema)
+	}
+	r.Sim.Send(ownerHost, r.Host, netsim.Update, size, nil)
+	r.Store.Add(recs...)
+}
+
+// ExportAll exports every node's records (PerNode[i] owned by host i).
+func (r *Repository) ExportAll(perNode [][]*record.Record) {
+	for host, recs := range perNode {
+		r.Export(host, recs)
+	}
+}
+
+// UpdateBytesPerEpoch measures one full re-export of all records.
+func (r *Repository) UpdateBytesPerEpoch(perNode [][]*record.Record) int64 {
+	var bytes int64
+	for _, recs := range perNode {
+		for _, rec := range recs {
+			bytes += int64(rec.SizeBytes(r.Schema))
+		}
+	}
+	return bytes
+}
+
+// QueryResult reports one centrally resolved query.
+type QueryResult struct {
+	// Latency is the one-way trip to the repository (the query "reaches
+	// the last server it needs to contact" immediately).
+	Latency time.Duration
+	// QueryBytes is the query message size (one message).
+	QueryBytes int64
+	// Records are the matches.
+	Records []*record.Record
+	// ResponseTime is the full round trip: query travel + sequential
+	// retrieval at the single server + response travel.
+	ResponseTime time.Duration
+}
+
+// Resolve answers a query from a client at clientHost.
+func (r *Repository) Resolve(q *query.Query, clientHost int) (*QueryResult, error) {
+	if !q.Bound() {
+		if err := q.Bind(r.Schema); err != nil {
+			return nil, err
+		}
+	}
+	if r.Store.Len() == 0 {
+		return nil, fmt.Errorf("central: repository is empty; export records first")
+	}
+	res := &QueryResult{}
+	oneWay := r.Sim.LatencyBetween(clientHost, r.Host)
+	res.QueryBytes = int64(q.SizeBytes())
+	r.Sim.Account(netsim.Query, q.SizeBytes())
+
+	sres, err := r.Store.Search(q)
+	if err != nil {
+		return nil, err
+	}
+	res.Records = sres.Records
+	returnBytes := 0
+	for _, rec := range sres.Records {
+		returnBytes += rec.SizeBytes(r.Schema)
+	}
+	if returnBytes > 0 {
+		r.Sim.Account(netsim.Response, returnBytes)
+	}
+	res.Latency = oneWay
+	res.ResponseTime = oneWay + sres.Cost + oneWay
+	return res, nil
+}

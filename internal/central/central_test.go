@@ -1,0 +1,114 @@
+package central
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"roads/internal/netsim"
+	"roads/internal/query"
+	"roads/internal/store"
+	"roads/internal/workload"
+)
+
+func buildRepo(t *testing.T, seed int64) (*Repository, *workload.Workload) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	w := workload.MustGenerate(workload.Config{Nodes: 16, RecordsPerNode: 50, AttrsPerDist: 4}, rng)
+	sim := netsim.New(netsim.ConstLatency(20 * time.Millisecond))
+	repo := New(w.Schema, store.DefaultCostModel(), sim, 0)
+	repo.ExportAll(w.PerNode)
+	return repo, w
+}
+
+func TestResolveCompleteAndSound(t *testing.T) {
+	repo, w := buildRepo(t, 1)
+	rng := rand.New(rand.NewSource(2))
+	queries, err := w.GenQueries(10, 6, 0.25, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		res, err := repo.Resolve(q, 5)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		want := 0
+		for _, r := range w.AllRecords() {
+			if q.MatchRecord(r) {
+				want++
+			}
+		}
+		if len(res.Records) != want {
+			t.Fatalf("query %d: got %d; want %d", qi, len(res.Records), want)
+		}
+	}
+}
+
+func TestSingleRoundTripLatency(t *testing.T) {
+	repo, w := buildRepo(t, 3)
+	q, _ := w.GenQuery("q", 4, 0.25, rand.New(rand.NewSource(4)))
+	res, err := repo.Resolve(q, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency != 20*time.Millisecond {
+		t.Fatalf("latency = %v; want one 20ms trip", res.Latency)
+	}
+	if res.ResponseTime < 40*time.Millisecond {
+		t.Fatalf("response time %v must include both trips", res.ResponseTime)
+	}
+	// Response time grows with retrieval cost: it must exceed bare RTT when
+	// records match.
+	if len(res.Records) > 0 && res.ResponseTime <= 40*time.Millisecond {
+		t.Fatal("retrieval cost missing from response time")
+	}
+}
+
+func TestEmptyRepositoryErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w := workload.MustGenerate(workload.Config{Nodes: 2, RecordsPerNode: 5, AttrsPerDist: 1}, rng)
+	sim := netsim.New(netsim.ConstLatency(0))
+	repo := New(w.Schema, store.CostModel{}, sim, 0)
+	q, _ := w.GenQuery("q", 2, 0.5, rng)
+	if _, err := repo.Resolve(q, 1); err == nil {
+		t.Fatal("empty repository must error")
+	}
+}
+
+func TestUpdateBytesLinearInRecords(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	sim := netsim.New(netsim.ConstLatency(0))
+	wSmall := workload.MustGenerate(workload.Config{Nodes: 8, RecordsPerNode: 10, AttrsPerDist: 4}, rng)
+	repoSmall := New(wSmall.Schema, store.CostModel{}, sim, 0)
+	small := repoSmall.UpdateBytesPerEpoch(wSmall.PerNode)
+
+	wBig := workload.MustGenerate(workload.Config{Nodes: 8, RecordsPerNode: 100, AttrsPerDist: 4}, rng)
+	repoBig := New(wBig.Schema, store.CostModel{}, sim, 0)
+	big := repoBig.UpdateBytesPerEpoch(wBig.PerNode)
+	if big != small*10 {
+		t.Fatalf("update bytes %d vs %d; want exactly 10x", big, small)
+	}
+}
+
+func TestResolveBindError(t *testing.T) {
+	repo, _ := buildRepo(t, 7)
+	q := query.New("q", query.NewRange("missing", 0, 1))
+	if _, err := repo.Resolve(q, 0); err == nil {
+		t.Fatal("unknown attribute must fail")
+	}
+}
+
+func TestUpdateAccountedOnSim(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	w := workload.MustGenerate(workload.Config{Nodes: 4, RecordsPerNode: 10, AttrsPerDist: 4}, rng)
+	sim := netsim.New(netsim.ConstLatency(0))
+	repo := New(w.Schema, store.CostModel{}, sim, 0)
+	repo.ExportAll(w.PerNode)
+	if sim.Stats.Bytes[netsim.Update] <= 0 {
+		t.Fatal("export must account update bytes")
+	}
+	if sim.Stats.Messages[netsim.Update] != 4 {
+		t.Fatalf("messages = %d; want 4 (one per owner)", sim.Stats.Messages[netsim.Update])
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"roads/internal/hierarchy"
+	"roads/internal/netsim"
+	"roads/internal/policy"
+	"roads/internal/summary"
+)
+
+// Aggregate runs one full soft-state refresh epoch:
+//
+//  1. every owner exports its summary to its attachment point,
+//  2. branch summaries propagate bottom-up to the root (paper §III-B), and
+//  3. if the overlay is enabled, branch summaries replicate top-down and
+//     sideways so each server holds its siblings', ancestors', and
+//     ancestors'-siblings' summaries (paper §III-C).
+//
+// All messages are accounted as update traffic on the simulator. The method
+// is deterministic and idempotent for unchanged data.
+func (sys *System) Aggregate() error {
+	if sys.Tree == nil {
+		return fmt.Errorf("core: no servers")
+	}
+	if err := sys.refreshLocalSummaries(); err != nil {
+		return err
+	}
+	if err := sys.aggregateBranch(sys.Tree.Root()); err != nil {
+		return err
+	}
+	if sys.Cfg.OverlayEnabled {
+		sys.replicateOverlay()
+	}
+	return nil
+}
+
+// simEpoch anchors the simulator's virtual clock onto the wall-clock type
+// that summary soft state uses.
+var simEpoch = time.Unix(0, 0)
+
+// virtualNow converts the simulator's virtual time to a time.Time.
+func (sys *System) virtualNow() time.Time { return simEpoch.Add(sys.Sim.Now()) }
+
+// refreshLocalSummaries rebuilds every server's local summary from its
+// store and attached summary-mode owners, accounting the owner exports.
+func (sys *System) refreshLocalSummaries() error {
+	now := sys.virtualNow()
+	for _, id := range sys.order {
+		srv := sys.servers[id]
+		local, err := summary.FromRecords(sys.Schema, sys.Cfg.Summary, srv.Store.Records())
+		if err != nil {
+			return err
+		}
+		local.Origin = srv.ID
+		for _, o := range srv.Owners {
+			if o.Policy.Mode == policy.ExportSummary {
+				osum, err := o.ExportSummary(sys.Cfg.Summary)
+				if err != nil {
+					return err
+				}
+				osum.Touch(now, sys.Cfg.Summary.TTL)
+				srv.ownerSummaries[o.ID] = osum
+				// Owner -> attachment point export message.
+				sys.Sim.Account(netsim.Update, osum.SizeBytes())
+				if err := local.Merge(osum); err != nil {
+					return err
+				}
+			}
+		}
+		local.Touch(now, sys.Cfg.Summary.TTL)
+		srv.localSummary = local
+	}
+	return nil
+}
+
+// aggregateBranch computes branch summaries bottom-up. Each non-root server
+// sends its branch summary to its parent: n-1 messages per epoch.
+func (sys *System) aggregateBranch(n *hierarchy.Node) error {
+	srv := sys.servers[n.ID]
+	branch := srv.localSummary.Clone()
+	branch.Origin = srv.ID
+	for _, cid := range childIDs(n) {
+		child, _ := sys.Tree.Node(cid)
+		if err := sys.aggregateBranch(child); err != nil {
+			return err
+		}
+		childSrv := sys.servers[cid]
+		// Branch summaries are rebuilt fresh every epoch and read-only in
+		// between, so holders reference rather than copy them; the wire
+		// size is still accounted per message.
+		cs := childSrv.branchSummary
+		srv.childSummaries[cid] = cs
+		// Child -> parent aggregation message.
+		sys.Sim.Send(childSrv.Host, srv.Host, netsim.Update, cs.SizeBytes(), nil)
+		if err := branch.Merge(cs); err != nil {
+			return err
+		}
+	}
+	srv.branchSummary = branch
+	return nil
+}
+
+// overlayOrigins returns the IDs whose branch summaries the server must
+// replicate: its siblings, its ancestors, and its ancestors' siblings
+// (paper Fig. 2). Combined with its own child summaries these cover the
+// entire hierarchy from any starting server.
+func overlayOrigins(n *hierarchy.Node) []string {
+	var out []string
+	for cur := n; cur.Parent != nil; cur = cur.Parent {
+		for _, sib := range cur.Siblings() {
+			out = append(out, sib.ID)
+		}
+		out = append(out, cur.Parent.ID) // ancestor
+	}
+	return out
+}
+
+// replicateOverlay installs every server's overlay replicas and accounts
+// one update message per (holder, origin) pair. The real propagation rides
+// the hierarchy links (down-branch for descendants, via the parent for
+// siblings); the message count is the same, so accounting per delivered
+// summary matches the paper's O(kn log n) replication cost.
+func (sys *System) replicateOverlay() {
+	for _, id := range sys.order {
+		srv := sys.servers[id]
+		srv.replicas = make(map[string]*summary.Summary, len(srv.replicas))
+		srv.ancestorLocal = make(map[string]*summary.Summary)
+		ancestors := make(map[string]bool)
+		for cur := srv.node.Parent; cur != nil; cur = cur.Parent {
+			ancestors[cur.ID] = true
+		}
+		for _, origin := range overlayOrigins(srv.node) {
+			osrv := sys.servers[origin]
+			if osrv.branchSummary == nil {
+				continue
+			}
+			srv.replicas[origin] = osrv.branchSummary
+			bytes := osrv.branchSummary.SizeBytes()
+			if ancestors[origin] && osrv.localSummary != nil {
+				// Piggyback the ancestor's local-data summary on the same
+				// down-branch replication message.
+				srv.ancestorLocal[origin] = osrv.localSummary
+				bytes += osrv.localSummary.SizeBytes()
+			}
+			sys.Sim.Send(osrv.Host, srv.Host, netsim.Update, bytes, nil)
+		}
+	}
+}
+
+// ExpireStale drops summaries whose soft-state TTL has passed, modelling
+// the paper's TTL-based freshness. It returns how many entries expired.
+func (sys *System) ExpireStale() int {
+	now := sys.virtualNow()
+	expired := 0
+	for _, id := range sys.order {
+		srv := sys.servers[id]
+		for cid, cs := range srv.childSummaries {
+			if cs.Expired(now) {
+				delete(srv.childSummaries, cid)
+				expired++
+			}
+		}
+		for oid, rs := range srv.replicas {
+			if rs.Expired(now) {
+				delete(srv.replicas, oid)
+				expired++
+			}
+		}
+		for oid, os := range srv.ownerSummaries {
+			if os.Expired(now) {
+				delete(srv.ownerSummaries, oid)
+				expired++
+			}
+		}
+	}
+	return expired
+}
+
+// UpdateBytesPerEpoch measures the update traffic of one aggregation epoch
+// by running Aggregate with a scratch counter. It leaves the summaries in
+// place (they are recomputed identically) and restores the previous stats.
+func (sys *System) UpdateBytesPerEpoch() (int64, error) {
+	saved := sys.Sim.Stats
+	sys.Sim.ResetStats()
+	if err := sys.Aggregate(); err != nil {
+		sys.Sim.Stats = saved
+		return 0, err
+	}
+	bytes := sys.Sim.Stats.Bytes[netsim.Update]
+	sys.Sim.Stats = saved
+	return bytes, nil
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"roads/internal/hierarchy"
+	"roads/internal/netsim"
+)
+
+// SelectAttachmentPoint picks a server for a new resource owner using the
+// same descent as server joins (paper §III-A: "the selection of attachment
+// points follows a similar process as choosing parent server"): starting
+// at the root, descend into the child branch of least depth (ties: fewest
+// descendants) until a server with attachment capacity is found. Capacity
+// is bounded by maxOwners per server (<=0 means unbounded, so the root
+// itself is chosen). The consultation traffic is accounted as maintenance
+// messages.
+func (sys *System) SelectAttachmentPoint(maxOwners int) (string, error) {
+	if sys.Tree == nil {
+		return "", fmt.Errorf("core: no servers")
+	}
+	const consultBytes = 64
+	accepts := func(srv *Server) bool {
+		return maxOwners <= 0 || len(srv.Owners) < maxOwners
+	}
+	var best string
+	var descend func(n *hierarchy.Node) bool
+	descend = func(n *hierarchy.Node) bool {
+		sys.Sim.Account(netsim.Maintenance, 2*consultBytes)
+		srv := sys.servers[n.ID]
+		if accepts(srv) {
+			best = srv.ID
+			return true
+		}
+		children := append([]*hierarchy.Node(nil), n.Children...)
+		sort.Slice(children, func(i, j int) bool {
+			if children[i].SubtreeDepth != children[j].SubtreeDepth {
+				return children[i].SubtreeDepth < children[j].SubtreeDepth
+			}
+			if children[i].Descendants != children[j].Descendants {
+				return children[i].Descendants < children[j].Descendants
+			}
+			return children[i].ID < children[j].ID
+		})
+		for _, c := range children {
+			if descend(c) {
+				return true
+			}
+		}
+		return false
+	}
+	if !descend(sys.Tree.Root()) {
+		return "", fmt.Errorf("core: no server accepts another owner (max %d per server)", maxOwners)
+	}
+	return best, nil
+}
+
+// OwnerDistribution returns how many owners each server hosts, keyed by
+// server ID — a balance diagnostic for attachment-point selection.
+func (sys *System) OwnerDistribution() map[string]int {
+	out := make(map[string]int, len(sys.servers))
+	for id, srv := range sys.servers {
+		out[id] = len(srv.Owners)
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"roads/internal/query"
+)
+
+// TestChurnRecall injects server failures and measures query recall: with
+// stale summaries (before the soft-state refresh) queries may redirect to
+// dead branches, but after one Aggregate epoch recall over the surviving
+// data must return to 100% — the soft-state resiliency story of §III-B.
+func TestChurnRecall(t *testing.T) {
+	sys, w := buildSystem(t, 48, 40)
+	rng := rand.New(rand.NewSource(41))
+
+	// Fail 8 random non-root servers.
+	failed := make(map[int]bool)
+	for len(failed) < 8 {
+		i := rng.Intn(48)
+		id := fmt.Sprintf("s%03d", i)
+		if id == sys.Tree.Root().ID || failed[i] {
+			continue
+		}
+		if err := sys.RemoveServer(id); err != nil {
+			t.Fatal(err)
+		}
+		failed[i] = true
+	}
+	if err := sys.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Soft-state refresh: summaries regenerate over the healed hierarchy.
+	if err := sys.Aggregate(); err != nil {
+		t.Fatal(err)
+	}
+
+	queries, err := w.GenQueries(15, 3, 0.4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivors := func(q *query.Query) int {
+		want := 0
+		for i, recs := range w.PerNode {
+			if failed[i] {
+				continue
+			}
+			for _, r := range recs {
+				if q.MatchRecord(r) {
+					want++
+				}
+			}
+		}
+		return want
+	}
+	for qi, q := range queries {
+		// Start from a surviving server.
+		var start string
+		for {
+			i := rng.Intn(48)
+			if !failed[i] {
+				start = fmt.Sprintf("s%03d", i)
+				break
+			}
+		}
+		res, err := sys.ResolveAndRetrieve(q, start)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		if want := survivors(q); len(res.Records) != want {
+			t.Fatalf("query %d after churn: recall %d/%d", qi, len(res.Records), want)
+		}
+	}
+}
+
+// TestChurnRepeatedEpochs alternates failures and refresh epochs, checking
+// the system never wedges and recall stays complete after each epoch.
+func TestChurnRepeatedEpochs(t *testing.T) {
+	sys, w := buildSystem(t, 30, 42)
+	rng := rand.New(rand.NewSource(43))
+	alive := make(map[int]bool)
+	for i := 0; i < 30; i++ {
+		alive[i] = true
+	}
+	for epoch := 0; epoch < 4; epoch++ {
+		// Fail two random servers per epoch (never the current root).
+		removed := 0
+		for removed < 2 {
+			i := rng.Intn(30)
+			id := fmt.Sprintf("s%03d", i)
+			if !alive[i] || id == sys.Tree.Root().ID {
+				continue
+			}
+			if err := sys.RemoveServer(id); err != nil {
+				t.Fatal(err)
+			}
+			alive[i] = false
+			removed++
+		}
+		if err := sys.Aggregate(); err != nil {
+			t.Fatalf("epoch %d aggregate: %v", epoch, err)
+		}
+		q, err := w.GenQuery(fmt.Sprintf("q%d", epoch), 2, 0.5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for i, recs := range w.PerNode {
+			if !alive[i] {
+				continue
+			}
+			for _, r := range recs {
+				if q.MatchRecord(r) {
+					want++
+				}
+			}
+		}
+		res, err := sys.ResolveAndRetrieve(q, sys.Tree.Root().ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Records) != want {
+			t.Fatalf("epoch %d: recall %d/%d", epoch, len(res.Records), want)
+		}
+	}
+}

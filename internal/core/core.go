@@ -1,0 +1,320 @@
+// Package core implements the ROADS system itself: servers arranged in the
+// federated hierarchy, bottom-up summary aggregation, the replication
+// overlay that lets queries start anywhere, and query resolution by
+// client-mediated redirects. It runs on the netsim substrate so that
+// latency and traffic are accounted exactly as in the paper's simulations,
+// and the same logic backs the live prototype.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"roads/internal/hierarchy"
+	"roads/internal/netsim"
+	"roads/internal/policy"
+	"roads/internal/record"
+	"roads/internal/store"
+	"roads/internal/summary"
+)
+
+// Config controls a ROADS deployment.
+type Config struct {
+	// MaxChildren caps the hierarchy degree (paper default 8).
+	MaxChildren int
+	// Summary configures summary construction (buckets etc).
+	Summary summary.Config
+	// SummaryPeriod is t_s, the soft-state refresh period for summaries.
+	SummaryPeriod time.Duration
+	// RecordPeriod is t_r, the record update period (used by baselines and
+	// by overhead normalization; the paper uses t_r/t_s = 0.1).
+	RecordPeriod time.Duration
+	// OverlayEnabled turns the replication overlay on (paper's design) or
+	// off (basic hierarchy: all queries start at the root) — the ablation
+	// of DESIGN.md §5.
+	OverlayEnabled bool
+	// ProcessingDelay models a server's local summary-evaluation time per
+	// query hop.
+	ProcessingDelay time.Duration
+	// Cost models the local record store backend (Fig. 11).
+	Cost store.CostModel
+}
+
+// DefaultConfig returns the paper's simulation defaults.
+func DefaultConfig() Config {
+	return Config{
+		MaxChildren:     8,
+		Summary:         summary.DefaultConfig(),
+		SummaryPeriod:   10 * time.Minute,
+		RecordPeriod:    time.Minute,
+		OverlayEnabled:  true,
+		ProcessingDelay: 2 * time.Millisecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.MaxChildren <= 0 {
+		return fmt.Errorf("core: MaxChildren must be positive, got %d", c.MaxChildren)
+	}
+	if err := c.Summary.Validate(); err != nil {
+		return err
+	}
+	if c.SummaryPeriod <= 0 || c.RecordPeriod <= 0 {
+		return fmt.Errorf("core: refresh periods must be positive")
+	}
+	return nil
+}
+
+// Server is one ROADS server: a position in the hierarchy, the owners
+// attached to it, the summaries it holds, and its local record store.
+type Server struct {
+	ID string
+	// Host is the server's index in the latency space.
+	Host int
+
+	node *hierarchy.Node
+
+	// Owners attached at this server. Owners in ExportRecords mode push
+	// raw records into Store (they trust this server); owners in
+	// ExportSummary mode push only summaries and answer queries themselves.
+	Owners []*policy.Owner
+
+	// Store holds the raw records exported by trusting owners.
+	Store *store.Store
+
+	// ownerSummaries holds the summary each summary-mode owner exported.
+	ownerSummaries map[string]*summary.Summary
+
+	// localSummary condenses everything attached here (store + owner
+	// summaries); branchSummary additionally merges all child branches.
+	localSummary  *summary.Summary
+	branchSummary *summary.Summary
+
+	// childSummaries maps child server ID -> that child's branch summary.
+	childSummaries map[string]*summary.Summary
+
+	// replicas maps origin server ID -> replicated branch summary, for the
+	// overlay set: siblings, ancestors, and ancestors' siblings.
+	replicas map[string]*summary.Summary
+
+	// failed marks a crashed server whose death has not yet been repaired:
+	// other servers still hold its (stale) summaries and redirect queries
+	// to it, but contacts fail — the soft-state staleness window the churn
+	// experiments measure.
+	failed bool
+
+	// ancestorLocal holds, for each ancestor, the summary of the data
+	// attached directly to it (piggybacked on the branch-summary
+	// replication). A sibling cover reaches every other *branch*; this is
+	// what lets a query also reach data attached at the ancestors
+	// themselves without re-searching their subtrees.
+	ancestorLocal map[string]*summary.Summary
+}
+
+// Level returns the server's depth below the root.
+func (s *Server) Level() int { return s.node.Level() }
+
+// BranchSummary returns the server's aggregated branch summary (nil before
+// the first aggregation pass).
+func (s *Server) BranchSummary() *summary.Summary { return s.branchSummary }
+
+// LocalSummary returns the summary of data attached directly to the server.
+func (s *Server) LocalSummary() *summary.Summary { return s.localSummary }
+
+// ChildSummaries returns the child branch summaries keyed by child ID.
+func (s *Server) ChildSummaries() map[string]*summary.Summary { return s.childSummaries }
+
+// Replicas returns the overlay-replicated summaries keyed by origin ID.
+func (s *Server) Replicas() map[string]*summary.Summary { return s.replicas }
+
+// NumSummaries reports how many summaries the server stores in total
+// (children + replicas), the paper's per-node storage metric (Table I).
+func (s *Server) NumSummaries() int {
+	return len(s.childSummaries) + len(s.replicas)
+}
+
+// System is a ROADS deployment.
+type System struct {
+	Cfg    Config
+	Schema *record.Schema
+	Tree   *hierarchy.Tree
+	Sim    *netsim.Sim
+
+	servers map[string]*Server
+	order   []string // insertion order, for deterministic iteration
+}
+
+// NewSystem creates an empty deployment. The first server added becomes the
+// hierarchy root.
+func NewSystem(schema *record.Schema, cfg Config, sim *netsim.Sim) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if schema == nil {
+		return nil, fmt.Errorf("core: nil schema")
+	}
+	if sim == nil {
+		return nil, fmt.Errorf("core: nil simulator")
+	}
+	return &System{
+		Cfg:     cfg,
+		Schema:  schema,
+		Sim:     sim,
+		servers: make(map[string]*Server),
+	}, nil
+}
+
+// AddServer joins a server to the deployment. host is its index in the
+// latency space. Join traffic is accounted as maintenance messages (one
+// small request/response per consulted server).
+func (sys *System) AddServer(id string, host int) (*Server, error) {
+	if _, dup := sys.servers[id]; dup {
+		return nil, fmt.Errorf("core: server %q already exists", id)
+	}
+	srv := &Server{
+		ID:             id,
+		Host:           host,
+		Store:          store.New(sys.Schema, sys.Cfg.Cost),
+		ownerSummaries: make(map[string]*summary.Summary),
+		childSummaries: make(map[string]*summary.Summary),
+		replicas:       make(map[string]*summary.Summary),
+		ancestorLocal:  make(map[string]*summary.Summary),
+	}
+	const joinMsgBytes = 64
+	if sys.Tree == nil {
+		sys.Tree = hierarchy.New(id, hierarchy.WithMaxChildren(sys.Cfg.MaxChildren))
+	} else {
+		steps, err := sys.Tree.Join(id)
+		if err != nil {
+			return nil, err
+		}
+		// One request+response per consulted server.
+		sys.Sim.Account(netsim.Maintenance, 2*joinMsgBytes*len(steps.Consulted))
+	}
+	node, _ := sys.Tree.Node(id)
+	srv.node = node
+	sys.servers[id] = srv
+	sys.order = append(sys.order, id)
+	return srv, nil
+}
+
+// Server looks up a server by ID.
+func (sys *System) Server(id string) (*Server, bool) {
+	s, ok := sys.servers[id]
+	return s, ok
+}
+
+// Servers returns all servers in insertion order.
+func (sys *System) Servers() []*Server {
+	out := make([]*Server, len(sys.order))
+	for i, id := range sys.order {
+		out[i] = sys.servers[id]
+	}
+	return out
+}
+
+// NumServers returns the deployment size.
+func (sys *System) NumServers() int { return len(sys.servers) }
+
+// AttachOwner attaches a resource owner at the given server (its
+// "attachment point"). Depending on the owner's policy mode, the raw
+// records land in the server's store or only a summary is exported during
+// aggregation.
+func (sys *System) AttachOwner(serverID string, o *policy.Owner) error {
+	srv, ok := sys.servers[serverID]
+	if !ok {
+		return fmt.Errorf("core: unknown server %q", serverID)
+	}
+	srv.Owners = append(srv.Owners, o)
+	if o.Policy.Mode == policy.ExportRecords {
+		recs, err := o.ExportRecords()
+		if err != nil {
+			return err
+		}
+		srv.Store.Add(recs...)
+		// Raw record export is update traffic sized by the records.
+		size := 0
+		for _, r := range recs {
+			size += r.SizeBytes(sys.Schema)
+		}
+		sys.Sim.Account(netsim.Update, size)
+	}
+	return nil
+}
+
+// MarkFailed simulates an unannounced crash: the server stays in every
+// other server's summaries and redirect tables (stale soft state), but
+// queries contacting it learn nothing and cannot proceed into its subtree.
+// RepairFailed (or the next maintenance cycle) heals the hierarchy.
+func (sys *System) MarkFailed(id string) error {
+	srv, ok := sys.servers[id]
+	if !ok {
+		return fmt.Errorf("core: unknown server %q", id)
+	}
+	if sys.Tree.Root().ID == id {
+		return fmt.Errorf("core: cannot fail the root in the staleness model (elect first)")
+	}
+	srv.failed = true
+	return nil
+}
+
+// RepairFailed runs the maintenance protocol for every crashed server:
+// orphans rejoin via their root paths, stale state is dropped, and one
+// aggregation epoch restores fresh summaries. It returns the repaired IDs.
+func (sys *System) RepairFailed() ([]string, error) {
+	var failed []string
+	for _, id := range sys.order {
+		if sys.servers[id].failed {
+			failed = append(failed, id)
+		}
+	}
+	for _, id := range failed {
+		if err := sys.RemoveServer(id); err != nil {
+			return nil, err
+		}
+	}
+	if len(sys.servers) > 0 {
+		if err := sys.Aggregate(); err != nil {
+			return nil, err
+		}
+	}
+	return failed, nil
+}
+
+// RemoveServer handles a server departure: hierarchy repair plus dropping
+// the state other servers held for it. Children rejoin per their root
+// paths; summaries are re-established by the next Aggregate pass, exactly
+// as soft state dictates.
+func (sys *System) RemoveServer(id string) error {
+	if _, ok := sys.servers[id]; !ok {
+		return fmt.Errorf("core: unknown server %q", id)
+	}
+	if _, err := sys.Tree.Leave(id); err != nil {
+		return err
+	}
+	delete(sys.servers, id)
+	for i, oid := range sys.order {
+		if oid == id {
+			sys.order = append(sys.order[:i], sys.order[i+1:]...)
+			break
+		}
+	}
+	for _, srv := range sys.servers {
+		delete(srv.childSummaries, id)
+		delete(srv.replicas, id)
+		delete(srv.ancestorLocal, id)
+	}
+	return nil
+}
+
+// sortedIDs returns children IDs of a node in deterministic order.
+func childIDs(n *hierarchy.Node) []string {
+	out := make([]string, len(n.Children))
+	for i, c := range n.Children {
+		out[i] = c.ID
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,599 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"roads/internal/netsim"
+	"roads/internal/policy"
+	"roads/internal/query"
+	"roads/internal/record"
+	"roads/internal/summary"
+	"roads/internal/workload"
+)
+
+// buildSystem creates an n-server deployment where server i hosts one
+// summary-mode owner holding the workload's node-i records.
+func buildSystem(t *testing.T, n int, seed int64) (*System, *workload.Workload) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	wcfg := workload.Config{Nodes: n, RecordsPerNode: 60, AttrsPerDist: 4}
+	w := workload.MustGenerate(wcfg, rng)
+
+	cfg := DefaultConfig()
+	cfg.Summary.Buckets = 200
+	sim := netsim.New(netsim.ConstLatency(10 * time.Millisecond))
+	sys, err := NewSystem(w.Schema, cfg, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("s%03d", i)
+		if _, err := sys.AddServer(id, i); err != nil {
+			t.Fatal(err)
+		}
+		o := policy.NewOwner(fmt.Sprintf("owner%d", i), w.Schema, nil)
+		o.SetRecords(w.PerNode[i])
+		if err := sys.AttachOwner(id, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Aggregate(); err != nil {
+		t.Fatal(err)
+	}
+	return sys, w
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := cfg
+	bad.MaxChildren = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for zero MaxChildren")
+	}
+	bad = cfg
+	bad.SummaryPeriod = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for zero period")
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	sim := netsim.New(netsim.ConstLatency(0))
+	if _, err := NewSystem(nil, DefaultConfig(), sim); err == nil {
+		t.Fatal("nil schema must fail")
+	}
+	if _, err := NewSystem(record.DefaultSchema(4), DefaultConfig(), nil); err == nil {
+		t.Fatal("nil sim must fail")
+	}
+}
+
+func TestAddServerDuplicate(t *testing.T) {
+	sim := netsim.New(netsim.ConstLatency(0))
+	sys, _ := NewSystem(record.DefaultSchema(4), DefaultConfig(), sim)
+	if _, err := sys.AddServer("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.AddServer("a", 1); err == nil {
+		t.Fatal("duplicate server must fail")
+	}
+}
+
+func TestRootBranchSummaryCoversEverything(t *testing.T) {
+	sys, w := buildSystem(t, 30, 1)
+	root, _ := sys.Server(sys.Tree.Root().ID)
+	bs := root.BranchSummary()
+	if bs == nil {
+		t.Fatal("root has no branch summary after Aggregate")
+	}
+	if int(bs.Records) != w.TotalRecords() {
+		t.Fatalf("root branch summary covers %d records; want %d", bs.Records, w.TotalRecords())
+	}
+	// Every record's values must be matched by the root summary.
+	for _, r := range w.AllRecords()[:100] {
+		for j := 0; j < 4; j++ {
+			v := r.Num(j)
+			if !bs.MatchRange(j, v-0.01, v+0.01) {
+				t.Fatalf("root summary misses value %g on attr %d", v, j)
+			}
+		}
+	}
+}
+
+func TestOverlayCoverage(t *testing.T) {
+	sys, _ := buildSystem(t, 40, 2)
+	// Invariant from the paper: each server's child summaries + non-
+	// ancestor replicas + its own local data cover the entire hierarchy.
+	for _, srv := range sys.Servers() {
+		covered := make(map[string]bool)
+		var markBranch func(id string)
+		markBranch = func(id string) {
+			covered[id] = true
+			n, _ := sys.Tree.Node(id)
+			for _, c := range n.Children {
+				markBranch(c.ID)
+			}
+		}
+		covered[srv.ID] = true
+		for _, c := range srv.node.Children {
+			markBranch(c.ID)
+		}
+		ancestors := make(map[string]bool)
+		for cur := srv.node.Parent; cur != nil; cur = cur.Parent {
+			ancestors[cur.ID] = true
+		}
+		for oid := range srv.Replicas() {
+			if !ancestors[oid] {
+				markBranch(oid)
+			} else {
+				// Ancestors are covered for their locally attached data
+				// via the piggybacked local summaries.
+				covered[oid] = true
+			}
+		}
+		if len(covered) != sys.NumServers() {
+			t.Fatalf("server %s covers %d of %d servers", srv.ID, len(covered), sys.NumServers())
+		}
+	}
+}
+
+func TestReplicaSetMatchesPaperFormula(t *testing.T) {
+	sys, _ := buildSystem(t, 40, 3)
+	for _, srv := range sys.Servers() {
+		// Paper: a level-i node replicates its sibling(s), its i ancestors
+		// and its ancestors' siblings.
+		want := 0
+		for cur := srv.node; cur.Parent != nil; cur = cur.Parent {
+			want += len(cur.Siblings()) + 1 // siblings at this level + the ancestor
+		}
+		if got := len(srv.Replicas()); got != want {
+			t.Fatalf("server %s (level %d) has %d replicas; want %d", srv.ID, srv.Level(), got, want)
+		}
+	}
+}
+
+// bruteForceEndpoints returns the servers whose local data actually match.
+func bruteForceEndpoints(sys *System, w *workload.Workload, q *query.Query) []string {
+	var out []string
+	for i, srv := range sys.Servers() {
+		for _, r := range w.PerNode[i] {
+			if q.MatchRecord(r) {
+				out = append(out, srv.ID)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestResolveFindsAllMatchingRecords(t *testing.T) {
+	sys, w := buildSystem(t, 40, 4)
+	rng := rand.New(rand.NewSource(5))
+	queries, err := w.GenQueries(20, 4, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := sys.Servers()
+	for qi, q := range queries {
+		start := servers[rng.Intn(len(servers))].ID
+		res, err := sys.ResolveAndRetrieve(q, start)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		// Completeness: every truly matching record is returned.
+		want := 0
+		for _, r := range w.AllRecords() {
+			if q.MatchRecord(r) {
+				want++
+			}
+		}
+		if len(res.Records) != want {
+			t.Fatalf("query %d from %s: got %d records; want %d", qi, start, len(res.Records), want)
+		}
+		// Soundness of returned records.
+		for _, r := range res.Records {
+			if !q.MatchRecord(r) {
+				t.Fatalf("query %d returned non-matching record %s", qi, r.ID)
+			}
+		}
+		// Endpoints must be a superset of brute-force matching servers.
+		wantEps := bruteForceEndpoints(sys, w, q)
+		eps := make(map[string]bool, len(res.Endpoints))
+		for _, e := range res.Endpoints {
+			eps[e] = true
+		}
+		for _, e := range wantEps {
+			if !eps[e] {
+				t.Fatalf("query %d missed endpoint %s", qi, e)
+			}
+		}
+	}
+}
+
+func TestResolveWithoutOverlayStartsAtRoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	wcfg := workload.Config{Nodes: 25, RecordsPerNode: 40, AttrsPerDist: 4}
+	w := workload.MustGenerate(wcfg, rng)
+	cfg := DefaultConfig()
+	cfg.OverlayEnabled = false
+	cfg.Summary.Buckets = 200
+	sim := netsim.New(netsim.ConstLatency(10 * time.Millisecond))
+	sys, err := NewSystem(w.Schema, cfg, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		id := fmt.Sprintf("s%03d", i)
+		if _, err := sys.AddServer(id, i); err != nil {
+			t.Fatal(err)
+		}
+		o := policy.NewOwner(fmt.Sprintf("o%d", i), w.Schema, nil)
+		o.SetRecords(w.PerNode[i])
+		if err := sys.AttachOwner(id, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Aggregate(); err != nil {
+		t.Fatal(err)
+	}
+	q, err := w.GenQuery("q", 4, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.ResolveAndRetrieve(q, "s010")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Contacted) == 0 || res.Contacted[0] != sys.Tree.Root().ID {
+		t.Fatalf("no-overlay resolution must start at root, got %v", res.Contacted[:1])
+	}
+	want := 0
+	for _, r := range w.AllRecords() {
+		if q.MatchRecord(r) {
+			want++
+		}
+	}
+	if len(res.Records) != want {
+		t.Fatalf("no-overlay mode returned %d records; want %d", len(res.Records), want)
+	}
+	// Latency must include the client->root trip.
+	if res.Latency < 10*time.Millisecond {
+		t.Fatalf("latency %v too small for root-start search", res.Latency)
+	}
+}
+
+func TestResolveUnknownStart(t *testing.T) {
+	sys, w := buildSystem(t, 10, 7)
+	q, _ := w.GenQuery("q", 2, 0.25, rand.New(rand.NewSource(8)))
+	if _, err := sys.Resolve(q, "ghost"); err == nil {
+		t.Fatal("unknown start server must fail")
+	}
+}
+
+func TestUpdateBytesConstantInRecordCount(t *testing.T) {
+	sysSmall, _ := buildSystem(t, 20, 9)
+	small, err := sysSmall.UpdateBytesPerEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same server count, 5x the records.
+	rng := rand.New(rand.NewSource(9))
+	wcfg := workload.Config{Nodes: 20, RecordsPerNode: 300, AttrsPerDist: 4}
+	w := workload.MustGenerate(wcfg, rng)
+	cfg := DefaultConfig()
+	cfg.Summary.Buckets = 200
+	sim := netsim.New(netsim.ConstLatency(10 * time.Millisecond))
+	sysBig, _ := NewSystem(w.Schema, cfg, sim)
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("s%03d", i)
+		sysBig.AddServer(id, i)
+		o := policy.NewOwner(fmt.Sprintf("o%d", i), w.Schema, nil)
+		o.SetRecords(w.PerNode[i])
+		sysBig.AttachOwner(id, o)
+	}
+	if err := sysBig.Aggregate(); err != nil {
+		t.Fatal(err)
+	}
+	big, err := sysBig.UpdateBytesPerEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small != big {
+		t.Fatalf("update bytes changed with record count: %d vs %d (summaries are constant-size)", small, big)
+	}
+	if small <= 0 {
+		t.Fatal("update bytes must be positive")
+	}
+}
+
+func TestTrustedOwnerRecordsServedFromStore(t *testing.T) {
+	schema := record.DefaultSchema(4)
+	cfg := DefaultConfig()
+	cfg.Summary.Buckets = 100
+	sim := netsim.New(netsim.ConstLatency(time.Millisecond))
+	sys, _ := NewSystem(schema, cfg, sim)
+	sys.AddServer("a", 0)
+	sys.AddServer("b", 1)
+
+	// Owner trusts server b: raw records exported there.
+	o := policy.NewOwner("own", schema, policy.NewPolicy(policy.ExportRecords))
+	r := record.New(schema, "r1", "own")
+	r.SetNum(0, 0.5)
+	o.SetRecords([]*record.Record{r})
+	if err := sys.AttachOwner("b", o); err != nil {
+		t.Fatal(err)
+	}
+	srvB, _ := sys.Server("b")
+	if srvB.Store.Len() != 1 {
+		t.Fatalf("store has %d records; want 1", srvB.Store.Len())
+	}
+	if err := sys.Aggregate(); err != nil {
+		t.Fatal(err)
+	}
+	q := query.New("q", query.NewRange("a0", 0.4, 0.6))
+	res, err := sys.ResolveAndRetrieve(q, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 1 || res.Records[0].ID != "r1" {
+		t.Fatalf("got %d records; want the trusted-export record", len(res.Records))
+	}
+}
+
+func TestVoluntarySharingFiltersAtOwner(t *testing.T) {
+	schema := record.DefaultSchema(2)
+	cfg := DefaultConfig()
+	cfg.Summary.Buckets = 100
+	sim := netsim.New(netsim.ConstLatency(time.Millisecond))
+	sys, _ := NewSystem(schema, cfg, sim)
+	sys.AddServer("a", 0)
+
+	pol := policy.NewPolicy(policy.ExportSummary)
+	pol.DefaultView = policy.View{Name: "deny-all", Filter: func(*record.Record) bool { return false }}
+	pol.SetView("friend", policy.View{Name: "allow"})
+	o := policy.NewOwner("own", schema, pol)
+	r := record.New(schema, "r1", "own")
+	r.SetNum(0, 0.5)
+	r.SetNum(1, 0.5)
+	o.SetRecords([]*record.Record{r})
+	sys.AttachOwner("a", o)
+	sys.Aggregate()
+
+	q := query.New("q", query.NewRange("a0", 0, 1))
+	q.Requester = "stranger"
+	res, err := sys.ResolveAndRetrieve(q, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 0 {
+		t.Fatal("stranger must get nothing under deny-all view")
+	}
+	// The query still *reached* the owner (discoverability) — it appears
+	// as an endpoint even though the owner returned nothing.
+	if len(res.Endpoints) != 1 {
+		t.Fatalf("endpoints = %v; want the owner's server", res.Endpoints)
+	}
+
+	q2 := query.New("q2", query.NewRange("a0", 0, 1))
+	q2.Requester = "friend"
+	res2, err := sys.ResolveAndRetrieve(q2, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Records) != 1 {
+		t.Fatal("friend must see the record")
+	}
+}
+
+func TestRemoveServerAndReaggregate(t *testing.T) {
+	sys, w := buildSystem(t, 30, 10)
+	// Remove a non-root server.
+	var victim string
+	for _, srv := range sys.Servers() {
+		if srv.ID != sys.Tree.Root().ID {
+			victim = srv.ID
+			break
+		}
+	}
+	victimIdx := -1
+	for i := range sys.Servers() {
+		if fmt.Sprintf("s%03d", i) == victim {
+			victimIdx = i
+			break
+		}
+	}
+	if err := sys.RemoveServer(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Aggregate(); err != nil {
+		t.Fatal(err)
+	}
+	// Queries still resolve over the surviving servers' data.
+	q, _ := w.GenQuery("q", 2, 0.5, rand.New(rand.NewSource(11)))
+	res, err := sys.ResolveAndRetrieve(q, sys.Tree.Root().ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i, recs := range w.PerNode {
+		if i == victimIdx {
+			continue // departed with its server
+		}
+		for _, r := range recs {
+			if q.MatchRecord(r) {
+				want++
+			}
+		}
+	}
+	if len(res.Records) != want {
+		t.Fatalf("after removal got %d records; want %d", len(res.Records), want)
+	}
+	if err := sys.RemoveServer("ghost"); err == nil {
+		t.Fatal("unknown server must fail")
+	}
+}
+
+func TestExpireStale(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	wcfg := workload.Config{Nodes: 10, RecordsPerNode: 20, AttrsPerDist: 4}
+	w := workload.MustGenerate(wcfg, rng)
+	cfg := DefaultConfig()
+	cfg.Summary.Buckets = 100
+	cfg.Summary.TTL = time.Minute
+	sim := netsim.New(netsim.ConstLatency(time.Millisecond))
+	sys, _ := NewSystem(w.Schema, cfg, sim)
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("s%03d", i)
+		sys.AddServer(id, i)
+		o := policy.NewOwner(fmt.Sprintf("o%d", i), w.Schema, nil)
+		o.SetRecords(w.PerNode[i])
+		sys.AttachOwner(id, o)
+	}
+	if err := sys.Aggregate(); err != nil {
+		t.Fatal(err)
+	}
+	if n := sys.ExpireStale(); n != 0 {
+		t.Fatalf("nothing should expire immediately, got %d", n)
+	}
+	// Advance virtual time beyond the TTL; everything expires.
+	sim.At(2*time.Minute, func() {})
+	sim.Run()
+	if n := sys.ExpireStale(); n == 0 {
+		t.Fatal("summaries should expire after TTL")
+	}
+	// Re-aggregation restores them (soft-state refresh).
+	if err := sys.Aggregate(); err != nil {
+		t.Fatal(err)
+	}
+	root, _ := sys.Server(sys.Tree.Root().ID)
+	if root.BranchSummary() == nil || root.BranchSummary().Empty() {
+		t.Fatal("aggregate must restore summaries")
+	}
+}
+
+func TestQueryBytesAccounted(t *testing.T) {
+	sys, w := buildSystem(t, 30, 13)
+	q, _ := w.GenQuery("q", 4, 0.3, rand.New(rand.NewSource(14)))
+	before := sys.Sim.Stats.Bytes[netsim.Query] + sys.Sim.Stats.Bytes[netsim.Response]
+	res, err := sys.Resolve(q, "s005")
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := sys.Sim.Stats.Bytes[netsim.Query] + sys.Sim.Stats.Bytes[netsim.Response]
+	if int64(after-before) != res.QueryBytes {
+		t.Fatalf("sim accounted %d bytes; result says %d", after-before, res.QueryBytes)
+	}
+	if len(res.Contacted) > 0 && res.Contacted[0] != "s005" {
+		t.Fatalf("first contact %s; want start server", res.Contacted[0])
+	}
+}
+
+func TestSummaryStorageGrowsWithLevel(t *testing.T) {
+	sys, _ := buildSystem(t, 80, 15)
+	// Paper Table I: a level-i node stores ~k(i+1) summaries, so deeper
+	// servers hold at least as many replicas as the root on average.
+	root, _ := sys.Server(sys.Tree.Root().ID)
+	var deepest *Server
+	for _, srv := range sys.Servers() {
+		if deepest == nil || srv.Level() > deepest.Level() {
+			deepest = srv
+		}
+	}
+	if deepest.Level() == 0 {
+		t.Skip("tree too shallow")
+	}
+	if len(deepest.Replicas()) <= len(root.Replicas()) {
+		t.Fatalf("deeper server should hold more replicas: leaf %d vs root %d",
+			len(deepest.Replicas()), len(root.Replicas()))
+	}
+}
+
+func TestResolveVisitsTrace(t *testing.T) {
+	sys, w := buildSystem(t, 20, 60)
+	q, _ := w.GenQuery("q", 2, 0.5, rand.New(rand.NewSource(61)))
+	res, err := sys.Resolve(q, "s003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Visits) != len(res.Contacted) {
+		t.Fatalf("trace has %d visits for %d contacts", len(res.Visits), len(res.Contacted))
+	}
+	if res.Visits[0].Server != "s003" || res.Visits[0].Arrival != 0 {
+		t.Fatalf("first visit = %+v; want the start server at t=0", res.Visits[0])
+	}
+	var max time.Duration
+	for i, v := range res.Visits {
+		if v.Server != res.Contacted[i] {
+			t.Fatal("visit order must match contact order")
+		}
+		if v.Arrival > max {
+			max = v.Arrival
+		}
+	}
+	if max != res.Latency {
+		t.Fatalf("max visit arrival %v != latency %v", max, res.Latency)
+	}
+}
+
+func TestResolveMixedSchemaWithBloomSummaries(t *testing.T) {
+	// Mixed numeric + categorical workload, categorical summaries in Bloom
+	// mode: completeness must survive Bloom false positives (they only add
+	// contacts, never lose records).
+	rng := rand.New(rand.NewSource(80))
+	wcfg := workload.Config{Nodes: 16, RecordsPerNode: 40, AttrsPerDist: 2, CategoricalAttrs: 2, CategoricalVocab: 6}
+	w := workload.MustGenerate(wcfg, rng)
+	cfg := DefaultConfig()
+	cfg.Summary.Buckets = 100
+	cfg.Summary.Categorical = summary.UseBloom
+	cfg.Summary.BloomBits = 512
+	cfg.Summary.BloomHashes = 3
+	sim := netsim.New(netsim.ConstLatency(5 * time.Millisecond))
+	sys, err := NewSystem(w.Schema, cfg, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		id := fmt.Sprintf("s%03d", i)
+		if _, err := sys.AddServer(id, i); err != nil {
+			t.Fatal(err)
+		}
+		o := policy.NewOwner(fmt.Sprintf("o%d", i), w.Schema, nil)
+		o.SetRecords(w.PerNode[i])
+		if err := sys.AttachOwner(id, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Aggregate(); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 8; trial++ {
+		q := query.New(fmt.Sprintf("q%d", trial),
+			query.NewRange("a0", rng.Float64()*0.5, 0.5+rng.Float64()*0.5),
+			query.NewEq("c0", fmt.Sprintf("v%d", rng.Intn(6))),
+		)
+		res, err := sys.ResolveAndRetrieve(q, fmt.Sprintf("s%03d", rng.Intn(16)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, r := range w.AllRecords() {
+			if q.MatchRecord(r) {
+				want++
+			}
+		}
+		if len(res.Records) != want {
+			t.Fatalf("trial %d: got %d records; want %d", trial, len(res.Records), want)
+		}
+	}
+}

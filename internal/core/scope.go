@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"roads/internal/hierarchy"
+	"roads/internal/netsim"
+	"roads/internal/query"
+)
+
+// ScopeAll searches the entire hierarchy (the default for Resolve).
+const ScopeAll = -1
+
+// ResolveScoped answers a query like Resolve, but bounds the search scope
+// to the branch of the start server's ancestor `scope` levels up:
+//
+//	scope 0  — only the start server's own subtree,
+//	scope 1  — the parent's branch (own subtree + siblings),
+//	scope k  — the branch of the k-th ancestor,
+//	ScopeAll — the whole hierarchy.
+//
+// This is the paper's §III-C scope control: "each ancestor (or their
+// siblings) of the starting server is one level higher in the hierarchy,
+// providing more resources but requiring a longer search path — the client
+// can choose one or several branches to start its queries." A narrower
+// scope trades completeness for latency and traffic; it is exact within
+// the chosen branch.
+func (sys *System) ResolveScoped(q *query.Query, startID string, scope int) (*SearchResult, error) {
+	start, ok := sys.servers[startID]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown start server %q", startID)
+	}
+	if !q.Bound() {
+		if err := q.Bind(sys.Schema); err != nil {
+			return nil, err
+		}
+	}
+	if scope == ScopeAll || scope >= start.Level() {
+		return sys.Resolve(q, startID)
+	}
+	if scope < 0 {
+		return nil, fmt.Errorf("core: invalid scope %d", scope)
+	}
+	if !sys.Cfg.OverlayEnabled && scope > 0 {
+		return nil, fmt.Errorf("core: scoped search beyond the own subtree needs the overlay")
+	}
+
+	allowed := sys.scopedOrigins(start.node, scope)
+	res := &SearchResult{}
+	clientHost := start.Host
+
+	contacted := map[string]bool{start.ID: true}
+	pending := []visit{{server: start, arrival: 0, isStart: true}}
+	for len(pending) > 0 {
+		v := pending[0]
+		pending = pending[1:]
+		srv := v.server
+		res.Contacted = append(res.Contacted, srv.ID)
+		if v.arrival > res.Latency {
+			res.Latency = v.arrival
+		}
+		if srv.failed {
+			continue // stale redirect to a crashed server
+		}
+		targets := sys.matchingTargetsScoped(srv, q, contacted, v.isStart, allowed)
+		if srv.localSummary != nil && q.MatchSummary(srv.localSummary) {
+			res.Endpoints = append(res.Endpoints, srv.ID)
+		}
+		if len(targets) == 0 {
+			continue
+		}
+		redirectAt := v.arrival + sys.Cfg.ProcessingDelay + sys.Sim.LatencyBetween(srv.Host, clientHost)
+		respBytes := redirectHeaderBytes + redirectEntryBytes*len(targets)
+		res.QueryBytes += int64(respBytes)
+		sys.Sim.Account(netsim.Response, respBytes)
+		for _, tgt := range targets {
+			arrival := redirectAt + sys.Sim.LatencyBetween(clientHost, tgt.Host)
+			res.QueryBytes += int64(q.SizeBytes())
+			sys.Sim.Account(netsim.Query, q.SizeBytes())
+			pending = append(pending, visit{server: tgt, arrival: arrival})
+		}
+	}
+	sort.Strings(res.Endpoints)
+	return res, nil
+}
+
+// scopedOrigins returns the overlay origins a scope-k search may redirect
+// to from the start node: the siblings at each of the first k ancestor
+// levels, plus those ancestors themselves (for their local data).
+func (sys *System) scopedOrigins(n *hierarchy.Node, scope int) map[string]bool {
+	allowed := make(map[string]bool)
+	cur := n
+	for level := 0; level < scope && cur.Parent != nil; level++ {
+		for _, sib := range cur.Siblings() {
+			allowed[sib.ID] = true
+		}
+		allowed[cur.Parent.ID] = true
+		cur = cur.Parent
+	}
+	return allowed
+}
+
+// matchingTargetsScoped is matchingTargets restricted to the allowed
+// overlay origins.
+func (sys *System) matchingTargetsScoped(srv *Server, q *query.Query, contacted map[string]bool, isStart bool, allowed map[string]bool) []*Server {
+	var out []*Server
+	add := func(id string) {
+		if contacted[id] {
+			return
+		}
+		tgt, ok := sys.servers[id]
+		if !ok {
+			return
+		}
+		contacted[id] = true
+		out = append(out, tgt)
+	}
+	for _, cid := range childIDs(srv.node) {
+		if cs, ok := srv.childSummaries[cid]; ok && q.MatchSummary(cs) {
+			add(cid)
+		}
+	}
+	if isStart && len(srv.replicas) > 0 {
+		ancestors := make(map[string]bool)
+		for cur := srv.node.Parent; cur != nil; cur = cur.Parent {
+			ancestors[cur.ID] = true
+		}
+		ids := make([]string, 0, len(srv.replicas))
+		for oid := range srv.replicas {
+			if allowed[oid] {
+				ids = append(ids, oid)
+			}
+		}
+		sort.Strings(ids)
+		for _, oid := range ids {
+			if ancestors[oid] {
+				if ls := srv.ancestorLocal[oid]; ls != nil && q.MatchSummary(ls) {
+					add(oid)
+				}
+				continue
+			}
+			if q.MatchSummary(srv.replicas[oid]) {
+				add(oid)
+			}
+		}
+	}
+	return out
+}
+
+// SubtreeServers returns the IDs of all servers in the branch rooted at
+// the start server's ancestor `scope` levels up — the exact coverage set
+// of a scope-k search. Useful for tests and capacity planning.
+func (sys *System) SubtreeServers(startID string, scope int) ([]string, error) {
+	start, ok := sys.servers[startID]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown server %q", startID)
+	}
+	anchor := start.node
+	for i := 0; i < scope && anchor.Parent != nil; i++ {
+		anchor = anchor.Parent
+	}
+	var out []string
+	var walk func(n *hierarchy.Node)
+	walk = func(n *hierarchy.Node) {
+		out = append(out, n.ID)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(anchor)
+	sort.Strings(out)
+	return out, nil
+}

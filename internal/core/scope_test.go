@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"roads/internal/policy"
+)
+
+func TestResolveScopedBoundsSearch(t *testing.T) {
+	sys, w := buildSystem(t, 40, 20)
+	rng := rand.New(rand.NewSource(21))
+	// Pick a leaf start server so every scope level is meaningful.
+	var start *Server
+	for _, srv := range sys.Servers() {
+		if srv.Level() >= 2 {
+			start = srv
+			break
+		}
+	}
+	if start == nil {
+		t.Skip("tree too flat")
+	}
+	q, err := w.GenQuery("q", 2, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prevContacts := -1
+	for scope := 0; scope <= start.Level(); scope++ {
+		res, err := sys.ResolveScoped(q.Clone(), start.ID, scope)
+		if err != nil {
+			t.Fatalf("scope %d: %v", scope, err)
+		}
+		// Every contacted server must lie within the scope's branch.
+		branch, err := sys.SubtreeServers(start.ID, scope)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inBranch := make(map[string]bool, len(branch))
+		for _, id := range branch {
+			inBranch[id] = true
+		}
+		for _, id := range res.Contacted {
+			if !inBranch[id] {
+				t.Fatalf("scope %d contacted %s outside its branch", scope, id)
+			}
+		}
+		// Completeness within scope: all matching records of branch owners.
+		want := 0
+		for i, recs := range w.PerNode {
+			if !inBranch[fmt.Sprintf("s%03d", i)] {
+				continue
+			}
+			for _, r := range recs {
+				if q.MatchRecord(r) {
+					want++
+				}
+			}
+		}
+		if err := sys.Retrieve(q, res, start.Host); err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Records) != want {
+			t.Fatalf("scope %d: got %d records; want %d", scope, len(res.Records), want)
+		}
+		// Widening the scope can only contact more (or equally many) servers.
+		if len(res.Contacted) < prevContacts {
+			t.Fatalf("scope %d contacted fewer servers (%d) than scope %d (%d)",
+				scope, len(res.Contacted), scope-1, prevContacts)
+		}
+		prevContacts = len(res.Contacted)
+	}
+
+	// Full scope equals plain Resolve.
+	full, err := sys.ResolveScoped(q.Clone(), start.ID, ScopeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := sys.Resolve(q.Clone(), start.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Contacted) != len(plain.Contacted) {
+		t.Fatalf("ScopeAll contacted %d; Resolve contacted %d", len(full.Contacted), len(plain.Contacted))
+	}
+}
+
+func TestResolveScopedErrors(t *testing.T) {
+	sys, w := buildSystem(t, 10, 22)
+	q, _ := w.GenQuery("q", 2, 0.5, rand.New(rand.NewSource(23)))
+	if _, err := sys.ResolveScoped(q, "ghost", 0); err == nil {
+		t.Fatal("unknown start must fail")
+	}
+	if _, err := sys.ResolveScoped(q.Clone(), "s001", -5); err == nil {
+		t.Fatal("negative scope (other than ScopeAll) must fail")
+	}
+}
+
+func TestSubtreeServers(t *testing.T) {
+	sys, _ := buildSystem(t, 20, 24)
+	rootID := sys.Tree.Root().ID
+	all, err := sys.SubtreeServers(rootID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 20 {
+		t.Fatalf("root scope-0 covers %d servers; want all 20", len(all))
+	}
+	// A leaf's scope-0 branch is itself.
+	for _, srv := range sys.Servers() {
+		if srv.node.IsLeaf() {
+			own, err := sys.SubtreeServers(srv.ID, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(own) != 1 || own[0] != srv.ID {
+				t.Fatalf("leaf scope-0 = %v; want itself", own)
+			}
+			break
+		}
+	}
+	if _, err := sys.SubtreeServers("ghost", 0); err == nil {
+		t.Fatal("unknown server must fail")
+	}
+}
+
+func TestSelectAttachmentPointBalances(t *testing.T) {
+	sys, w := buildSystem(t, 15, 25)
+	// Each server already hosts one owner (buildSystem); with a cap of 2,
+	// the next 15 owners must spread one per server.
+	for i := 0; i < 15; i++ {
+		id, err := sys.SelectAttachmentPoint(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := policy.NewOwner(fmt.Sprintf("extra%d", i), w.Schema, nil)
+		if err := sys.AttachOwner(id, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id, n := range sys.OwnerDistribution() {
+		if n != 2 {
+			t.Fatalf("server %s hosts %d owners; want exactly 2", id, n)
+		}
+	}
+	// Now everyone is full: selection must fail.
+	if _, err := sys.SelectAttachmentPoint(2); err == nil {
+		t.Fatal("selection must fail when all servers are at capacity")
+	}
+	// Unbounded capacity picks the root.
+	id, err := sys.SelectAttachmentPoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != sys.Tree.Root().ID {
+		t.Fatalf("unbounded selection = %s; want root", id)
+	}
+}

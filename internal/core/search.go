@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"roads/internal/netsim"
+	"roads/internal/policy"
+	"roads/internal/query"
+	"roads/internal/record"
+)
+
+// redirectEntryBytes is the wire cost of naming one target server in a
+// redirect response; redirectHeaderBytes is the fixed response header.
+const (
+	redirectEntryBytes  = 16
+	redirectHeaderBytes = 24
+)
+
+// SearchResult reports one resolved query.
+type SearchResult struct {
+	// Latency is the paper's query latency: the time from the client
+	// initiating the query until it reaches the last server it needs to
+	// contact (forwarding only — no record retrieval).
+	Latency time.Duration
+	// QueryBytes is the query-forwarding traffic (queries + redirects).
+	QueryBytes int64
+	// Contacted lists every server the query reached, in contact order.
+	Contacted []string
+	// Visits records each contact with its arrival time — a trace of how
+	// the resolution unfolded, for debugging and latency analysis.
+	Visits []Visit
+	// Endpoints are the servers whose local data matched — where detailed
+	// records live and owners apply their policies.
+	Endpoints []string
+	// Records are the matching records collected from endpoint stores and
+	// owners, after per-owner policy filtering.
+	Records []*record.Record
+	// ResponseTime is the Fig. 11 metric: Latency plus, per endpoint, the
+	// store retrieval cost and the result return trip, taking the max over
+	// endpoints since they work in parallel.
+	ResponseTime time.Duration
+}
+
+// Visit is one entry of a resolution trace.
+type Visit struct {
+	Server  string
+	Arrival time.Duration
+}
+
+// visit tracks one server contact during resolution.
+type visit struct {
+	server  *Server
+	arrival time.Duration
+	// isStart marks the first contact: only the start server consults its
+	// overlay replicas; redirected servers search down their own branches
+	// individually (paper Fig. 2), which keeps the searched branches
+	// disjoint.
+	isStart bool
+}
+
+// Resolve answers a query starting from the given server (the client is
+// co-located with it, e.g. the user's own site). With the overlay enabled
+// the start server can redirect anywhere in the hierarchy; without it the
+// client must first travel to the root (basic-hierarchy mode).
+//
+// The client-mediated protocol matches the paper: a contacted server
+// evaluates the query against all summaries it holds and sends the client
+// a redirect listing the matching servers; the client then queries those
+// servers in parallel.
+func (sys *System) Resolve(q *query.Query, startID string) (*SearchResult, error) {
+	start, ok := sys.servers[startID]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown start server %q", startID)
+	}
+	if !q.Bound() {
+		if err := q.Bind(sys.Schema); err != nil {
+			return nil, err
+		}
+	}
+	res := &SearchResult{}
+	clientHost := start.Host
+
+	// contacted dedups at enqueue time so each server is queried (and each
+	// query message accounted) exactly once even when the overlay and the
+	// descent name the same target.
+	contacted := make(map[string]bool)
+	var pending []visit
+
+	if sys.Cfg.OverlayEnabled {
+		// Client and start server are co-located: first contact is free.
+		contacted[start.ID] = true
+		pending = append(pending, visit{server: start, arrival: 0, isStart: true})
+	} else {
+		// Basic hierarchy: every query starts at the root.
+		root := sys.servers[sys.Tree.Root().ID]
+		arrival := sys.Sim.LatencyBetween(clientHost, root.Host)
+		res.QueryBytes += int64(q.SizeBytes())
+		sys.Sim.Account(netsim.Query, q.SizeBytes())
+		contacted[root.ID] = true
+		pending = append(pending, visit{server: root, arrival: arrival})
+	}
+
+	for len(pending) > 0 {
+		v := pending[0]
+		pending = pending[1:]
+		srv := v.server
+		res.Contacted = append(res.Contacted, srv.ID)
+		res.Visits = append(res.Visits, Visit{Server: srv.ID, Arrival: v.arrival})
+		if v.arrival > res.Latency {
+			res.Latency = v.arrival
+		}
+		if srv.failed {
+			// A stale redirect sent the client to a crashed server: the
+			// contact times out and this branch of the search dead-ends
+			// until maintenance repairs the hierarchy.
+			continue
+		}
+
+		targets := sys.matchingTargets(srv, q, contacted, v.isStart)
+		isEndpoint := srv.localSummary != nil && q.MatchSummary(srv.localSummary)
+		if isEndpoint {
+			res.Endpoints = append(res.Endpoints, srv.ID)
+		}
+		if len(targets) == 0 {
+			continue
+		}
+
+		// Redirect response back to the client, then parallel queries out.
+		redirectAt := v.arrival + sys.Cfg.ProcessingDelay + sys.Sim.LatencyBetween(srv.Host, clientHost)
+		respBytes := redirectHeaderBytes + redirectEntryBytes*len(targets)
+		res.QueryBytes += int64(respBytes)
+		sys.Sim.Account(netsim.Response, respBytes)
+		for _, tgt := range targets {
+			arrival := redirectAt + sys.Sim.LatencyBetween(clientHost, tgt.Host)
+			res.QueryBytes += int64(q.SizeBytes())
+			sys.Sim.Account(netsim.Query, q.SizeBytes())
+			pending = append(pending, visit{server: tgt, arrival: arrival})
+		}
+	}
+
+	sort.Strings(res.Endpoints)
+	return res, nil
+}
+
+// matchingTargets evaluates the query against the summaries held at srv and
+// returns the servers the client should contact next: matching children
+// always, plus — at the start server only — matching overlay replicas.
+// Sibling and ancestor-sibling branches give a disjoint cover of the rest
+// of the hierarchy; matching ancestors are contacted for the data attached
+// directly to them (their own subtrees are covered by the sibling sets, and
+// enqueue-time dedup stops any re-descent from double-contacting servers).
+func (sys *System) matchingTargets(srv *Server, q *query.Query, contacted map[string]bool, isStart bool) []*Server {
+	var out []*Server
+	add := func(id string) {
+		if contacted[id] {
+			return
+		}
+		tgt, ok := sys.servers[id]
+		if !ok {
+			return
+		}
+		contacted[id] = true
+		out = append(out, tgt)
+	}
+	for _, cid := range childIDs(srv.node) {
+		if cs, ok := srv.childSummaries[cid]; ok && q.MatchSummary(cs) {
+			add(cid)
+		}
+	}
+	if isStart && sys.Cfg.OverlayEnabled && len(srv.replicas) > 0 {
+		ancestors := make(map[string]bool)
+		for cur := srv.node.Parent; cur != nil; cur = cur.Parent {
+			ancestors[cur.ID] = true
+		}
+		ids := make([]string, 0, len(srv.replicas))
+		for oid := range srv.replicas {
+			ids = append(ids, oid)
+		}
+		sort.Strings(ids)
+		for _, oid := range ids {
+			rep := srv.replicas[oid]
+			if ancestors[oid] {
+				// An ancestor's branch is covered by the sibling sets; the
+				// only data unique to it is what is attached locally, so
+				// contact it only when its replicated local summary matches.
+				if ls := srv.ancestorLocal[oid]; ls != nil && q.MatchSummary(ls) {
+					add(oid)
+				}
+				continue
+			}
+			if q.MatchSummary(rep) {
+				add(oid)
+			}
+		}
+	}
+	return out
+}
+
+// Retrieve completes a resolved query by fetching the matching records from
+// every endpoint (store records plus owner-held records under their
+// policies) and computing the Fig. 11 total response time. Endpoints work
+// in parallel: the response time is the query latency plus the slowest
+// endpoint's retrieval + return trip.
+func (sys *System) Retrieve(q *query.Query, res *SearchResult, clientHost int) error {
+	res.ResponseTime = res.Latency
+	for _, eid := range res.Endpoints {
+		srv := sys.servers[eid]
+		var endpointCost time.Duration
+		var recs []*record.Record
+
+		sres, err := srv.Store.Search(q)
+		if err != nil {
+			return err
+		}
+		endpointCost += sres.Cost
+		recs = append(recs, sres.Records...)
+
+		for _, o := range srv.Owners {
+			if o.Policy.Mode == policy.ExportRecords {
+				continue // records already in the server's store
+			}
+			// Summary-mode owners answer from their own store, applying
+			// their view for the requester; the cost model charges the
+			// same backend rates.
+			ans, err := o.Answer(q)
+			if err != nil {
+				return err
+			}
+			endpointCost += sys.Cfg.Cost.PerQuery +
+				time.Duration(o.NumRecords())*sys.Cfg.Cost.PerScan +
+				time.Duration(len(ans))*sys.Cfg.Cost.PerRecord
+			recs = append(recs, ans...)
+		}
+
+		returnBytes := 0
+		for _, r := range recs {
+			returnBytes += r.SizeBytes(sys.Schema)
+		}
+		if returnBytes > 0 {
+			sys.Sim.Account(netsim.Response, returnBytes)
+		}
+		total := res.Latency + endpointCost +
+			sys.Sim.LatencyBetween(srv.Host, clientHost) + sys.Sim.TransferTime(returnBytes)
+		if total > res.ResponseTime {
+			res.ResponseTime = total
+		}
+		res.Records = append(res.Records, recs...)
+	}
+	return nil
+}
+
+// ResolveAndRetrieve runs Resolve then Retrieve with the client co-located
+// at the start server.
+func (sys *System) ResolveAndRetrieve(q *query.Query, startID string) (*SearchResult, error) {
+	res, err := sys.Resolve(q, startID)
+	if err != nil {
+		return nil, err
+	}
+	start := sys.servers[startID]
+	if err := sys.Retrieve(q, res, start.Host); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

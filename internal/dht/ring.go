@@ -1,0 +1,111 @@
+// Package dht implements the DHT ring substrate underlying the SWORD
+// baseline: a ring of servers with a locality-preserving hash (a value in
+// [0,1] maps directly to ring position, so a value range maps to a
+// contiguous segment of servers) and Chord-style finger routing that
+// reaches any position in O(log n) hops.
+package dht
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ring is one attribute's DHT ring. Position p in [0,1) is owned by server
+// floor(p*size); each member owns an equal arc. Members are identified by
+// ring index; the mapping to global hosts is kept by the caller (SWORD).
+type Ring struct {
+	hosts []int // ring index -> global host index
+}
+
+// NewRing creates a ring over the given member hosts (ring index i is
+// hosts[i], ordered around the ring).
+func NewRing(hosts []int) (*Ring, error) {
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("dht: ring needs at least one member")
+	}
+	r := &Ring{hosts: append([]int(nil), hosts...)}
+	return r, nil
+}
+
+// Size returns the number of ring members.
+func (r *Ring) Size() int { return len(r.hosts) }
+
+// Host returns the global host index of ring member i.
+func (r *Ring) Host(i int) int { return r.hosts[i] }
+
+// OwnerOf returns the ring index owning position v. The hash is
+// locality-preserving: the identity map on [0,1], clamped.
+func (r *Ring) OwnerOf(v float64) int {
+	if math.IsNaN(v) || v <= 0 {
+		return 0
+	}
+	if v >= 1 {
+		return len(r.hosts) - 1
+	}
+	i := int(v * float64(len(r.hosts)))
+	if i >= len(r.hosts) {
+		i = len(r.hosts) - 1
+	}
+	return i
+}
+
+// Successor returns the next ring member clockwise.
+func (r *Ring) Successor(i int) int { return (i + 1) % len(r.hosts) }
+
+// Route returns the finger-routing path from ring member `from` to the
+// member owning position v, inclusive of both endpoints. Each member has
+// fingers at clockwise distances 1, 2, 4, 8, ...; greedy routing halves the
+// remaining distance every hop, so the path length is O(log n).
+func (r *Ring) Route(from int, v float64) []int {
+	target := r.OwnerOf(v)
+	return r.RouteTo(from, target)
+}
+
+// RouteTo returns the finger path from member `from` to member `target`.
+func (r *Ring) RouteTo(from, target int) []int {
+	n := len(r.hosts)
+	path := []int{from}
+	cur := from
+	for cur != target {
+		dist := (target - cur + n) % n
+		// Largest power of two not exceeding dist.
+		step := 1
+		for step*2 <= dist {
+			step *= 2
+		}
+		cur = (cur + step) % n
+		path = append(path, cur)
+	}
+	return path
+}
+
+// Segment returns the ring members whose arcs intersect [lo,hi], in
+// clockwise order starting from the owner of lo. For lo<=hi this is the
+// contiguous run of owners; the locality-preserving hash guarantees range
+// queries touch exactly this segment.
+func (r *Ring) Segment(lo, hi float64) []int {
+	if hi < lo {
+		return nil
+	}
+	first := r.OwnerOf(lo)
+	last := r.OwnerOf(hi)
+	var out []int
+	for i := first; ; i = r.Successor(i) {
+		out = append(out, i)
+		if i == last {
+			break
+		}
+	}
+	return out
+}
+
+// MaxRouteHops returns the worst-case finger-route length, ceil(log2 n),
+// used by the analysis package to cross-check routing behaviour.
+func (r *Ring) MaxRouteHops() int {
+	n := len(r.hosts)
+	hops := 0
+	for 1<<hops < n {
+		hops++
+	}
+	return hops
+}

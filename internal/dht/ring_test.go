@@ -1,0 +1,161 @@
+package dht
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func seqHosts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i * 10
+	}
+	return out
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Fatal("empty ring must be rejected")
+	}
+	r, err := NewRing(seqHosts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 4 || r.Host(2) != 20 {
+		t.Fatalf("Size=%d Host(2)=%d", r.Size(), r.Host(2))
+	}
+}
+
+func TestOwnerOfPartitionsEvenly(t *testing.T) {
+	r, _ := NewRing(seqHosts(10))
+	if r.OwnerOf(0.05) != 0 || r.OwnerOf(0.95) != 9 || r.OwnerOf(0.55) != 5 {
+		t.Fatal("owner arcs wrong")
+	}
+	// Boundaries and out-of-domain values clamp.
+	if r.OwnerOf(0) != 0 || r.OwnerOf(1) != 9 || r.OwnerOf(-3) != 0 || r.OwnerOf(2) != 9 {
+		t.Fatal("boundary clamping wrong")
+	}
+	if r.OwnerOf(math.NaN()) != 0 {
+		t.Fatal("NaN must clamp to 0")
+	}
+}
+
+func TestSuccessorWraps(t *testing.T) {
+	r, _ := NewRing(seqHosts(3))
+	if r.Successor(2) != 0 {
+		t.Fatal("successor must wrap around")
+	}
+}
+
+func TestRouteReachesTargetInLogHops(t *testing.T) {
+	r, _ := NewRing(seqHosts(64))
+	for from := 0; from < 64; from += 7 {
+		for _, v := range []float64{0.01, 0.5, 0.99} {
+			path := r.Route(from, v)
+			if path[0] != from {
+				t.Fatal("path must start at source")
+			}
+			if path[len(path)-1] != r.OwnerOf(v) {
+				t.Fatal("path must end at owner")
+			}
+			if hops := len(path) - 1; hops > r.MaxRouteHops() {
+				t.Fatalf("route took %d hops; max %d", hops, r.MaxRouteHops())
+			}
+		}
+	}
+}
+
+func TestRouteToSelf(t *testing.T) {
+	r, _ := NewRing(seqHosts(8))
+	path := r.RouteTo(3, 3)
+	if len(path) != 1 || path[0] != 3 {
+		t.Fatalf("self route = %v; want [3]", path)
+	}
+}
+
+func TestSingleMemberRing(t *testing.T) {
+	r, _ := NewRing([]int{42})
+	if r.OwnerOf(0.7) != 0 {
+		t.Fatal("single member owns everything")
+	}
+	if len(r.Route(0, 0.3)) != 1 {
+		t.Fatal("single member routes to itself")
+	}
+	if seg := r.Segment(0.1, 0.9); len(seg) != 1 {
+		t.Fatalf("segment = %v; want [0]", seg)
+	}
+}
+
+func TestSegmentContiguous(t *testing.T) {
+	r, _ := NewRing(seqHosts(20))
+	seg := r.Segment(0.25, 0.49)
+	if len(seg) == 0 {
+		t.Fatal("segment must not be empty")
+	}
+	if seg[0] != r.OwnerOf(0.25) || seg[len(seg)-1] != r.OwnerOf(0.49) {
+		t.Fatalf("segment endpoints wrong: %v", seg)
+	}
+	for i := 1; i < len(seg); i++ {
+		if seg[i] != r.Successor(seg[i-1]) {
+			t.Fatalf("segment not contiguous: %v", seg)
+		}
+	}
+	// Quarter of the domain covers about a quarter of the ring.
+	if len(seg) < 4 || len(seg) > 7 {
+		t.Fatalf("0.24-wide segment on 20 nodes has %d members; want ~5", len(seg))
+	}
+	if r.Segment(0.6, 0.4) != nil {
+		t.Fatal("inverted segment must be nil")
+	}
+}
+
+// Property: every routed path ends at the correct owner and respects the
+// log bound, from any start to any value.
+func TestRouteCorrectQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		r, err := NewRing(seqHosts(n))
+		if err != nil {
+			return false
+		}
+		from := rng.Intn(n)
+		v := rng.Float64()
+		path := r.Route(from, v)
+		if path[0] != from || path[len(path)-1] != r.OwnerOf(v) {
+			return false
+		}
+		return len(path)-1 <= r.MaxRouteHops()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a segment covers exactly the owners of all values in [lo,hi].
+func TestSegmentCoversOwnersQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		r, _ := NewRing(seqHosts(n))
+		lo := rng.Float64() * 0.8
+		hi := lo + rng.Float64()*(1-lo)
+		seg := r.Segment(lo, hi)
+		members := make(map[int]bool, len(seg))
+		for _, m := range seg {
+			members[m] = true
+		}
+		for k := 0; k < 20; k++ {
+			v := lo + rng.Float64()*(hi-lo)
+			if !members[r.OwnerOf(v)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"roads/internal/coords"
+	"roads/internal/workload"
+)
+
+// ChurnResult is the output of SweepChurn: query recall during the
+// soft-state staleness window (crashed servers still in everyone's
+// summaries) and after one maintenance + refresh cycle.
+type ChurnResult struct {
+	Series *Series
+}
+
+// SweepChurn measures ROADS' resiliency beyond the paper's evaluation
+// (churn handling is listed as future work in §VII; the maintenance
+// protocol of §III-A is what we quantify). For each failure fraction f:
+//
+//  1. fail f of the servers abruptly (no Leave — stale summaries remain),
+//  2. measure "stale recall": the fraction of *surviving* matching records
+//     queries still find while redirects dead-end at crashed servers, and
+//  3. repair (orphans rejoin, one aggregation epoch) and measure recall
+//     again — it must return to 1.0.
+//
+// Stale recall can drop below the failed fraction because a crashed
+// internal server blocks the path to its live descendants until repair.
+func SweepChurn(opt Options, failFracs []float64) (*ChurnResult, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if failFracs == nil {
+		failFracs = []float64{0.05, 0.1, 0.2, 0.3}
+	}
+	s := newSeries("Churn", "failed fraction", "recall",
+		"stale recall", "post-repair recall", "surviving data")
+
+	for _, frac := range failFracs {
+		var staleSum, repairSum, survivingSum float64
+		var samples int
+		for run := 0; run < opt.Runs; run++ {
+			seed := opt.Seed + int64(run)
+			rng := rand.New(rand.NewSource(seed))
+			w, err := workload.Generate(workload.Config{
+				Nodes:          opt.Nodes,
+				RecordsPerNode: opt.RecordsPerNode,
+				AttrsPerDist:   4,
+				WindowLen:      opt.WindowLen,
+			}, rng)
+			if err != nil {
+				return nil, err
+			}
+			space, err := coords.NewSpace(opt.Nodes, coords.Config{
+				MeanLatency: opt.MeanLatency,
+				MinLatency:  time.Millisecond,
+				Clusters:    8,
+			}, rng)
+			if err != nil {
+				return nil, err
+			}
+			cfg := opt.point(seed)
+			sys, _, err := buildROADS(w, space, cfg)
+			if err != nil {
+				return nil, err
+			}
+
+			// Crash frac of the non-root servers.
+			rootID := sys.Tree.Root().ID
+			failCount := int(frac * float64(opt.Nodes))
+			failedIdx := make(map[int]bool)
+			for len(failedIdx) < failCount {
+				i := rng.Intn(opt.Nodes)
+				id := fmt.Sprintf("s%04d", i)
+				if id == rootID || failedIdx[i] {
+					continue
+				}
+				if err := sys.MarkFailed(id); err != nil {
+					return nil, err
+				}
+				failedIdx[i] = true
+			}
+
+			queries, err := w.GenQueries(opt.Queries, opt.Dims, opt.QueryRange, rng)
+			if err != nil {
+				return nil, err
+			}
+			starts := make([]int, len(queries))
+			for i := range starts {
+				for {
+					s := rng.Intn(opt.Nodes)
+					if !failedIdx[s] {
+						starts[i] = s
+						break
+					}
+				}
+			}
+
+			countSurviving := func(qi int) int {
+				want := 0
+				for i, recs := range w.PerNode {
+					if failedIdx[i] {
+						continue
+					}
+					for _, r := range recs {
+						if queries[qi].MatchRecord(r) {
+							want++
+						}
+					}
+				}
+				return want
+			}
+
+			// Stale window.
+			var staleFound, staleWant int
+			for qi, q := range queries {
+				res, err := sys.ResolveAndRetrieve(q.Clone(), fmt.Sprintf("s%04d", starts[qi]))
+				if err != nil {
+					return nil, err
+				}
+				staleFound += len(res.Records)
+				staleWant += countSurviving(qi)
+			}
+
+			// Repair and refresh.
+			if _, err := sys.RepairFailed(); err != nil {
+				return nil, err
+			}
+			var repFound, repWant int
+			for qi, q := range queries {
+				res, err := sys.ResolveAndRetrieve(q.Clone(), fmt.Sprintf("s%04d", starts[qi]))
+				if err != nil {
+					return nil, err
+				}
+				repFound += len(res.Records)
+				repWant += countSurviving(qi)
+			}
+
+			if staleWant > 0 {
+				staleSum += float64(staleFound) / float64(staleWant)
+			}
+			if repWant > 0 {
+				repairSum += float64(repFound) / float64(repWant)
+			}
+			survivingSum += 1 - frac
+			samples++
+		}
+		f := float64(samples)
+		s.add(frac, map[string]float64{
+			"stale recall":       staleSum / f,
+			"post-repair recall": repairSum / f,
+			"surviving data":     survivingSum / f,
+		})
+	}
+	return &ChurnResult{Series: s}, nil
+}

@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// jsonSeries is the JSON shape of a Series: self-describing and easy to
+// feed to external plotting tools.
+type jsonSeries struct {
+	Name    string               `json:"name"`
+	XLabel  string               `json:"x_label"`
+	YLabel  string               `json:"y_label"`
+	X       []float64            `json:"x"`
+	Columns []string             `json:"columns"`
+	Y       map[string][]float64 `json:"y"`
+}
+
+// MarshalJSON renders the series with a stable column order.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonSeries{
+		Name:    s.Name,
+		XLabel:  s.XLabel,
+		YLabel:  s.YLabel,
+		X:       s.X,
+		Columns: s.Order,
+		Y:       s.Y,
+	})
+}
+
+// UnmarshalJSON restores a series exported by MarshalJSON.
+func (s *Series) UnmarshalJSON(data []byte) error {
+	var js jsonSeries
+	if err := json.Unmarshal(data, &js); err != nil {
+		return err
+	}
+	s.Name = js.Name
+	s.XLabel = js.XLabel
+	s.YLabel = js.YLabel
+	s.X = js.X
+	s.Order = js.Columns
+	s.Y = js.Y
+	if s.Y == nil {
+		s.Y = map[string][]float64{}
+	}
+	return s.validate()
+}
+
+// validate checks the series' internal consistency.
+func (s *Series) validate() error {
+	for _, c := range s.Order {
+		col, ok := s.Y[c]
+		if !ok {
+			return fmt.Errorf("experiment: series %q missing column %q", s.Name, c)
+		}
+		if len(col) != len(s.X) {
+			return fmt.Errorf("experiment: series %q column %q has %d values for %d x points",
+				s.Name, c, len(col), len(s.X))
+		}
+	}
+	return nil
+}
+
+// CSV renders the series as comma-separated rows, header first.
+func (s *Series) CSV() (string, error) {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	header := append([]string{s.XLabel}, s.Order...)
+	if err := w.Write(header); err != nil {
+		return "", err
+	}
+	for i, x := range s.X {
+		row := make([]string, 0, 1+len(s.Order))
+		row = append(row, strconv.FormatFloat(x, 'g', -1, 64))
+		for _, c := range s.Order {
+			row = append(row, strconv.FormatFloat(s.Y[c][i], 'g', -1, 64))
+		}
+		if err := w.Write(row); err != nil {
+			return "", err
+		}
+	}
+	w.Flush()
+	return b.String(), w.Error()
+}

@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleSeries() *Series {
+	s := newSeries("Fig. X", "nodes", "latency (ms)", "ROADS", "SWORD")
+	s.add(64, map[string]float64{"ROADS": 344.7, "SWORD": 322.5})
+	s.add(128, map[string]float64{"ROADS": 558, "SWORD": 450.7})
+	return s
+}
+
+func TestSeriesJSONRoundTrip(t *testing.T) {
+	s := sampleSeries()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Series
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != s.Name || back.XLabel != s.XLabel || len(back.X) != 2 {
+		t.Fatalf("round trip lost metadata: %+v", back)
+	}
+	if back.Y["ROADS"][1] != 558 {
+		t.Fatalf("round trip lost data: %v", back.Y)
+	}
+	if len(back.Order) != 2 || back.Order[0] != "ROADS" {
+		t.Fatalf("round trip lost column order: %v", back.Order)
+	}
+}
+
+func TestSeriesUnmarshalValidates(t *testing.T) {
+	bad := `{"name":"x","x":[1,2],"columns":["A"],"y":{"A":[1]}}`
+	var s Series
+	if err := json.Unmarshal([]byte(bad), &s); err == nil {
+		t.Fatal("mismatched column length must fail")
+	}
+	missing := `{"name":"x","x":[1],"columns":["A"],"y":{}}`
+	if err := json.Unmarshal([]byte(missing), &s); err == nil {
+		t.Fatal("missing column must fail")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := sampleSeries()
+	out, err := s.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines; want 3:\n%s", len(lines), out)
+	}
+	if lines[0] != "nodes,ROADS,SWORD" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "64,344.7,") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestSeriesPlot(t *testing.T) {
+	s := sampleSeries()
+	out := s.Plot(40, 8)
+	for _, want := range []string{"Fig. X", "*=ROADS", "o=SWORD", "558", "|"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Marker characters must appear in the grid.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("plot has no markers:\n%s", out)
+	}
+	// Degenerate cases must not panic.
+	empty := newSeries("E", "x", "y", "A")
+	if !strings.Contains(empty.Plot(40, 8), "no data") {
+		t.Fatal("empty plot should say so")
+	}
+	flat := newSeries("F", "x", "y", "A")
+	flat.add(1, map[string]float64{"A": 5})
+	flat.add(1, map[string]float64{"A": 5}) // zero x and y ranges
+	_ = flat.Plot(3, 2)                     // tiny dims clamp
+}

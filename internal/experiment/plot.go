@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// plotMarkers are assigned to columns in order.
+var plotMarkers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Plot renders the series as an ASCII chart (width x height characters of
+// plotting area), one marker per column, with a y-axis scale and a legend.
+// It is what `roads-sim -format plot` prints — enough to see each figure's
+// shape without leaving the terminal.
+func (s *Series) Plot(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 5 {
+		height = 5
+	}
+	if len(s.X) == 0 {
+		return s.Name + " (no data)\n"
+	}
+
+	// Bounds over all columns.
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, col := range s.Order {
+		for _, v := range s.Y[col] {
+			yMin = math.Min(yMin, v)
+			yMax = math.Max(yMax, v)
+		}
+	}
+	if !(yMin < yMax) {
+		yMax = yMin + 1
+	}
+	xMin, xMax := s.X[0], s.X[0]
+	for _, x := range s.X {
+		xMin = math.Min(xMin, x)
+		xMax = math.Max(xMax, x)
+	}
+	if !(xMin < xMax) {
+		xMax = xMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plotAt := func(x, y float64, marker byte) {
+		cx := int((x - xMin) / (xMax - xMin) * float64(width-1))
+		cy := int((y - yMin) / (yMax - yMin) * float64(height-1))
+		row := height - 1 - cy // row 0 is the top
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		if cx < 0 {
+			cx = 0
+		}
+		if cx >= width {
+			cx = width - 1
+		}
+		grid[row][cx] = marker
+	}
+	for ci, col := range s.Order {
+		marker := plotMarkers[ci%len(plotMarkers)]
+		for i, x := range s.X {
+			plotAt(x, s.Y[col][i], marker)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s vs %s\n", s.Name, s.YLabel, s.XLabel)
+	for r, row := range grid {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%10.3g |%s|\n", yMax, string(row))
+		case height - 1:
+			fmt.Fprintf(&b, "%10.3g |%s|\n", yMin, string(row))
+		default:
+			fmt.Fprintf(&b, "%10s |%s|\n", "", string(row))
+		}
+	}
+	fmt.Fprintf(&b, "%10s  %-*.3g%*.3g\n", "", width/2, xMin, width-width/2, xMax)
+	legend := make([]string, len(s.Order))
+	for ci, col := range s.Order {
+		legend[ci] = fmt.Sprintf("%c=%s", plotMarkers[ci%len(plotMarkers)], col)
+	}
+	fmt.Fprintf(&b, "%10s  %s\n", "", strings.Join(legend, "  "))
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package hierarchy
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkJoin1000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildBalanced(1000, 8, func(j int) string { return fmt.Sprintf("s%04d", j) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLeaveRejoin(b *testing.B) {
+	tr, err := BuildBalanced(200, 5, func(j int) string { return fmt.Sprintf("s%04d", j) })
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("s%04d", 1+(i%150))
+		if _, err := tr.Leave(id); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tr.Join(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValidate(b *testing.B) {
+	tr, err := BuildBalanced(500, 8, func(j int) string { return fmt.Sprintf("s%04d", j) })
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,426 @@
+// Package hierarchy implements the ROADS federated server hierarchy: the
+// incremental join protocol that keeps the tree balanced (descend to the
+// child branch of least depth, breaking ties by fewest descendants, with
+// backtracking), root paths for loop avoidance and rejoin, departure and
+// failure handling, and root election (paper §III-A).
+//
+// The package is pure tree logic, independent of any transport: the
+// simulator drives it directly, and the live prototype wraps it with
+// network messages.
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AcceptFunc decides whether a server accepts a new child. The paper lets
+// servers weigh "management and operational convenience, current load,
+// bandwidth utilization and network delay"; the default accepts while the
+// child count is below the configured maximum.
+type AcceptFunc func(parent *Node, childID string) bool
+
+// Node is one server's position in the hierarchy.
+type Node struct {
+	ID       string
+	Parent   *Node
+	Children []*Node
+
+	// Depth of the subtree rooted here (leaf = 1), and total descendants
+	// (excluding self); maintained by the tree's aggregation pass, mirroring
+	// the paper's periodic bottom-up aggregation messages.
+	SubtreeDepth int
+	Descendants  int
+}
+
+// Level returns the node's distance from the root (root = 0).
+func (n *Node) Level() int {
+	l := 0
+	for p := n.Parent; p != nil; p = p.Parent {
+		l++
+	}
+	return l
+}
+
+// RootPath returns the servers from the root down to (and including) this
+// node. The paper piggybacks this on heartbeats; children use it to rejoin
+// starting at their grandparent and to avoid loops when choosing parents.
+func (n *Node) RootPath() []string {
+	var rev []string
+	for cur := n; cur != nil; cur = cur.Parent {
+		rev = append(rev, cur.ID)
+	}
+	out := make([]string, len(rev))
+	for i, id := range rev {
+		out[len(rev)-1-i] = id
+	}
+	return out
+}
+
+// Siblings returns the node's siblings (same parent, excluding itself).
+func (n *Node) Siblings() []*Node {
+	if n.Parent == nil {
+		return nil
+	}
+	var out []*Node
+	for _, c := range n.Parent.Children {
+		if c != n {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// sortChildren keeps child order deterministic for reproducible runs.
+func (n *Node) sortChildren() {
+	sort.Slice(n.Children, func(i, j int) bool { return n.Children[i].ID < n.Children[j].ID })
+}
+
+// Tree is the full hierarchy.
+type Tree struct {
+	root        *Node
+	nodes       map[string]*Node
+	maxChildren int
+	accept      AcceptFunc
+}
+
+// Option configures a Tree.
+type Option func(*Tree)
+
+// WithMaxChildren caps the number of children per server (the paper's
+// default simulations use 8).
+func WithMaxChildren(k int) Option {
+	return func(t *Tree) { t.maxChildren = k }
+}
+
+// WithAcceptFunc overrides the child-acceptance policy.
+func WithAcceptFunc(f AcceptFunc) Option {
+	return func(t *Tree) { t.accept = f }
+}
+
+// New creates a hierarchy whose first server is the root.
+func New(rootID string, opts ...Option) *Tree {
+	t := &Tree{
+		nodes:       make(map[string]*Node),
+		maxChildren: 8,
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	if t.accept == nil {
+		t.accept = func(p *Node, _ string) bool { return len(p.Children) < t.maxChildren }
+	}
+	t.root = &Node{ID: rootID, SubtreeDepth: 1}
+	t.nodes[rootID] = t.root
+	return t
+}
+
+// Root returns the current root.
+func (t *Tree) Root() *Node { return t.root }
+
+// Node looks up a server by ID.
+func (t *Tree) Node(id string) (*Node, bool) {
+	n, ok := t.nodes[id]
+	return n, ok
+}
+
+// Len returns the number of servers in the hierarchy.
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// MaxChildren returns the per-server child cap.
+func (t *Tree) MaxChildren() int { return t.maxChildren }
+
+// Nodes returns all server IDs in sorted order.
+func (t *Tree) Nodes() []string {
+	out := make([]string, 0, len(t.nodes))
+	for id := range t.nodes {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// JoinSteps reports the path a join took, for message accounting: each
+// entry is a server consulted during the descent.
+type JoinSteps struct {
+	Consulted []string
+	Parent    string
+}
+
+// Join inserts a new server using the paper's descent: starting at the
+// root, repeatedly move to the child whose branch has the least depth
+// (ties: fewest descendants) until a server accepts the newcomer as a
+// child; if a leaf refuses, backtrack and try other branches.
+func (t *Tree) Join(id string) (*JoinSteps, error) {
+	if id == "" {
+		return nil, fmt.Errorf("hierarchy: empty server ID")
+	}
+	if _, dup := t.nodes[id]; dup {
+		return nil, fmt.Errorf("hierarchy: server %q already joined", id)
+	}
+	steps := &JoinSteps{}
+	parent := t.descend(t.root, id, steps, make(map[*Node]bool))
+	if parent == nil {
+		return nil, fmt.Errorf("hierarchy: no server accepts %q as child", id)
+	}
+	n := &Node{ID: id, Parent: parent, SubtreeDepth: 1}
+	parent.Children = append(parent.Children, n)
+	parent.sortChildren()
+	t.nodes[id] = n
+	t.refreshAggregates()
+	steps.Parent = parent.ID
+	return steps, nil
+}
+
+// descend implements the search with backtracking. visited guards against
+// re-consulting a server after backtracking.
+func (t *Tree) descend(cur *Node, childID string, steps *JoinSteps, visited map[*Node]bool) *Node {
+	if visited[cur] {
+		return nil
+	}
+	visited[cur] = true
+	steps.Consulted = append(steps.Consulted, cur.ID)
+
+	// Try descending first into the least-depth branch, per the paper:
+	// the newcomer keeps querying children until someone accepts it; if it
+	// reaches a leaf with no acceptor it backtracks. We interleave: ask
+	// the current server to accept only when no child branch can take the
+	// newcomer deeper — this grows balanced trees because acceptance at
+	// shallow nodes fills the tree level by level.
+	if t.accept(cur, childID) {
+		return cur
+	}
+	children := append([]*Node(nil), cur.Children...)
+	sort.Slice(children, func(i, j int) bool {
+		if children[i].SubtreeDepth != children[j].SubtreeDepth {
+			return children[i].SubtreeDepth < children[j].SubtreeDepth
+		}
+		if children[i].Descendants != children[j].Descendants {
+			return children[i].Descendants < children[j].Descendants
+		}
+		return children[i].ID < children[j].ID
+	})
+	for _, c := range children {
+		if p := t.descend(c, childID, steps, visited); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// refreshAggregates recomputes SubtreeDepth and Descendants for every node
+// bottom-up, standing in for the paper's periodic aggregation messages.
+func (t *Tree) refreshAggregates() {
+	var walk func(n *Node) (depth, count int)
+	walk = func(n *Node) (int, int) {
+		maxDepth := 0
+		total := 0
+		for _, c := range n.Children {
+			d, cnt := walk(c)
+			if d > maxDepth {
+				maxDepth = d
+			}
+			total += cnt + 1
+		}
+		n.SubtreeDepth = maxDepth + 1
+		n.Descendants = total
+		return n.SubtreeDepth, total
+	}
+	walk(t.root)
+}
+
+// Depth returns the number of levels in the hierarchy (root-only tree = 1).
+func (t *Tree) Depth() int { return t.root.SubtreeDepth }
+
+// Leave removes a server gracefully: its children rejoin starting from
+// their grandparent (per their root path), falling back level by level up
+// to the root, exactly as §III-A describes. Removing the root promotes an
+// elected child first. It returns the IDs of servers that had to rejoin.
+func (t *Tree) Leave(id string) ([]string, error) {
+	n, ok := t.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("hierarchy: unknown server %q", id)
+	}
+	if len(t.nodes) == 1 {
+		return nil, fmt.Errorf("hierarchy: cannot remove the last server %q", id)
+	}
+	if n == t.root {
+		t.electRoot()
+		n = t.nodes[id] // unchanged pointer, but root moved
+	}
+	parent := n.Parent
+	// Detach from parent.
+	for i, c := range parent.Children {
+		if c == n {
+			parent.Children = append(parent.Children[:i], parent.Children[i+1:]...)
+			break
+		}
+	}
+	orphans := append([]*Node(nil), n.Children...)
+	n.Children = nil
+	delete(t.nodes, id)
+
+	var rejoined []string
+	for _, o := range orphans {
+		t.rejoinSubtree(o, parent)
+		rejoined = append(rejoined, o.ID)
+	}
+	t.refreshAggregates()
+	return rejoined, nil
+}
+
+// Fail handles an abrupt failure identically to Leave at the tree level
+// (the live prototype differs: failure is detected by heartbeat loss rather
+// than an announcement).
+func (t *Tree) Fail(id string) ([]string, error) { return t.Leave(id) }
+
+// rejoinSubtree attaches the orphaned subtree root under startFrom, walking
+// up toward the root if no server in that branch accepts, and respecting
+// loop avoidance (a node never attaches under its own subtree — impossible
+// here since the subtree is detached, but the root-path check also rejects
+// attaching under itself).
+func (t *Tree) rejoinSubtree(orphan *Node, startFrom *Node) {
+	for anchor := startFrom; anchor != nil; anchor = anchor.Parent {
+		steps := &JoinSteps{}
+		if p := t.descendForRejoin(anchor, orphan, steps, make(map[*Node]bool)); p != nil {
+			orphan.Parent = p
+			p.Children = append(p.Children, orphan)
+			p.sortChildren()
+			return
+		}
+	}
+	// Last resort: the root must take it (temporarily exceeding the cap)
+	// so no data is lost; the next maintenance cycle can rebalance.
+	orphan.Parent = t.root
+	t.root.Children = append(t.root.Children, orphan)
+	t.root.sortChildren()
+}
+
+func (t *Tree) descendForRejoin(cur *Node, orphan *Node, steps *JoinSteps, visited map[*Node]bool) *Node {
+	if cur == orphan || visited[cur] {
+		return nil
+	}
+	visited[cur] = true
+	if t.accept(cur, orphan.ID) {
+		return cur
+	}
+	children := append([]*Node(nil), cur.Children...)
+	sort.Slice(children, func(i, j int) bool {
+		if children[i].SubtreeDepth != children[j].SubtreeDepth {
+			return children[i].SubtreeDepth < children[j].SubtreeDepth
+		}
+		return children[i].ID < children[j].ID
+	})
+	for _, c := range children {
+		if p := t.descendForRejoin(c, orphan, steps, visited); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// electRoot promotes one child of the failed/leaving root to be the new
+// root, using the paper's simple rule (smallest ID — standing in for
+// "smallest IP address"). The old root's remaining children become children
+// of the new root.
+func (t *Tree) electRoot() {
+	old := t.root
+	if len(old.Children) == 0 {
+		return
+	}
+	winner := old.Children[0]
+	for _, c := range old.Children[1:] {
+		if c.ID < winner.ID {
+			winner = c
+		}
+	}
+	// Winner detaches from old root and adopts its former siblings.
+	var rest []*Node
+	for _, c := range old.Children {
+		if c != winner {
+			c.Parent = winner
+			rest = append(rest, c)
+		}
+	}
+	winner.Parent = nil
+	winner.Children = append(winner.Children, rest...)
+	winner.sortChildren()
+	// Old root becomes a child of the winner (it is leaving anyway; Leave
+	// will detach it right after).
+	old.Children = nil
+	old.Parent = winner
+	winner.Children = append(winner.Children, old)
+	winner.sortChildren()
+	t.root = winner
+	t.refreshAggregates()
+}
+
+// Validate checks structural invariants: single root, parent/child
+// consistency, no cycles, node map matches the tree, and aggregates are
+// correct. Tests and the simulator call it after mutations.
+func (t *Tree) Validate() error {
+	if t.root == nil {
+		return fmt.Errorf("hierarchy: nil root")
+	}
+	if t.root.Parent != nil {
+		return fmt.Errorf("hierarchy: root %q has a parent", t.root.ID)
+	}
+	seen := make(map[string]bool)
+	var walk func(n *Node) (depth, count int, err error)
+	walk = func(n *Node) (int, int, error) {
+		if seen[n.ID] {
+			return 0, 0, fmt.Errorf("hierarchy: cycle or duplicate at %q", n.ID)
+		}
+		seen[n.ID] = true
+		if got, ok := t.nodes[n.ID]; !ok || got != n {
+			return 0, 0, fmt.Errorf("hierarchy: node map out of sync at %q", n.ID)
+		}
+		maxDepth, total := 0, 0
+		for _, c := range n.Children {
+			if c.Parent != n {
+				return 0, 0, fmt.Errorf("hierarchy: %q's child %q has wrong parent", n.ID, c.ID)
+			}
+			d, cnt, err := walk(c)
+			if err != nil {
+				return 0, 0, err
+			}
+			if d > maxDepth {
+				maxDepth = d
+			}
+			total += cnt + 1
+		}
+		if n.SubtreeDepth != maxDepth+1 {
+			return 0, 0, fmt.Errorf("hierarchy: %q SubtreeDepth=%d, want %d", n.ID, n.SubtreeDepth, maxDepth+1)
+		}
+		if n.Descendants != total {
+			return 0, 0, fmt.Errorf("hierarchy: %q Descendants=%d, want %d", n.ID, n.Descendants, total)
+		}
+		return n.SubtreeDepth, total, nil
+	}
+	if _, _, err := walk(t.root); err != nil {
+		return err
+	}
+	if len(seen) != len(t.nodes) {
+		return fmt.Errorf("hierarchy: %d reachable nodes, %d registered", len(seen), len(t.nodes))
+	}
+	return nil
+}
+
+// BuildBalanced constructs a hierarchy of n servers named by idFor, joining
+// them sequentially — the standard way experiments build the paper's
+// "balanced hierarchy of L+1 levels where each parent has k children".
+func BuildBalanced(n int, maxChildren int, idFor func(i int) string) (*Tree, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("hierarchy: need at least one server")
+	}
+	t := New(idFor(0), WithMaxChildren(maxChildren))
+	for i := 1; i < n; i++ {
+		if _, err := t.Join(idFor(i)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,310 @@
+package hierarchy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func idFor(i int) string { return fmt.Sprintf("s%03d", i) }
+
+func TestSingleNodeTree(t *testing.T) {
+	tr := New("root")
+	if tr.Len() != 1 || tr.Depth() != 1 {
+		t.Fatalf("Len=%d Depth=%d; want 1/1", tr.Len(), tr.Depth())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Leave("root"); err == nil {
+		t.Fatal("removing the last server must fail")
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	tr := New("root")
+	if _, err := tr.Join(""); err == nil {
+		t.Fatal("empty ID must be rejected")
+	}
+	if _, err := tr.Join("root"); err == nil {
+		t.Fatal("duplicate ID must be rejected")
+	}
+}
+
+func TestJoinFillsRootFirst(t *testing.T) {
+	tr := New("root", WithMaxChildren(3))
+	for i := 0; i < 3; i++ {
+		steps, err := tr.Join(idFor(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if steps.Parent != "root" {
+			t.Fatalf("join %d attached to %s; want root", i, steps.Parent)
+		}
+	}
+	// Fourth join must descend to a child.
+	steps, err := tr.Join(idFor(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps.Parent == "root" {
+		t.Fatal("root is full; fourth join must attach deeper")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalancedGrowth(t *testing.T) {
+	// With k=5 and 156 servers we should get exactly the paper's 4-level
+	// hierarchy (1 + 5 + 25 + 125 = 156).
+	tr, err := BuildBalanced(156, 5, idFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() != 4 {
+		t.Fatalf("Depth = %d; want 4", tr.Depth())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// One more server forces a fifth level.
+	if _, err := tr.Join("extra"); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() != 5 {
+		t.Fatalf("Depth after 157th = %d; want 5", tr.Depth())
+	}
+}
+
+func TestDepthLogarithmic(t *testing.T) {
+	for _, n := range []int{64, 320, 640} {
+		tr, err := BuildBalanced(n, 8, idFor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Perfectly balanced depth would be ceil(log_8 of n); sequential
+		// join should stay within one extra level.
+		ideal := int(math.Ceil(math.Log(float64(n)*7+1)/math.Log(8))) + 1
+		if tr.Depth() > ideal {
+			t.Fatalf("n=%d depth=%d exceeds ideal+1=%d", n, tr.Depth(), ideal)
+		}
+	}
+}
+
+func TestRootPathAndLevel(t *testing.T) {
+	tr, err := BuildBalanced(30, 3, idFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range tr.Nodes() {
+		n, _ := tr.Node(id)
+		path := n.RootPath()
+		if path[0] != tr.Root().ID {
+			t.Fatalf("root path of %s starts at %s; want root", id, path[0])
+		}
+		if path[len(path)-1] != id {
+			t.Fatalf("root path of %s ends at %s", id, path[len(path)-1])
+		}
+		if len(path) != n.Level()+1 {
+			t.Fatalf("path length %d != level+1 %d", len(path), n.Level()+1)
+		}
+	}
+}
+
+func TestSiblings(t *testing.T) {
+	tr, _ := BuildBalanced(10, 3, idFor)
+	root := tr.Root()
+	if len(root.Siblings()) != 0 {
+		t.Fatal("root has no siblings")
+	}
+	c0 := root.Children[0]
+	sibs := c0.Siblings()
+	if len(sibs) != len(root.Children)-1 {
+		t.Fatalf("siblings = %d; want %d", len(sibs), len(root.Children)-1)
+	}
+	for _, s := range sibs {
+		if s == c0 {
+			t.Fatal("node must not be its own sibling")
+		}
+	}
+}
+
+func TestLeaveInternalNodeRejoinsChildren(t *testing.T) {
+	tr, err := BuildBalanced(40, 3, idFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick an internal (non-root) node with children.
+	var victim *Node
+	for _, id := range tr.Nodes() {
+		n, _ := tr.Node(id)
+		if n != tr.Root() && len(n.Children) > 0 {
+			victim = n
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no internal node found")
+	}
+	before := tr.Len()
+	rejoined, err := tr.Leave(victim.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejoined) == 0 {
+		t.Fatal("children should have rejoined")
+	}
+	if tr.Len() != before-1 {
+		t.Fatalf("Len = %d; want %d", tr.Len(), before-1)
+	}
+	if _, ok := tr.Node(victim.ID); ok {
+		t.Fatal("victim still registered")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaveLeaf(t *testing.T) {
+	tr, _ := BuildBalanced(10, 3, idFor)
+	var leaf *Node
+	for _, id := range tr.Nodes() {
+		n, _ := tr.Node(id)
+		if n.IsLeaf() {
+			leaf = n
+			break
+		}
+	}
+	rejoined, err := tr.Leave(leaf.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejoined) != 0 {
+		t.Fatal("leaf has no children to rejoin")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaveUnknown(t *testing.T) {
+	tr := New("root")
+	if _, err := tr.Leave("ghost"); err == nil {
+		t.Fatal("unknown server must error")
+	}
+}
+
+func TestRootFailureElection(t *testing.T) {
+	tr, err := BuildBalanced(20, 3, idFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldRoot := tr.Root().ID
+	// The election rule is smallest ID among the root's children.
+	wantNew := tr.Root().Children[0].ID
+	for _, c := range tr.Root().Children[1:] {
+		if c.ID < wantNew {
+			wantNew = c.ID
+		}
+	}
+	if _, err := tr.Fail(oldRoot); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root().ID != wantNew {
+		t.Fatalf("new root = %s; want %s", tr.Root().ID, wantNew)
+	}
+	if _, ok := tr.Node(oldRoot); ok {
+		t.Fatal("failed root still registered")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAcceptFuncHonored(t *testing.T) {
+	// A root that refuses all children forces joins to fail (single node
+	// can never grow).
+	tr := New("root", WithAcceptFunc(func(p *Node, _ string) bool { return false }))
+	if _, err := tr.Join("x"); err == nil {
+		t.Fatal("join must fail when nobody accepts")
+	}
+	// Accept only at the root: tree becomes a star until the cap (none
+	// here), so everything lands on the root.
+	star := New("root", WithAcceptFunc(func(p *Node, _ string) bool { return p.Parent == nil }))
+	for i := 0; i < 10; i++ {
+		steps, err := star.Join(idFor(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if steps.Parent != "root" {
+			t.Fatal("star accept func must attach everything to root")
+		}
+	}
+	if star.Depth() != 2 {
+		t.Fatalf("star depth = %d; want 2", star.Depth())
+	}
+}
+
+func TestJoinConsultsServers(t *testing.T) {
+	tr, _ := BuildBalanced(20, 3, idFor)
+	steps, err := tr.Join("newcomer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps.Consulted) == 0 {
+		t.Fatal("join must consult at least the root")
+	}
+	if steps.Consulted[0] != tr.Root().ID {
+		t.Fatal("join must start at the root")
+	}
+}
+
+// Property: after any random interleaving of joins and leaves the tree
+// validates and retains the surviving servers.
+func TestRandomChurnQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New("root", WithMaxChildren(1+rng.Intn(4)))
+		alive := map[string]bool{"root": true}
+		next := 0
+		for op := 0; op < 60; op++ {
+			if rng.Float64() < 0.65 || len(alive) < 3 {
+				id := fmt.Sprintf("n%d", next)
+				next++
+				if _, err := tr.Join(id); err != nil {
+					return false
+				}
+				alive[id] = true
+			} else {
+				ids := tr.Nodes()
+				victim := ids[rng.Intn(len(ids))]
+				if len(alive) == 1 {
+					continue
+				}
+				if _, err := tr.Leave(victim); err != nil {
+					return false
+				}
+				delete(alive, victim)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Logf("validate failed after op %d: %v", op, err)
+				return false
+			}
+		}
+		if tr.Len() != len(alive) {
+			return false
+		}
+		for id := range alive {
+			if _, ok := tr.Node(id); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

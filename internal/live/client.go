@@ -1,0 +1,144 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"roads/internal/query"
+	"roads/internal/record"
+	"roads/internal/transport"
+	"roads/internal/wire"
+)
+
+// Client resolves queries against a live ROADS deployment by following
+// redirects, querying redirect targets concurrently — one goroutine per
+// outstanding server contact, exactly the fan-out the overlay enables.
+type Client struct {
+	tr transport.Transport
+	// Requester is the identity presented to owners' sharing policies.
+	Requester string
+	// MaxConcurrent bounds parallel contacts (default 16).
+	MaxConcurrent int
+}
+
+// NewClient creates a client over the transport.
+func NewClient(tr transport.Transport, requester string) *Client {
+	return &Client{tr: tr, Requester: requester, MaxConcurrent: 16}
+}
+
+// QueryStats reports how a resolution unfolded.
+type QueryStats struct {
+	// Contacted is the number of servers queried.
+	Contacted int
+	// Elapsed is the wall-clock total response time.
+	Elapsed time.Duration
+	// Servers lists contacted server IDs.
+	Servers []string
+}
+
+// Resolve runs the query starting at startAddr and gathers all matching
+// records (deduplicated by record ID + owner), searching the whole
+// hierarchy.
+func (c *Client) Resolve(startAddr string, q *query.Query) ([]*record.Record, QueryStats, error) {
+	return c.ResolveScoped(startAddr, q, -1)
+}
+
+// ResolveScoped is Resolve with the paper's §III-C scope control: the
+// search is bounded to the branch of the start server's ancestor `scope`
+// levels up (0 = only the start server's subtree, negative = everything).
+func (c *Client) ResolveScoped(startAddr string, q *query.Query, scope int) ([]*record.Record, QueryStats, error) {
+	begin := time.Now()
+	stats := QueryStats{}
+	q = q.Clone()
+	q.Requester = c.Requester
+
+	maxPar := c.MaxConcurrent
+	if maxPar <= 0 {
+		maxPar = 16
+	}
+	sem := make(chan struct{}, maxPar)
+
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		visited = make(map[string]bool)
+		records []*record.Record
+		seenRec = make(map[string]bool)
+		firstEr error
+	)
+
+	var contact func(addr string, start bool)
+	contact = func(addr string, start bool) {
+		defer wg.Done()
+		sem <- struct{}{}
+		dto := wire.FromQuery(q, start)
+		dto.Scope = scope
+		rep, err := c.tr.Call(addr, &wire.Message{
+			Kind:  wire.KindQuery,
+			From:  c.Requester,
+			Query: dto,
+		})
+		<-sem
+		mu.Lock()
+		defer mu.Unlock()
+		if err == nil {
+			err = wire.RemoteError(rep)
+		}
+		if err != nil {
+			if firstEr == nil {
+				firstEr = err
+			}
+			return
+		}
+		if rep.QueryRep == nil {
+			if firstEr == nil {
+				firstEr = fmt.Errorf("live: %s returned %v to a query", rep.From, rep.Kind)
+			}
+			return
+		}
+		stats.Contacted++
+		stats.Servers = append(stats.Servers, rep.From)
+		for _, dto := range rep.QueryRep.Records {
+			key := dto.Owner + "/" + dto.ID
+			if !seenRec[key] {
+				seenRec[key] = true
+				records = append(records, &record.Record{ID: dto.ID, Owner: dto.Owner, Values: dto.Values})
+			}
+		}
+		for _, rd := range rep.QueryRep.Redirects {
+			if visited[rd.Addr] {
+				continue
+			}
+			visited[rd.Addr] = true
+			wg.Add(1)
+			go contact(rd.Addr, false)
+		}
+	}
+
+	visited[startAddr] = true
+	wg.Add(1)
+	go contact(startAddr, true)
+	wg.Wait()
+
+	stats.Elapsed = time.Since(begin)
+	if firstEr != nil && stats.Contacted == 0 {
+		return nil, stats, firstEr
+	}
+	return records, stats, nil
+}
+
+// Status fetches a server's operational snapshot.
+func (c *Client) Status(addr string) (*wire.Status, error) {
+	rep, err := c.tr.Call(addr, &wire.Message{Kind: wire.KindStatus, From: c.Requester})
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.RemoteError(rep); err != nil {
+		return nil, err
+	}
+	if rep.Status == nil {
+		return nil, fmt.Errorf("live: %s returned %v to a status request", rep.From, rep.Kind)
+	}
+	return rep.Status, nil
+}

@@ -1,0 +1,138 @@
+package live
+
+import (
+	"fmt"
+	"time"
+
+	"roads/internal/policy"
+	"roads/internal/record"
+	"roads/internal/store"
+	"roads/internal/summary"
+	"roads/internal/transport"
+)
+
+// Cluster is a convenience harness that spins up n live servers on one
+// transport, joins them into a hierarchy, and waits for aggregation and
+// replication to converge. Tests, examples and the prototype benchmark all
+// build on it.
+type Cluster struct {
+	Servers []*Server
+	Tr      transport.Transport
+	Schema  *record.Schema
+}
+
+// ClusterConfig configures StartCluster.
+type ClusterConfig struct {
+	N           int
+	Schema      *record.Schema
+	Summary     summary.Config
+	MaxChildren int
+	// AddrFor maps server index to a listen address. Defaults to
+	// "srvNNN" (in-process) when nil.
+	AddrFor func(i int) string
+	// Tick overrides the aggregation/heartbeat period (default 25ms).
+	Tick time.Duration
+	Cost store.CostModel
+}
+
+// StartCluster launches the servers and joins 1..n-1 under server 0.
+func StartCluster(tr transport.Transport, cfg ClusterConfig) (*Cluster, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("live: cluster needs at least one server")
+	}
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("live: cluster needs a schema")
+	}
+	addrFor := cfg.AddrFor
+	if addrFor == nil {
+		addrFor = func(i int) string { return fmt.Sprintf("srv%03d", i) }
+	}
+	tick := cfg.Tick
+	if tick == 0 {
+		tick = 25 * time.Millisecond
+	}
+	cl := &Cluster{Tr: tr, Schema: cfg.Schema}
+	for i := 0; i < cfg.N; i++ {
+		scfg := DefaultConfig(fmt.Sprintf("srv%03d", i), addrFor(i), cfg.Schema)
+		if cfg.Summary.Buckets > 0 {
+			scfg.Summary = cfg.Summary
+		}
+		if cfg.MaxChildren > 0 {
+			scfg.MaxChildren = cfg.MaxChildren
+		}
+		scfg.AggregateEvery = tick
+		scfg.HeartbeatEvery = tick
+		scfg.Cost = cfg.Cost
+		srv, err := NewServer(scfg, tr)
+		if err != nil {
+			cl.Stop()
+			return nil, err
+		}
+		if err := srv.Start(); err != nil {
+			cl.Stop()
+			return nil, err
+		}
+		cl.Servers = append(cl.Servers, srv)
+	}
+	seed := cl.Servers[0].Addr()
+	for _, srv := range cl.Servers[1:] {
+		if err := srv.Join(seed); err != nil {
+			cl.Stop()
+			return nil, err
+		}
+	}
+	return cl, nil
+}
+
+// AttachOwner attaches an owner at server index i.
+func (cl *Cluster) AttachOwner(i int, o *policy.Owner) error {
+	if i < 0 || i >= len(cl.Servers) {
+		return fmt.Errorf("live: server index %d out of range", i)
+	}
+	return cl.Servers[i].AttachOwner(o)
+}
+
+// WaitConverged blocks until every server can route queries to
+// wantRecords records — its own branch plus its overlay replicas cover the
+// whole federation — or the timeout expires.
+func (cl *Cluster) WaitConverged(wantRecords uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		converged := cl.Root() != nil
+		for _, srv := range cl.Servers {
+			if srv.CoveredRecords() != wantRecords {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	detail := make([]string, 0, len(cl.Servers))
+	for _, srv := range cl.Servers {
+		if got := srv.CoveredRecords(); got != wantRecords {
+			detail = append(detail, fmt.Sprintf("%s=%d", srv.ID(), got))
+		}
+	}
+	return fmt.Errorf("live: cluster did not converge on %d records; lagging servers: %v",
+		wantRecords, detail)
+}
+
+// Root returns the current root server (nil if none claims to be root).
+func (cl *Cluster) Root() *Server {
+	for _, srv := range cl.Servers {
+		if srv.IsRoot() {
+			return srv
+		}
+	}
+	return nil
+}
+
+// Stop shuts all servers down.
+func (cl *Cluster) Stop() {
+	for _, srv := range cl.Servers {
+		srv.Stop()
+	}
+}

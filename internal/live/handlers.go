@@ -1,0 +1,307 @@
+package live
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"roads/internal/policy"
+	"roads/internal/wire"
+)
+
+// handle dispatches one incoming message. Handlers never make outgoing
+// calls, which keeps the request/reply protocol deadlock-free on
+// synchronous transports.
+func (s *Server) handle(msg *wire.Message) *wire.Message {
+	switch msg.Kind {
+	case wire.KindJoin:
+		return s.handleJoin(msg)
+	case wire.KindSummaryReport:
+		return s.handleSummaryReport(msg)
+	case wire.KindReplicaPush:
+		return s.handleReplicaPush(msg)
+	case wire.KindQuery:
+		return s.handleQuery(msg)
+	case wire.KindHeartbeat:
+		return s.handleHeartbeat(msg)
+	case wire.KindLeave:
+		return s.handleLeave(msg)
+	case wire.KindStatus:
+		return s.handleStatus()
+	default:
+		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf("live: unhandled message kind %d", msg.Kind))
+	}
+}
+
+func (s *Server) ack() *wire.Message {
+	return &wire.Message{Kind: wire.KindAck, From: s.cfg.ID, Addr: s.cfg.Addr}
+}
+
+// handleJoin accepts the joiner as a child if capacity allows and the
+// joiner is not on our root path (loop avoidance); otherwise it redirects
+// to our children with their branch shapes.
+func (s *Server) handleJoin(msg *wire.Message) *wire.Message {
+	if msg.Join == nil {
+		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf("live: join without payload"))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range s.rootPath {
+		if id == msg.Join.ID {
+			// The joiner is our ancestor: accepting would create a loop.
+			return wire.ErrorMessage(s.cfg.ID, fmt.Errorf("live: %s is on my root path", msg.Join.ID))
+		}
+	}
+	if _, already := s.children[msg.Join.ID]; already || len(s.children) < s.cfg.MaxChildren {
+		s.children[msg.Join.ID] = &childState{
+			id:       msg.Join.ID,
+			addr:     msg.Join.Addr,
+			depth:    1,
+			lastSeen: time.Now(),
+		}
+		return &wire.Message{
+			Kind: wire.KindJoinReply,
+			From: s.cfg.ID,
+			Addr: s.cfg.Addr,
+			JoinReply: &wire.JoinReply{
+				Accepted:   true,
+				ParentID:   s.cfg.ID,
+				ParentAddr: s.cfg.Addr,
+			},
+		}
+	}
+	infos := make([]wire.ChildInfo, 0, len(s.children))
+	for _, c := range s.children {
+		infos = append(infos, wire.ChildInfo{ID: c.id, Addr: c.addr, Depth: c.depth, Descendants: c.descendants})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	return &wire.Message{
+		Kind:      wire.KindJoinReply,
+		From:      s.cfg.ID,
+		Addr:      s.cfg.Addr,
+		JoinReply: &wire.JoinReply{Accepted: false, Children: infos},
+	}
+}
+
+// handleSummaryReport ingests a child's branch summary.
+func (s *Server) handleSummaryReport(msg *wire.Message) *wire.Message {
+	if msg.Report == nil || msg.Report.Summary == nil {
+		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf("live: summary report without payload"))
+	}
+	sum, err := msg.Report.Summary.ToSummary(s.cfg.Schema)
+	if err != nil {
+		return wire.ErrorMessage(s.cfg.ID, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.children[msg.From]
+	if !ok {
+		// A child we do not know (e.g. state lost after restart): adopt it
+		// if capacity allows, otherwise tell it to rejoin.
+		if len(s.children) >= s.cfg.MaxChildren {
+			return wire.ErrorMessage(s.cfg.ID, fmt.Errorf("live: %s is not my child", msg.From))
+		}
+		c = &childState{id: msg.From, addr: msg.Addr}
+		s.children[msg.From] = c
+	}
+	c.branch = sum
+	c.depth = msg.Report.Depth
+	c.descendants = msg.Report.Descendants
+	c.lastSeen = time.Now()
+	s.summariesRecv++
+	return s.ack()
+}
+
+// handleReplicaPush stores an overlay replica.
+func (s *Server) handleReplicaPush(msg *wire.Message) *wire.Message {
+	if msg.Replica == nil || msg.Replica.Branch == nil {
+		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf("live: replica push without payload"))
+	}
+	branch, err := msg.Replica.Branch.ToSummary(s.cfg.Schema)
+	if err != nil {
+		return wire.ErrorMessage(s.cfg.ID, err)
+	}
+	level := msg.Replica.Level
+	if level <= 0 {
+		level = 1
+	}
+	rs := &replicaState{
+		originID:   msg.Replica.OriginID,
+		originAddr: msg.Replica.OriginAddr,
+		branch:     branch,
+		ancestor:   msg.Replica.Ancestor,
+		level:      level,
+		received:   time.Now(),
+	}
+	if msg.Replica.Local != nil {
+		local, err := msg.Replica.Local.ToSummary(s.cfg.Schema)
+		if err != nil {
+			return wire.ErrorMessage(s.cfg.ID, err)
+		}
+		rs.local = local
+	}
+	s.mu.Lock()
+	if rs.originID != s.cfg.ID { // never replicate ourselves
+		s.replicas[rs.originID] = rs
+	}
+	s.mu.Unlock()
+	return s.ack()
+}
+
+// handleQuery evaluates the query against local data and held summaries,
+// returning local matches (after owner policies) plus redirect targets.
+func (s *Server) handleQuery(msg *wire.Message) *wire.Message {
+	if msg.Query == nil {
+		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf("live: query without payload"))
+	}
+	q := msg.Query.ToQuery()
+	if err := q.Bind(s.cfg.Schema); err != nil {
+		return wire.ErrorMessage(s.cfg.ID, err)
+	}
+
+	reply := &wire.QueryReply{}
+
+	// Local matches: the trusted store plus each summary-mode owner's
+	// policy-filtered answer (the "final control" step).
+	sres, err := s.store.Search(q)
+	if err != nil {
+		return wire.ErrorMessage(s.cfg.ID, err)
+	}
+	reply.Records = append(reply.Records, wire.FromRecords(sres.Records)...)
+	s.mu.Lock()
+	owners := append(s.owners[:0:0], s.owners...)
+	s.mu.Unlock()
+	for _, o := range owners {
+		if o.Policy.Mode != policy.ExportSummary {
+			continue // records-mode owners answer via the store
+		}
+		ans, err := o.Answer(q)
+		if err != nil {
+			return wire.ErrorMessage(s.cfg.ID, err)
+		}
+		reply.Records = append(reply.Records, wire.FromRecords(ans)...)
+	}
+
+	// Redirects: matching children always; overlay replicas only on the
+	// first contact (paper Fig. 2: redirected servers search their own
+	// branches).
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := map[string]bool{s.cfg.ID: true}
+	childIDs := make([]string, 0, len(s.children))
+	for id := range s.children {
+		childIDs = append(childIDs, id)
+	}
+	sort.Strings(childIDs)
+	for _, id := range childIDs {
+		c := s.children[id]
+		if c.branch != nil && q.MatchSummary(c.branch) && !seen[id] {
+			seen[id] = true
+			reply.Redirects = append(reply.Redirects, wire.RedirectInfo{ID: c.id, Addr: c.addr})
+		}
+	}
+	if msg.Query.Start {
+		repIDs := make([]string, 0, len(s.replicas))
+		for id := range s.replicas {
+			repIDs = append(repIDs, id)
+		}
+		sort.Strings(repIDs)
+		for _, id := range repIDs {
+			r := s.replicas[id]
+			if seen[id] {
+				continue
+			}
+			if msg.Query.Scope >= 0 && r.level > msg.Query.Scope {
+				continue // outside the requested search scope
+			}
+			if r.ancestor {
+				if r.local != nil && q.MatchSummary(r.local) {
+					seen[id] = true
+					reply.Redirects = append(reply.Redirects, wire.RedirectInfo{ID: r.originID, Addr: r.originAddr})
+				}
+				continue
+			}
+			if q.MatchSummary(r.branch) {
+				seen[id] = true
+				reply.Redirects = append(reply.Redirects, wire.RedirectInfo{ID: r.originID, Addr: r.originAddr})
+			}
+		}
+	}
+	s.queriesServed++
+	s.redirectsIssued += uint64(len(reply.Redirects))
+	return &wire.Message{Kind: wire.KindQueryReply, From: s.cfg.ID, Addr: s.cfg.Addr, QueryRep: reply}
+}
+
+// handleStatus returns the server's operational snapshot.
+func (s *Server) handleStatus() *wire.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &wire.Status{
+		ID:              s.cfg.ID,
+		Addr:            s.cfg.Addr,
+		ParentID:        s.parentID,
+		IsRoot:          s.parentAddr == "",
+		Children:        len(s.children),
+		Replicas:        len(s.replicas),
+		Owners:          len(s.owners),
+		RootPath:        append([]string(nil), s.rootPath...),
+		QueriesServed:   s.queriesServed,
+		RedirectsIssued: s.redirectsIssued,
+		SummariesRecv:   s.summariesRecv,
+	}
+	if s.branchSummary != nil {
+		st.BranchRecords = s.branchSummary.Records
+	}
+	if s.localSummary != nil {
+		st.LocalRecords = s.localSummary.Records
+	}
+	return &wire.Message{Kind: wire.KindStatusReply, From: s.cfg.ID, Addr: s.cfg.Addr, Status: st}
+}
+
+// handleHeartbeat refreshes the child's liveness and returns our root path
+// (so the child can rebuild its own) plus the child's sibling list (for
+// root election if we die while being the root).
+func (s *Server) handleHeartbeat(msg *wire.Message) *wire.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.children[msg.From]; ok {
+		c.lastSeen = time.Now()
+	}
+	sibs := make([]wire.RedirectInfo, 0, len(s.children))
+	for _, c := range s.children {
+		if c.id != msg.From {
+			sibs = append(sibs, wire.RedirectInfo{ID: c.id, Addr: c.addr})
+		}
+	}
+	sort.Slice(sibs, func(i, j int) bool { return sibs[i].ID < sibs[j].ID })
+	return &wire.Message{
+		Kind: wire.KindHeartbeatReply,
+		From: s.cfg.ID,
+		Addr: s.cfg.Addr,
+		Heartbeat: &wire.Heartbeat{
+			RootPath:  append([]string(nil), s.rootPath...),
+			PathAddrs: append([]string(nil), s.rootPathAddrs...),
+		},
+		QueryRep: &wire.QueryReply{Redirects: sibs},
+	}
+}
+
+// handleLeave removes a departing parent or child.
+func (s *Server) handleLeave(msg *wire.Message) *wire.Message {
+	s.mu.Lock()
+	delete(s.children, msg.From)
+	delete(s.replicas, msg.From)
+	var plan *rejoinPlan
+	if msg.From == s.parentID && !s.rejoining {
+		// Capture the recovery plan now, under the lock, before any other
+		// loop can disturb the root path or parent state.
+		plan = s.planRejoinLocked()
+	}
+	s.mu.Unlock()
+	if plan != nil {
+		// Execute in the background: the handler must not block on
+		// outgoing calls.
+		go s.executeRejoin(plan)
+	}
+	return s.ack()
+}

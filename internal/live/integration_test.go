@@ -1,0 +1,116 @@
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"roads/internal/core"
+	"roads/internal/netsim"
+	"roads/internal/policy"
+	"roads/internal/transport"
+	"roads/internal/workload"
+)
+
+// TestSimulatorAndLiveAgree cross-validates the two implementations of the
+// ROADS protocol: the deterministic simulator (internal/core) and the live
+// goroutine/transport stack must return exactly the same record sets for
+// the same workload and queries — both are complete, so both must equal
+// the brute-force answer and hence each other.
+func TestSimulatorAndLiveAgree(t *testing.T) {
+	const n, recsPer = 10, 40
+	rng := rand.New(rand.NewSource(77))
+	w := workload.MustGenerate(workload.Config{Nodes: n, RecordsPerNode: recsPer, AttrsPerDist: 2}, rng)
+
+	// Simulator deployment.
+	sim := netsim.New(netsim.ConstLatency(5 * time.Millisecond))
+	ccfg := core.DefaultConfig()
+	ccfg.MaxChildren = 3
+	ccfg.Summary.Buckets = 150
+	simSys, err := core.NewSystem(w.Schema, ccfg, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("s%03d", i)
+		if _, err := simSys.AddServer(id, i); err != nil {
+			t.Fatal(err)
+		}
+		o := policy.NewOwner(fmt.Sprintf("owner%d", i), w.Schema, nil)
+		o.SetRecords(w.PerNode[i])
+		if err := simSys.AttachOwner(id, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := simSys.Aggregate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Live deployment over the in-process transport.
+	tr := transport.NewChan()
+	cl, err := StartCluster(tr, ClusterConfig{N: n, Schema: w.Schema, MaxChildren: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	for i := 0; i < n; i++ {
+		o := policy.NewOwner(fmt.Sprintf("owner%d", i), w.Schema, nil)
+		o.SetRecords(w.PerNode[i])
+		if err := cl.AttachOwner(i, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.WaitConverged(uint64(n*recsPer), convergeTimeout); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(tr, "itest")
+
+	queries, err := w.GenQueries(12, 3, 0.35, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		start := rng.Intn(n)
+
+		simRes, err := simSys.ResolveAndRetrieve(q.Clone(), fmt.Sprintf("s%03d", start))
+		if err != nil {
+			t.Fatalf("query %d sim: %v", qi, err)
+		}
+		liveRecs, _, err := client.Resolve(cl.Servers[start].Addr(), q.Clone())
+		if err != nil {
+			t.Fatalf("query %d live: %v", qi, err)
+		}
+
+		simIDs := make([]string, 0, len(simRes.Records))
+		for _, r := range simRes.Records {
+			simIDs = append(simIDs, r.Owner+"/"+r.ID)
+		}
+		liveIDs := make([]string, 0, len(liveRecs))
+		for _, r := range liveRecs {
+			liveIDs = append(liveIDs, r.Owner+"/"+r.ID)
+		}
+		sort.Strings(simIDs)
+		sort.Strings(liveIDs)
+
+		if len(simIDs) != len(liveIDs) {
+			t.Fatalf("query %d: simulator found %d records, live found %d", qi, len(simIDs), len(liveIDs))
+		}
+		for i := range simIDs {
+			if simIDs[i] != liveIDs[i] {
+				t.Fatalf("query %d: result sets diverge at %d: %s vs %s", qi, i, simIDs[i], liveIDs[i])
+			}
+		}
+		// Both must equal brute force.
+		want := 0
+		for _, r := range w.AllRecords() {
+			if q.MatchRecord(r) {
+				want++
+			}
+		}
+		if len(simIDs) != want {
+			t.Fatalf("query %d: both found %d records but brute force says %d", qi, len(simIDs), want)
+		}
+	}
+}

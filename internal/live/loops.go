@@ -1,0 +1,397 @@
+package live
+
+import (
+	"sort"
+	"time"
+
+	"roads/internal/policy"
+	"roads/internal/summary"
+	"roads/internal/wire"
+)
+
+// aggregationLoop periodically refreshes the local and branch summaries,
+// reports the branch to the parent, and pushes overlay replicas to the
+// children (paper §III-B/C).
+func (s *Server) aggregationLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.AggregateEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.refreshSummaries()
+			s.reportToParent()
+			s.pushReplicas()
+			s.pruneDeadChildren()
+			s.pruneStaleReplicas()
+		}
+	}
+}
+
+// heartbeatLoop exchanges liveness with the parent and triggers rejoin on
+// parent failure.
+func (s *Server) heartbeatLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.HeartbeatEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.sendHeartbeat()
+		}
+	}
+}
+
+// refreshSummaries rebuilds the local summary (store + owners) and the
+// branch summary (local + children).
+func (s *Server) refreshSummaries() {
+	local, err := summary.FromRecords(s.cfg.Schema, s.cfg.Summary, s.store.Records())
+	if err != nil {
+		return // config was validated; schema mismatch cannot happen
+	}
+	s.mu.Lock()
+	owners := append([]*policy.Owner(nil), s.owners...)
+	s.mu.Unlock()
+	for _, o := range owners {
+		if o.Policy.Mode != policy.ExportSummary {
+			continue // records-mode data already sits in the store
+		}
+		osum, err := o.ExportSummary(s.cfg.Summary)
+		if err != nil {
+			continue
+		}
+		_ = local.Merge(osum)
+	}
+	local.Origin = s.cfg.ID
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.localSummary = local
+	branch := local.Clone()
+	branch.Origin = s.cfg.ID
+	for _, c := range s.children {
+		if c.branch != nil {
+			_ = branch.Merge(c.branch)
+		}
+	}
+	s.branchSummary = branch
+}
+
+// subtreeDepth returns the depth of this server's subtree (leaf = 1).
+func (s *Server) subtreeDepthLocked() int {
+	max := 0
+	for _, c := range s.children {
+		if c.depth > max {
+			max = c.depth
+		}
+	}
+	return max + 1
+}
+
+func (s *Server) descendantsLocked() int {
+	total := 0
+	for _, c := range s.children {
+		total += c.descendants + 1
+	}
+	return total
+}
+
+// reportToParent sends the branch summary (with depth/descendant counts
+// piggybacked) up the hierarchy.
+func (s *Server) reportToParent() {
+	s.mu.Lock()
+	parentAddr := s.parentAddr
+	branch := s.branchSummary
+	depth := s.subtreeDepthLocked()
+	desc := s.descendantsLocked()
+	s.mu.Unlock()
+	if parentAddr == "" || branch == nil {
+		return
+	}
+	msg := &wire.Message{
+		Kind: wire.KindSummaryReport,
+		From: s.cfg.ID,
+		Addr: s.cfg.Addr,
+		Report: &wire.SummaryReport{
+			Summary:     wire.FromSummary(branch),
+			Depth:       depth,
+			Descendants: desc,
+		},
+	}
+	if rep, err := s.tr.Call(parentAddr, msg); err != nil || wire.RemoteError(rep) != nil {
+		s.noteParentMiss()
+	} else {
+		s.noteParentOK()
+	}
+}
+
+// pushReplicas distributes overlay state to every child: each sibling's
+// branch summary, this server's own branch+local (ancestor push), and all
+// replicas this server holds (sibling replicas become the child's
+// ancestor-sibling replicas; ancestor replicas stay ancestors). After L
+// rounds every server holds exactly the paper's replica set.
+func (s *Server) pushReplicas() {
+	// Snapshot under the lock: childState fields are mutated in place by
+	// summary reports, so copy the values; summary objects themselves are
+	// replaced wholesale on update and never mutated after publish.
+	type childSnap struct {
+		id, addr string
+		branch   *summary.Summary
+	}
+	s.mu.Lock()
+	children := make([]childSnap, 0, len(s.children))
+	for _, c := range s.children {
+		children = append(children, childSnap{id: c.id, addr: c.addr, branch: c.branch})
+	}
+	sort.Slice(children, func(i, j int) bool { return children[i].id < children[j].id })
+	ownBranch := s.branchSummary
+	ownLocal := s.localSummary
+	reps := make([]*replicaState, 0, len(s.replicas))
+	for _, r := range s.replicas {
+		reps = append(reps, r)
+	}
+	s.mu.Unlock()
+	if len(children) == 0 {
+		return
+	}
+
+	for _, child := range children {
+		var pushes []*wire.ReplicaPush
+		// Sibling branches: distance 1 from the child.
+		for _, sib := range children {
+			if sib.id == child.id || sib.branch == nil {
+				continue
+			}
+			pushes = append(pushes, &wire.ReplicaPush{
+				OriginID:   sib.id,
+				OriginAddr: sib.addr,
+				Branch:     wire.FromSummary(sib.branch),
+				Level:      1,
+			})
+		}
+		// Self as ancestor (branch + local piggyback): distance 1.
+		if ownBranch != nil {
+			pushes = append(pushes, &wire.ReplicaPush{
+				OriginID:   s.cfg.ID,
+				OriginAddr: s.cfg.Addr,
+				Branch:     wire.FromSummary(ownBranch),
+				Local:      wire.FromSummary(ownLocal),
+				Ancestor:   true,
+				Level:      1,
+			})
+		}
+		// Forward everything this server replicates (its siblings and
+		// ancestors become the child's ancestor-siblings and ancestors,
+		// one level further away).
+		for _, r := range reps {
+			p := &wire.ReplicaPush{
+				OriginID:   r.originID,
+				OriginAddr: r.originAddr,
+				Branch:     wire.FromSummary(r.branch),
+				Ancestor:   r.ancestor,
+				Level:      r.level + 1,
+			}
+			if r.ancestor && r.local != nil {
+				p.Local = wire.FromSummary(r.local)
+			}
+			pushes = append(pushes, p)
+		}
+		for _, p := range pushes {
+			msg := &wire.Message{Kind: wire.KindReplicaPush, From: s.cfg.ID, Addr: s.cfg.Addr, Replica: p}
+			_, _ = s.tr.Call(child.addr, msg)
+		}
+	}
+}
+
+// pruneDeadChildren drops children that have not reported within the
+// failure window; their subtrees rejoin on their own via root paths. The
+// window is floored so heavily loaded (or instrumented) processes whose
+// message handling runs slower than the tick never mistake slowness for
+// death.
+func (s *Server) pruneDeadChildren() {
+	deadline := time.Duration(s.cfg.HeartbeatMiss) * s.cfg.HeartbeatEvery
+	if deadline < 2*time.Second {
+		deadline = 2 * time.Second
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, c := range s.children {
+		if c.lastSeen.IsZero() {
+			c.lastSeen = now
+			continue
+		}
+		if now.Sub(c.lastSeen) > deadline {
+			delete(s.children, id)
+		}
+	}
+}
+
+// pruneStaleReplicas ages out overlay replicas that have not refreshed
+// recently — replicas are soft state, so a crashed origin's summary stops
+// attracting redirects after its TTL. The window is generous (propagation
+// takes one aggregation tick per hierarchy level).
+func (s *Server) pruneStaleReplicas() {
+	ttl := time.Duration(4*s.cfg.HeartbeatMiss) * s.cfg.AggregateEvery
+	if ttl < 5*time.Second {
+		// Floor: a full push round must always fit inside the TTL, even
+		// when encoding runs far slower than the tick (loaded hosts, race
+		// detector); otherwise replicas flap and coverage never settles.
+		ttl = 5 * time.Second
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, r := range s.replicas {
+		if r.received.IsZero() {
+			r.received = now
+			continue
+		}
+		if now.Sub(r.received) > ttl {
+			delete(s.replicas, id)
+		}
+	}
+}
+
+// sendHeartbeat pings the parent; the reply refreshes the root path and
+// the sibling list (for root election).
+func (s *Server) sendHeartbeat() {
+	s.mu.Lock()
+	parentAddr := s.parentAddr
+	rejoining := s.rejoining
+	s.mu.Unlock()
+	if parentAddr == "" {
+		// Root: its root path is itself — but never clobber the path
+		// while a rejoin is in flight; the failure handler still needs
+		// the pre-failure ancestry.
+		if !rejoining {
+			s.mu.Lock()
+			if !s.rejoining && s.parentAddr == "" {
+				s.rootPath = []string{s.cfg.ID}
+				s.rootPathAddrs = []string{s.cfg.Addr}
+			}
+			s.mu.Unlock()
+		}
+		return
+	}
+	rep, err := s.tr.Call(parentAddr, &wire.Message{
+		Kind: wire.KindHeartbeat,
+		From: s.cfg.ID,
+		Addr: s.cfg.Addr,
+	})
+	if err != nil || wire.RemoteError(rep) != nil || rep.Heartbeat == nil {
+		s.noteParentMiss()
+		return
+	}
+	s.noteParentOK()
+	s.mu.Lock()
+	s.rootPath = append(append([]string(nil), rep.Heartbeat.RootPath...), s.cfg.ID)
+	s.rootPathAddrs = append(append([]string(nil), rep.Heartbeat.PathAddrs...), s.cfg.Addr)
+	if rep.QueryRep != nil {
+		s.siblingsOfMe = rep.QueryRep.Redirects
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) noteParentMiss() {
+	s.mu.Lock()
+	s.parentMisses++
+	var plan *rejoinPlan
+	if s.parentMisses >= s.cfg.HeartbeatMiss && !s.rejoining && s.parentAddr != "" {
+		plan = s.planRejoinLocked()
+	}
+	s.mu.Unlock()
+	if plan != nil {
+		s.executeRejoin(plan)
+	}
+}
+
+func (s *Server) noteParentOK() {
+	s.mu.Lock()
+	s.parentMisses = 0
+	s.mu.Unlock()
+}
+
+// rejoinPlan captures, at the moment a parent failure is detected, the
+// state a recovery needs: which parent died, the surviving ancestry, and
+// the sibling list for root election. Capturing synchronously under the
+// lock matters — asynchronous handlers raced with the heartbeat loop,
+// which resets a parentless server's root path to itself, and a clobbered
+// path made orphans elect themselves root (hierarchy split).
+type rejoinPlan struct {
+	deadID        string
+	ancestors     []string // addresses, nearest (grandparent) first
+	parentWasRoot bool
+	siblings      []wire.RedirectInfo
+}
+
+// planRejoinLocked builds the plan, marks the rejoin in flight, and clears
+// the dead parent. Callers hold s.mu and must have checked !s.rejoining.
+func (s *Server) planRejoinLocked() *rejoinPlan {
+	p := &rejoinPlan{
+		deadID:   s.parentID,
+		siblings: append([]wire.RedirectInfo(nil), s.siblingsOfMe...),
+	}
+	// The root path is [root ... grandparent parent self]; the dead
+	// parent was the root exactly when nothing sits above it.
+	path := s.rootPath
+	addrs := s.rootPathAddrs
+	p.parentWasRoot = len(path) <= 2
+	for i := len(path) - 3; i >= 0 && i < len(addrs); i-- {
+		p.ancestors = append(p.ancestors, addrs[i])
+	}
+	s.rejoining = true
+	s.parentID = ""
+	s.parentAddr = ""
+	s.parentMisses = 0
+	return p
+}
+
+// executeRejoin runs the recovery: rejoin via surviving ancestors, or —
+// only if the dead parent was the root — elect a new root among the
+// siblings (smallest ID, paper §III-A).
+func (s *Server) executeRejoin(p *rejoinPlan) {
+	defer func() {
+		s.mu.Lock()
+		s.rejoining = false
+		s.mu.Unlock()
+	}()
+
+	if !p.parentWasRoot {
+		// The true root is still out there: keep trying the surviving
+		// ancestors; never elect a new root over a live one.
+		for attempt := 0; attempt < 4*s.cfg.HeartbeatMiss; attempt++ {
+			for _, addr := range p.ancestors {
+				if s.Join(addr) == nil {
+					return
+				}
+			}
+			time.Sleep(s.cfg.HeartbeatEvery)
+		}
+		return // give up this round; the next detection retries
+	}
+
+	// Parent was the root: elect among the siblings; the smallest ID
+	// (including us) becomes the new root.
+	minID, minAddr := s.cfg.ID, s.cfg.Addr
+	for _, sib := range p.siblings {
+		if sib.ID != p.deadID && sib.ID < minID {
+			minID, minAddr = sib.ID, sib.Addr
+		}
+	}
+	if minID == s.cfg.ID {
+		return // we are the new root; siblings will join us
+	}
+	// Give the winner a moment to notice, then join under it, retrying
+	// while it may still be rejoining itself.
+	for attempt := 0; attempt < 2*s.cfg.HeartbeatMiss; attempt++ {
+		if s.Join(minAddr) == nil {
+			return
+		}
+		time.Sleep(s.cfg.HeartbeatEvery)
+	}
+}

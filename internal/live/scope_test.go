@@ -1,0 +1,137 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"roads/internal/query"
+)
+
+func TestScopedQueryLimitsSearch(t *testing.T) {
+	cl, w := startWorkloadCluster(t, 8, 30, 31)
+	client := NewClient(cl.Tr, "tester")
+
+	// A query matching everything, started at a leaf.
+	q := query.New("q", query.NewRange("a0", 0, 1))
+	if err := q.Bind(w.Schema); err != nil {
+		t.Fatal(err)
+	}
+	var leaf *Server
+	for _, srv := range cl.Servers {
+		if !srv.IsRoot() && srv.NumChildren() == 0 {
+			leaf = srv
+			break
+		}
+	}
+	if leaf == nil {
+		t.Skip("no leaf")
+	}
+
+	// Scope 0: only the leaf's own data.
+	recs0, stats0, err := client.ResolveScoped(leaf.Addr(), q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats0.Contacted != 1 {
+		t.Fatalf("scope 0 contacted %d servers; want 1", stats0.Contacted)
+	}
+	// Full scope: everything.
+	recsAll, statsAll, err := client.ResolveScoped(leaf.Addr(), q, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recsAll) != w.TotalRecords() {
+		t.Fatalf("full scope returned %d records; want %d", len(recsAll), w.TotalRecords())
+	}
+	if len(recs0) >= len(recsAll) {
+		t.Fatalf("scope 0 (%d records) should return fewer than full scope (%d)", len(recs0), len(recsAll))
+	}
+	if statsAll.Contacted <= stats0.Contacted {
+		t.Fatal("full scope must contact more servers")
+	}
+	// Intermediate scopes widen monotonically.
+	prev := len(recs0)
+	for scope := 1; scope <= 3; scope++ {
+		recs, _, err := client.ResolveScoped(leaf.Addr(), q, scope)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) < prev {
+			t.Fatalf("scope %d returned %d records, fewer than scope %d's %d",
+				scope, len(recs), scope-1, prev)
+		}
+		prev = len(recs)
+	}
+}
+
+func TestScopedQueryStillCompleteWithinBranch(t *testing.T) {
+	cl, w := startWorkloadCluster(t, 6, 20, 32)
+	client := NewClient(cl.Tr, "tester")
+	// Scope 0 at any server must return exactly that server's local data
+	// matching the query.
+	q := query.New("q", query.NewRange("a1", 0, 1))
+	if err := q.Bind(w.Schema); err != nil {
+		t.Fatal(err)
+	}
+	for i, srv := range cl.Servers {
+		if srv.NumChildren() > 0 {
+			continue // leaves only: their subtree is exactly their own data
+		}
+		recs, _, err := client.ResolveScoped(srv.Addr(), q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != len(w.PerNode[i]) {
+			t.Fatalf("server %d scope-0 returned %d records; want its %d local ones",
+				i, len(recs), len(w.PerNode[i]))
+		}
+	}
+	_ = time.Now()
+}
+
+func TestStatusSnapshot(t *testing.T) {
+	cl, w := startWorkloadCluster(t, 5, 10, 90)
+	client := NewClient(cl.Tr, "ops")
+	// Run one query so counters move.
+	q := query.New("q", query.NewRange("a0", 0, 1))
+	if _, _, err := client.Resolve(cl.Servers[1].Addr(), q); err != nil {
+		t.Fatal(err)
+	}
+	root := cl.Root()
+	st, err := client.Status(root.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.IsRoot || st.ID != root.ID() {
+		t.Fatalf("status = %+v; want the root", st)
+	}
+	if st.BranchRecords != uint64(w.TotalRecords()) {
+		t.Fatalf("root branch records = %d; want %d", st.BranchRecords, w.TotalRecords())
+	}
+	if st.Children == 0 || st.Owners != 1 {
+		t.Fatalf("root children=%d owners=%d", st.Children, st.Owners)
+	}
+	if st.SummariesRecv == 0 {
+		t.Fatal("root should have received summary reports")
+	}
+	// A leaf's status.
+	for _, srv := range cl.Servers {
+		if srv.IsRoot() {
+			continue
+		}
+		st, err := client.Status(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.IsRoot || st.ParentID == "" {
+			t.Fatalf("non-root status = %+v", st)
+		}
+		if len(st.RootPath) < 2 || st.RootPath[0] != root.ID() {
+			t.Fatalf("root path = %v", st.RootPath)
+		}
+		break
+	}
+	if _, err := client.Status("nowhere"); err == nil {
+		t.Fatal("status of unknown address must fail")
+	}
+}

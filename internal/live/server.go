@@ -1,0 +1,391 @@
+// Package live is the runnable ROADS prototype: real servers exchanging
+// wire messages over a pluggable transport (in-process or TCP), each
+// running its own goroutines for aggregation ticks, heartbeats, and query
+// serving. It mirrors the paper's Java prototype: the simulator
+// (internal/core) answers "what are the costs", the live stack answers
+// "does the protocol actually run".
+package live
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"roads/internal/policy"
+	"roads/internal/record"
+	"roads/internal/store"
+	"roads/internal/summary"
+	"roads/internal/transport"
+	"roads/internal/wire"
+)
+
+// Config configures one live server.
+type Config struct {
+	ID   string
+	Addr string
+	// Schema is the federation-wide record schema.
+	Schema *record.Schema
+	// Summary configures summary construction.
+	Summary summary.Config
+	// MaxChildren caps the hierarchy degree.
+	MaxChildren int
+	// AggregateEvery is the summary refresh period (t_s). Small values
+	// make tests fast; production would use minutes.
+	AggregateEvery time.Duration
+	// HeartbeatEvery is the parent/child liveness period.
+	HeartbeatEvery time.Duration
+	// HeartbeatMiss is how many missed periods mark a peer dead.
+	HeartbeatMiss int
+	// Cost models the store backend.
+	Cost store.CostModel
+}
+
+// DefaultConfig returns test-friendly defaults for the given identity.
+func DefaultConfig(id, addr string, schema *record.Schema) Config {
+	scfg := summary.DefaultConfig()
+	scfg.Buckets = 200
+	return Config{
+		ID:             id,
+		Addr:           addr,
+		Schema:         schema,
+		Summary:        scfg,
+		MaxChildren:    8,
+		AggregateEvery: 50 * time.Millisecond,
+		HeartbeatEvery: 50 * time.Millisecond,
+		HeartbeatMiss:  4,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.ID == "" || c.Addr == "" {
+		return fmt.Errorf("live: ID and Addr are required")
+	}
+	if c.Schema == nil {
+		return fmt.Errorf("live: Schema is required")
+	}
+	if err := c.Summary.Validate(); err != nil {
+		return err
+	}
+	if c.MaxChildren <= 0 {
+		return fmt.Errorf("live: MaxChildren must be positive")
+	}
+	if c.AggregateEvery <= 0 || c.HeartbeatEvery <= 0 || c.HeartbeatMiss <= 0 {
+		return fmt.Errorf("live: periods and HeartbeatMiss must be positive")
+	}
+	return nil
+}
+
+// childState tracks one child branch.
+type childState struct {
+	id, addr    string
+	branch      *summary.Summary
+	depth       int
+	descendants int
+	lastSeen    time.Time
+}
+
+// replicaState is one overlay replica.
+type replicaState struct {
+	originID, originAddr string
+	branch               *summary.Summary
+	local                *summary.Summary // ancestors only
+	ancestor             bool
+	// level is the origin's distance in hierarchy levels (1 = own
+	// sibling or parent); scoped queries filter on it.
+	level int
+	// received is when this replica last refreshed; stale replicas age
+	// out (soft state), so crashed origins stop attracting redirects.
+	received time.Time
+}
+
+// Server is one live ROADS server.
+type Server struct {
+	cfg Config
+	tr  transport.Transport
+
+	mu            sync.Mutex
+	owners        []*policy.Owner
+	store         *store.Store
+	parentID      string
+	parentAddr    string
+	parentMisses  int
+	rejoining     bool
+	rootPath      []string
+	rootPathAddrs []string
+	siblingsOfMe  []wire.RedirectInfo // from heartbeat replies; root election
+	children      map[string]*childState
+	replicas      map[string]*replicaState
+	localSummary  *summary.Summary
+	branchSummary *summary.Summary
+
+	// Operational counters (monotone since startup).
+	queriesServed   uint64
+	redirectsIssued uint64
+	summariesRecv   uint64
+
+	closer  io.Closer
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+}
+
+// NewServer creates a server (not yet listening).
+func NewServer(cfg Config, tr transport.Transport) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:      cfg,
+		tr:       tr,
+		store:    store.New(cfg.Schema, cfg.Cost),
+		children: make(map[string]*childState),
+		replicas: make(map[string]*replicaState),
+		stop:     make(chan struct{}),
+	}, nil
+}
+
+// ID returns the server's identity.
+func (s *Server) ID() string { return s.cfg.ID }
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.cfg.Addr }
+
+// AttachOwner attaches a resource owner locally. Owners in ExportRecords
+// mode have their records copied into the server's store.
+func (s *Server) AttachOwner(o *policy.Owner) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.owners = append(s.owners, o)
+	if o.Policy.Mode == policy.ExportRecords {
+		recs, err := o.ExportRecords()
+		if err != nil {
+			return err
+		}
+		s.store.Add(recs...)
+	}
+	return nil
+}
+
+// Start begins listening and runs the background loops. The server starts
+// as a root of its own one-node hierarchy; Join attaches it elsewhere.
+func (s *Server) Start() error {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return fmt.Errorf("live: server %s already started", s.cfg.ID)
+	}
+	s.started = true
+	s.rootPath = []string{s.cfg.ID}
+	s.rootPathAddrs = []string{s.cfg.Addr}
+	s.mu.Unlock()
+
+	closer, err := s.tr.Listen(s.cfg.Addr, s.handle)
+	if err != nil {
+		return err
+	}
+	s.closer = closer
+
+	s.refreshSummaries()
+
+	s.wg.Add(2)
+	go s.aggregationLoop()
+	go s.heartbeatLoop()
+	return nil
+}
+
+// Kill shuts the server down abruptly — no Leave messages, simulating a
+// crash. Peers must discover the death through missed heartbeats and
+// soft-state expiry. Intended for failure-injection tests and chaos demos.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+	if s.closer != nil {
+		_ = s.closer.Close()
+	}
+	s.mu.Lock()
+	s.started = false
+	s.mu.Unlock()
+}
+
+// Stop leaves the hierarchy gracefully and shuts down.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return
+	}
+	parentAddr := s.parentAddr
+	childAddrs := make([]string, 0, len(s.children))
+	for _, c := range s.children {
+		childAddrs = append(childAddrs, c.addr)
+	}
+	s.mu.Unlock()
+
+	leave := &wire.Message{Kind: wire.KindLeave, From: s.cfg.ID, Addr: s.cfg.Addr}
+	if parentAddr != "" {
+		_, _ = s.tr.Call(parentAddr, leave)
+	}
+	for _, addr := range childAddrs {
+		_, _ = s.tr.Call(addr, leave)
+	}
+
+	close(s.stop)
+	s.wg.Wait()
+	if s.closer != nil {
+		_ = s.closer.Close()
+	}
+	s.mu.Lock()
+	s.started = false
+	s.mu.Unlock()
+}
+
+// Join attaches the server under the hierarchy reachable at seedAddr,
+// descending per the paper: query the contact, follow the least-depth
+// child branch until someone accepts, backtracking into other branches if
+// a descent dead-ends (server gone or all refusing).
+func (s *Server) Join(seedAddr string) error {
+	tried := make(map[string]bool)
+	frontier := []string{seedAddr}
+	var lastErr error
+	for hops := 0; len(frontier) > 0 && hops < 256; hops++ {
+		addr := frontier[0]
+		frontier = frontier[1:]
+		if tried[addr] || addr == s.cfg.Addr {
+			continue
+		}
+		tried[addr] = true
+		rep, err := s.tr.Call(addr, &wire.Message{
+			Kind: wire.KindJoin,
+			From: s.cfg.ID,
+			Addr: s.cfg.Addr,
+			Join: &wire.Join{ID: s.cfg.ID, Addr: s.cfg.Addr},
+		})
+		if err == nil {
+			err = wire.RemoteError(rep)
+		}
+		if err != nil {
+			lastErr = err // dead or refusing server: backtrack to others
+			continue
+		}
+		jr := rep.JoinReply
+		if jr == nil {
+			lastErr = fmt.Errorf("live: join got %v reply", rep.Kind)
+			continue
+		}
+		if jr.Accepted {
+			s.mu.Lock()
+			s.parentID = jr.ParentID
+			s.parentAddr = jr.ParentAddr
+			s.parentMisses = 0
+			s.mu.Unlock()
+			// Prime the parent's view and our root path immediately.
+			s.reportToParent()
+			s.sendHeartbeat()
+			return nil
+		}
+		// Descend least-depth first, then fewest descendants (the
+		// paper's rule); prepending keeps the search depth-first so
+		// backtracking visits the current branch before its siblings.
+		kids := jr.Children
+		sort.Slice(kids, func(i, j int) bool {
+			if kids[i].Depth != kids[j].Depth {
+				return kids[i].Depth < kids[j].Depth
+			}
+			if kids[i].Descendants != kids[j].Descendants {
+				return kids[i].Descendants < kids[j].Descendants
+			}
+			return kids[i].ID < kids[j].ID
+		})
+		next := make([]string, 0, len(kids))
+		for _, k := range kids {
+			if !tried[k.Addr] {
+				next = append(next, k.Addr)
+			}
+		}
+		frontier = append(next, frontier...)
+	}
+	if lastErr != nil {
+		return fmt.Errorf("live: join failed: %w", lastErr)
+	}
+	return errors.New("live: no server accepted the join")
+}
+
+// IsRoot reports whether the server currently has no parent.
+func (s *Server) IsRoot() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.parentAddr == ""
+}
+
+// ParentID returns the current parent (empty at the root).
+func (s *Server) ParentID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.parentID
+}
+
+// NumChildren returns the current child count.
+func (s *Server) NumChildren() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.children)
+}
+
+// BranchRecords returns how many records the branch summary covers — the
+// convergence signal tests and examples poll.
+func (s *Server) BranchRecords() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.branchSummary == nil {
+		return 0
+	}
+	return s.branchSummary.Records
+}
+
+// NumReplicas returns how many overlay replicas the server holds.
+func (s *Server) NumReplicas() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.replicas)
+}
+
+// CoveredRecords returns how many records this server can currently route
+// queries to: its own branch, plus each non-ancestor replica's branch,
+// plus each ancestor's locally attached data. Because those sets partition
+// the hierarchy, the value equals the federation's total record count
+// exactly when the overlay has fully converged.
+func (s *Server) CoveredRecords() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total uint64
+	if s.branchSummary != nil {
+		total += s.branchSummary.Records
+	}
+	for _, r := range s.replicas {
+		if r.ancestor {
+			if r.local != nil {
+				total += r.local.Records
+			}
+		} else if r.branch != nil {
+			total += r.branch.Records
+		}
+	}
+	return total
+}
+
+// RootPath returns the server's current root path (IDs, root first).
+func (s *Server) RootPath() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.rootPath...)
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package live
+
+import "time"
+
+func init() { convergeTimeout = 8 * time.Minute }

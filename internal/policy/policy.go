@@ -1,0 +1,193 @@
+// Package policy implements voluntary sharing: the mechanisms by which a
+// resource owner retains final control over its records. An owner chooses
+// an export mode (raw records to a trusted attachment point vs.
+// summary-only to a third-party server) and defines per-requester views
+// that filter which records a given query sees (paper §II: "a company may
+// provide more resources to a business partner than arbitrary third
+// parties").
+package policy
+
+import (
+	"fmt"
+	"sync"
+
+	"roads/internal/query"
+	"roads/internal/record"
+	"roads/internal/summary"
+)
+
+// ExportMode says what an owner exports to its attachment-point server.
+type ExportMode uint8
+
+const (
+	// ExportSummary exports only a condensed summary; the detailed records
+	// stay with the owner, which answers matching queries itself (owner D
+	// in the paper's Fig. 1).
+	ExportSummary ExportMode = iota
+	// ExportRecords exports the detailed records to the attachment point —
+	// appropriate only when the owner controls that server (owner C).
+	ExportRecords
+)
+
+func (m ExportMode) String() string {
+	switch m {
+	case ExportSummary:
+		return "summary"
+	case ExportRecords:
+		return "records"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// View filters the records returned to a class of requesters. Filter may be
+// nil, meaning the view exposes everything.
+type View struct {
+	Name   string
+	Filter func(*record.Record) bool
+}
+
+// Policy is an owner's sharing policy: its export mode plus named views.
+// The zero policy exports summaries and serves every record to everyone.
+type Policy struct {
+	mu sync.RWMutex
+
+	Mode ExportMode
+	// views maps requester identities (or classes) to their view; the
+	// DefaultView applies to unknown requesters.
+	views       map[string]View
+	DefaultView View
+}
+
+// NewPolicy creates a policy with the given export mode and an
+// allow-everything default view.
+func NewPolicy(mode ExportMode) *Policy {
+	return &Policy{
+		Mode:        mode,
+		views:       make(map[string]View),
+		DefaultView: View{Name: "default"},
+	}
+}
+
+// SetView installs a view for a requester identity.
+func (p *Policy) SetView(requester string, v View) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.views[requester] = v
+}
+
+// ViewFor returns the view applying to the requester.
+func (p *Policy) ViewFor(requester string) View {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if v, ok := p.views[requester]; ok {
+		return v
+	}
+	return p.DefaultView
+}
+
+// Apply filters recs through the requester's view.
+func (p *Policy) Apply(requester string, recs []*record.Record) []*record.Record {
+	v := p.ViewFor(requester)
+	if v.Filter == nil {
+		return recs
+	}
+	var out []*record.Record
+	for _, r := range recs {
+		if v.Filter(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Owner is a resource owner: identity, records, and sharing policy. It is
+// the unit of autonomy in the federation — the entity that exports data and
+// makes the final call on query answers.
+type Owner struct {
+	ID     string
+	Schema *record.Schema
+	Policy *Policy
+
+	mu      sync.RWMutex
+	records []*record.Record
+}
+
+// NewOwner creates an owner with the given policy (nil means a default
+// summary-export policy).
+func NewOwner(id string, schema *record.Schema, pol *Policy) *Owner {
+	if pol == nil {
+		pol = NewPolicy(ExportSummary)
+	}
+	return &Owner{ID: id, Schema: schema, Policy: pol}
+}
+
+// SetRecords replaces the owner's record set.
+func (o *Owner) SetRecords(recs []*record.Record) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.records = append(o.records[:0:0], recs...)
+}
+
+// AddRecords appends records.
+func (o *Owner) AddRecords(recs ...*record.Record) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.records = append(o.records, recs...)
+}
+
+// NumRecords returns the record count.
+func (o *Owner) NumRecords() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.records)
+}
+
+// Records returns the owner's records (shared slice; do not mutate).
+func (o *Owner) Records() []*record.Record {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.records
+}
+
+// ExportSummary builds the summary the owner publishes to its attachment
+// point. Regardless of views, the summary covers all records — summaries
+// are coarse enough that exposure is acceptable, which is the premise of
+// the design; fine-grained control happens at answer time.
+func (o *Owner) ExportSummary(cfg summary.Config) (*summary.Summary, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	sum, err := summary.FromRecords(o.Schema, cfg, o.records)
+	if err != nil {
+		return nil, err
+	}
+	sum.Origin = o.ID
+	return sum, nil
+}
+
+// ExportRecords returns the records the owner pushes to a trusted
+// attachment point, or an error if the policy forbids raw export.
+func (o *Owner) ExportRecords() ([]*record.Record, error) {
+	if o.Policy.Mode != ExportRecords {
+		return nil, fmt.Errorf("policy: owner %s exports summaries only", o.ID)
+	}
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.records, nil
+}
+
+// Answer resolves a query at the owner: it matches the query against the
+// owner's records and then applies the requester's view. This is the "final
+// control" step — the owner decides which resource records are returned
+// and in what form (paper §III-A).
+func (o *Owner) Answer(q *query.Query) ([]*record.Record, error) {
+	if !q.Bound() {
+		if err := q.Bind(o.Schema); err != nil {
+			return nil, err
+		}
+	}
+	o.mu.RLock()
+	matched := q.Filter(o.records)
+	o.mu.RUnlock()
+	return o.Policy.Apply(q.Requester, matched), nil
+}

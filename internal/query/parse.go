@@ -1,0 +1,99 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParsePredicate parses the textual predicate syntax used by the CLI tools
+// and configuration files:
+//
+//	attr=lo:hi    numeric range (either bound may be empty for open-ended)
+//	attr>v        numeric lower bound
+//	attr<v        numeric upper bound
+//	attr=value    categorical equality
+//
+// Examples: "rate=0.2:0.4", "rate>0.15", "cpu<0.9", "encoding=MPEG2".
+func ParsePredicate(s string) (Predicate, error) {
+	if i := strings.IndexByte(s, '>'); i > 0 {
+		lo, err := strconv.ParseFloat(strings.TrimSpace(s[i+1:]), 64)
+		if err != nil {
+			return Predicate{}, fmt.Errorf("query: predicate %q: bad bound: %w", s, err)
+		}
+		return NewAbove(strings.TrimSpace(s[:i]), lo), nil
+	}
+	if i := strings.IndexByte(s, '<'); i > 0 {
+		hi, err := strconv.ParseFloat(strings.TrimSpace(s[i+1:]), 64)
+		if err != nil {
+			return Predicate{}, fmt.Errorf("query: predicate %q: bad bound: %w", s, err)
+		}
+		return NewBelow(strings.TrimSpace(s[:i]), hi), nil
+	}
+	eq := strings.IndexByte(s, '=')
+	if eq < 1 {
+		return Predicate{}, fmt.Errorf("query: predicate %q: want attr=lo:hi, attr=value, attr>v or attr<v", s)
+	}
+	attr := strings.TrimSpace(s[:eq])
+	val := strings.TrimSpace(s[eq+1:])
+	if attr == "" {
+		return Predicate{}, fmt.Errorf("query: predicate %q: empty attribute", s)
+	}
+	if colon := strings.IndexByte(val, ':'); colon >= 0 {
+		loStr, hiStr := strings.TrimSpace(val[:colon]), strings.TrimSpace(val[colon+1:])
+		p := NewRange(attr, 0, 0)
+		if loStr == "" {
+			p.Lo = negInf
+		} else {
+			lo, err := strconv.ParseFloat(loStr, 64)
+			if err != nil {
+				return Predicate{}, fmt.Errorf("query: predicate %q: bad lower bound: %w", s, err)
+			}
+			p.Lo = lo
+		}
+		if hiStr == "" {
+			p.Hi = posInf
+		} else {
+			hi, err := strconv.ParseFloat(hiStr, 64)
+			if err != nil {
+				return Predicate{}, fmt.Errorf("query: predicate %q: bad upper bound: %w", s, err)
+			}
+			p.Hi = hi
+		}
+		if p.Lo > p.Hi {
+			return Predicate{}, fmt.Errorf("query: predicate %q: empty range [%g,%g]", s, p.Lo, p.Hi)
+		}
+		return p, nil
+	}
+	if val == "" {
+		return Predicate{}, fmt.Errorf("query: predicate %q: empty value", s)
+	}
+	return NewEq(attr, val), nil
+}
+
+// ParseQuery parses a conjunction of ;-separated predicates into a query.
+func ParseQuery(id, s string) (*Query, error) {
+	parts := strings.Split(s, ";")
+	preds := make([]Predicate, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		p, err := ParsePredicate(part)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, p)
+	}
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("query: %q contains no predicates", s)
+	}
+	return New(id, preds...), nil
+}
+
+var (
+	negInf = math.Inf(-1)
+	posInf = math.Inf(1)
+)

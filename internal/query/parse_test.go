@@ -1,0 +1,123 @@
+package query
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParsePredicateRange(t *testing.T) {
+	p, err := ParsePredicate("rate=0.2:0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Op != Range || p.Attr != "rate" || p.Lo != 0.2 || p.Hi != 0.4 {
+		t.Fatalf("parsed %+v", p)
+	}
+}
+
+func TestParsePredicateOpenEnded(t *testing.T) {
+	p, err := ParsePredicate("rate=0.2:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p.Hi, 1) || p.Lo != 0.2 {
+		t.Fatalf("parsed %+v", p)
+	}
+	p, err = ParsePredicate("rate=:0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p.Lo, -1) || p.Hi != 0.4 {
+		t.Fatalf("parsed %+v", p)
+	}
+}
+
+func TestParsePredicateComparisons(t *testing.T) {
+	p, err := ParsePredicate("rate>0.15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lo != 0.15 || !math.IsInf(p.Hi, 1) {
+		t.Fatalf("parsed %+v", p)
+	}
+	p, err = ParsePredicate("cpu<0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hi != 0.9 || !math.IsInf(p.Lo, -1) {
+		t.Fatalf("parsed %+v", p)
+	}
+	// Whitespace tolerance.
+	p, err = ParsePredicate("rate > 0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Attr != "rate" || p.Lo != 0.5 {
+		t.Fatalf("parsed %+v", p)
+	}
+}
+
+func TestParsePredicateEquality(t *testing.T) {
+	p, err := ParsePredicate("encoding=MPEG2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Op != Eq || p.Attr != "encoding" || p.Str != "MPEG2" {
+		t.Fatalf("parsed %+v", p)
+	}
+}
+
+func TestParsePredicateErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",            // nothing
+		"=0.5",        // no attribute
+		"rate",        // no operator
+		"rate=",       // empty value
+		"rate=x:0.4",  // bad lower
+		"rate=0.2:y",  // bad upper
+		"rate=0.4:.2", // inverted
+		"rate>abc",    // bad bound
+		"rate<abc",    // bad bound
+	} {
+		if _, err := ParsePredicate(bad); err == nil {
+			t.Fatalf("ParsePredicate(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	q, err := ParseQuery("q1", "rate=0.2:0.4; encoding=MPEG2 ;cpu>0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Dims() != 3 || q.ID != "q1" {
+		t.Fatalf("parsed %v", q)
+	}
+	if _, err := ParseQuery("q", " ; ; "); err == nil {
+		t.Fatal("empty query must fail")
+	}
+	if _, err := ParseQuery("q", "rate=0.2:0.4; bogus"); err == nil {
+		t.Fatal("bad predicate must fail the whole query")
+	}
+}
+
+// FuzzParsePredicate ensures arbitrary input never panics and that
+// accepted predicates round-trip through String without crashing.
+func FuzzParsePredicate(f *testing.F) {
+	for _, seed := range []string{"rate=0.2:0.4", "a>1", "b<2", "enc=MPEG2", "x=:", "=", ":", "a=b:c"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePredicate(s)
+		if err != nil {
+			return
+		}
+		_ = p.String()
+		if p.Op == Range && p.Lo > p.Hi {
+			t.Fatalf("accepted inverted range from %q: %+v", s, p)
+		}
+		if p.Attr == "" {
+			t.Fatalf("accepted empty attribute from %q", s)
+		}
+	})
+}

@@ -1,0 +1,222 @@
+// Package query defines multi-dimensional range queries and their
+// evaluation against both raw records and summaries. A query is a
+// conjunction of predicates: numeric range predicates (rate>150Kbps,
+// expressed as [lo,hi] intervals) and categorical equality predicates
+// (encoding=MPEG2). Summary evaluation is conservative — true means "this
+// branch may hold a match", which directs forwarding (paper §III-B).
+package query
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"roads/internal/record"
+	"roads/internal/summary"
+)
+
+// Op is the predicate operator.
+type Op uint8
+
+const (
+	// Range matches numeric values in [Lo,Hi].
+	Range Op = iota
+	// Eq matches categorical values equal to Str.
+	Eq
+)
+
+// Predicate is one dimension of a query.
+type Predicate struct {
+	Attr string // schema attribute name
+	Op   Op
+	Lo   float64 // Range only
+	Hi   float64 // Range only
+	Str  string  // Eq only
+}
+
+// NewRange builds a numeric range predicate attr in [lo,hi].
+func NewRange(attr string, lo, hi float64) Predicate {
+	return Predicate{Attr: attr, Op: Range, Lo: lo, Hi: hi}
+}
+
+// NewAbove builds attr > lo, an open-ended range (paper example
+// rate>150Kbps); the upper bound is +Inf.
+func NewAbove(attr string, lo float64) Predicate {
+	return Predicate{Attr: attr, Op: Range, Lo: lo, Hi: math.Inf(1)}
+}
+
+// NewBelow builds attr < hi; the lower bound is -Inf.
+func NewBelow(attr string, hi float64) Predicate {
+	return Predicate{Attr: attr, Op: Range, Lo: math.Inf(-1), Hi: hi}
+}
+
+// NewEq builds a categorical equality predicate attr == v.
+func NewEq(attr, v string) Predicate {
+	return Predicate{Attr: attr, Op: Eq, Str: v}
+}
+
+// String renders the predicate, e.g. "rate in [0.25,0.50]" or "enc=MPEG2".
+func (p Predicate) String() string {
+	if p.Op == Eq {
+		return fmt.Sprintf("%s=%s", p.Attr, p.Str)
+	}
+	return fmt.Sprintf("%s in [%.3g,%.3g]", p.Attr, p.Lo, p.Hi)
+}
+
+// Query is a conjunction of predicates, plus the identity of the requester
+// (used by owners' voluntary-sharing policies to pick a view).
+type Query struct {
+	ID        string
+	Requester string
+	Preds     []Predicate
+
+	// attrIdx caches schema positions after Bind; -1 means unresolved.
+	attrIdx []int
+}
+
+// New creates a query with the given predicates.
+func New(id string, preds ...Predicate) *Query {
+	return &Query{ID: id, Preds: preds}
+}
+
+// Dims returns the number of predicates (query dimensionality).
+func (q *Query) Dims() int { return len(q.Preds) }
+
+// Bind resolves attribute names to schema positions, failing on unknown
+// attributes or kind mismatches. Evaluation requires a bound query.
+func (q *Query) Bind(s *record.Schema) error {
+	q.attrIdx = make([]int, len(q.Preds))
+	for i, p := range q.Preds {
+		idx, ok := s.Index(p.Attr)
+		if !ok {
+			return fmt.Errorf("query %s: unknown attribute %q", q.ID, p.Attr)
+		}
+		kind := s.Attr(idx).Kind
+		if p.Op == Range && kind != record.Numeric {
+			return fmt.Errorf("query %s: range predicate on non-numeric attribute %q", q.ID, p.Attr)
+		}
+		if p.Op == Eq && kind != record.Categorical {
+			return fmt.Errorf("query %s: equality predicate on non-categorical attribute %q", q.ID, p.Attr)
+		}
+		q.attrIdx[i] = idx
+	}
+	return nil
+}
+
+// Bound reports whether Bind has succeeded.
+func (q *Query) Bound() bool { return q.attrIdx != nil }
+
+// MatchRecord reports whether the record satisfies every predicate. The
+// query must be bound.
+func (q *Query) MatchRecord(r *record.Record) bool {
+	for i, p := range q.Preds {
+		idx := q.attrIdx[i]
+		switch p.Op {
+		case Range:
+			v := r.Num(idx)
+			if v < p.Lo || v > p.Hi {
+				return false
+			}
+		case Eq:
+			if r.Str(idx) != p.Str {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MatchSummary reports whether the summary admits a possible match on every
+// predicate. It is the forwarding test: only branches whose summaries match
+// all queried dimensions are searched further — this is how ROADS uses the
+// full dimensionality to confine search scope (Fig. 6).
+func (q *Query) MatchSummary(sum *summary.Summary) bool {
+	if sum == nil || sum.Empty() {
+		return false
+	}
+	for i, p := range q.Preds {
+		idx := q.attrIdx[i]
+		switch p.Op {
+		case Range:
+			if !sum.MatchRange(idx, p.Lo, p.Hi) {
+				return false
+			}
+		case Eq:
+			if !sum.MatchEq(idx, p.Str) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EstimateMatches estimates the number of matching records under the
+// summary assuming attribute independence: product of per-dimension
+// selectivities times the record count. Used for load-aware forwarding and
+// diagnostics; not part of the core protocol.
+func (q *Query) EstimateMatches(sum *summary.Summary) float64 {
+	if sum == nil || sum.Empty() {
+		return 0
+	}
+	est := float64(sum.Records)
+	for i, p := range q.Preds {
+		idx := q.attrIdx[i]
+		if p.Op != Range {
+			continue
+		}
+		h := sum.Hists[idx]
+		if h == nil || h.Total == 0 {
+			return 0
+		}
+		est *= h.CountRange(p.Lo, p.Hi) / float64(h.Total)
+	}
+	return est
+}
+
+// Filter returns the subset of records matching the query.
+func (q *Query) Filter(recs []*record.Record) []*record.Record {
+	var out []*record.Record
+	for _, r := range recs {
+		if q.MatchRecord(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SizeBytes is the wire size of the query message used by overhead
+// accounting: a 24-byte header plus per-predicate cost (attribute name, two
+// float bounds or the string value). Query messages therefore grow with
+// dimensionality, which drives the late-rising tail of Fig. 7.
+func (q *Query) SizeBytes() int {
+	size := 24
+	for _, p := range q.Preds {
+		size += len(p.Attr)
+		if p.Op == Range {
+			size += 16
+		} else {
+			size += len(p.Str)
+		}
+	}
+	return size
+}
+
+// Clone returns a deep copy of the query (bound state included).
+func (q *Query) Clone() *Query {
+	c := &Query{ID: q.ID, Requester: q.Requester, Preds: make([]Predicate, len(q.Preds))}
+	copy(c.Preds, q.Preds)
+	if q.attrIdx != nil {
+		c.attrIdx = make([]int, len(q.attrIdx))
+		copy(c.attrIdx, q.attrIdx)
+	}
+	return c
+}
+
+// String renders the query as "p1 AND p2 AND ...".
+func (q *Query) String() string {
+	parts := make([]string, len(q.Preds))
+	for i, p := range q.Preds {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " AND ")
+}

@@ -1,0 +1,239 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"roads/internal/record"
+	"roads/internal/summary"
+)
+
+func camSchema() *record.Schema {
+	return record.MustSchema([]record.Attribute{
+		{Name: "rate", Kind: record.Numeric},
+		{Name: "res", Kind: record.Numeric},
+		{Name: "enc", Kind: record.Categorical},
+	})
+}
+
+func camRec(s *record.Schema, rate, res float64, enc string) *record.Record {
+	r := record.New(s, "r", "o")
+	r.SetNum(0, rate)
+	r.SetNum(1, res)
+	r.SetStr(2, enc)
+	return r
+}
+
+func TestBindErrors(t *testing.T) {
+	s := camSchema()
+	q := New("q1", NewRange("missing", 0, 1))
+	if err := q.Bind(s); err == nil {
+		t.Fatal("expected unknown-attribute error")
+	}
+	q = New("q2", NewRange("enc", 0, 1))
+	if err := q.Bind(s); err == nil {
+		t.Fatal("expected kind-mismatch error for range on categorical")
+	}
+	q = New("q3", NewEq("rate", "x"))
+	if err := q.Bind(s); err == nil {
+		t.Fatal("expected kind-mismatch error for eq on numeric")
+	}
+	q = New("q4", NewRange("rate", 0, 1))
+	if q.Bound() {
+		t.Fatal("should not be bound before Bind")
+	}
+	if err := q.Bind(s); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if !q.Bound() {
+		t.Fatal("should be bound after Bind")
+	}
+}
+
+func TestMatchRecordConjunction(t *testing.T) {
+	s := camSchema()
+	// The paper's example: type=camera AND rate>150Kbps AND encoding=MPEG2,
+	// with rate normalized to [0,1].
+	q := New("q", NewAbove("rate", 0.15), NewEq("enc", "MPEG2"))
+	if err := q.Bind(s); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if !q.MatchRecord(camRec(s, 0.2, 0.5, "MPEG2")) {
+		t.Fatal("record satisfying all predicates should match")
+	}
+	if q.MatchRecord(camRec(s, 0.1, 0.5, "MPEG2")) {
+		t.Fatal("rate below bound should fail")
+	}
+	if q.MatchRecord(camRec(s, 0.2, 0.5, "H264")) {
+		t.Fatal("wrong encoding should fail")
+	}
+}
+
+func TestOpenEndedPredicates(t *testing.T) {
+	s := camSchema()
+	q := New("q", NewBelow("rate", 0.3))
+	if err := q.Bind(s); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if !q.MatchRecord(camRec(s, 0.0, 0, "x")) {
+		t.Fatal("below-bound should match 0")
+	}
+	if q.MatchRecord(camRec(s, 0.31, 0, "x")) {
+		t.Fatal("0.31 should not match rate<0.3")
+	}
+	above := NewAbove("rate", 0.5)
+	if !math.IsInf(above.Hi, 1) {
+		t.Fatal("NewAbove must set +Inf upper bound")
+	}
+}
+
+func TestMatchSummaryDirectsForwarding(t *testing.T) {
+	s := camSchema()
+	cfg := summary.DefaultConfig()
+	cfg.Buckets = 100
+	sum := summary.MustNew(s, cfg)
+	sum.AddRecord(camRec(s, 0.8, 0.5, "MPEG2"))
+
+	q := New("q", NewAbove("rate", 0.15), NewEq("enc", "MPEG2"))
+	if err := q.Bind(s); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if !q.MatchSummary(sum) {
+		t.Fatal("summary with matching data must match")
+	}
+	q2 := New("q2", NewRange("rate", 0.1, 0.2), NewEq("enc", "MPEG2"))
+	if err := q2.Bind(s); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if q2.MatchSummary(sum) {
+		t.Fatal("rate bucket empty in [0.1,0.2]; conjunction must prune branch")
+	}
+	if q.MatchSummary(nil) {
+		t.Fatal("nil summary never matches")
+	}
+	empty := summary.MustNew(s, cfg)
+	if q.MatchSummary(empty) {
+		t.Fatal("empty summary never matches")
+	}
+}
+
+func TestEstimateMatches(t *testing.T) {
+	s := record.DefaultSchema(2)
+	cfg := summary.DefaultConfig()
+	cfg.Buckets = 100
+	sum := summary.MustNew(s, cfg)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		r := record.New(s, strconv.Itoa(i), "o")
+		r.SetNum(0, rng.Float64())
+		r.SetNum(1, rng.Float64())
+		sum.AddRecord(r)
+	}
+	q := New("q", NewRange("a0", 0, 0.5), NewRange("a1", 0, 0.5))
+	if err := q.Bind(s); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	est := q.EstimateMatches(sum)
+	if est < 150 || est > 350 {
+		t.Fatalf("EstimateMatches = %g; want ~250 for 0.25 selectivity on 1000", est)
+	}
+	if q.EstimateMatches(nil) != 0 {
+		t.Fatal("nil summary estimates 0")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	s := camSchema()
+	q := New("q", NewEq("enc", "A"))
+	if err := q.Bind(s); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	recs := []*record.Record{
+		camRec(s, 0.1, 0.1, "A"),
+		camRec(s, 0.2, 0.2, "B"),
+		camRec(s, 0.3, 0.3, "A"),
+	}
+	got := q.Filter(recs)
+	if len(got) != 2 {
+		t.Fatalf("Filter returned %d records; want 2", len(got))
+	}
+}
+
+func TestSizeBytesGrowsWithDims(t *testing.T) {
+	q2 := New("q", NewRange("a0", 0, 1), NewRange("a1", 0, 1))
+	q4 := New("q", NewRange("a0", 0, 1), NewRange("a1", 0, 1), NewRange("a2", 0, 1), NewRange("a3", 0, 1))
+	if q4.SizeBytes() <= q2.SizeBytes() {
+		t.Fatal("query size must grow with dimensionality")
+	}
+	qe := New("q", NewEq("enc", "MPEG2"))
+	if qe.SizeBytes() != 24+3+5 {
+		t.Fatalf("eq query size = %d; want 32", qe.SizeBytes())
+	}
+}
+
+func TestCloneAndString(t *testing.T) {
+	s := camSchema()
+	q := New("q", NewRange("rate", 0.1, 0.2), NewEq("enc", "X"))
+	if err := q.Bind(s); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	c := q.Clone()
+	if !c.Bound() {
+		t.Fatal("clone should preserve bound state")
+	}
+	c.Preds[0].Lo = 0.9
+	if q.Preds[0].Lo == 0.9 {
+		t.Fatal("clone must not share predicate storage")
+	}
+	str := q.String()
+	if !strings.Contains(str, "AND") || !strings.Contains(str, "enc=X") {
+		t.Fatalf("String() = %q; want conjunction form", str)
+	}
+}
+
+// Property: summary evaluation is sound w.r.t. record evaluation — if any
+// record matches the query, the summary of the records matches it too (no
+// false negatives in forwarding, the invariant ROADS correctness rests on).
+func TestSummarySoundnessQuick(t *testing.T) {
+	s := record.DefaultSchema(4)
+	cfg := summary.DefaultConfig()
+	cfg.Buckets = 128
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := make([]*record.Record, 10)
+		sum := summary.MustNew(s, cfg)
+		for i := range recs {
+			r := record.New(s, strconv.Itoa(i), "o")
+			for j := 0; j < 4; j++ {
+				r.SetNum(j, rng.Float64())
+			}
+			recs[i] = r
+			sum.AddRecord(r)
+		}
+		q := New("q",
+			NewRange("a0", rng.Float64()*0.5, 0.5+rng.Float64()*0.5),
+			NewRange("a2", rng.Float64()*0.5, 0.5+rng.Float64()*0.5),
+		)
+		if err := q.Bind(s); err != nil {
+			return false
+		}
+		anyRecord := false
+		for _, r := range recs {
+			if q.MatchRecord(r) {
+				anyRecord = true
+				break
+			}
+		}
+		if anyRecord && !q.MatchSummary(sum) {
+			return false // false negative: forwarding would miss results
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package record
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := MustSchema([]Attribute{
+		{Name: "rate", Kind: Numeric},
+		{Name: "enc", Kind: Categorical},
+	})
+	r1 := New(s, "cam-1", "orgA")
+	r1.SetNum(0, 0.125)
+	r1.SetStr(1, "MPEG2")
+	r2 := New(s, "cam-2", "orgB")
+	r2.SetNum(0, 0.5)
+	r2.SetStr(1, "H264")
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, s, []*Record{r1, r2}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("read %d records; want 2", len(back))
+	}
+	if back[0].ID != "cam-1" || back[0].Num(0) != 0.125 || back[0].Str(1) != "MPEG2" {
+		t.Fatalf("record changed: %v", back[0])
+	}
+	if back[1].Owner != "orgB" {
+		t.Fatalf("owner lost: %v", back[1])
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	s := MustSchema([]Attribute{
+		{Name: "rate", Kind: Numeric},
+		{Name: "enc", Kind: Categorical},
+	})
+	cases := map[string]string{
+		"missing id":        `{"owner":"o","attrs":{"rate":0.5,"enc":"x"}}`,
+		"unknown attribute": `{"id":"a","owner":"o","attrs":{"bogus":1,"enc":"x"}}`,
+		"number for string": `{"id":"a","owner":"o","attrs":{"rate":0.5,"enc":7}}`,
+		"string for number": `{"id":"a","owner":"o","attrs":{"rate":"x","enc":"y"}}`,
+		"missing categor.":  `{"id":"a","owner":"o","attrs":{"rate":0.5}}`,
+		"garbage":           `{{{`,
+	}
+	for name, input := range cases {
+		if _, err := ReadJSON(strings.NewReader(input), s); err == nil {
+			t.Fatalf("case %q: expected error", name)
+		}
+	}
+	// Empty input yields no records, no error.
+	recs, err := ReadJSON(strings.NewReader(""), s)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty input: %v, %v", recs, err)
+	}
+}
+
+func TestSchemaJSONRoundTrip(t *testing.T) {
+	s := MustSchema([]Attribute{
+		{Name: "cpu", Kind: Numeric},
+		{Name: "os", Kind: Categorical},
+	})
+	data, err := MarshalSchema(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSchema(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumAttrs() != 2 || back.Attr(0).Name != "cpu" || back.Attr(1).Kind != Categorical {
+		t.Fatalf("schema changed: %+v", back.Attrs())
+	}
+}
+
+func TestUnmarshalSchemaErrors(t *testing.T) {
+	if _, err := UnmarshalSchema([]byte(`{"attributes":[{"name":"x","kind":"alien"}]}`)); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+	if _, err := UnmarshalSchema([]byte(`not json`)); err == nil {
+		t.Fatal("garbage must fail")
+	}
+	if _, err := UnmarshalSchema([]byte(`{"attributes":[{"name":"a","kind":"numeric"},{"name":"a","kind":"numeric"}]}`)); err == nil {
+		t.Fatal("duplicate attribute must fail")
+	}
+}

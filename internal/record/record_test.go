@@ -1,0 +1,184 @@
+package record
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	return MustSchema([]Attribute{
+		{Name: "cpu", Kind: Numeric},
+		{Name: "mem", Kind: Numeric},
+		{Name: "encoding", Kind: Categorical},
+	})
+}
+
+func TestNewSchemaRejectsDuplicates(t *testing.T) {
+	_, err := NewSchema([]Attribute{{Name: "a", Kind: Numeric}, {Name: "a", Kind: Categorical}})
+	if err == nil {
+		t.Fatal("expected error for duplicate attribute names")
+	}
+}
+
+func TestNewSchemaRejectsEmptyName(t *testing.T) {
+	_, err := NewSchema([]Attribute{{Name: "", Kind: Numeric}})
+	if err == nil {
+		t.Fatal("expected error for empty attribute name")
+	}
+}
+
+func TestSchemaIndex(t *testing.T) {
+	s := testSchema(t)
+	if i, ok := s.Index("mem"); !ok || i != 1 {
+		t.Fatalf("Index(mem) = %d,%v; want 1,true", i, ok)
+	}
+	if _, ok := s.Index("nope"); ok {
+		t.Fatal("Index(nope) should not exist")
+	}
+	if got := s.NumAttrs(); got != 3 {
+		t.Fatalf("NumAttrs = %d; want 3", got)
+	}
+}
+
+func TestSchemaKindIndexes(t *testing.T) {
+	s := testSchema(t)
+	num := s.NumericIndexes()
+	if len(num) != 2 || num[0] != 0 || num[1] != 1 {
+		t.Fatalf("NumericIndexes = %v; want [0 1]", num)
+	}
+	cat := s.CategoricalIndexes()
+	if len(cat) != 1 || cat[0] != 2 {
+		t.Fatalf("CategoricalIndexes = %v; want [2]", cat)
+	}
+}
+
+func TestSchemaAttrsIsCopy(t *testing.T) {
+	s := testSchema(t)
+	attrs := s.Attrs()
+	attrs[0].Name = "mutated"
+	if s.Attr(0).Name != "cpu" {
+		t.Fatal("Attrs() must return a copy, not the internal slice")
+	}
+}
+
+func TestRecordSettersGetters(t *testing.T) {
+	s := testSchema(t)
+	r := New(s, "r1", "orgA")
+	r.SetNum(0, 0.5)
+	r.SetNum(1, 0.25)
+	r.SetStr(2, "MPEG2")
+	if r.Num(0) != 0.5 || r.Num(1) != 0.25 || r.Str(2) != "MPEG2" {
+		t.Fatalf("unexpected values: %v", r)
+	}
+	if err := r.Validate(s); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestRecordValidateCatchesMissingCategorical(t *testing.T) {
+	s := testSchema(t)
+	r := New(s, "r1", "orgA")
+	if err := r.Validate(s); err == nil {
+		t.Fatal("expected validation error for empty categorical attribute")
+	}
+}
+
+func TestRecordValidateCatchesWrongArity(t *testing.T) {
+	s := testSchema(t)
+	r := &Record{ID: "x", Values: make([]Value, 1)}
+	if err := r.Validate(s); err == nil {
+		t.Fatal("expected validation error for wrong value count")
+	}
+}
+
+func TestRecordCloneIsDeep(t *testing.T) {
+	s := testSchema(t)
+	r := New(s, "r1", "orgA")
+	r.SetNum(0, 0.7)
+	c := r.Clone()
+	c.SetNum(0, 0.1)
+	if r.Num(0) != 0.7 {
+		t.Fatal("Clone must not share value storage")
+	}
+}
+
+func TestRecordSizeBytes(t *testing.T) {
+	s := testSchema(t)
+	r := New(s, "r1", "orgA")
+	r.SetStr(2, "MPEG2")
+	want := 16 + 8 + 8 + len("MPEG2")
+	if got := r.SizeBytes(s); got != want {
+		t.Fatalf("SizeBytes = %d; want %d", got, want)
+	}
+}
+
+func TestSetAccounting(t *testing.T) {
+	s := testSchema(t)
+	rs := NewSet(s)
+	for i := 0; i < 5; i++ {
+		r := New(s, "r", "o")
+		r.SetStr(2, "x")
+		rs.Add(r)
+	}
+	if rs.Len() != 5 {
+		t.Fatalf("Len = %d; want 5", rs.Len())
+	}
+	per := (16 + 8 + 8 + 1)
+	if got := rs.SizeBytes(); got != 5*per {
+		t.Fatalf("SizeBytes = %d; want %d", got, 5*per)
+	}
+}
+
+func TestSetSortByID(t *testing.T) {
+	s := testSchema(t)
+	rs := NewSet(s)
+	for _, id := range []string{"c", "a", "b"} {
+		rs.Add(&Record{ID: id, Values: make([]Value, 3)})
+	}
+	rs.SortByID()
+	for i, want := range []string{"a", "b", "c"} {
+		if rs.Records[i].ID != want {
+			t.Fatalf("after sort, record %d = %s; want %s", i, rs.Records[i].ID, want)
+		}
+	}
+}
+
+func TestDefaultSchema(t *testing.T) {
+	s := DefaultSchema(16)
+	if s.NumAttrs() != 16 {
+		t.Fatalf("NumAttrs = %d; want 16", s.NumAttrs())
+	}
+	for i := 0; i < 16; i++ {
+		if s.Attr(i).Kind != Numeric {
+			t.Fatalf("attr %d kind = %v; want Numeric", i, s.Attr(i).Kind)
+		}
+	}
+	if i, ok := s.Index("a7"); !ok || i != 7 {
+		t.Fatalf("Index(a7) = %d,%v", i, ok)
+	}
+}
+
+// Property: Clone always produces an equal but independent record.
+func TestRecordClonePropertyQuick(t *testing.T) {
+	s := DefaultSchema(8)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := New(s, "id", "own")
+		for i := 0; i < 8; i++ {
+			r.SetNum(i, rng.Float64())
+		}
+		c := r.Clone()
+		for i := 0; i < 8; i++ {
+			if c.Num(i) != r.Num(i) {
+				return false
+			}
+		}
+		c.SetNum(0, -1)
+		return r.Num(0) != -1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

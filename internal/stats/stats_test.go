@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %g; want 2", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single sample stddev must be 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("StdDev = %g; want 2", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %g; want 1", got)
+	}
+	if got := Percentile(xs, 1); got != 5 {
+		t.Fatalf("p100 = %g; want 5", got)
+	}
+	if got := Percentile(xs, 0.5); got != 3 {
+		t.Fatalf("p50 = %g; want 3", got)
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile must be 0")
+	}
+	// Out-of-range p clamps.
+	if got := Percentile(xs, -1); got != 1 {
+		t.Fatalf("p(-1) = %g; want min", got)
+	}
+	if got := Percentile(xs, 2); got != 5 {
+		t.Fatalf("p(2) = %g; want max", got)
+	}
+	// Input must not be reordered.
+	if xs[0] != 5 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestDurations(t *testing.T) {
+	ds := []time.Duration{time.Second, 3 * time.Second}
+	if MeanDuration(ds) != 2*time.Second {
+		t.Fatal("duration mean wrong")
+	}
+	if MeanDuration(nil) != 0 || PercentileDuration(nil, 0.9) != 0 {
+		t.Fatal("empty duration stats must be 0")
+	}
+	if PercentileDuration(ds, 1) != 3*time.Second {
+		t.Fatal("duration percentile wrong")
+	}
+	if PercentileDuration(ds, -1) != time.Second {
+		t.Fatal("clamped duration percentile wrong")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Fatalf("MinMax = %g,%g", min, max)
+	}
+	if min, max := MinMax(nil); min != 0 || max != 0 {
+		t.Fatal("empty MinMax must be 0,0")
+	}
+}
+
+// Property: the mean always lies within [min, max].
+func TestMeanBoundedQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(50))
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		min, max := MinMax(xs)
+		m := Mean(xs)
+		return m >= min-1e-9 && m <= max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestPercentileMonotoneQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(50))
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.1 {
+			v := Percentile(xs, p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

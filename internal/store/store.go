@@ -1,0 +1,275 @@
+// Package store is the local resource store attached to a ROADS server or
+// resource owner. It plays the role of the DB2 backend in the paper's
+// prototype: it indexes records per attribute so that matching is faster
+// than a full scan, and it charges a configurable retrieval cost per
+// matched record so the Fig. 11 response-time experiment can model backend
+// work that pure network simulation cannot.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"roads/internal/query"
+	"roads/internal/record"
+)
+
+// CostModel charges virtual time for backend work, emulating the paper's
+// DB2-backed record retrieval. Zero values mean free operations.
+type CostModel struct {
+	// PerQuery is the fixed cost of starting a local search (query
+	// parsing, index lookup).
+	PerQuery time.Duration
+	// PerRecord is the cost of retrieving and serializing one matching
+	// record.
+	PerRecord time.Duration
+	// PerScan is the cost of examining one candidate record during
+	// matching.
+	PerScan time.Duration
+}
+
+// DefaultCostModel approximates an indexed database on 2008-era hardware:
+// 2 ms per query, 50 µs per returned record, 200 ns per scanned candidate.
+// With these constants a 3% selectivity query over 200k records costs
+// ~300 ms of retrieval — the regime where the paper's parallel ROADS
+// retrieval overtakes the centralized repository.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		PerQuery:  2 * time.Millisecond,
+		PerRecord: 50 * time.Microsecond,
+		PerScan:   200 * time.Nanosecond,
+	}
+}
+
+// numericIndex is a sorted list of (value, record position) pairs for one
+// attribute, supporting range counting and candidate selection.
+type numericIndex struct {
+	vals []float64
+	pos  []int
+}
+
+// Store holds one participant's records with per-attribute indexes. It is
+// safe for concurrent readers once built; mutations take the write lock.
+type Store struct {
+	mu      sync.RWMutex
+	schema  *record.Schema
+	records []*record.Record
+	num     map[int]*numericIndex // attr position -> index
+	cat     map[int]map[string][]int
+	dirty   bool
+	cost    CostModel
+	noIndex bool
+}
+
+// New creates an empty store for the schema.
+func New(schema *record.Schema, cost CostModel) *Store {
+	return &Store{
+		schema: schema,
+		num:    make(map[int]*numericIndex),
+		cat:    make(map[int]map[string][]int),
+		cost:   cost,
+	}
+}
+
+// NewScan creates a store that never builds indexes and answers every
+// search by a full scan. Large simulations with many small stores (e.g.
+// SWORD's per-ring-member stores) use it to trade CPU for the index memory.
+func NewScan(schema *record.Schema, cost CostModel) *Store {
+	st := New(schema, cost)
+	st.noIndex = true
+	return st
+}
+
+// Schema returns the store's schema.
+func (st *Store) Schema() *record.Schema { return st.schema }
+
+// Add appends records; indexes are rebuilt lazily on the next query.
+func (st *Store) Add(recs ...*record.Record) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.records = append(st.records, recs...)
+	st.dirty = true
+}
+
+// Replace swaps the full record set (soft-state refresh from an owner).
+func (st *Store) Replace(recs []*record.Record) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.records = append(st.records[:0:0], recs...)
+	st.dirty = true
+}
+
+// Len returns the number of stored records.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.records)
+}
+
+// Records returns the stored records (shared slice; callers must not
+// mutate).
+func (st *Store) Records() []*record.Record {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.records
+}
+
+func (st *Store) rebuildLocked() {
+	st.num = make(map[int]*numericIndex)
+	st.cat = make(map[int]map[string][]int)
+	if st.noIndex {
+		st.dirty = false
+		return
+	}
+	for i := 0; i < st.schema.NumAttrs(); i++ {
+		switch st.schema.Attr(i).Kind {
+		case record.Numeric:
+			idx := &numericIndex{vals: make([]float64, len(st.records)), pos: make([]int, len(st.records))}
+			order := make([]int, len(st.records))
+			for j := range order {
+				order[j] = j
+			}
+			attr := i
+			sort.Slice(order, func(a, b int) bool {
+				return st.records[order[a]].Num(attr) < st.records[order[b]].Num(attr)
+			})
+			for j, p := range order {
+				idx.vals[j] = st.records[p].Num(attr)
+				idx.pos[j] = p
+			}
+			st.num[i] = idx
+		case record.Categorical:
+			m := make(map[string][]int)
+			for j, r := range st.records {
+				v := r.Str(i)
+				m[v] = append(m[v], j)
+			}
+			st.cat[i] = m
+		}
+	}
+	st.dirty = false
+}
+
+// ensureIndexes rebuilds indexes if records changed. It upgrades to the
+// write lock only when needed.
+func (st *Store) ensureIndexes() {
+	st.mu.RLock()
+	dirty := st.dirty
+	st.mu.RUnlock()
+	if !dirty {
+		return
+	}
+	st.mu.Lock()
+	if st.dirty {
+		st.rebuildLocked()
+	}
+	st.mu.Unlock()
+}
+
+// candidateCount returns how many records fall in [lo,hi] on the numeric
+// attribute, via binary search on the sorted index.
+func (idx *numericIndex) candidateCount(lo, hi float64) int {
+	a := sort.SearchFloat64s(idx.vals, lo)
+	b := sort.Search(len(idx.vals), func(i int) bool { return idx.vals[i] > hi })
+	if b < a {
+		return 0
+	}
+	return b - a
+}
+
+func (idx *numericIndex) candidates(lo, hi float64) []int {
+	a := sort.SearchFloat64s(idx.vals, lo)
+	b := sort.Search(len(idx.vals), func(i int) bool { return idx.vals[i] > hi })
+	if b <= a {
+		return nil
+	}
+	return idx.pos[a:b]
+}
+
+// Result reports a local search outcome: the matching records and the
+// modeled backend cost.
+type Result struct {
+	Records []*record.Record
+	// Cost is the modeled backend time: PerQuery + PerScan*scanned +
+	// PerRecord*len(Records).
+	Cost time.Duration
+	// Scanned is how many candidate records were examined.
+	Scanned int
+}
+
+// Search returns the records matching q along with the modeled cost. It
+// picks the most selective indexed predicate to produce candidates, then
+// verifies remaining predicates record by record — the classic index-scan
+// plan the DB2 backend would run.
+func (st *Store) Search(q *query.Query) (Result, error) {
+	if !q.Bound() {
+		if err := q.Bind(st.schema); err != nil {
+			return Result{}, fmt.Errorf("store: %w", err)
+		}
+	}
+	st.ensureIndexes()
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+
+	res := Result{Cost: st.cost.PerQuery}
+	if len(st.records) == 0 {
+		return res, nil
+	}
+
+	// Choose the predicate with the fewest candidates.
+	bestCount := len(st.records) + 1
+	bestCands := []int(nil)
+	for _, p := range q.Preds {
+		attr, ok := st.schema.Index(p.Attr)
+		if !ok {
+			continue
+		}
+		switch p.Op {
+		case query.Range:
+			if idx := st.num[attr]; idx != nil {
+				if c := idx.candidateCount(p.Lo, p.Hi); c < bestCount {
+					bestCount = c
+					bestCands = idx.candidates(p.Lo, p.Hi)
+				}
+			}
+		case query.Eq:
+			if m := st.cat[attr]; m != nil {
+				cands := m[p.Str]
+				if len(cands) < bestCount {
+					bestCount = len(cands)
+					bestCands = cands
+				}
+			}
+		}
+	}
+	if bestCands == nil && bestCount > len(st.records) {
+		// No indexed predicate; full scan.
+		bestCands = make([]int, len(st.records))
+		for i := range bestCands {
+			bestCands[i] = i
+		}
+	}
+
+	for _, pos := range bestCands {
+		res.Scanned++
+		r := st.records[pos]
+		if q.MatchRecord(r) {
+			res.Records = append(res.Records, r)
+		}
+	}
+	res.Cost += time.Duration(res.Scanned) * st.cost.PerScan
+	res.Cost += time.Duration(len(res.Records)) * st.cost.PerRecord
+	return res, nil
+}
+
+// Count returns the number of matching records without charging retrieval
+// cost (used for selectivity measurement).
+func (st *Store) Count(q *query.Query) (int, error) {
+	res, err := st.Search(q)
+	if err != nil {
+		return 0, err
+	}
+	return len(res.Records), nil
+}

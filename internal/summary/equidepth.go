@@ -1,0 +1,253 @@
+package summary
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EquiDepth is an equi-depth (quantile) histogram: bucket boundaries are
+// placed so each bucket holds roughly the same number of values. Compared
+// to the equi-width Histogram it adapts to skew — on a Pareto-distributed
+// attribute most equi-width buckets sit empty while a few hold everything,
+// whereas equi-depth boundaries crowd into the dense region, giving far
+// better range-count estimates for the same space. It is one of the
+// alternative aggregation methods the paper's §III-B allows ("different
+// aggregation methods can be used ... as long as they compress data and
+// support query evaluation").
+//
+// Range matching is conservative in the same direction as the equi-width
+// histogram: MatchRange never reports false negatives. It is weaker at
+// representing gaps (an equi-depth bucket spanning a data gap still
+// matches queries inside the gap), which is exactly the precision/accuracy
+// tradeoff the ablation benchmarks quantify.
+type EquiDepth struct {
+	// Bounds has len(Counts)+1 ascending entries; bucket i covers
+	// [Bounds[i], Bounds[i+1]) (the last bucket is closed).
+	Bounds []float64
+	Counts []uint32
+	Total  uint64
+}
+
+// BuildEquiDepth constructs an m-bucket equi-depth histogram over values.
+// Fewer than m distinct values produce correspondingly fewer buckets.
+func BuildEquiDepth(values []float64, m int) (*EquiDepth, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("summary: equi-depth needs at least 1 bucket, got %d", m)
+	}
+	ed := &EquiDepth{}
+	if len(values) == 0 {
+		return ed, nil
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if m > len(sorted) {
+		m = len(sorted)
+	}
+	// Quantile boundaries; duplicates collapse so buckets stay distinct.
+	bounds := make([]float64, 0, m+1)
+	bounds = append(bounds, sorted[0])
+	for i := 1; i < m; i++ {
+		q := sorted[(i*len(sorted))/m]
+		if q > bounds[len(bounds)-1] {
+			bounds = append(bounds, q)
+		}
+	}
+	last := sorted[len(sorted)-1]
+	if last > bounds[len(bounds)-1] {
+		bounds = append(bounds, last)
+	} else {
+		// All values identical: widen by epsilon so the bucket is valid.
+		bounds = append(bounds, bounds[len(bounds)-1]+math.SmallestNonzeroFloat64)
+	}
+	ed.Bounds = bounds
+	ed.Counts = make([]uint32, len(bounds)-1)
+	for _, v := range sorted {
+		ed.Counts[ed.bucketOf(v)]++
+	}
+	ed.Total = uint64(len(sorted))
+	return ed, nil
+}
+
+// bucketOf locates v's bucket (clamped to the domain).
+func (ed *EquiDepth) bucketOf(v float64) int {
+	n := len(ed.Counts)
+	if n == 0 {
+		return 0
+	}
+	if v <= ed.Bounds[0] {
+		return 0
+	}
+	if v >= ed.Bounds[n] {
+		return n - 1
+	}
+	// First boundary strictly greater than v, minus one.
+	i := sort.SearchFloat64s(ed.Bounds, v)
+	if i > 0 && ed.Bounds[i] != v {
+		i--
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Buckets returns the bucket count.
+func (ed *EquiDepth) Buckets() int { return len(ed.Counts) }
+
+// Empty reports whether the histogram holds no values.
+func (ed *EquiDepth) Empty() bool { return ed.Total == 0 }
+
+// MatchRange reports whether any value may fall in [lo,hi]; no false
+// negatives.
+func (ed *EquiDepth) MatchRange(lo, hi float64) bool {
+	if ed.Empty() || hi < lo {
+		return false
+	}
+	if hi < ed.Bounds[0] || lo > ed.Bounds[len(ed.Bounds)-1] {
+		return false
+	}
+	return true // every bucket is non-empty by construction
+}
+
+// CountRange estimates how many values fall in [lo,hi], pro-rating the
+// partially covered buckets. On skewed data this is substantially more
+// accurate than an equi-width histogram of the same size.
+func (ed *EquiDepth) CountRange(lo, hi float64) float64 {
+	if ed.Empty() || hi < lo {
+		return 0
+	}
+	var sum float64
+	for i, c := range ed.Counts {
+		bLo, bHi := ed.Bounds[i], ed.Bounds[i+1]
+		if bHi <= bLo {
+			continue
+		}
+		oLo := math.Max(lo, bLo)
+		oHi := math.Min(hi, bHi)
+		if oHi <= oLo {
+			continue
+		}
+		sum += float64(c) * (oHi - oLo) / (bHi - bLo)
+	}
+	return sum
+}
+
+// Min and Max return the data extremes (0,0 when empty).
+func (ed *EquiDepth) Min() float64 {
+	if ed.Empty() {
+		return 0
+	}
+	return ed.Bounds[0]
+}
+
+// Max returns the largest recorded value.
+func (ed *EquiDepth) Max() float64 {
+	if ed.Empty() {
+		return 0
+	}
+	return ed.Bounds[len(ed.Bounds)-1]
+}
+
+// Merge combines two equi-depth histograms into one with targetBuckets
+// buckets, by merging their boundary/weight profiles and re-quantiling.
+// The result is approximate (exact merging would need the raw values) but
+// preserves totals exactly and extremes exactly.
+func (ed *EquiDepth) Merge(other *EquiDepth, targetBuckets int) (*EquiDepth, error) {
+	if targetBuckets <= 0 {
+		return nil, fmt.Errorf("summary: equi-depth merge needs positive target buckets")
+	}
+	if other == nil || other.Empty() {
+		return ed.Clone(), nil
+	}
+	if ed.Empty() {
+		return other.Clone(), nil
+	}
+	// Build a piecewise-uniform density from both inputs, then re-sample
+	// boundary points at the merged quantiles.
+	type segment struct {
+		lo, hi float64
+		weight float64
+	}
+	var segs []segment
+	collect := func(h *EquiDepth) {
+		for i, c := range h.Counts {
+			segs = append(segs, segment{lo: h.Bounds[i], hi: h.Bounds[i+1], weight: float64(c)})
+		}
+	}
+	collect(ed)
+	collect(other)
+	sort.Slice(segs, func(i, j int) bool { return segs[i].lo < segs[j].lo })
+
+	total := float64(ed.Total + other.Total)
+	// Sample values at the center of equal-weight slices across segments.
+	samples := make([]float64, 0, 4*targetBuckets)
+	perSlice := total / float64(4*targetBuckets)
+	var acc float64
+	for _, s := range segs {
+		if s.weight == 0 || s.hi <= s.lo {
+			continue
+		}
+		remaining := s.weight
+		for remaining > 0 {
+			take := math.Min(remaining, perSlice-acc)
+			remaining -= take
+			acc += take
+			if acc >= perSlice {
+				frac := 1 - remaining/s.weight
+				samples = append(samples, s.lo+frac*(s.hi-s.lo))
+				acc = 0
+			}
+		}
+	}
+	if len(samples) == 0 {
+		samples = append(samples, ed.Min(), other.Max())
+	}
+	merged, err := BuildEquiDepth(samples, targetBuckets)
+	if err != nil {
+		return nil, err
+	}
+	// Restore exact totals and extremes.
+	lo := math.Min(ed.Min(), other.Min())
+	hi := math.Max(ed.Max(), other.Max())
+	merged.Bounds[0] = lo
+	merged.Bounds[len(merged.Bounds)-1] = hi
+	merged.Total = ed.Total + other.Total
+	// Rescale counts so they sum back to the exact total.
+	var cSum uint64
+	for _, c := range merged.Counts {
+		cSum += uint64(c)
+	}
+	if cSum > 0 {
+		scale := float64(merged.Total) / float64(cSum)
+		var running uint64
+		for i := range merged.Counts {
+			merged.Counts[i] = uint32(math.Round(float64(merged.Counts[i]) * scale))
+			running += uint64(merged.Counts[i])
+		}
+		// Fix rounding drift on the last bucket.
+		if running != merged.Total && len(merged.Counts) > 0 {
+			diff := int64(merged.Total) - int64(running)
+			last := int64(merged.Counts[len(merged.Counts)-1]) + diff
+			if last < 0 {
+				last = 0
+			}
+			merged.Counts[len(merged.Counts)-1] = uint32(last)
+		}
+	}
+	return merged, nil
+}
+
+// Clone returns a deep copy.
+func (ed *EquiDepth) Clone() *EquiDepth {
+	c := &EquiDepth{Total: ed.Total}
+	c.Bounds = append([]float64(nil), ed.Bounds...)
+	c.Counts = append([]uint32(nil), ed.Counts...)
+	return c
+}
+
+// SizeBytes is the wire size: 8 bytes per boundary, 4 per counter, plus an
+// 8-byte header.
+func (ed *EquiDepth) SizeBytes() int {
+	return 8 + 8*len(ed.Bounds) + 4*len(ed.Counts)
+}

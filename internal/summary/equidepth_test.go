@@ -1,0 +1,230 @@
+package summary
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func paretoVals(n int, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		v := 0.05 / math.Pow(rng.Float64(), 1/1.5)
+		if v > 1 {
+			v = 1
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestBuildEquiDepthValidation(t *testing.T) {
+	if _, err := BuildEquiDepth([]float64{1, 2}, 0); err == nil {
+		t.Fatal("zero buckets must fail")
+	}
+	ed, err := BuildEquiDepth(nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ed.Empty() || ed.MatchRange(0, 1) {
+		t.Fatal("empty histogram must match nothing")
+	}
+}
+
+func TestEquiDepthBucketsRoughlyBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := paretoVals(10000, rng)
+	ed, err := BuildEquiDepth(vals, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ed.Total != 10000 {
+		t.Fatalf("Total = %d", ed.Total)
+	}
+	want := float64(10000) / float64(ed.Buckets())
+	for i, c := range ed.Counts {
+		if float64(c) < want/4 || float64(c) > want*4 {
+			t.Fatalf("bucket %d holds %d; want ~%g (balanced)", i, c, want)
+		}
+	}
+}
+
+func TestEquiDepthSingleValue(t *testing.T) {
+	ed, err := BuildEquiDepth([]float64{0.5, 0.5, 0.5}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ed.Total != 3 {
+		t.Fatalf("Total = %d", ed.Total)
+	}
+	if !ed.MatchRange(0.4, 0.6) {
+		t.Fatal("must match around the single value")
+	}
+	if ed.MatchRange(0.7, 0.9) {
+		t.Fatal("must not match far from the single value")
+	}
+}
+
+func TestEquiDepthMatchRange(t *testing.T) {
+	ed, _ := BuildEquiDepth([]float64{0.1, 0.2, 0.3, 0.8, 0.9}, 4)
+	if !ed.MatchRange(0.05, 0.15) {
+		t.Fatal("should match near 0.1")
+	}
+	if ed.MatchRange(0.95, 1.0) {
+		t.Fatal("should not match above max")
+	}
+	if ed.MatchRange(0.0, 0.05) {
+		t.Fatal("should not match below min")
+	}
+	if ed.MatchRange(0.5, 0.4) {
+		t.Fatal("inverted range must not match")
+	}
+}
+
+func TestEquiDepthCountRangeAccuracyOnSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := paretoVals(20000, rng)
+	const m = 50
+	ed, err := BuildEquiDepth(vals, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ew := MustHistogram(m, 0, 1)
+	for _, v := range vals {
+		ew.Add(v)
+	}
+	// Compare range-count estimates against ground truth on narrow ranges
+	// inside the dense region (where equi-width buckets are overloaded).
+	var edErr, ewErr float64
+	for trial := 0; trial < 50; trial++ {
+		lo := 0.05 + rng.Float64()*0.1
+		hi := lo + 0.01
+		truth := 0.0
+		for _, v := range vals {
+			if v >= lo && v <= hi {
+				truth++
+			}
+		}
+		edErr += math.Abs(ed.CountRange(lo, hi) - truth)
+		ewErr += math.Abs(ew.CountRange(lo, hi) - truth)
+	}
+	if edErr >= ewErr {
+		t.Fatalf("equi-depth should beat equi-width on skewed data: edErr=%.0f ewErr=%.0f", edErr, ewErr)
+	}
+}
+
+func TestEquiDepthMergePreservesTotalsAndExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, _ := BuildEquiDepth(paretoVals(5000, rng), 30)
+	b, _ := BuildEquiDepth(paretoVals(3000, rng), 30)
+	merged, err := a.Merge(b, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Total != 8000 {
+		t.Fatalf("merged Total = %d; want 8000", merged.Total)
+	}
+	if merged.Min() != math.Min(a.Min(), b.Min()) {
+		t.Fatal("merged min wrong")
+	}
+	if merged.Max() != math.Max(a.Max(), b.Max()) {
+		t.Fatal("merged max wrong")
+	}
+	var sum uint64
+	for _, c := range merged.Counts {
+		sum += uint64(c)
+	}
+	if sum != merged.Total {
+		t.Fatalf("counts sum %d != Total %d", sum, merged.Total)
+	}
+}
+
+func TestEquiDepthMergeEmptySides(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a, _ := BuildEquiDepth(paretoVals(100, rng), 10)
+	empty, _ := BuildEquiDepth(nil, 10)
+	m1, err := a.Merge(empty, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Total != a.Total {
+		t.Fatal("merging with empty must preserve the non-empty side")
+	}
+	m2, err := empty.Merge(a, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Total != a.Total {
+		t.Fatal("empty.Merge(a) must equal a")
+	}
+	if _, err := a.Merge(a, 0); err == nil {
+		t.Fatal("zero target buckets must fail")
+	}
+	m3, err := a.Merge(nil, 10)
+	if err != nil || m3.Total != a.Total {
+		t.Fatal("nil merge must clone")
+	}
+}
+
+func TestEquiDepthCloneIndependent(t *testing.T) {
+	a, _ := BuildEquiDepth([]float64{0.1, 0.5, 0.9}, 3)
+	c := a.Clone()
+	c.Counts[0] = 99
+	if a.Counts[0] == 99 {
+		t.Fatal("clone shares count storage")
+	}
+}
+
+func TestEquiDepthSizeBytes(t *testing.T) {
+	a, _ := BuildEquiDepth([]float64{0.1, 0.5, 0.9}, 3)
+	want := 8 + 8*len(a.Bounds) + 4*len(a.Counts)
+	if a.SizeBytes() != want {
+		t.Fatalf("SizeBytes = %d; want %d", a.SizeBytes(), want)
+	}
+}
+
+// Property: equi-depth never produces a false negative — any built value
+// is matched by ranges containing it.
+func TestEquiDepthNoFalseNegativesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float64, 1+rng.Intn(100))
+		for i := range vals {
+			vals[i] = rng.Float64()
+		}
+		ed, err := BuildEquiDepth(vals, 1+rng.Intn(16))
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if !ed.MatchRange(v-0.01, v+0.01) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CountRange over the full domain returns ~Total.
+func TestEquiDepthCountFullDomainQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float64, 2+rng.Intn(200))
+		for i := range vals {
+			vals[i] = rng.Float64()
+		}
+		ed, err := BuildEquiDepth(vals, 8)
+		if err != nil {
+			return false
+		}
+		got := ed.CountRange(ed.Min(), ed.Max())
+		return math.Abs(got-float64(ed.Total)) <= 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,222 @@
+package summary
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 0, 1); err == nil {
+		t.Fatal("expected error for zero buckets")
+	}
+	if _, err := NewHistogram(10, 1, 1); err == nil {
+		t.Fatal("expected error for empty domain")
+	}
+	if _, err := NewHistogram(10, 2, 1); err == nil {
+		t.Fatal("expected error for inverted domain")
+	}
+}
+
+func TestHistogramAddAndMatch(t *testing.T) {
+	h := MustHistogram(10, 0, 1)
+	h.Add(0.35)
+	if !h.MatchRange(0.3, 0.4) {
+		t.Fatal("value in [0.3,0.4) bucket should match")
+	}
+	if h.MatchRange(0.5, 0.9) {
+		t.Fatal("no values in [0.5,0.9], should not match")
+	}
+	if h.Total != 1 {
+		t.Fatalf("Total = %d; want 1", h.Total)
+	}
+}
+
+func TestHistogramBoundaryValues(t *testing.T) {
+	h := MustHistogram(10, 0, 1)
+	h.Add(0.0) // exact min
+	h.Add(1.0) // exact max clamps to last bucket
+	h.Add(-5)  // below domain clamps to first
+	h.Add(5)   // above domain clamps to last
+	if h.Counts[0] != 2 || h.Counts[9] != 2 {
+		t.Fatalf("clamping wrong: first=%d last=%d", h.Counts[0], h.Counts[9])
+	}
+}
+
+func TestHistogramNaN(t *testing.T) {
+	h := MustHistogram(4, 0, 1)
+	h.Add(math.NaN()) // must not panic; lands in bucket 0
+	if h.Total != 1 {
+		t.Fatalf("Total = %d; want 1", h.Total)
+	}
+}
+
+func TestHistogramMatchEmptyAndInverted(t *testing.T) {
+	h := MustHistogram(10, 0, 1)
+	if h.MatchRange(0, 1) {
+		t.Fatal("empty histogram must match nothing")
+	}
+	h.Add(0.5)
+	if h.MatchRange(0.9, 0.1) {
+		t.Fatal("inverted range must not match")
+	}
+	if h.MatchRange(1.5, 2.0) {
+		t.Fatal("range beyond domain must not match")
+	}
+	if h.MatchRange(-2, -1) {
+		t.Fatal("range below domain must not match")
+	}
+}
+
+func TestHistogramOpenEndedMatch(t *testing.T) {
+	h := MustHistogram(100, 0, 1)
+	h.Add(0.99)
+	if !h.MatchRange(0.5, math.Inf(1)) {
+		t.Fatal("open-ended upper range should match 0.99")
+	}
+	if !h.MatchRange(math.Inf(-1), 1.0) {
+		t.Fatal("open-ended lower range should match")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := MustHistogram(10, 0, 1)
+	b := MustHistogram(10, 0, 1)
+	a.Add(0.1)
+	b.Add(0.9)
+	b.Add(0.15)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.Total != 3 {
+		t.Fatalf("Total after merge = %d; want 3", a.Total)
+	}
+	if !a.MatchRange(0.85, 0.95) {
+		t.Fatal("merged histogram should include b's values")
+	}
+	if a.Counts[1] != 2 {
+		t.Fatalf("bucket 1 = %d; want 2", a.Counts[1])
+	}
+}
+
+func TestHistogramMergeIncompatible(t *testing.T) {
+	a := MustHistogram(10, 0, 1)
+	if err := a.Merge(MustHistogram(20, 0, 1)); err == nil {
+		t.Fatal("expected error merging different bucket counts")
+	}
+	if err := a.Merge(MustHistogram(10, 0, 2)); err == nil {
+		t.Fatal("expected error merging different domains")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("merging nil should be a no-op, got %v", err)
+	}
+}
+
+func TestHistogramRemove(t *testing.T) {
+	h := MustHistogram(10, 0, 1)
+	h.Add(0.5)
+	h.Remove(0.5)
+	if h.Total != 0 || h.MatchRange(0, 1) {
+		t.Fatal("remove should restore empty state")
+	}
+	h.Remove(0.5) // removing from empty must not underflow
+	if h.Total != 0 || h.Counts[5] != 0 {
+		t.Fatal("remove on empty histogram must not underflow")
+	}
+}
+
+func TestHistogramCountRange(t *testing.T) {
+	h := MustHistogram(10, 0, 1)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) / 100) // 10 values per bucket
+	}
+	got := h.CountRange(0, 0.5)
+	if math.Abs(got-50) > 1 {
+		t.Fatalf("CountRange(0,0.5) = %g; want ~50", got)
+	}
+	// Half a bucket pro-rated.
+	got = h.CountRange(0, 0.05)
+	if math.Abs(got-5) > 1 {
+		t.Fatalf("CountRange(0,0.05) = %g; want ~5", got)
+	}
+	if h.CountRange(0.9, 0.1) != 0 {
+		t.Fatal("inverted range count must be 0")
+	}
+}
+
+func TestHistogramCloneResetEqual(t *testing.T) {
+	h := MustHistogram(10, 0, 1)
+	h.Add(0.3)
+	c := h.Clone()
+	if !h.Equal(c) {
+		t.Fatal("clone should be Equal")
+	}
+	c.Add(0.4)
+	if h.Equal(c) {
+		t.Fatal("diverged clone should not be Equal")
+	}
+	c.Reset()
+	if c.Total != 0 {
+		t.Fatal("Reset should zero Total")
+	}
+	if h.Equal(nil) {
+		t.Fatal("Equal(nil) must be false")
+	}
+}
+
+func TestHistogramSizeBytes(t *testing.T) {
+	h := MustHistogram(100, 0, 1)
+	if got := h.SizeBytes(); got != 16+400 {
+		t.Fatalf("SizeBytes = %d; want 416", got)
+	}
+}
+
+// Property: a histogram never produces a false negative — any added value v
+// is matched by any range containing v.
+func TestHistogramNoFalseNegativesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := MustHistogram(1+rng.Intn(64), 0, 1)
+		vals := make([]float64, 1+rng.Intn(20))
+		for i := range vals {
+			vals[i] = rng.Float64()
+			h.Add(vals[i])
+		}
+		for _, v := range vals {
+			lo := v - rng.Float64()*0.2
+			hi := v + rng.Float64()*0.2
+			if !h.MatchRange(lo, hi) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merge is commutative — merging A into B equals merging B into A.
+func TestHistogramMergeCommutativeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a1 := MustHistogram(32, 0, 1)
+		b1 := MustHistogram(32, 0, 1)
+		for i := 0; i < 10; i++ {
+			a1.Add(rng.Float64())
+			b1.Add(rng.Float64())
+		}
+		a2, b2 := a1.Clone(), b1.Clone()
+		if err := a1.Merge(b1); err != nil {
+			return false
+		}
+		if err := b2.Merge(a2); err != nil {
+			return false
+		}
+		return a1.Equal(b2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

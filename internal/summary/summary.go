@@ -1,0 +1,317 @@
+package summary
+
+import (
+	"fmt"
+	"time"
+
+	"roads/internal/record"
+)
+
+// CategoricalMode selects how categorical attributes are summarized.
+type CategoricalMode uint8
+
+const (
+	// UseValueSet enumerates distinct values exactly (paper's default when
+	// the vocabulary is small).
+	UseValueSet CategoricalMode = iota
+	// UseBloom summarizes with a constant-size Bloom filter.
+	UseBloom
+)
+
+// Config controls summary construction. The zero value is not usable; use
+// DefaultConfig or fill every field.
+type Config struct {
+	// Buckets is the histogram bucket count per numeric attribute. The
+	// paper's simulations use 1000; its analysis section uses 100.
+	Buckets int
+	// Min, Max bound the numeric value domain (paper: unit range [0,1]).
+	Min, Max float64
+	// Categorical selects ValueSet or Bloom summarization.
+	Categorical CategoricalMode
+	// BloomBits and BloomHashes size the Bloom filters when Categorical is
+	// UseBloom.
+	BloomBits, BloomHashes int
+	// TTL is the soft-state lifetime of a summary. Zero means no expiry.
+	TTL time.Duration
+}
+
+// DefaultConfig returns the paper's simulation defaults: 1000-bucket
+// histograms over [0,1] and exact value sets for categorical attributes.
+func DefaultConfig() Config {
+	return Config{Buckets: 1000, Min: 0, Max: 1, Categorical: UseValueSet, BloomBits: 1024, BloomHashes: 4}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Buckets <= 0 {
+		return fmt.Errorf("summary: config.Buckets must be positive, got %d", c.Buckets)
+	}
+	if !(c.Min < c.Max) {
+		return fmt.Errorf("summary: config domain [%g,%g) is empty", c.Min, c.Max)
+	}
+	if c.Categorical == UseBloom && (c.BloomBits <= 0 || c.BloomHashes <= 0) {
+		return fmt.Errorf("summary: bloom mode needs positive BloomBits/BloomHashes")
+	}
+	return nil
+}
+
+// Summary is the condensed representation of a set of resource records: one
+// per-attribute summary for each schema attribute. Summaries are what
+// owners export, what servers aggregate bottom-up, and what the replication
+// overlay copies around. They carry soft-state metadata (origin, version,
+// expiry) so stale state ages out as the paper requires.
+type Summary struct {
+	Schema *record.Schema
+	Cfg    Config
+
+	// Hists holds the histogram for each numeric attribute (nil for
+	// categorical positions); Sets/Blooms hold the categorical summaries
+	// (nil for numeric positions), only one of the two populated depending
+	// on Cfg.Categorical.
+	Hists  []*Histogram
+	Sets   []*ValueSet
+	Blooms []*Bloom
+
+	// Records counts how many records this summary condenses.
+	Records uint64
+
+	// Origin identifies the server or owner whose branch this summarizes.
+	Origin string
+	// Version increases every time the origin regenerates the summary.
+	Version uint64
+	// Expires is the soft-state deadline; zero time means no expiry.
+	Expires time.Time
+}
+
+// New creates an empty summary for the schema.
+func New(s *record.Schema, cfg Config) (*Summary, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sum := &Summary{
+		Schema: s,
+		Cfg:    cfg,
+		Hists:  make([]*Histogram, s.NumAttrs()),
+		Sets:   make([]*ValueSet, s.NumAttrs()),
+		Blooms: make([]*Bloom, s.NumAttrs()),
+	}
+	for i := 0; i < s.NumAttrs(); i++ {
+		switch s.Attr(i).Kind {
+		case record.Numeric:
+			sum.Hists[i] = MustHistogram(cfg.Buckets, cfg.Min, cfg.Max)
+		case record.Categorical:
+			if cfg.Categorical == UseBloom {
+				sum.Blooms[i] = MustBloom(cfg.BloomBits, cfg.BloomHashes)
+			} else {
+				sum.Sets[i] = NewValueSet()
+			}
+		}
+	}
+	return sum, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(s *record.Schema, cfg Config) *Summary {
+	sum, err := New(s, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return sum
+}
+
+// FromRecords builds a summary of the given records.
+func FromRecords(s *record.Schema, cfg Config, recs []*record.Record) (*Summary, error) {
+	sum, err := New(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range recs {
+		sum.AddRecord(r)
+	}
+	return sum, nil
+}
+
+// AddRecord folds one record into the summary.
+func (sum *Summary) AddRecord(r *record.Record) {
+	for i := 0; i < sum.Schema.NumAttrs(); i++ {
+		switch sum.Schema.Attr(i).Kind {
+		case record.Numeric:
+			sum.Hists[i].Add(r.Num(i))
+		case record.Categorical:
+			if sum.Blooms[i] != nil {
+				sum.Blooms[i].Add(r.Str(i))
+			} else {
+				sum.Sets[i].Add(r.Str(i))
+			}
+		}
+	}
+	sum.Records++
+}
+
+// RemoveRecord subtracts one record (for delta refresh). Not supported in
+// Bloom mode, which rebuilds instead; it returns an error in that case.
+func (sum *Summary) RemoveRecord(r *record.Record) error {
+	for i := 0; i < sum.Schema.NumAttrs(); i++ {
+		switch sum.Schema.Attr(i).Kind {
+		case record.Numeric:
+			sum.Hists[i].Remove(r.Num(i))
+		case record.Categorical:
+			if sum.Blooms[i] != nil {
+				return fmt.Errorf("summary: cannot remove from bloom-mode summary; rebuild instead")
+			}
+			sum.Sets[i].Remove(r.Str(i))
+		}
+	}
+	if sum.Records > 0 {
+		sum.Records--
+	}
+	return nil
+}
+
+// Merge folds other into sum: histograms add bucket-wise, value sets union,
+// Bloom filters OR. This is the bottom-up aggregation operator.
+func (sum *Summary) Merge(other *Summary) error {
+	if other == nil {
+		return nil
+	}
+	if sum.Schema.NumAttrs() != other.Schema.NumAttrs() {
+		return fmt.Errorf("summary: merging summaries with different schemas (%d vs %d attrs)",
+			sum.Schema.NumAttrs(), other.Schema.NumAttrs())
+	}
+	for i := 0; i < sum.Schema.NumAttrs(); i++ {
+		switch {
+		case sum.Hists[i] != nil:
+			if other.Hists[i] == nil {
+				return fmt.Errorf("summary: attr %d numeric in one summary, not the other", i)
+			}
+			if err := sum.Hists[i].Merge(other.Hists[i]); err != nil {
+				return err
+			}
+		case sum.Blooms[i] != nil:
+			if other.Blooms[i] == nil {
+				return fmt.Errorf("summary: attr %d bloom in one summary, not the other", i)
+			}
+			if err := sum.Blooms[i].Merge(other.Blooms[i]); err != nil {
+				return err
+			}
+		case sum.Sets[i] != nil:
+			if other.Sets[i] == nil {
+				return fmt.Errorf("summary: attr %d value-set in one summary, not the other", i)
+			}
+			sum.Sets[i].Merge(other.Sets[i])
+		}
+	}
+	sum.Records += other.Records
+	return nil
+}
+
+// MatchRange reports whether attribute position i may contain a value in
+// [lo,hi]. Only valid for numeric attributes.
+func (sum *Summary) MatchRange(i int, lo, hi float64) bool {
+	h := sum.Hists[i]
+	if h == nil {
+		return false
+	}
+	return h.MatchRange(lo, hi)
+}
+
+// MatchEq reports whether attribute position i may contain the categorical
+// value v.
+func (sum *Summary) MatchEq(i int, v string) bool {
+	if sum.Blooms[i] != nil {
+		return sum.Blooms[i].Contains(v)
+	}
+	if sum.Sets[i] != nil {
+		return sum.Sets[i].Contains(v)
+	}
+	return false
+}
+
+// Empty reports whether the summary condenses zero records.
+func (sum *Summary) Empty() bool { return sum.Records == 0 }
+
+// Expired reports whether the soft state has aged out at time now.
+func (sum *Summary) Expired(now time.Time) bool {
+	return !sum.Expires.IsZero() && now.After(sum.Expires)
+}
+
+// Touch refreshes the soft-state deadline to now+ttl and bumps the version.
+func (sum *Summary) Touch(now time.Time, ttl time.Duration) {
+	sum.Version++
+	if ttl > 0 {
+		sum.Expires = now.Add(ttl)
+	}
+}
+
+// Clone returns a deep copy (used when replicating summaries around the
+// overlay so that in-process simulations do not alias state).
+func (sum *Summary) Clone() *Summary {
+	c := &Summary{
+		Schema:  sum.Schema,
+		Cfg:     sum.Cfg,
+		Hists:   make([]*Histogram, len(sum.Hists)),
+		Sets:    make([]*ValueSet, len(sum.Sets)),
+		Blooms:  make([]*Bloom, len(sum.Blooms)),
+		Records: sum.Records,
+		Origin:  sum.Origin,
+		Version: sum.Version,
+		Expires: sum.Expires,
+	}
+	for i := range sum.Hists {
+		if sum.Hists[i] != nil {
+			c.Hists[i] = sum.Hists[i].Clone()
+		}
+		if sum.Sets[i] != nil {
+			c.Sets[i] = sum.Sets[i].Clone()
+		}
+		if sum.Blooms[i] != nil {
+			c.Blooms[i] = sum.Blooms[i].Clone()
+		}
+	}
+	return c
+}
+
+// Equal reports whether two summaries condense identical data (ignores
+// origin/version/expiry metadata).
+func (sum *Summary) Equal(other *Summary) bool {
+	if other == nil || sum.Records != other.Records || len(sum.Hists) != len(other.Hists) {
+		return false
+	}
+	for i := range sum.Hists {
+		switch {
+		case sum.Hists[i] != nil:
+			if !sum.Hists[i].Equal(other.Hists[i]) {
+				return false
+			}
+		case sum.Sets[i] != nil:
+			if other.Sets[i] == nil || !sum.Sets[i].Equal(other.Sets[i]) {
+				return false
+			}
+		case sum.Blooms[i] != nil:
+			if !sum.Blooms[i].Equal(other.Blooms[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SizeBytes is the wire size of the summary for message accounting: the sum
+// of per-attribute summary sizes plus a 24-byte header. Crucially this is
+// independent of how many records were condensed — the property behind the
+// paper's constant update overhead (Fig. 8).
+func (sum *Summary) SizeBytes() int {
+	size := 24
+	for i := range sum.Hists {
+		if sum.Hists[i] != nil {
+			size += sum.Hists[i].SizeBytes()
+		}
+		if sum.Sets[i] != nil {
+			size += sum.Sets[i].SizeBytes()
+		}
+		if sum.Blooms[i] != nil {
+			size += sum.Blooms[i].SizeBytes()
+		}
+	}
+	return size
+}

@@ -1,0 +1,375 @@
+// Package sword re-implements the SWORD baseline the paper compares
+// against (Oppenheimer et al., HPDC 2005) at the level of detail the
+// paper's analysis fixes. All n servers form a single DHT ring whose ID
+// space is divided into r sections, one per searchable attribute — the
+// paper's "multiple sub-rings in a single ring". The hash is locality
+// preserving: value v of attribute i maps to global position (i+v)/r, so a
+// range on one attribute maps to a contiguous segment of that attribute's
+// section. Every record is registered r times (one copy per attribute
+// section, placed by that attribute's value), each registration routed in
+// O(log n) finger hops — Eq. (2)'s cost. A multi-dimensional range query is
+// resolved in a single section: finger-routed to the segment covering the
+// queried range, then passed server to server through the segment, each
+// member filtering its local records against *all* query predicates.
+package sword
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"roads/internal/dht"
+	"roads/internal/netsim"
+	"roads/internal/query"
+	"roads/internal/record"
+	"roads/internal/store"
+)
+
+// RingChoice selects which attribute's ring section resolves a query.
+type RingChoice uint8
+
+const (
+	// FirstPredicate uses the query's first range predicate — the paper's
+	// model ("the search is performed only in one ring").
+	FirstPredicate RingChoice = iota
+	// NarrowestRange picks the range predicate with the smallest width,
+	// minimizing the segment walked — an obvious SWORD improvement the
+	// ablation benchmarks quantify.
+	NarrowestRange
+)
+
+// Config controls a SWORD deployment.
+type Config struct {
+	// ProcessingDelay models per-hop query handling time.
+	ProcessingDelay time.Duration
+	// Cost models the local record stores (for response-time experiments).
+	Cost store.CostModel
+	// RingChoice selects the resolution ring (default FirstPredicate,
+	// matching the paper).
+	RingChoice RingChoice
+}
+
+// DefaultConfig mirrors the ROADS defaults for fairness.
+func DefaultConfig() Config {
+	return Config{ProcessingDelay: 2 * time.Millisecond}
+}
+
+// System is a SWORD deployment.
+type System struct {
+	Cfg    Config
+	Schema *record.Schema
+	Sim    *netsim.Sim
+
+	ring *dht.Ring // the global ring: member i is host i
+	// sectionOf maps a schema attribute position to its section index in
+	// the global ID space; -1 for categorical attributes.
+	sectionOf []int
+	numSecs   int
+	// stores[member] holds the records registered at that ring member.
+	stores []*store.Store
+}
+
+// New creates a SWORD deployment over hosts 0..n-1.
+func New(schema *record.Schema, cfg Config, sim *netsim.Sim, n int) (*System, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sword: need at least one server")
+	}
+	attrs := schema.NumericIndexes()
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("sword: schema has no numeric attributes")
+	}
+	hosts := make([]int, n)
+	for i := range hosts {
+		hosts[i] = i
+	}
+	ring, err := dht.NewRing(hosts)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{
+		Cfg:       cfg,
+		Schema:    schema,
+		Sim:       sim,
+		ring:      ring,
+		sectionOf: make([]int, schema.NumAttrs()),
+		numSecs:   len(attrs),
+		stores:    make([]*store.Store, n),
+	}
+	for i := range sys.sectionOf {
+		sys.sectionOf[i] = -1
+	}
+	for si, attr := range attrs {
+		sys.sectionOf[attr] = si
+	}
+	for i := range sys.stores {
+		sys.stores[i] = store.NewScan(schema, cfg.Cost)
+	}
+	return sys, nil
+}
+
+// Ring returns the global ring.
+func (sys *System) Ring() *dht.Ring { return sys.ring }
+
+// position maps attribute attr's value v to the global ID space: section
+// base plus the value scaled into the section.
+func (sys *System) position(attr int, v float64) (float64, error) {
+	si := sys.sectionOf[attr]
+	if si < 0 {
+		return 0, fmt.Errorf("sword: attribute %d has no ring section", attr)
+	}
+	return (float64(si) + clamp01(v)) / float64(sys.numSecs), nil
+}
+
+// RegisterRecord registers one record owned by the node at ownerHost: one
+// copy per attribute section, finger-routed from the owner across the
+// global ring. Every hop carries the record, so the accounted update
+// traffic is O(r * log n * recordSize) per record — Eq. (2).
+func (sys *System) RegisterRecord(ownerHost int, rec *record.Record) error {
+	size := rec.SizeBytes(sys.Schema)
+	for attr, si := range sys.sectionOf {
+		if si < 0 {
+			continue
+		}
+		pos, err := sys.position(attr, rec.Num(attr))
+		if err != nil {
+			return err
+		}
+		path := sys.ring.Route(ownerHost, pos)
+		for i := 0; i+1 < len(path); i++ {
+			sys.Sim.Send(sys.ring.Host(path[i]), sys.ring.Host(path[i+1]), netsim.Update, size, nil)
+		}
+		if len(path) == 1 {
+			// The owner itself is the target; the registration is local
+			// but still accounted as one store message.
+			sys.Sim.Account(netsim.Update, size)
+		}
+		sys.stores[path[len(path)-1]].Add(rec)
+	}
+	return nil
+}
+
+// RegisterAll registers every node's records (PerNode[i] owned by host i).
+func (sys *System) RegisterAll(perNode [][]*record.Record) error {
+	for hostIdx, recs := range perNode {
+		for _, r := range recs {
+			if err := sys.RegisterRecord(hostIdx, r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// UpdateBytesPerEpoch measures the update traffic of re-registering all
+// records once (one t_r refresh), without duplicating stored state.
+func (sys *System) UpdateBytesPerEpoch(perNode [][]*record.Record) int64 {
+	saved := sys.Sim.Stats
+	sys.Sim.ResetStats()
+	for hostIdx, recs := range perNode {
+		for _, r := range recs {
+			size := r.SizeBytes(sys.Schema)
+			for attr, si := range sys.sectionOf {
+				if si < 0 {
+					continue
+				}
+				pos, _ := sys.position(attr, r.Num(attr))
+				hops := len(sys.ring.Route(hostIdx, pos)) - 1
+				if hops < 1 {
+					hops = 1
+				}
+				sys.Sim.Account(netsim.Update, size*hops)
+			}
+		}
+	}
+	bytes := sys.Sim.Stats.Bytes[netsim.Update]
+	sys.Sim.Stats = saved
+	return bytes
+}
+
+// QueryResult reports one resolved SWORD query.
+type QueryResult struct {
+	// Latency is the time for the query to reach the last segment server:
+	// finger hops to the segment, then the sequential segment walk.
+	Latency time.Duration
+	// QueryBytes is the forwarding traffic (the query message on every
+	// routing and segment hop).
+	QueryBytes int64
+	// RouteHops counts the finger hops before the segment walk.
+	RouteHops int
+	// SegmentSize is how many servers the segment walk visited.
+	SegmentSize int
+	// Contacted lists the global hosts touched, in order.
+	Contacted []int
+	// Records are the matching records gathered from segment servers.
+	Records []*record.Record
+	// ResponseTime adds store retrieval and the return trip per segment
+	// server (sequential walk, so retrieval costs accumulate along it).
+	ResponseTime time.Duration
+}
+
+// Resolve answers a multi-dimensional range query starting from the client
+// co-located at host clientHost. Per the paper's model, only one attribute
+// section is used: that of the query's first range predicate.
+func (sys *System) Resolve(q *query.Query, clientHost int) (*QueryResult, error) {
+	if !q.Bound() {
+		if err := q.Bind(sys.Schema); err != nil {
+			return nil, err
+		}
+	}
+	attr, lo, hi, err := sys.routingPredicate(q)
+	if err != nil {
+		return nil, err
+	}
+	res := &QueryResult{}
+	qBytes := q.SizeBytes()
+
+	posLo, err := sys.position(attr, lo)
+	if err != nil {
+		return nil, err
+	}
+	posHi, err := sys.position(attr, hi)
+	if err != nil {
+		return nil, err
+	}
+
+	// Finger-route from the client's own ring position to the segment
+	// start (the client node is a DHT member, so the first hop is a real
+	// routing hop, not a client round trip).
+	var now time.Duration
+	path := sys.ring.Route(clientHost, posLo)
+	res.RouteHops = len(path) - 1
+	res.Contacted = append(res.Contacted, sys.ring.Host(path[0]))
+	for i := 0; i+1 < len(path); i++ {
+		now += sys.Cfg.ProcessingDelay
+		now += sys.Sim.LatencyBetween(sys.ring.Host(path[i]), sys.ring.Host(path[i+1]))
+		res.QueryBytes += int64(qBytes)
+		sys.Sim.Account(netsim.Query, qBytes)
+		res.Contacted = append(res.Contacted, sys.ring.Host(path[i+1]))
+	}
+
+	// Sequential segment walk, filtering locally at each member.
+	segment := sys.ring.Segment(posLo, posHi)
+	res.SegmentSize = len(segment)
+	cur := segment[0]
+	retrieval := time.Duration(0)
+	for si, member := range segment {
+		if si > 0 {
+			now += sys.Cfg.ProcessingDelay
+			now += sys.Sim.LatencyBetween(sys.ring.Host(cur), sys.ring.Host(member))
+			res.QueryBytes += int64(qBytes)
+			sys.Sim.Account(netsim.Query, qBytes)
+			res.Contacted = append(res.Contacted, sys.ring.Host(member))
+			cur = member
+		}
+		sres, err := sys.stores[member].Search(q)
+		if err != nil {
+			return nil, err
+		}
+		retrieval += sres.Cost
+		res.Records = append(res.Records, sres.Records...)
+		returnBytes := 0
+		for _, r := range sres.Records {
+			returnBytes += r.SizeBytes(sys.Schema)
+		}
+		if returnBytes > 0 {
+			sys.Sim.Account(netsim.Response, returnBytes)
+		}
+	}
+	res.Latency = now
+	last := segment[len(segment)-1]
+	res.ResponseTime = now + retrieval + sys.Sim.LatencyBetween(sys.ring.Host(last), clientHost)
+	return res, nil
+}
+
+// routingPredicate picks the section and range used to resolve the query
+// according to the configured RingChoice.
+func (sys *System) routingPredicate(q *query.Query) (attr int, lo, hi float64, err error) {
+	best := -1
+	bestWidth := 0.0
+	for _, p := range q.Preds {
+		if p.Op != query.Range {
+			continue
+		}
+		idx, ok := sys.Schema.Index(p.Attr)
+		if !ok || sys.sectionOf[idx] < 0 {
+			continue
+		}
+		if sys.Cfg.RingChoice == FirstPredicate {
+			return idx, p.Lo, p.Hi, nil
+		}
+		width := clamp01(p.Hi) - clamp01(p.Lo)
+		if best == -1 || width < bestWidth {
+			best, bestWidth = idx, width
+			lo, hi = p.Lo, p.Hi
+		}
+	}
+	if best == -1 {
+		return 0, 0, 0, fmt.Errorf("sword: query %s has no range predicate on a ring attribute", q.ID)
+	}
+	return best, lo, hi, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// StorageBytesPerServer returns, for diagnostics and the Table I
+// comparison, the stored record bytes per global host.
+func (sys *System) StorageBytesPerServer() map[int]int64 {
+	out := make(map[int]int64)
+	for member, st := range sys.stores {
+		var bytes int64
+		for _, r := range st.Records() {
+			bytes += int64(r.SizeBytes(sys.Schema))
+		}
+		if bytes > 0 {
+			out[sys.ring.Host(member)] = bytes
+		}
+	}
+	return out
+}
+
+// MaxStorageBytes returns the largest per-host storage.
+func (sys *System) MaxStorageBytes() int64 {
+	var max int64
+	for _, b := range sys.StorageBytesPerServer() {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// SortedHosts returns the hosts with any stored data, ascending.
+func (sys *System) SortedHosts() []int {
+	m := sys.StorageBytesPerServer()
+	out := make([]int, 0, len(m))
+	for h := range m {
+		out = append(out, h)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SectionMembers returns how many ring members serve each attribute
+// section, for tests: with n servers and r sections it is ~n/r each.
+func (sys *System) SectionMembers() []int {
+	counts := make([]int, sys.numSecs)
+	n := sys.ring.Size()
+	for m := 0; m < n; m++ {
+		// Member m owns arc [m/n,(m+1)/n); its midpoint's section:
+		mid := (float64(m) + 0.5) / float64(n)
+		si := int(mid * float64(sys.numSecs))
+		if si >= sys.numSecs {
+			si = sys.numSecs - 1
+		}
+		counts[si]++
+	}
+	return counts
+}

@@ -1,0 +1,231 @@
+package sword
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"roads/internal/netsim"
+	"roads/internal/query"
+	"roads/internal/workload"
+)
+
+func buildSword(t *testing.T, nodes int, seed int64) (*System, *workload.Workload) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	wcfg := workload.Config{Nodes: nodes, RecordsPerNode: 50, AttrsPerDist: 4}
+	w := workload.MustGenerate(wcfg, rng)
+	sim := netsim.New(netsim.ConstLatency(10 * time.Millisecond))
+	sys, err := New(w.Schema, DefaultConfig(), sim, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterAll(w.PerNode); err != nil {
+		t.Fatal(err)
+	}
+	return sys, w
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := workload.MustGenerate(workload.Config{Nodes: 4, RecordsPerNode: 5, AttrsPerDist: 1}, rng)
+	sim := netsim.New(netsim.ConstLatency(0))
+	if _, err := New(w.Schema, DefaultConfig(), sim, 0); err == nil {
+		t.Fatal("zero servers must fail")
+	}
+}
+
+func TestSectionPartition(t *testing.T) {
+	sys, _ := buildSword(t, 64, 2)
+	// 16 numeric attributes -> 16 sections of ~4 members each over the
+	// global 64-member ring.
+	counts := sys.SectionMembers()
+	if len(counts) != 16 {
+		t.Fatalf("sections = %d; want 16", len(counts))
+	}
+	total := 0
+	for si, c := range counts {
+		if c < 3 || c > 5 {
+			t.Fatalf("section %d has %d members; want ~4", si, c)
+		}
+		total += c
+	}
+	if total != 64 {
+		t.Fatalf("sections cover %d members; want 64", total)
+	}
+}
+
+func TestEveryRecordReplicatedPerSection(t *testing.T) {
+	sys, w := buildSword(t, 32, 3)
+	// Total stored copies = r copies of every record.
+	got := 0
+	for _, st := range sys.stores {
+		got += st.Len()
+	}
+	r := len(w.Schema.NumericIndexes())
+	if want := w.TotalRecords() * r; got != want {
+		t.Fatalf("stored copies = %d; want %d (r copies each)", got, want)
+	}
+}
+
+func TestResolveCompleteAndSound(t *testing.T) {
+	sys, w := buildSword(t, 32, 4)
+	rng := rand.New(rand.NewSource(5))
+	queries, err := w.GenQueries(15, 6, 0.25, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		res, err := sys.Resolve(q, rng.Intn(32))
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		want := 0
+		for _, r := range w.AllRecords() {
+			if q.MatchRecord(r) {
+				want++
+			}
+		}
+		if len(res.Records) != want {
+			t.Fatalf("query %d: got %d records; want %d", qi, len(res.Records), want)
+		}
+		for _, r := range res.Records {
+			if !q.MatchRecord(r) {
+				t.Fatalf("query %d returned non-matching record", qi)
+			}
+		}
+		if res.SegmentSize <= 0 {
+			t.Fatal("segment must visit at least one server")
+		}
+	}
+}
+
+func TestSegmentGrowsWithSystemSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	q := func(sys *System, w *workload.Workload) int {
+		qq, err := w.GenQuery("q", 6, 0.25, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Resolve(qq, rng.Intn(32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SegmentSize
+	}
+	small, wSmall := buildSword(t, 64, 8)
+	big, wBig := buildSword(t, 512, 8)
+	if q(big, wBig) <= q(small, wSmall) {
+		t.Fatal("segment size (and thus latency) must grow with system size")
+	}
+}
+
+func TestRouteHopsLogarithmic(t *testing.T) {
+	sys, w := buildSword(t, 256, 12)
+	rng := rand.New(rand.NewSource(13))
+	queries, _ := w.GenQueries(20, 6, 0.25, rng)
+	for _, q := range queries {
+		res, err := sys.Resolve(q, rng.Intn(256))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RouteHops > sys.Ring().MaxRouteHops() {
+			t.Fatalf("route took %d hops; log bound %d", res.RouteHops, sys.Ring().MaxRouteHops())
+		}
+	}
+}
+
+func TestUpdateBytesScaleWithRecords(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sim := netsim.New(netsim.ConstLatency(time.Millisecond))
+	wSmall := workload.MustGenerate(workload.Config{Nodes: 16, RecordsPerNode: 20, AttrsPerDist: 4}, rng)
+	sysSmall, _ := New(wSmall.Schema, DefaultConfig(), sim, 16)
+	small := sysSmall.UpdateBytesPerEpoch(wSmall.PerNode)
+
+	wBig := workload.MustGenerate(workload.Config{Nodes: 16, RecordsPerNode: 200, AttrsPerDist: 4}, rng)
+	sysBig, _ := New(wBig.Schema, DefaultConfig(), sim, 16)
+	big := sysBig.UpdateBytesPerEpoch(wBig.PerNode)
+
+	// 10x the records must give ~10x the update traffic (Eq. 2: linear in K).
+	ratio := float64(big) / float64(small)
+	if ratio < 8 || ratio > 12 {
+		t.Fatalf("update traffic ratio %.1f; want ~10 (linear in records)", ratio)
+	}
+}
+
+func TestQueryNoRangePredicate(t *testing.T) {
+	sys, w := buildSword(t, 16, 10)
+	q := query.New("q") // no predicates
+	if err := q.Bind(w.Schema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Resolve(q, 0); err == nil {
+		t.Fatal("query without range predicates must fail")
+	}
+}
+
+func TestStorageAccountingPositive(t *testing.T) {
+	sys, w := buildSword(t, 32, 11)
+	max := sys.MaxStorageBytes()
+	if max <= 0 {
+		t.Fatal("max storage must be positive")
+	}
+	hosts := sys.SortedHosts()
+	if len(hosts) == 0 || len(hosts) > 32 {
+		t.Fatalf("hosts with data = %d", len(hosts))
+	}
+	// Total stored bytes = r copies of every record.
+	var total int64
+	for _, b := range sys.StorageBytesPerServer() {
+		total += b
+	}
+	var oneCopy int64
+	for _, r := range w.AllRecords() {
+		oneCopy += int64(r.SizeBytes(w.Schema))
+	}
+	r := int64(len(w.Schema.NumericIndexes()))
+	if total != oneCopy*r {
+		t.Fatalf("total storage %d; want %d (r copies)", total, oneCopy*r)
+	}
+}
+
+func TestNarrowestRangeRingChoice(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	w := workload.MustGenerate(workload.Config{Nodes: 64, RecordsPerNode: 20, AttrsPerDist: 4}, rng)
+	sim := netsim.New(netsim.ConstLatency(10 * time.Millisecond))
+
+	cfg := DefaultConfig()
+	cfg.RingChoice = NarrowestRange
+	sys, err := New(w.Schema, cfg, sim, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterAll(w.PerNode); err != nil {
+		t.Fatal(err)
+	}
+	// A query with one wide and one narrow predicate: the narrow one must
+	// drive the segment, which shrinks the walk.
+	q := query.New("q",
+		query.NewRange("a0", 0.0, 0.9),   // wide
+		query.NewRange("a1", 0.40, 0.45), // narrow
+	)
+	res, err := sys.Resolve(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 64 nodes over 16 sections, a section has 4 members; a 0.05-wide
+	// range covers at most 2 of them, while the 0.9-wide range covers all 4.
+	if res.SegmentSize > 2 {
+		t.Fatalf("narrowest-range choice walked %d members; want <= 2", res.SegmentSize)
+	}
+	// Completeness is unaffected by the ring choice.
+	want := 0
+	for _, r := range w.AllRecords() {
+		if q.MatchRecord(r) {
+			want++
+		}
+	}
+	if len(res.Records) != want {
+		t.Fatalf("got %d records; want %d", len(res.Records), want)
+	}
+}

@@ -1,0 +1,266 @@
+// Package transport provides the request/response layer the live ROADS
+// prototype runs on, with two interchangeable implementations: an
+// in-process channel transport for tests, examples and benchmarks (with an
+// optional injected latency model), and a TCP transport (gob frames) for
+// real multi-process deployments.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"roads/internal/wire"
+)
+
+// Handler processes one request and produces a reply.
+type Handler func(*wire.Message) *wire.Message
+
+// Transport abstracts how servers reach each other.
+type Transport interface {
+	// Listen registers a handler at addr and starts serving. The returned
+	// closer stops serving.
+	Listen(addr string, h Handler) (io.Closer, error)
+	// Call sends a request to addr and waits for the reply.
+	Call(addr string, req *wire.Message) (*wire.Message, error)
+}
+
+// --- In-process transport ---
+
+// Chan is an in-process transport: a registry of handlers keyed by
+// address. Calls run the remote handler on the caller's goroutine after an
+// optional injected latency, which makes latency experiments reproducible
+// without sockets.
+type Chan struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	// Latency, if set, returns the one-way delay between two addresses;
+	// each Call sleeps twice (request + reply).
+	Latency func(from, to string) time.Duration
+	// CallerAddr tags outgoing calls for the latency function; transports
+	// are per-process so a single caller address suffices.
+	CallerAddr string
+	// Bytes counts the encoded bytes moved, for overhead measurements.
+	bytesMoved int64
+}
+
+// NewChan creates an empty in-process transport.
+func NewChan() *Chan {
+	return &Chan{handlers: make(map[string]Handler)}
+}
+
+type chanCloser struct {
+	t    *Chan
+	addr string
+}
+
+func (c *chanCloser) Close() error {
+	c.t.mu.Lock()
+	defer c.t.mu.Unlock()
+	delete(c.t.handlers, c.addr)
+	return nil
+}
+
+// Listen implements Transport.
+func (t *Chan) Listen(addr string, h Handler) (io.Closer, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.handlers[addr]; dup {
+		return nil, fmt.Errorf("transport: address %q already in use", addr)
+	}
+	t.handlers[addr] = h
+	return &chanCloser{t: t, addr: addr}, nil
+}
+
+// Call implements Transport. The message is round-tripped through the gob
+// encoding so in-process behaviour matches TCP exactly (no shared
+// pointers, same encodability constraints).
+func (t *Chan) Call(addr string, req *wire.Message) (*wire.Message, error) {
+	t.mu.RLock()
+	h := t.handlers[addr]
+	lat := t.Latency
+	caller := t.CallerAddr
+	t.mu.RUnlock()
+	if h == nil {
+		return nil, fmt.Errorf("transport: no server at %q", addr)
+	}
+	data, err := wire.Encode(req)
+	if err != nil {
+		return nil, err
+	}
+	t.addBytes(len(data))
+	if lat != nil {
+		time.Sleep(lat(caller, addr))
+	}
+	decoded, err := wire.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	rep := h(decoded)
+	repData, err := wire.Encode(rep)
+	if err != nil {
+		return nil, err
+	}
+	t.addBytes(len(repData))
+	if lat != nil {
+		time.Sleep(lat(addr, caller))
+	}
+	return wire.Decode(repData)
+}
+
+func (t *Chan) addBytes(n int) {
+	t.mu.Lock()
+	t.bytesMoved += int64(n)
+	t.mu.Unlock()
+}
+
+// BytesMoved returns the total encoded bytes transferred.
+func (t *Chan) BytesMoved() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.bytesMoved
+}
+
+// Addrs returns the registered addresses (diagnostics).
+func (t *Chan) Addrs() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.handlers))
+	for a := range t.handlers {
+		out = append(out, a)
+	}
+	return out
+}
+
+// --- TCP transport ---
+
+// TCP is a gob-over-TCP transport: each Call opens a connection, writes a
+// length-prefixed frame, and reads the length-prefixed reply. Simple and
+// stateless; adequate for the prototype's message rates.
+type TCP struct {
+	// DialTimeout bounds connection setup; CallTimeout bounds the whole
+	// exchange. Zero values use wire.Deadline.
+	DialTimeout time.Duration
+	CallTimeout time.Duration
+}
+
+// NewTCP creates a TCP transport with default timeouts.
+func NewTCP() *TCP { return &TCP{} }
+
+type tcpCloser struct {
+	ln net.Listener
+	wg *sync.WaitGroup
+}
+
+func (c *tcpCloser) Close() error {
+	err := c.ln.Close()
+	c.wg.Wait()
+	return err
+}
+
+// Listen implements Transport: it serves each accepted connection on its
+// own goroutine, one request/reply exchange per connection.
+func (t *TCP) Listen(addr string, h Handler) (io.Closer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			wg.Add(1)
+			go func(conn net.Conn) {
+				defer wg.Done()
+				defer conn.Close()
+				deadline := t.CallTimeout
+				if deadline == 0 {
+					deadline = wire.Deadline
+				}
+				_ = conn.SetDeadline(time.Now().Add(deadline))
+				req, err := readFrame(conn)
+				if err != nil {
+					return
+				}
+				msg, err := wire.Decode(req)
+				if err != nil {
+					return
+				}
+				rep := h(msg)
+				data, err := wire.Encode(rep)
+				if err != nil {
+					return
+				}
+				_ = writeFrame(conn, data)
+			}(conn)
+		}
+	}()
+	return &tcpCloser{ln: ln, wg: &wg}, nil
+}
+
+// Call implements Transport.
+func (t *TCP) Call(addr string, req *wire.Message) (*wire.Message, error) {
+	dialTO := t.DialTimeout
+	if dialTO == 0 {
+		dialTO = wire.Deadline
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTO)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	callTO := t.CallTimeout
+	if callTO == 0 {
+		callTO = wire.Deadline
+	}
+	_ = conn.SetDeadline(time.Now().Add(callTO))
+	data, err := wire.Encode(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn, data); err != nil {
+		return nil, fmt.Errorf("transport: write to %s: %w", addr, err)
+	}
+	rep, err := readFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("transport: read from %s: %w", addr, err)
+	}
+	return wire.Decode(rep)
+}
+
+// maxFrame bounds a frame to 64 MiB, far above any legitimate message.
+const maxFrame = 64 << 20
+
+func writeFrame(w io.Writer, data []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}

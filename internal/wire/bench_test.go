@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"roads/internal/record"
+	"roads/internal/summary"
+)
+
+func benchSummaryDTO(b *testing.B, buckets int) *Message {
+	b.Helper()
+	schema := record.DefaultSchema(16)
+	cfg := summary.DefaultConfig()
+	cfg.Buckets = buckets
+	sum := summary.MustNew(schema, cfg)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		r := record.New(schema, strconv.Itoa(i), "o")
+		for j := 0; j < 16; j++ {
+			r.SetNum(j, rng.Float64())
+		}
+		sum.AddRecord(r)
+	}
+	return &Message{
+		Kind:    KindReplicaPush,
+		From:    "bench",
+		Replica: &ReplicaPush{OriginID: "bench", Branch: FromSummary(sum)},
+	}
+}
+
+func BenchmarkEncodeSummary1000Buckets(b *testing.B) {
+	msg := benchSummaryDTO(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := Encode(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(data)))
+	}
+}
+
+func BenchmarkDecodeSummary1000Buckets(b *testing.B) {
+	msg := benchSummaryDTO(b, 1000)
+	data, err := Encode(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSummaryDTORoundTrip(b *testing.B) {
+	schema := record.DefaultSchema(16)
+	msg := benchSummaryDTO(b, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := msg.Replica.Branch.ToSummary(schema); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

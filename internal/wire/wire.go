@@ -1,0 +1,362 @@
+// Package wire defines the messages ROADS servers exchange in the live
+// prototype and their gob-friendly representations. Summaries, queries and
+// records travel as explicit DTOs so the wire format is independent of the
+// in-memory types (which hold unexported fields and shared pointers).
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"roads/internal/query"
+	"roads/internal/record"
+	"roads/internal/summary"
+)
+
+// Kind discriminates message types.
+type Kind uint8
+
+const (
+	// KindJoin asks a server to adopt the sender as a child.
+	KindJoin Kind = iota + 1
+	// KindJoinReply answers a join: accepted, or redirect to children.
+	KindJoinReply
+	// KindSummaryReport carries a child's branch summary to its parent.
+	KindSummaryReport
+	// KindReplicaPush distributes branch summaries down and across the
+	// hierarchy for the replication overlay.
+	KindReplicaPush
+	// KindQuery asks a server to evaluate a query.
+	KindQuery
+	// KindQueryReply returns matching records and redirect targets.
+	KindQueryReply
+	// KindHeartbeat is the periodic parent/child liveness exchange, also
+	// carrying the sender's root path.
+	KindHeartbeat
+	// KindHeartbeatReply acknowledges a heartbeat.
+	KindHeartbeatReply
+	// KindLeave announces a graceful departure to parent and children.
+	KindLeave
+	// KindAck is a generic acknowledgement.
+	KindAck
+	// KindError carries a remote error.
+	KindError
+	// KindStatus requests a server's status snapshot; KindStatusReply
+	// returns it.
+	KindStatus
+	KindStatusReply
+)
+
+// Message is the envelope every exchange uses.
+type Message struct {
+	Kind Kind
+	From string // sender server ID
+	Addr string // sender's listen address
+
+	Join      *Join
+	JoinReply *JoinReply
+	Report    *SummaryReport
+	Replica   *ReplicaPush
+	Query     *QueryDTO
+	QueryRep  *QueryReply
+	Heartbeat *Heartbeat
+	Status    *Status
+	Error     string
+}
+
+// Status is a server's operational snapshot, for monitoring tools.
+type Status struct {
+	ID            string
+	Addr          string
+	ParentID      string
+	IsRoot        bool
+	Children      int
+	Replicas      int
+	Owners        int
+	BranchRecords uint64
+	LocalRecords  uint64
+	RootPath      []string
+	// QueriesServed and RedirectsIssued count since startup; the root-
+	// bottleneck story is visible by comparing them across servers.
+	QueriesServed   uint64
+	RedirectsIssued uint64
+	SummariesRecv   uint64
+}
+
+// SummaryReport carries a child's branch summary to its parent, with the
+// branch shape piggybacked so the parent can answer join redirects with
+// accurate depth/descendant counts.
+type SummaryReport struct {
+	Summary     *SummaryDTO
+	Depth       int
+	Descendants int
+}
+
+// Join asks to become a child.
+type Join struct {
+	ID   string
+	Addr string
+}
+
+// ChildInfo describes one child branch for join redirects.
+type ChildInfo struct {
+	ID          string
+	Addr        string
+	Depth       int
+	Descendants int
+}
+
+// JoinReply either accepts the joiner or redirects it to children.
+type JoinReply struct {
+	Accepted bool
+	// Parent identifies the accepting server.
+	ParentID   string
+	ParentAddr string
+	// Children to try next when not accepted, least-depth first.
+	Children []ChildInfo
+}
+
+// Heartbeat carries liveness plus the sender's root path (IDs from the
+// root down), which children use for rejoin and loop avoidance.
+type Heartbeat struct {
+	RootPath  []string
+	PathAddrs []string
+}
+
+// ReplicaPush distributes one origin's branch summary (and optionally the
+// origin's local-data summary when the origin is an ancestor of the
+// receiver).
+type ReplicaPush struct {
+	OriginID   string
+	OriginAddr string
+	Branch     *SummaryDTO
+	// Local is the origin's local-data summary; only set on ancestor
+	// pushes (see core: ancestorLocal).
+	Local *SummaryDTO
+	// Ancestor marks pushes whose origin is an ancestor of the receiver.
+	Ancestor bool
+	// Level is the origin's distance from the receiver in hierarchy
+	// levels: 1 for the receiver's own siblings and parent, 2 for the
+	// grandparent and its siblings, and so on. Scoped queries use it to
+	// bound their search radius.
+	Level int
+}
+
+// QueryDTO is the wire form of a query.
+type QueryDTO struct {
+	ID        string
+	Requester string
+	Preds     []query.Predicate
+	// Start marks the first contact of a resolution: only then may the
+	// receiving server use its overlay replicas for redirects.
+	Start bool
+	// Scope bounds the search to the branch of the start server's
+	// ancestor Scope levels up (paper §III-C scope control); negative
+	// means the whole hierarchy.
+	Scope int
+}
+
+// ToQuery converts to the in-memory form.
+func (q *QueryDTO) ToQuery() *query.Query {
+	out := query.New(q.ID, q.Preds...)
+	out.Requester = q.Requester
+	return out
+}
+
+// FromQuery builds the DTO with whole-hierarchy scope.
+func FromQuery(q *query.Query, start bool) *QueryDTO {
+	return &QueryDTO{ID: q.ID, Requester: q.Requester, Preds: q.Preds, Start: start, Scope: -1}
+}
+
+// RedirectInfo names one server the client should query next.
+type RedirectInfo struct {
+	ID   string
+	Addr string
+}
+
+// RecordDTO is the wire form of a record.
+type RecordDTO struct {
+	ID     string
+	Owner  string
+	Values []record.Value
+}
+
+// QueryReply returns local matches plus redirect targets.
+type QueryReply struct {
+	Records   []RecordDTO
+	Redirects []RedirectInfo
+}
+
+// ToRecords converts wire records to in-memory records.
+func ToRecords(dtos []RecordDTO) []*record.Record {
+	out := make([]*record.Record, len(dtos))
+	for i, d := range dtos {
+		out[i] = &record.Record{ID: d.ID, Owner: d.Owner, Values: d.Values}
+	}
+	return out
+}
+
+// FromRecords converts in-memory records to wire form.
+func FromRecords(recs []*record.Record) []RecordDTO {
+	out := make([]RecordDTO, len(recs))
+	for i, r := range recs {
+		out[i] = RecordDTO{ID: r.ID, Owner: r.Owner, Values: r.Values}
+	}
+	return out
+}
+
+// SummaryDTO is the wire form of a summary. Histograms carry their bucket
+// counts; categorical attributes carry either the value-set counts or the
+// Bloom bits.
+type SummaryDTO struct {
+	Origin  string
+	Version uint64
+	Records uint64
+	Buckets int
+	Min     float64
+	Max     float64
+
+	Hists  []HistDTO
+	Sets   []SetDTO
+	Blooms []BloomDTO
+}
+
+// HistDTO is one histogram (Attr = schema position).
+type HistDTO struct {
+	Attr   int
+	Counts []uint32
+	Total  uint64
+}
+
+// SetDTO is one value set.
+type SetDTO struct {
+	Attr   int
+	Counts map[string]uint32
+}
+
+// BloomDTO is one Bloom filter.
+type BloomDTO struct {
+	Attr   int
+	Bits   []uint64
+	NumBit uint32
+	Hashes uint32
+	N      uint64
+}
+
+// FromSummary converts a summary to wire form.
+func FromSummary(s *summary.Summary) *SummaryDTO {
+	if s == nil {
+		return nil
+	}
+	dto := &SummaryDTO{
+		Origin:  s.Origin,
+		Version: s.Version,
+		Records: s.Records,
+		Buckets: s.Cfg.Buckets,
+		Min:     s.Cfg.Min,
+		Max:     s.Cfg.Max,
+	}
+	for i := range s.Hists {
+		if h := s.Hists[i]; h != nil {
+			dto.Hists = append(dto.Hists, HistDTO{Attr: i, Counts: h.Counts, Total: h.Total})
+		}
+		if vs := s.Sets[i]; vs != nil {
+			dto.Sets = append(dto.Sets, SetDTO{Attr: i, Counts: vs.Counts})
+		}
+		if b := s.Blooms[i]; b != nil {
+			dto.Blooms = append(dto.Blooms, BloomDTO{Attr: i, Bits: b.Bits, NumBit: b.NumBit, Hashes: b.Hashes, N: b.N})
+		}
+	}
+	return dto
+}
+
+// ToSummary reconstructs a summary against the shared schema. The summary
+// config is rebuilt from the DTO's histogram geometry.
+func (dto *SummaryDTO) ToSummary(schema *record.Schema) (*summary.Summary, error) {
+	if dto == nil {
+		return nil, nil
+	}
+	cfg := summary.Config{
+		Buckets:     dto.Buckets,
+		Min:         dto.Min,
+		Max:         dto.Max,
+		Categorical: summary.UseValueSet,
+	}
+	if len(dto.Blooms) > 0 {
+		cfg.Categorical = summary.UseBloom
+		cfg.BloomBits = int(dto.Blooms[0].NumBit)
+		cfg.BloomHashes = int(dto.Blooms[0].Hashes)
+	}
+	s, err := summary.New(schema, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.Origin = dto.Origin
+	s.Version = dto.Version
+	s.Records = dto.Records
+	for _, h := range dto.Hists {
+		if h.Attr < 0 || h.Attr >= schema.NumAttrs() || s.Hists[h.Attr] == nil {
+			return nil, fmt.Errorf("wire: histogram for invalid attr %d", h.Attr)
+		}
+		if len(h.Counts) != dto.Buckets {
+			return nil, fmt.Errorf("wire: histogram attr %d has %d buckets; header says %d", h.Attr, len(h.Counts), dto.Buckets)
+		}
+		copy(s.Hists[h.Attr].Counts, h.Counts)
+		s.Hists[h.Attr].Total = h.Total
+	}
+	for _, vs := range dto.Sets {
+		if vs.Attr < 0 || vs.Attr >= schema.NumAttrs() || s.Sets[vs.Attr] == nil {
+			return nil, fmt.Errorf("wire: value set for invalid attr %d", vs.Attr)
+		}
+		for v, c := range vs.Counts {
+			s.Sets[vs.Attr].Counts[v] = c
+		}
+	}
+	for _, b := range dto.Blooms {
+		if b.Attr < 0 || b.Attr >= schema.NumAttrs() || s.Blooms[b.Attr] == nil {
+			return nil, fmt.Errorf("wire: bloom for invalid attr %d", b.Attr)
+		}
+		copy(s.Blooms[b.Attr].Bits, b.Bits)
+		s.Blooms[b.Attr].N = b.N
+	}
+	return s, nil
+}
+
+// Encode serializes a message with gob.
+func Encode(m *Message) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("wire: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a message.
+func Decode(data []byte) (*Message, error) {
+	var m Message
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	return &m, nil
+}
+
+// ErrorMessage builds a KindError reply.
+func ErrorMessage(from string, err error) *Message {
+	return &Message{Kind: KindError, From: from, Error: err.Error()}
+}
+
+// RemoteError converts a KindError message back into an error.
+func RemoteError(m *Message) error {
+	if m == nil {
+		return fmt.Errorf("wire: nil reply")
+	}
+	if m.Kind != KindError {
+		return nil
+	}
+	return fmt.Errorf("wire: remote %s: %s", m.From, m.Error)
+}
+
+// Deadline is the default per-call timeout for live transports.
+const Deadline = 10 * time.Second

@@ -1,0 +1,182 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"roads/internal/query"
+	"roads/internal/record"
+	"roads/internal/summary"
+)
+
+func testSchema() *record.Schema {
+	return record.MustSchema([]record.Attribute{
+		{Name: "cpu", Kind: record.Numeric},
+		{Name: "os", Kind: record.Categorical},
+	})
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	msg := &Message{
+		Kind: KindJoin,
+		From: "a",
+		Addr: "addr-a",
+		Join: &Join{ID: "a", Addr: "addr-a"},
+	}
+	data, err := Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindJoin || got.From != "a" || got.Join == nil || got.Join.Addr != "addr-a" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not gob")); err == nil {
+		t.Fatal("garbage must fail to decode")
+	}
+}
+
+func TestSummaryDTORoundTrip(t *testing.T) {
+	schema := testSchema()
+	cfg := summary.DefaultConfig()
+	cfg.Buckets = 50
+	sum := summary.MustNew(schema, cfg)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 40; i++ {
+		r := record.New(schema, strconv.Itoa(i), "o")
+		r.SetNum(0, rng.Float64())
+		r.SetStr(1, []string{"linux", "bsd"}[rng.Intn(2)])
+		sum.AddRecord(r)
+	}
+	sum.Origin = "server-x"
+	sum.Version = 7
+
+	dto := FromSummary(sum)
+	data, err := Encode(&Message{Kind: KindReplicaPush, Replica: &ReplicaPush{OriginID: "server-x", Branch: dto}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decoded.Replica.Branch.ToSummary(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Equal(back) {
+		t.Fatal("summary changed across the wire")
+	}
+	if back.Origin != "server-x" || back.Version != 7 {
+		t.Fatal("metadata lost across the wire")
+	}
+}
+
+func TestSummaryDTOBloomRoundTrip(t *testing.T) {
+	schema := testSchema()
+	cfg := summary.DefaultConfig()
+	cfg.Buckets = 20
+	cfg.Categorical = summary.UseBloom
+	cfg.BloomBits = 256
+	cfg.BloomHashes = 3
+	sum := summary.MustNew(schema, cfg)
+	r := record.New(schema, "r", "o")
+	r.SetNum(0, 0.5)
+	r.SetStr(1, "linux")
+	sum.AddRecord(r)
+
+	back, err := FromSummary(sum).ToSummary(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.MatchEq(1, "linux") {
+		t.Fatal("bloom content lost across the wire")
+	}
+	if !sum.Equal(back) {
+		t.Fatal("bloom summary changed across the wire")
+	}
+}
+
+func TestSummaryDTONil(t *testing.T) {
+	if FromSummary(nil) != nil {
+		t.Fatal("nil summary must map to nil DTO")
+	}
+	var dto *SummaryDTO
+	s, err := dto.ToSummary(testSchema())
+	if err != nil || s != nil {
+		t.Fatal("nil DTO must map to nil summary")
+	}
+}
+
+func TestSummaryDTOValidation(t *testing.T) {
+	schema := testSchema()
+	dto := &SummaryDTO{Buckets: 10, Min: 0, Max: 1, Hists: []HistDTO{{Attr: 5, Counts: make([]uint32, 10)}}}
+	if _, err := dto.ToSummary(schema); err == nil {
+		t.Fatal("histogram for invalid attr must fail")
+	}
+	dto = &SummaryDTO{Buckets: 10, Min: 0, Max: 1, Hists: []HistDTO{{Attr: 0, Counts: make([]uint32, 99)}}}
+	if _, err := dto.ToSummary(schema); err == nil {
+		t.Fatal("bucket count mismatch must fail")
+	}
+	dto = &SummaryDTO{Buckets: 10, Min: 0, Max: 1, Sets: []SetDTO{{Attr: 0}}}
+	if _, err := dto.ToSummary(schema); err == nil {
+		t.Fatal("value set on numeric attr must fail")
+	}
+}
+
+func TestQueryDTORoundTrip(t *testing.T) {
+	q := query.New("q1", query.NewRange("cpu", 0.2, 0.8), query.NewEq("os", "linux"))
+	q.Requester = "alice"
+	dto := FromQuery(q, true)
+	data, err := Encode(&Message{Kind: KindQuery, Query: dto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := decoded.Query.ToQuery()
+	if back.ID != "q1" || back.Requester != "alice" || back.Dims() != 2 {
+		t.Fatalf("query changed: %+v", back)
+	}
+	if !decoded.Query.Start {
+		t.Fatal("start flag lost")
+	}
+	if err := back.Bind(testSchema()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordsRoundTrip(t *testing.T) {
+	schema := testSchema()
+	r := record.New(schema, "r1", "orgA")
+	r.SetNum(0, 0.25)
+	r.SetStr(1, "linux")
+	dtos := FromRecords([]*record.Record{r})
+	back := ToRecords(dtos)
+	if len(back) != 1 || back[0].ID != "r1" || back[0].Num(0) != 0.25 || back[0].Str(1) != "linux" {
+		t.Fatalf("records changed: %+v", back)
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	em := ErrorMessage("srv", errors.New("boom"))
+	if err := RemoteError(em); err == nil {
+		t.Fatal("error message must produce an error")
+	}
+	if err := RemoteError(&Message{Kind: KindAck}); err != nil {
+		t.Fatal("non-error message must not produce an error")
+	}
+	if err := RemoteError(nil); err == nil {
+		t.Fatal("nil message must produce an error")
+	}
+}

@@ -1,0 +1,387 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roads/internal/query"
+)
+
+func smallCfg() Config {
+	return Config{Nodes: 20, RecordsPerNode: 50, AttrsPerDist: 4}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := smallCfg()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for _, bad := range []Config{
+		{Nodes: 0, RecordsPerNode: 1, AttrsPerDist: 1},
+		{Nodes: 1, RecordsPerNode: 0, AttrsPerDist: 1},
+		{Nodes: 1, RecordsPerNode: 1, AttrsPerDist: 0},
+		{Nodes: 1, RecordsPerNode: 1, AttrsPerDist: 1, OverlapFactor: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("invalid config %+v accepted", bad)
+		}
+	}
+}
+
+func TestDistOfAttrLayout(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.NumAttrs() != 16 {
+		t.Fatalf("NumAttrs = %d; want 16", cfg.NumAttrs())
+	}
+	wants := []Dist{Uniform, Uniform, Uniform, Uniform, Window, Window, Window, Window,
+		Gaussian, Gaussian, Gaussian, Gaussian, Pareto, Pareto, Pareto, Pareto}
+	for i, want := range wants {
+		if got := cfg.DistOfAttr(i); got != want {
+			t.Fatalf("DistOfAttr(%d) = %v; want %v", i, got, want)
+		}
+	}
+	ga := cfg.AttrsOf(Gaussian)
+	if len(ga) != 4 || ga[0] != 8 || ga[3] != 11 {
+		t.Fatalf("AttrsOf(Gaussian) = %v; want [8 9 10 11]", ga)
+	}
+}
+
+func TestGenerateShapeAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := MustGenerate(smallCfg(), rng)
+	if len(w.PerNode) != 20 {
+		t.Fatalf("PerNode = %d; want 20", len(w.PerNode))
+	}
+	if w.TotalRecords() != 20*50 {
+		t.Fatalf("TotalRecords = %d; want 1000", w.TotalRecords())
+	}
+	for _, recs := range w.PerNode {
+		for _, r := range recs {
+			for i := 0; i < w.Cfg.NumAttrs(); i++ {
+				v := r.Num(i)
+				if v < 0 || v > 1 {
+					t.Fatalf("value %g out of [0,1] for attr %d", v, i)
+				}
+			}
+		}
+	}
+	if len(w.AllRecords()) != 1000 {
+		t.Fatal("AllRecords length mismatch")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(smallCfg(), rand.New(rand.NewSource(42)))
+	b := MustGenerate(smallCfg(), rand.New(rand.NewSource(42)))
+	for n := range a.PerNode {
+		for k := range a.PerNode[n] {
+			for i := 0; i < a.Cfg.NumAttrs(); i++ {
+				if a.PerNode[n][k].Num(i) != b.PerNode[n][k].Num(i) {
+					t.Fatal("same seed must produce identical workloads")
+				}
+			}
+		}
+	}
+}
+
+func TestWindowDistributionConfined(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := MustGenerate(smallCfg(), rng)
+	// Every node's window-attribute values must span at most WindowLen.
+	for _, recs := range w.PerNode {
+		for _, attr := range w.Cfg.AttrsOf(Window) {
+			lo, hi := 1.0, 0.0
+			for _, r := range recs {
+				v := r.Num(attr)
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+			if hi-lo > WindowLen+1e-9 {
+				t.Fatalf("window attr %d spans %g > %g", attr, hi-lo, WindowLen)
+			}
+		}
+	}
+}
+
+func TestGaussianCentered(t *testing.T) {
+	cfg := Config{Nodes: 4, RecordsPerNode: 2000, AttrsPerDist: 4}
+	w := MustGenerate(cfg, rand.New(rand.NewSource(3)))
+	attr := cfg.AttrsOf(Gaussian)[0]
+	var sum float64
+	var n int
+	for _, recs := range w.PerNode {
+		for _, r := range recs {
+			sum += r.Num(attr)
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("gaussian mean = %g; want ~0.5", mean)
+	}
+}
+
+func TestParetoSkewed(t *testing.T) {
+	cfg := Config{Nodes: 4, RecordsPerNode: 2000, AttrsPerDist: 4}
+	w := MustGenerate(cfg, rand.New(rand.NewSource(4)))
+	attr := cfg.AttrsOf(Pareto)[0]
+	below := 0
+	total := 0
+	for _, recs := range w.PerNode {
+		for _, r := range recs {
+			if r.Num(attr) < 0.2 {
+				below++
+			}
+			total++
+		}
+	}
+	if frac := float64(below) / float64(total); frac < 0.6 {
+		t.Fatalf("pareto should be heavily skewed low; got %.2f below 0.2", frac)
+	}
+}
+
+func TestOverlapFactorConfinesData(t *testing.T) {
+	cfg := smallCfg()
+	cfg.OverlapFactor = 2 // window length 2/20 = 0.1
+	w := MustGenerate(cfg, rand.New(rand.NewSource(5)))
+	for _, recs := range w.PerNode {
+		for attr := 0; attr < 8; attr++ {
+			lo, hi := 1.0, 0.0
+			for _, r := range recs {
+				v := r.Num(attr)
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+			if hi-lo > 0.1+1e-9 {
+				t.Fatalf("overlap attr %d spans %g > 0.1", attr, hi-lo)
+			}
+		}
+	}
+}
+
+func TestGenQueryDefaults(t *testing.T) {
+	w := MustGenerate(smallCfg(), rand.New(rand.NewSource(6)))
+	rng := rand.New(rand.NewSource(7))
+	q, err := w.GenQuery("q", 6, DefaultQueryRange, rng)
+	if err != nil {
+		t.Fatalf("GenQuery: %v", err)
+	}
+	if q.Dims() != 6 {
+		t.Fatalf("Dims = %d; want 6", q.Dims())
+	}
+	if !q.Bound() {
+		t.Fatal("generated query must be bound")
+	}
+	// Family mix for 6 dims: 2 uniform, 2 window, 1 gaussian, 1 pareto.
+	counts := make(map[Dist]int)
+	seen := make(map[string]bool)
+	for _, p := range q.Preds {
+		if seen[p.Attr] {
+			t.Fatalf("duplicate attribute %s in query", p.Attr)
+		}
+		seen[p.Attr] = true
+		var idx int
+		if _, err := fmtSscanf(p.Attr, &idx); err != nil {
+			t.Fatalf("bad attr name %q", p.Attr)
+		}
+		counts[w.Cfg.DistOfAttr(idx)]++
+		if math.Abs((p.Hi-p.Lo)-DefaultQueryRange) > 1e-9 {
+			t.Fatalf("range length %g; want %g", p.Hi-p.Lo, DefaultQueryRange)
+		}
+	}
+	if counts[Uniform] != 2 || counts[Window] != 2 || counts[Gaussian] != 1 || counts[Pareto] != 1 {
+		t.Fatalf("family mix = %v; want 2/2/1/1", counts)
+	}
+}
+
+// fmtSscanf parses "aN" attribute names.
+func fmtSscanf(name string, out *int) (int, error) {
+	var n int
+	for i := 1; i < len(name); i++ {
+		n = n*10 + int(name[i]-'0')
+	}
+	*out = n
+	return 1, nil
+}
+
+func TestGenQueryErrors(t *testing.T) {
+	w := MustGenerate(smallCfg(), rand.New(rand.NewSource(8)))
+	rng := rand.New(rand.NewSource(9))
+	if _, err := w.GenQuery("q", 0, 0.25, rng); err == nil {
+		t.Fatal("expected error for 0 dims")
+	}
+	if _, err := w.GenQuery("q", 99, 0.25, rng); err == nil {
+		t.Fatal("expected error for too many dims")
+	}
+	if _, err := w.GenQuery("q", 4, 0, rng); err == nil {
+		t.Fatal("expected error for zero range length")
+	}
+}
+
+func TestGenQueriesCount(t *testing.T) {
+	w := MustGenerate(smallCfg(), rand.New(rand.NewSource(10)))
+	qs, err := w.GenQueries(25, 6, 0.25, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatalf("GenQueries: %v", err)
+	}
+	if len(qs) != 25 {
+		t.Fatalf("got %d queries; want 25", len(qs))
+	}
+}
+
+func TestSelectivityMeasurement(t *testing.T) {
+	w := MustGenerate(smallCfg(), rand.New(rand.NewSource(12)))
+	all := w.AllRecords()
+	q, err := w.GenQuery("q", 1, 0.5, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatalf("GenQuery: %v", err)
+	}
+	sel := Selectivity(q, all)
+	if sel <= 0 || sel > 1 {
+		t.Fatalf("selectivity %g out of (0,1]", sel)
+	}
+	if Selectivity(q, nil) != 0 {
+		t.Fatal("empty record set has 0 selectivity")
+	}
+}
+
+func TestGenSelectivityQueryCalibration(t *testing.T) {
+	cfg := Config{Nodes: 10, RecordsPerNode: 500, AttrsPerDist: 4}
+	w := MustGenerate(cfg, rand.New(rand.NewSource(14)))
+	all := w.AllRecords()
+	rng := rand.New(rand.NewSource(15))
+	for _, target := range []float64{0.01, 0.03} {
+		q, err := w.GenSelectivityQuery("q", 6, target, all, rng)
+		if err != nil {
+			t.Fatalf("GenSelectivityQuery(%g): %v", target, err)
+		}
+		sel := Selectivity(q, all)
+		if sel < target/4 || sel > target*4 {
+			t.Fatalf("target %g calibrated to %g (off by >4x)", target, sel)
+		}
+	}
+}
+
+func TestGenSelectivityQueryErrors(t *testing.T) {
+	w := MustGenerate(smallCfg(), rand.New(rand.NewSource(16)))
+	rng := rand.New(rand.NewSource(17))
+	all := w.AllRecords()
+	if _, err := w.GenSelectivityQuery("q", 6, 0, all, rng); err == nil {
+		t.Fatal("expected error for target 0")
+	}
+	if _, err := w.GenSelectivityQuery("q", 6, 1.5, all, rng); err == nil {
+		t.Fatal("expected error for target > 1")
+	}
+	if _, err := w.GenSelectivityQuery("q", 6, 0.1, nil, rng); err == nil {
+		t.Fatal("expected error for empty sample")
+	}
+	if _, err := w.GenSelectivityQuery("q", 0, 0.1, all, rng); err == nil {
+		t.Fatal("expected error for zero dims")
+	}
+}
+
+func TestGenSelectivityGroups(t *testing.T) {
+	cfg := Config{Nodes: 10, RecordsPerNode: 200, AttrsPerDist: 4}
+	w := MustGenerate(cfg, rand.New(rand.NewSource(18)))
+	groups, err := w.GenSelectivityGroups([]float64{0.01, 0.03}, 5, 6, 1000, rand.New(rand.NewSource(19)))
+	if err != nil {
+		t.Fatalf("GenSelectivityGroups: %v", err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d; want 2", len(groups))
+	}
+	for _, g := range groups {
+		if len(g.Queries) != 5 {
+			t.Fatalf("group %g has %d queries; want 5", g.Target, len(g.Queries))
+		}
+	}
+}
+
+func TestDistString(t *testing.T) {
+	for d, want := range map[Dist]string{Uniform: "uniform", Window: "window", Gaussian: "gaussian", Pareto: "pareto"} {
+		if d.String() != want {
+			t.Fatalf("%v String mismatch", d)
+		}
+	}
+}
+
+func TestWindowLenOverride(t *testing.T) {
+	cfg := smallCfg()
+	cfg.WindowLen = 0.1
+	w := MustGenerate(cfg, rand.New(rand.NewSource(30)))
+	for _, recs := range w.PerNode {
+		for _, attr := range w.Cfg.AttrsOf(Window) {
+			lo, hi := 1.0, 0.0
+			for _, r := range recs {
+				v := r.Num(attr)
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+			if hi-lo > 0.1+1e-9 {
+				t.Fatalf("window attr %d spans %g > 0.1 with override", attr, hi-lo)
+			}
+		}
+	}
+	bad := smallCfg()
+	bad.WindowLen = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("WindowLen > 1 must be rejected")
+	}
+	bad.WindowLen = -0.1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative WindowLen must be rejected")
+	}
+}
+
+func TestCategoricalAttrs(t *testing.T) {
+	cfg := smallCfg()
+	cfg.CategoricalAttrs = 3
+	cfg.CategoricalVocab = 5
+	w := MustGenerate(cfg, rand.New(rand.NewSource(70)))
+	if w.Schema.NumAttrs() != 16+3 {
+		t.Fatalf("schema has %d attrs; want 19", w.Schema.NumAttrs())
+	}
+	if len(w.Schema.CategoricalIndexes()) != 3 {
+		t.Fatalf("categorical indexes = %v", w.Schema.CategoricalIndexes())
+	}
+	vocab := make(map[string]bool)
+	for _, recs := range w.PerNode {
+		for _, r := range recs {
+			for _, ci := range w.Schema.CategoricalIndexes() {
+				v := r.Str(ci)
+				if v == "" {
+					t.Fatal("categorical value missing")
+				}
+				vocab[v] = true
+			}
+		}
+	}
+	if len(vocab) > 5 {
+		t.Fatalf("vocabulary has %d values; want <= 5", len(vocab))
+	}
+	bad := cfg
+	bad.CategoricalAttrs = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative categorical attrs must fail")
+	}
+}
+
+func TestCategoricalQueriesEndToEnd(t *testing.T) {
+	// Records with categorical attrs flow through summaries and matching.
+	cfg := Config{Nodes: 5, RecordsPerNode: 30, AttrsPerDist: 1, CategoricalAttrs: 1, CategoricalVocab: 3}
+	w := MustGenerate(cfg, rand.New(rand.NewSource(71)))
+	q := query.New("q", query.NewEq("c0", "v1"))
+	if err := q.Bind(w.Schema); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, r := range w.AllRecords() {
+		if q.MatchRecord(r) {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("vocabulary of 3 over 150 records must match something")
+	}
+}
