@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: tier1 build vet test race bench-transport
+
+# tier1 is the gate every change must pass: full build + vet + full test
+# suite, plus race-enabled runs of the concurrency-heavy packages (the
+# live protocol stack and the pooled transport).
+tier1: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/live/... ./internal/transport/...
+
+# bench-transport compares the pooled+batched comms hot path against the
+# legacy dial-per-call / push-per-replica baseline (see EXPERIMENTS.md).
+bench-transport:
+	$(GO) test -bench 'BenchmarkTCPCall|BenchmarkPushReplicas' -benchmem -run '^$$' ./internal/transport/ ./internal/live/

@@ -54,6 +54,17 @@ func main() {
 		fmt.Printf("  records: %d local, %d in branch\n", st.LocalRecords, st.BranchRecords)
 		fmt.Printf("  served: %d queries, %d redirects, %d summary reports\n",
 			st.QueriesServed, st.RedirectsIssued, st.SummariesRecv)
+		if tr := st.Transport; tr != nil {
+			fmt.Printf("  transport: %d calls (%d errors, %d retries), %d in-flight\n",
+				tr.Calls, tr.Errors, tr.Retries, tr.InFlight)
+			fmt.Printf("    conns: %d dialed, %d reused", tr.Dials, tr.Reuses)
+			if tr.Dials+tr.Reuses > 0 {
+				fmt.Printf(" (%.1f%% pooled)", 100*float64(tr.Reuses)/float64(tr.Dials+tr.Reuses))
+			}
+			fmt.Println()
+			fmt.Printf("    bytes: %d sent, %d received; call latency p50 <= %dµs, p99 <= %dµs\n",
+				tr.BytesSent, tr.BytesRecv, tr.P50Micros, tr.P99Micros)
+		}
 		return
 	}
 	if len(preds) == 0 {
@@ -69,6 +80,13 @@ func main() {
 	}
 	fmt.Printf("query: %s\n", q)
 	fmt.Printf("matched %d records via %d servers in %v\n", len(recs), stats.Contacted, stats.Elapsed.Round(0))
+	if stats.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d of %d contacted servers failed; results may be incomplete\n",
+			stats.Failed, stats.Contacted+stats.Failed)
+		for _, e := range stats.Errors {
+			fmt.Fprintln(os.Stderr, "  ", e)
+		}
+	}
 	for i, r := range recs {
 		if *limit > 0 && i >= *limit {
 			fmt.Printf("... and %d more\n", len(recs)-*limit)

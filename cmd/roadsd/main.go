@@ -97,7 +97,8 @@ func main() {
 	cfg.AggregateEvery = *tick
 	cfg.HeartbeatEvery = *tick
 
-	srv, err := live.NewServer(cfg, transport.NewTCP())
+	tr := transport.NewTCP()
+	srv, err := live.NewServer(cfg, tr)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -125,6 +126,8 @@ func main() {
 	<-sig
 	log.Printf("roadsd %s: leaving", *id)
 	srv.Stop()
+	log.Printf("roadsd %s: transport %v", *id, tr.Stats())
+	_ = tr.Close()
 }
 
 func seedFor(seed int64, id string) int64 {

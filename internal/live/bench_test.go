@@ -1,0 +1,88 @@
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"roads/internal/policy"
+	"roads/internal/transport"
+	"roads/internal/workload"
+)
+
+// benchStar builds a root with `children` direct children over the
+// in-process transport, each child holding records, and reports every
+// child branch up so the root's replica pushes carry real summaries.
+// Background loops are parked; the benchmark drives pushReplicas itself.
+func benchStar(b *testing.B, children, recsPer int) (*Server, *transport.Chan) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(99))
+	w := workload.MustGenerate(workload.Config{Nodes: children + 1, RecordsPerNode: recsPer, AttrsPerDist: 2}, rng)
+	tr := transport.NewChan()
+	mk := func(i int) *Server {
+		cfg := DefaultConfig(fmt.Sprintf("n%02d", i), fmt.Sprintf("addr%02d", i), w.Schema)
+		cfg.MaxChildren = children
+		cfg.AggregateEvery = time.Hour
+		cfg.HeartbeatEvery = time.Hour
+		srv, err := NewServer(cfg, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.Start(); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(srv.Stop)
+		o := policy.NewOwner(fmt.Sprintf("owner%d", i), w.Schema, nil)
+		o.SetRecords(w.PerNode[i])
+		if err := srv.AttachOwner(o); err != nil {
+			b.Fatal(err)
+		}
+		return srv
+	}
+	root := mk(0)
+	for i := 1; i <= children; i++ {
+		c := mk(i)
+		if err := c.Join(root.Addr()); err != nil {
+			b.Fatal(err)
+		}
+		c.refreshSummaries()
+		c.reportToParent()
+	}
+	root.refreshSummaries()
+	if got := root.NumChildren(); got != children {
+		b.Fatalf("root has %d children; want %d (star shape required)", got, children)
+	}
+	return root, tr
+}
+
+// BenchmarkPushReplicas measures one replica-propagation round from a
+// root to 16 children: the legacy path sends one RPC per replica per
+// child, the batched path sends one KindReplicaBatch per child. rpcs/op
+// and wirebytes/op come from the transport's own counters.
+func BenchmarkPushReplicas(b *testing.B) {
+	const children = 16
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"percall", true},
+		{"batched", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			root, tr := benchStar(b, children, 8)
+			root.cfg.DisableReplicaBatch = mode.disable
+			root.pushReplicas() // warm up: children allocate replica state once
+			start := tr.Stats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				root.pushReplicas()
+			}
+			b.StopTimer()
+			st := tr.Stats()
+			b.ReportMetric(float64(st.Calls-start.Calls)/float64(b.N), "rpcs/op")
+			b.ReportMetric(float64(st.BytesSent-start.BytesSent+st.BytesRecv-start.BytesRecv)/float64(b.N), "wirebytes/op")
+		})
+	}
+}

@@ -29,8 +29,16 @@ func NewClient(tr transport.Transport, requester string) *Client {
 
 // QueryStats reports how a resolution unfolded.
 type QueryStats struct {
-	// Contacted is the number of servers queried.
+	// Contacted is the number of servers that answered.
 	Contacted int
+	// Failed is the number of contacts that errored mid-resolution. A
+	// resolve with Failed > 0 returned real records but may not have
+	// covered the whole federation — callers needing completeness must
+	// check it (a partial answer is not an error, so err stays nil once
+	// any server has answered).
+	Failed int
+	// Errors describes each failed contact ("addr: cause").
+	Errors []string
 	// Elapsed is the wall-clock total response time.
 	Elapsed time.Duration
 	// Servers lists contacted server IDs.
@@ -85,16 +93,15 @@ func (c *Client) ResolveScoped(startAddr string, q *query.Query, scope int) ([]*
 		if err == nil {
 			err = wire.RemoteError(rep)
 		}
+		if err == nil && rep.QueryRep == nil {
+			err = fmt.Errorf("live: %s returned %v to a query", rep.From, rep.Kind)
+		}
 		if err != nil {
 			if firstEr == nil {
 				firstEr = err
 			}
-			return
-		}
-		if rep.QueryRep == nil {
-			if firstEr == nil {
-				firstEr = fmt.Errorf("live: %s returned %v to a query", rep.From, rep.Kind)
-			}
+			stats.Failed++
+			stats.Errors = append(stats.Errors, fmt.Sprintf("%s: %v", addr, err))
 			return
 		}
 		stats.Contacted++

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"roads/internal/policy"
+	"roads/internal/transport"
 	"roads/internal/wire"
 )
 
@@ -20,6 +21,8 @@ func (s *Server) handle(msg *wire.Message) *wire.Message {
 		return s.handleSummaryReport(msg)
 	case wire.KindReplicaPush:
 		return s.handleReplicaPush(msg)
+	case wire.KindReplicaBatch:
+		return s.handleReplicaBatch(msg)
 	case wire.KindQuery:
 		return s.handleQuery(msg)
 	case wire.KindHeartbeat:
@@ -52,12 +55,21 @@ func (s *Server) handleJoin(msg *wire.Message) *wire.Message {
 			return wire.ErrorMessage(s.cfg.ID, fmt.Errorf("live: %s is on my root path", msg.Join.ID))
 		}
 	}
-	if _, already := s.children[msg.Join.ID]; already || len(s.children) < s.cfg.MaxChildren {
-		s.children[msg.Join.ID] = &childState{
-			id:       msg.Join.ID,
-			addr:     msg.Join.Addr,
-			depth:    1,
-			lastSeen: time.Now(),
+	if c, already := s.children[msg.Join.ID]; already || len(s.children) < s.cfg.MaxChildren {
+		if already {
+			// Re-accepting a known child: keep its branch summary, depth
+			// and descendant counts — rebuilding the state from scratch
+			// clobbered the subtree shape until the next summary report
+			// and skewed join-placement decisions.
+			c.addr = msg.Join.Addr
+			c.lastSeen = time.Now()
+		} else {
+			s.children[msg.Join.ID] = &childState{
+				id:       msg.Join.ID,
+				addr:     msg.Join.Addr,
+				depth:    1,
+				lastSeen: time.Now(),
+			}
 		}
 		return &wire.Message{
 			Kind: wire.KindJoinReply,
@@ -112,37 +124,74 @@ func (s *Server) handleSummaryReport(msg *wire.Message) *wire.Message {
 	return s.ack()
 }
 
-// handleReplicaPush stores an overlay replica.
-func (s *Server) handleReplicaPush(msg *wire.Message) *wire.Message {
-	if msg.Replica == nil || msg.Replica.Branch == nil {
-		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf("live: replica push without payload"))
+// decodeReplica reconstructs one replica push's summaries against the
+// schema; decoding stays outside the server lock so slow summary rebuilds
+// never stall the handlers.
+func (s *Server) decodeReplica(p *wire.ReplicaPush) (*replicaState, error) {
+	if p == nil || p.Branch == nil {
+		return nil, fmt.Errorf("live: replica push without payload")
 	}
-	branch, err := msg.Replica.Branch.ToSummary(s.cfg.Schema)
+	branch, err := p.Branch.ToSummary(s.cfg.Schema)
 	if err != nil {
-		return wire.ErrorMessage(s.cfg.ID, err)
+		return nil, err
 	}
-	level := msg.Replica.Level
+	level := p.Level
 	if level <= 0 {
 		level = 1
 	}
 	rs := &replicaState{
-		originID:   msg.Replica.OriginID,
-		originAddr: msg.Replica.OriginAddr,
+		originID:   p.OriginID,
+		originAddr: p.OriginAddr,
 		branch:     branch,
-		ancestor:   msg.Replica.Ancestor,
+		ancestor:   p.Ancestor,
 		level:      level,
 		received:   time.Now(),
 	}
-	if msg.Replica.Local != nil {
-		local, err := msg.Replica.Local.ToSummary(s.cfg.Schema)
+	if p.Local != nil {
+		local, err := p.Local.ToSummary(s.cfg.Schema)
 		if err != nil {
-			return wire.ErrorMessage(s.cfg.ID, err)
+			return nil, err
 		}
 		rs.local = local
+	}
+	return rs, nil
+}
+
+// handleReplicaPush stores one overlay replica (pre-batching wire form).
+func (s *Server) handleReplicaPush(msg *wire.Message) *wire.Message {
+	rs, err := s.decodeReplica(msg.Replica)
+	if err != nil {
+		return wire.ErrorMessage(s.cfg.ID, err)
 	}
 	s.mu.Lock()
 	if rs.originID != s.cfg.ID { // never replicate ourselves
 		s.replicas[rs.originID] = rs
+	}
+	s.mu.Unlock()
+	return s.ack()
+}
+
+// handleReplicaBatch stores a whole tick's worth of overlay replicas.
+// Every push is decoded first, then the batch is applied under a single
+// lock acquisition, so concurrent queries observe either the previous
+// overlay state or the complete new one — never a half-applied tick.
+func (s *Server) handleReplicaBatch(msg *wire.Message) *wire.Message {
+	if msg.Batch == nil {
+		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf("live: replica batch without payload"))
+	}
+	states := make([]*replicaState, 0, len(msg.Batch.Pushes))
+	for _, p := range msg.Batch.Pushes {
+		rs, err := s.decodeReplica(p)
+		if err != nil {
+			return wire.ErrorMessage(s.cfg.ID, err)
+		}
+		states = append(states, rs)
+	}
+	s.mu.Lock()
+	for _, rs := range states {
+		if rs.originID != s.cfg.ID { // never replicate ourselves
+			s.replicas[rs.originID] = rs
+		}
 	}
 	s.mu.Unlock()
 	return s.ack()
@@ -254,6 +303,21 @@ func (s *Server) handleStatus() *wire.Message {
 	}
 	if s.localSummary != nil {
 		st.LocalRecords = s.localSummary.Records
+	}
+	if ts, ok := s.tr.(transport.Statser); ok {
+		snap := ts.Stats()
+		st.Transport = &wire.TransportStatus{
+			Dials:     snap.Dials,
+			Reuses:    snap.Reuses,
+			InFlight:  snap.InFlight,
+			Calls:     snap.Calls,
+			Errors:    snap.Errors,
+			Retries:   snap.Retries,
+			BytesSent: snap.BytesSent,
+			BytesRecv: snap.BytesRecv,
+			P50Micros: uint64(snap.Latency.Percentile(0.50) / time.Microsecond),
+			P99Micros: uint64(snap.Latency.Percentile(0.99) / time.Microsecond),
+		}
 	}
 	return &wire.Message{Kind: wire.KindStatusReply, From: s.cfg.ID, Addr: s.cfg.Addr, Status: st}
 }

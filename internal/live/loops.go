@@ -134,6 +134,12 @@ func (s *Server) reportToParent() {
 // replicas this server holds (sibling replicas become the child's
 // ancestor-sibling replicas; ancestor replicas stay ancestors). After L
 // rounds every server holds exactly the paper's replica set.
+//
+// All pushes for one child travel in a single KindReplicaBatch message, so
+// a tick costs one call per child rather than one per (child × replica) —
+// the overlay-maintenance traffic the paper identifies as ROADS' dominant
+// overhead. Each push DTO is encoded once and shared across the per-child
+// batches. DisableReplicaBatch restores the per-push calls.
 func (s *Server) pushReplicas() {
 	// Snapshot under the lock: childState fields are mutated in place by
 	// summary reports, so copy the values; summary objects themselves are
@@ -159,51 +165,78 @@ func (s *Server) pushReplicas() {
 		return
 	}
 
-	for _, child := range children {
-		var pushes []*wire.ReplicaPush
-		// Sibling branches: distance 1 from the child.
-		for _, sib := range children {
-			if sib.id == child.id || sib.branch == nil {
-				continue
+	// Build every push DTO once; the per-child batches share them.
+	// Sibling branches: distance 1 from the child.
+	sibPush := make([]*wire.ReplicaPush, len(children))
+	for i, sib := range children {
+		if sib.branch == nil {
+			continue
+		}
+		sibPush[i] = &wire.ReplicaPush{
+			OriginID:   sib.id,
+			OriginAddr: sib.addr,
+			Branch:     wire.FromSummary(sib.branch),
+			Level:      1,
+		}
+	}
+	// Self as ancestor (branch + local piggyback): distance 1.
+	var ancestor *wire.ReplicaPush
+	if ownBranch != nil {
+		ancestor = &wire.ReplicaPush{
+			OriginID:   s.cfg.ID,
+			OriginAddr: s.cfg.Addr,
+			Branch:     wire.FromSummary(ownBranch),
+			Local:      wire.FromSummary(ownLocal),
+			Ancestor:   true,
+			Level:      1,
+		}
+	}
+	// Forward everything this server replicates (its siblings and
+	// ancestors become the child's ancestor-siblings and ancestors, one
+	// level further away).
+	forwarded := make([]*wire.ReplicaPush, 0, len(reps))
+	for _, r := range reps {
+		p := &wire.ReplicaPush{
+			OriginID:   r.originID,
+			OriginAddr: r.originAddr,
+			Branch:     wire.FromSummary(r.branch),
+			Ancestor:   r.ancestor,
+			Level:      r.level + 1,
+		}
+		if r.ancestor && r.local != nil {
+			p.Local = wire.FromSummary(r.local)
+		}
+		forwarded = append(forwarded, p)
+	}
+
+	for i, child := range children {
+		pushes := make([]*wire.ReplicaPush, 0, len(children)+len(forwarded))
+		for j, p := range sibPush {
+			if j != i && p != nil {
+				pushes = append(pushes, p)
 			}
-			pushes = append(pushes, &wire.ReplicaPush{
-				OriginID:   sib.id,
-				OriginAddr: sib.addr,
-				Branch:     wire.FromSummary(sib.branch),
-				Level:      1,
-			})
 		}
-		// Self as ancestor (branch + local piggyback): distance 1.
-		if ownBranch != nil {
-			pushes = append(pushes, &wire.ReplicaPush{
-				OriginID:   s.cfg.ID,
-				OriginAddr: s.cfg.Addr,
-				Branch:     wire.FromSummary(ownBranch),
-				Local:      wire.FromSummary(ownLocal),
-				Ancestor:   true,
-				Level:      1,
-			})
+		if ancestor != nil {
+			pushes = append(pushes, ancestor)
 		}
-		// Forward everything this server replicates (its siblings and
-		// ancestors become the child's ancestor-siblings and ancestors,
-		// one level further away).
-		for _, r := range reps {
-			p := &wire.ReplicaPush{
-				OriginID:   r.originID,
-				OriginAddr: r.originAddr,
-				Branch:     wire.FromSummary(r.branch),
-				Ancestor:   r.ancestor,
-				Level:      r.level + 1,
+		pushes = append(pushes, forwarded...)
+		if len(pushes) == 0 {
+			continue
+		}
+		if s.cfg.DisableReplicaBatch {
+			for _, p := range pushes {
+				msg := &wire.Message{Kind: wire.KindReplicaPush, From: s.cfg.ID, Addr: s.cfg.Addr, Replica: p}
+				_, _ = s.tr.Call(child.addr, msg)
 			}
-			if r.ancestor && r.local != nil {
-				p.Local = wire.FromSummary(r.local)
-			}
-			pushes = append(pushes, p)
+			continue
 		}
-		for _, p := range pushes {
-			msg := &wire.Message{Kind: wire.KindReplicaPush, From: s.cfg.ID, Addr: s.cfg.Addr, Replica: p}
-			_, _ = s.tr.Call(child.addr, msg)
+		msg := &wire.Message{
+			Kind:  wire.KindReplicaBatch,
+			From:  s.cfg.ID,
+			Addr:  s.cfg.Addr,
+			Batch: &wire.ReplicaBatch{Pushes: pushes},
 		}
+		_, _ = s.tr.Call(child.addr, msg)
 	}
 }
 

@@ -39,6 +39,11 @@ type Config struct {
 	HeartbeatEvery time.Duration
 	// HeartbeatMiss is how many missed periods mark a peer dead.
 	HeartbeatMiss int
+	// DisableReplicaBatch falls back to one KindReplicaPush call per
+	// replica per child instead of one KindReplicaBatch per child — the
+	// pre-batching wire behaviour, kept for benchmarks and for driving
+	// peers that predate KindReplicaBatch.
+	DisableReplicaBatch bool
 	// Cost models the store backend.
 	Cost store.CostModel
 }
@@ -200,30 +205,22 @@ func (s *Server) Start() error {
 // Kill shuts the server down abruptly — no Leave messages, simulating a
 // crash. Peers must discover the death through missed heartbeats and
 // soft-state expiry. Intended for failure-injection tests and chaos demos.
-func (s *Server) Kill() {
-	s.mu.Lock()
-	if !s.started {
-		s.mu.Unlock()
-		return
-	}
-	s.mu.Unlock()
-	close(s.stop)
-	s.wg.Wait()
-	if s.closer != nil {
-		_ = s.closer.Close()
-	}
-	s.mu.Lock()
-	s.started = false
-	s.mu.Unlock()
-}
+func (s *Server) Kill() { s.shutdown(false) }
 
 // Stop leaves the hierarchy gracefully and shuts down.
-func (s *Server) Stop() {
+func (s *Server) Stop() { s.shutdown(true) }
+
+// shutdown runs both teardown paths. started is flipped while s.mu is
+// still held, so of any number of concurrent Kill/Stop callers exactly one
+// reaches close(s.stop) — checking under the lock but closing after
+// releasing it let a Kill and a Stop race into a double close.
+func (s *Server) shutdown(graceful bool) {
 	s.mu.Lock()
 	if !s.started {
 		s.mu.Unlock()
 		return
 	}
+	s.started = false
 	parentAddr := s.parentAddr
 	childAddrs := make([]string, 0, len(s.children))
 	for _, c := range s.children {
@@ -231,12 +228,14 @@ func (s *Server) Stop() {
 	}
 	s.mu.Unlock()
 
-	leave := &wire.Message{Kind: wire.KindLeave, From: s.cfg.ID, Addr: s.cfg.Addr}
-	if parentAddr != "" {
-		_, _ = s.tr.Call(parentAddr, leave)
-	}
-	for _, addr := range childAddrs {
-		_, _ = s.tr.Call(addr, leave)
+	if graceful {
+		leave := &wire.Message{Kind: wire.KindLeave, From: s.cfg.ID, Addr: s.cfg.Addr}
+		if parentAddr != "" {
+			_, _ = s.tr.Call(parentAddr, leave)
+		}
+		for _, addr := range childAddrs {
+			_, _ = s.tr.Call(addr, leave)
+		}
 	}
 
 	close(s.stop)
@@ -244,9 +243,6 @@ func (s *Server) Stop() {
 	if s.closer != nil {
 		_ = s.closer.Close()
 	}
-	s.mu.Lock()
-	s.started = false
-	s.mu.Unlock()
 }
 
 // Join attaches the server under the hierarchy reachable at seedAddr,

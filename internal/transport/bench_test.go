@@ -1,0 +1,118 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"roads/internal/wire"
+)
+
+// benchPeers starts n echo servers on their own transport instance (so the
+// client transport's counters measure only the calling side) and returns
+// their addresses.
+func benchPeers(b *testing.B, n int) []string {
+	b.Helper()
+	srv := NewTCP()
+	addrs := make([]string, n)
+	for i := range addrs {
+		addr := freeAddrB(b)
+		closer, err := srv.Listen(addr, echoHandler(fmt.Sprintf("srv%d", i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { closer.Close() })
+		addrs[i] = addr
+	}
+	b.Cleanup(func() { srv.Close() })
+	return addrs
+}
+
+func freeAddrB(b *testing.B) string {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// BenchmarkTCPCall compares the legacy dial-per-call baseline against the
+// pooled multiplexed path across a 16-peer cluster, round-robining the
+// destination like overlay maintenance traffic does. The reported
+// conns/op and bytes/op come from the transport's own counters.
+func BenchmarkTCPCall(b *testing.B) {
+	const peers = 16
+	for _, mode := range []struct {
+		name   string
+		noPool bool
+	}{
+		{"perdial", true},
+		{"pooled", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			addrs := benchPeers(b, peers)
+			client := &TCP{NoPool: mode.noPool}
+			defer client.Close()
+			msg := &wire.Message{Kind: wire.KindHeartbeat, From: "bench"}
+			// Warm the pool so dials amortize like a long-lived server.
+			for _, a := range addrs {
+				if _, err := client.Call(a, msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			start := client.Stats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Call(addrs[i%peers], msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := client.Stats()
+			b.ReportMetric(float64(st.Dials-start.Dials)/float64(b.N), "conns/op")
+			b.ReportMetric(float64(st.BytesSent-start.BytesSent+st.BytesRecv-start.BytesRecv)/float64(b.N), "wirebytes/op")
+		})
+	}
+}
+
+// BenchmarkTCPCallParallel is the same comparison under concurrency: the
+// pooled path multiplexes over a few sockets per peer, the baseline opens
+// one per in-flight call.
+func BenchmarkTCPCallParallel(b *testing.B) {
+	const peers = 16
+	for _, mode := range []struct {
+		name   string
+		noPool bool
+	}{
+		{"perdial", true},
+		{"pooled", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			addrs := benchPeers(b, peers)
+			client := &TCP{NoPool: mode.noPool, MaxConnsPerPeer: 4}
+			defer client.Close()
+			msg := &wire.Message{Kind: wire.KindHeartbeat, From: "bench"}
+			for _, a := range addrs {
+				if _, err := client.Call(a, msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var i atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					n := i.Add(1)
+					if _, err := client.Call(addrs[int(n)%peers], msg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,149 @@
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// numLatBuckets is the bucket count of the call-latency histogram: one per
+// bound in latBounds plus an unbounded overflow bucket.
+const numLatBuckets = 16
+
+// latBounds are the inclusive upper bounds of the latency buckets,
+// exponentially spaced from 100µs to 5s.
+var latBounds = [numLatBuckets - 1]time.Duration{
+	100 * time.Microsecond, 250 * time.Microsecond, 500 * time.Microsecond,
+	1 * time.Millisecond, 2500 * time.Microsecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond,
+	time.Second, 2500 * time.Millisecond, 5 * time.Second,
+}
+
+// LatencyBucketBounds returns the histogram bucket upper bounds (the last
+// bucket, not listed, is unbounded).
+func LatencyBucketBounds() []time.Duration {
+	out := make([]time.Duration, len(latBounds))
+	copy(out, latBounds[:])
+	return out
+}
+
+func latBucket(d time.Duration) int {
+	for i, b := range latBounds {
+		if d <= b {
+			return i
+		}
+	}
+	return numLatBuckets - 1
+}
+
+// LatencyHist is a point-in-time snapshot of the call-latency histogram.
+type LatencyHist struct {
+	Counts [numLatBuckets]uint64
+}
+
+// N returns the number of observations.
+func (h LatencyHist) N() uint64 {
+	var n uint64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Percentile returns the upper bound of the bucket holding the p-quantile
+// (p in [0,1]); zero when the histogram is empty. The overflow bucket
+// reports the largest finite bound.
+func (h LatencyHist) Percentile(p float64) time.Duration {
+	n := h.N()
+	if n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := uint64(p * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if rank < seen {
+			if i < len(latBounds) {
+				return latBounds[i]
+			}
+			return latBounds[len(latBounds)-1]
+		}
+	}
+	return latBounds[len(latBounds)-1]
+}
+
+// Stats is a point-in-time snapshot of a transport's counters.
+type Stats struct {
+	// Dials counts new connections opened; Reuses counts calls served by
+	// an already-pooled connection. The Chan transport never dials.
+	Dials  uint64
+	Reuses uint64
+	// InFlight is the number of calls currently outstanding.
+	InFlight uint64
+	// Calls counts completed successful calls; Errors counts failed ones.
+	Calls  uint64
+	Errors uint64
+	// Retries counts calls replayed on a fresh connection after a pooled
+	// one turned out stale.
+	Retries uint64
+	// BytesSent and BytesRecv count frame bytes moved through this
+	// transport instance (both roles: client writes and server replies).
+	BytesSent uint64
+	BytesRecv uint64
+	// Latency is the distribution of successful call round-trip times.
+	Latency LatencyHist
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("dials=%d reuses=%d inflight=%d calls=%d errors=%d retries=%d sent=%dB recv=%dB p50=%v p99=%v",
+		s.Dials, s.Reuses, s.InFlight, s.Calls, s.Errors, s.Retries,
+		s.BytesSent, s.BytesRecv, s.Latency.Percentile(0.50), s.Latency.Percentile(0.99))
+}
+
+// Statser is implemented by transports that expose operational counters;
+// live servers surface them in Status replies.
+type Statser interface {
+	Stats() Stats
+}
+
+// counters is the live, atomically-updated form of Stats.
+type counters struct {
+	dials, reuses          atomic.Uint64
+	calls, errors, retries atomic.Uint64
+	bytesSent, bytesRecv   atomic.Uint64
+	inflight               atomic.Int64
+	lat                    [numLatBuckets]atomic.Uint64
+}
+
+func (c *counters) observe(d time.Duration) {
+	c.lat[latBucket(d)].Add(1)
+}
+
+func (c *counters) snapshot() Stats {
+	s := Stats{
+		Dials:     c.dials.Load(),
+		Reuses:    c.reuses.Load(),
+		Calls:     c.calls.Load(),
+		Errors:    c.errors.Load(),
+		Retries:   c.retries.Load(),
+		BytesSent: c.bytesSent.Load(),
+		BytesRecv: c.bytesRecv.Load(),
+	}
+	if in := c.inflight.Load(); in > 0 {
+		s.InFlight = uint64(in)
+	}
+	for i := range c.lat {
+		s.Latency.Counts[i] = c.lat[i].Load()
+	}
+	return s
+}

@@ -1,0 +1,699 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roads/internal/wire"
+)
+
+// Frame formats.
+//
+// v1 (legacy, one exchange per connection): a 4-byte big-endian payload
+// length followed by the gob payload. Used by NoPool callers and still
+// accepted by listeners for compatibility with v1-only peers.
+//
+// v2 (pooled/multiplexed): a 16-byte header followed by the gob payload:
+//
+//	byte  0      magic 'R' (0x52)
+//	byte  1      format version (2)
+//	byte  2      flags (bit 0: response)
+//	byte  3      reserved (0)
+//	bytes 4-11   request ID, big-endian uint64
+//	bytes 12-15  payload length, big-endian uint32
+//
+// Listeners tell the two apart from the first byte: a v1 length never
+// exceeds maxFrame (64 MiB, high byte 0x04), so 0x52 unambiguously marks a
+// v2 stream. A v2 connection carries many concurrent exchanges; responses
+// are matched to requests by ID, so they may arrive out of order.
+const (
+	frameMagic   = 'R'
+	frameVersion = 2
+	flagResponse = 1 << 0
+	headerV2Len  = 16
+)
+
+// maxFrame bounds a frame to 64 MiB, far above any legitimate message.
+// Both writer and reader enforce it: the writer so an oversize message
+// fails cleanly instead of being rejected mid-stream by the peer (or
+// silently truncating its uint32 length), the reader so a corrupt or
+// hostile header cannot trigger a huge allocation.
+const maxFrame = 64 << 20
+
+var errStaleConn = errors.New("transport: stale pooled connection")
+
+// TCP is a gob-over-TCP transport. By default it keeps a per-peer pool of
+// persistent connections and multiplexes concurrent calls over them with
+// v2 framed request IDs: a reader goroutine per connection demuxes the
+// replies, idle connections are reaped in the background, and a call that
+// lands on a connection the peer has meanwhile closed is retried once on a
+// fresh dial. Set NoPool for the legacy v1 behaviour (one dial and one
+// exchange per call), kept as a measurable baseline and for driving
+// v1-only peers.
+type TCP struct {
+	// DialTimeout bounds connection setup; CallTimeout bounds the whole
+	// exchange. Zero values use wire.Deadline.
+	DialTimeout time.Duration
+	CallTimeout time.Duration
+	// IdleTimeout is how long a pooled connection may sit unused before
+	// the reaper closes it (default 30s). Listeners keep v2 sessions for
+	// twice this, so the dialer normally reaps first.
+	IdleTimeout time.Duration
+	// MaxConnsPerPeer bounds the pool per destination (default 2). A new
+	// connection is dialed only while every pooled one is busy and the
+	// bound has not been reached.
+	MaxConnsPerPeer int
+	// NoPool selects the legacy path: one v1-framed exchange per dial.
+	NoPool bool
+
+	ctr    counters
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signalled when a dial finishes or a conn dies
+	pool    map[string]*peerPool
+	reaping bool
+}
+
+// peerPool tracks one destination's connections plus in-progress dials, so
+// a burst of first calls cannot stampede past MaxConnsPerPeer.
+type peerPool struct {
+	conns   []*peerConn
+	dialing int
+}
+
+// NewTCP creates a pooled TCP transport with default timeouts.
+func NewTCP() *TCP { return &TCP{} }
+
+// Stats returns a snapshot of the transport's counters.
+func (t *TCP) Stats() Stats { return t.ctr.snapshot() }
+
+func (t *TCP) dialTimeout() time.Duration {
+	if t.DialTimeout > 0 {
+		return t.DialTimeout
+	}
+	return wire.Deadline
+}
+
+func (t *TCP) callTimeout() time.Duration {
+	if t.CallTimeout > 0 {
+		return t.CallTimeout
+	}
+	return wire.Deadline
+}
+
+func (t *TCP) idleTimeout() time.Duration {
+	if t.IdleTimeout > 0 {
+		return t.IdleTimeout
+	}
+	return 30 * time.Second
+}
+
+func (t *TCP) maxConnsPerPeer() int {
+	if t.MaxConnsPerPeer > 0 {
+		return t.MaxConnsPerPeer
+	}
+	return 2
+}
+
+// --- Listener ---
+
+type tcpCloser struct {
+	ln net.Listener
+	wg *sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+func (c *tcpCloser) track(conn net.Conn) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	c.conns[conn] = struct{}{}
+	return true
+}
+
+func (c *tcpCloser) untrack(conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.conns, conn)
+}
+
+func (c *tcpCloser) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	err := c.ln.Close()
+	for conn := range c.conns {
+		_ = conn.Close()
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+	return err
+}
+
+// Listen implements Transport. Each accepted connection is sniffed: v2
+// streams are served as long-lived multiplexed sessions (each request
+// dispatched on its own goroutine), v1 connections get the legacy single
+// request/reply exchange.
+func (t *TCP) Listen(addr string, h Handler) (io.Closer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	var wg sync.WaitGroup
+	closer := &tcpCloser{ln: ln, wg: &wg, conns: make(map[net.Conn]struct{})}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			if !closer.track(conn) {
+				_ = conn.Close()
+				return
+			}
+			wg.Add(1)
+			go func(conn net.Conn) {
+				defer wg.Done()
+				defer closer.untrack(conn)
+				defer conn.Close()
+				t.serveConn(conn, h, &wg)
+			}(conn)
+		}
+	}()
+	return closer, nil
+}
+
+func (t *TCP) serveConn(conn net.Conn, h Handler, wg *sync.WaitGroup) {
+	br := bufio.NewReader(conn)
+	_ = conn.SetReadDeadline(time.Now().Add(t.callTimeout()))
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == frameMagic {
+		t.serveMux(conn, br, h, wg)
+		return
+	}
+	t.serveLegacy(conn, br, h)
+}
+
+// serveLegacy answers exactly one v1 request/reply exchange.
+func (t *TCP) serveLegacy(conn net.Conn, br *bufio.Reader, h Handler) {
+	_ = conn.SetDeadline(time.Now().Add(t.callTimeout()))
+	req, err := readFrame(br)
+	if err != nil {
+		return
+	}
+	t.ctr.bytesRecv.Add(uint64(4 + len(req)))
+	msg, err := wire.Decode(req)
+	if err != nil {
+		return
+	}
+	rep := h(msg)
+	data, err := wire.Encode(rep)
+	if err != nil {
+		return
+	}
+	if writeFrame(conn, data) == nil {
+		t.ctr.bytesSent.Add(uint64(4 + len(data)))
+	}
+}
+
+// serveMux serves a v2 session: requests are read in a loop and handled
+// concurrently, each reply written back (under a write lock) tagged with
+// its request ID. The session ends when the peer closes the connection or
+// it sits idle past the server-side window.
+func (t *TCP) serveMux(conn net.Conn, br *bufio.Reader, h Handler, wg *sync.WaitGroup) {
+	var wmu sync.Mutex
+	idle := 2 * t.idleTimeout()
+	if ct := t.callTimeout(); idle < ct {
+		idle = ct
+	}
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(idle))
+		id, _, data, err := readFrameV2(br)
+		if err != nil {
+			return
+		}
+		t.ctr.bytesRecv.Add(uint64(headerV2Len + len(data)))
+		wg.Add(1)
+		go func(id uint64, data []byte) {
+			defer wg.Done()
+			var rep *wire.Message
+			msg, err := wire.Decode(data)
+			if err != nil {
+				rep = &wire.Message{Kind: wire.KindError, Error: err.Error()}
+			} else {
+				rep = h(msg)
+			}
+			out, err := wire.Encode(rep)
+			if err != nil {
+				return
+			}
+			wmu.Lock()
+			defer wmu.Unlock()
+			_ = conn.SetWriteDeadline(time.Now().Add(t.callTimeout()))
+			if writeFrameV2(conn, id, flagResponse, out) == nil {
+				t.ctr.bytesSent.Add(uint64(headerV2Len + len(out)))
+			}
+		}(id, data)
+	}
+}
+
+// --- Pooled client ---
+
+type callResult struct {
+	data []byte
+	err  error
+}
+
+// peerConn is one pooled connection to a peer, shared by concurrent calls.
+type peerConn struct {
+	t    *TCP
+	addr string
+	conn net.Conn
+	br   *bufio.Reader
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]chan callResult
+	closed  bool
+
+	inflight atomic.Int64
+	lastUsed atomic.Int64 // unix nanos
+}
+
+func (pc *peerConn) touch() { pc.lastUsed.Store(time.Now().UnixNano()) }
+
+func (pc *peerConn) idleSince() time.Time { return time.Unix(0, pc.lastUsed.Load()) }
+
+// register claims a request ID slot; it fails once the connection died.
+func (pc *peerConn) register(id uint64, ch chan callResult) bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.closed {
+		return false
+	}
+	pc.pending[id] = ch
+	return true
+}
+
+func (pc *peerConn) unregister(id uint64) {
+	pc.mu.Lock()
+	delete(pc.pending, id)
+	pc.mu.Unlock()
+}
+
+// fail marks the connection dead, fails every outstanding call, and drops
+// it from the pool.
+func (pc *peerConn) fail(err error) {
+	pc.mu.Lock()
+	if pc.closed {
+		pc.mu.Unlock()
+		return
+	}
+	pc.closed = true
+	for id, ch := range pc.pending {
+		delete(pc.pending, id)
+		ch <- callResult{err: err}
+	}
+	pc.mu.Unlock()
+	_ = pc.conn.Close()
+	pc.t.removeConn(pc)
+}
+
+// readLoop demuxes response frames to their waiting callers.
+func (pc *peerConn) readLoop() {
+	for {
+		id, _, data, err := readFrameV2(pc.br)
+		if err != nil {
+			pc.fail(errStaleConn)
+			return
+		}
+		pc.t.ctr.bytesRecv.Add(uint64(headerV2Len + len(data)))
+		pc.mu.Lock()
+		ch := pc.pending[id]
+		delete(pc.pending, id)
+		pc.mu.Unlock()
+		if ch != nil {
+			ch <- callResult{data: data}
+		}
+	}
+}
+
+// poolFor returns addr's pool entry, initializing lazily. Callers hold t.mu.
+func (t *TCP) poolFor(addr string) *peerPool {
+	if t.pool == nil {
+		t.pool = make(map[string]*peerPool)
+	}
+	if t.cond == nil {
+		t.cond = sync.NewCond(&t.mu)
+	}
+	pp := t.pool[addr]
+	if pp == nil {
+		pp = &peerPool{}
+		t.pool[addr] = pp
+	}
+	return pp
+}
+
+// getConn returns a pooled connection to addr, dialing a new one when
+// every pooled connection is busy and a dial slot is free (dials in flight
+// count against MaxConnsPerPeer, so call bursts multiplex instead of
+// stampeding into one socket each). fresh bypasses the pool — the
+// stale-retry path must not be handed the same dead connection back.
+func (t *TCP) getConn(addr string, fresh bool) (*peerConn, bool, error) {
+	t.mu.Lock()
+	pp := t.poolFor(addr)
+	if !fresh {
+		for {
+			var best *peerConn
+			for _, pc := range pp.conns {
+				if best == nil || pc.inflight.Load() < best.inflight.Load() {
+					best = pc
+				}
+			}
+			if best != nil && (best.inflight.Load() == 0 || len(pp.conns)+pp.dialing >= t.maxConnsPerPeer()) {
+				t.mu.Unlock()
+				t.ctr.reuses.Add(1)
+				return best, true, nil
+			}
+			if len(pp.conns)+pp.dialing < t.maxConnsPerPeer() {
+				break // take a dial slot
+			}
+			t.cond.Wait() // a dial is in flight; reuse its connection when it lands
+			pp = t.poolFor(addr)
+		}
+	}
+	pp.dialing++
+	t.mu.Unlock()
+
+	conn, err := net.DialTimeout("tcp", addr, t.dialTimeout())
+
+	t.mu.Lock()
+	pp = t.poolFor(addr)
+	pp.dialing--
+	if err != nil {
+		t.cond.Broadcast()
+		t.mu.Unlock()
+		return nil, false, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	t.ctr.dials.Add(1)
+	pc := &peerConn{
+		t:       t,
+		addr:    addr,
+		conn:    conn,
+		br:      bufio.NewReader(conn),
+		pending: make(map[uint64]chan callResult),
+	}
+	pc.touch()
+	pp.conns = append(pp.conns, pc)
+	startReaper := !t.reaping
+	t.reaping = true
+	t.cond.Broadcast()
+	t.mu.Unlock()
+	go pc.readLoop()
+	if startReaper {
+		go t.reapLoop()
+	}
+	return pc, false, nil
+}
+
+func (t *TCP) removeConn(pc *peerConn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pp := t.pool[pc.addr]
+	if pp == nil {
+		return
+	}
+	for i, c := range pp.conns {
+		if c == pc {
+			pp.conns = append(pp.conns[:i], pp.conns[i+1:]...)
+			break
+		}
+	}
+	if len(pp.conns) == 0 && pp.dialing == 0 {
+		delete(t.pool, pc.addr)
+	}
+	if t.cond != nil {
+		t.cond.Broadcast()
+	}
+}
+
+// reapLoop closes idle pooled connections. It exits once the pool drains
+// (the next Call restarts it), so idle transports hold no goroutines.
+func (t *TCP) reapLoop() {
+	idle := t.idleTimeout()
+	ticker := time.NewTicker(idle / 2)
+	defer ticker.Stop()
+	for range ticker.C {
+		now := time.Now()
+		var victims []*peerConn
+		t.mu.Lock()
+		remaining := 0
+		for addr, pp := range t.pool {
+			kept := pp.conns[:0]
+			for _, pc := range pp.conns {
+				if pc.inflight.Load() == 0 && now.Sub(pc.idleSince()) > idle {
+					victims = append(victims, pc)
+				} else {
+					kept = append(kept, pc)
+				}
+			}
+			pp.conns = kept
+			if len(kept) == 0 && pp.dialing == 0 {
+				delete(t.pool, addr)
+			}
+			remaining += len(kept) + pp.dialing
+		}
+		done := remaining == 0
+		if done {
+			t.reaping = false
+		}
+		t.mu.Unlock()
+		for _, pc := range victims {
+			pc.fail(errStaleConn)
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// Close tears down every pooled connection. Outstanding calls fail; the
+// transport remains usable (later calls dial anew).
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	var all []*peerConn
+	for _, pp := range t.pool {
+		all = append(all, pp.conns...)
+	}
+	t.pool = nil
+	if t.cond != nil {
+		t.cond.Broadcast()
+	}
+	t.mu.Unlock()
+	for _, pc := range all {
+		pc.fail(errStaleConn)
+	}
+	return nil
+}
+
+// Call implements Transport. Pooled calls that fail because the pooled
+// connection went stale (peer restarted, idle reap raced) are retried once
+// on a fresh dial; timeouts and fresh-connection failures are not retried,
+// since the request may have been handled.
+func (t *TCP) Call(addr string, req *wire.Message) (*wire.Message, error) {
+	data, err := wire.Encode(req)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > maxFrame {
+		return nil, fmt.Errorf("transport: message of %d bytes exceeds the %d-byte frame limit", len(data), maxFrame)
+	}
+	start := time.Now()
+	t.ctr.inflight.Add(1)
+	defer t.ctr.inflight.Add(-1)
+
+	var rep []byte
+	if t.NoPool {
+		rep, err = t.callLegacy(addr, data)
+	} else {
+		rep, err = t.callPooled(addr, data, false)
+		if errors.Is(err, errStaleConn) {
+			t.ctr.retries.Add(1)
+			rep, err = t.callPooled(addr, data, true)
+		}
+	}
+	if err != nil {
+		t.ctr.errors.Add(1)
+		if errors.Is(err, errStaleConn) {
+			err = fmt.Errorf("transport: call to %s: %w", addr, err)
+		}
+		return nil, err
+	}
+	t.ctr.calls.Add(1)
+	t.ctr.observe(time.Since(start))
+	return wire.Decode(rep)
+}
+
+// callPooled runs one v2 exchange over a pooled connection. Failures on a
+// reused connection surface as errStaleConn so Call can retry them once.
+func (t *TCP) callPooled(addr string, data []byte, fresh bool) ([]byte, error) {
+	pc, reused, err := t.getConn(addr, fresh)
+	if err != nil {
+		return nil, err
+	}
+	id := t.nextID.Add(1)
+	ch := make(chan callResult, 1)
+	if !pc.register(id, ch) {
+		if reused {
+			return nil, errStaleConn
+		}
+		return nil, fmt.Errorf("transport: connection to %s closed", addr)
+	}
+	pc.inflight.Add(1)
+	defer func() {
+		pc.inflight.Add(-1)
+		pc.touch()
+	}()
+
+	pc.wmu.Lock()
+	_ = pc.conn.SetWriteDeadline(time.Now().Add(t.callTimeout()))
+	werr := writeFrameV2(pc.conn, id, 0, data)
+	pc.wmu.Unlock()
+	if werr != nil {
+		pc.unregister(id)
+		pc.fail(errStaleConn)
+		if reused {
+			return nil, errStaleConn
+		}
+		return nil, fmt.Errorf("transport: write to %s: %w", addr, werr)
+	}
+	t.ctr.bytesSent.Add(uint64(headerV2Len + len(data)))
+
+	timer := time.NewTimer(t.callTimeout())
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			if reused {
+				return nil, errStaleConn
+			}
+			return nil, fmt.Errorf("transport: read from %s: %w", addr, res.err)
+		}
+		return res.data, nil
+	case <-timer.C:
+		pc.unregister(id)
+		return nil, fmt.Errorf("transport: call to %s timed out after %v", addr, t.callTimeout())
+	}
+}
+
+// callLegacy is the v1 baseline: dial, one framed exchange, close.
+func (t *TCP) callLegacy(addr string, data []byte) ([]byte, error) {
+	conn, err := net.DialTimeout("tcp", addr, t.dialTimeout())
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	t.ctr.dials.Add(1)
+	_ = conn.SetDeadline(time.Now().Add(t.callTimeout()))
+	if err := writeFrame(conn, data); err != nil {
+		return nil, fmt.Errorf("transport: write to %s: %w", addr, err)
+	}
+	t.ctr.bytesSent.Add(uint64(4 + len(data)))
+	rep, err := readFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("transport: read from %s: %w", addr, err)
+	}
+	t.ctr.bytesRecv.Add(uint64(4 + len(rep)))
+	return rep, nil
+}
+
+// --- Framing ---
+
+// writeFrame writes a v1 frame, rejecting oversize payloads at the sender
+// so they fail cleanly instead of corrupting the stream.
+func writeFrame(w io.Writer, data []byte) error {
+	if len(data) > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds the %d-byte limit", len(data), maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// writeFrameV2 writes one multiplexed frame. Callers serialize writes to a
+// shared connection.
+func writeFrameV2(w io.Writer, id uint64, flags byte, data []byte) error {
+	if len(data) > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds the %d-byte limit", len(data), maxFrame)
+	}
+	var hdr [headerV2Len]byte
+	hdr[0] = frameMagic
+	hdr[1] = frameVersion
+	hdr[2] = flags
+	binary.BigEndian.PutUint64(hdr[4:12], id)
+	binary.BigEndian.PutUint32(hdr[12:16], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+func readFrameV2(r io.Reader) (id uint64, flags byte, data []byte, err error) {
+	var hdr [headerV2Len]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	if hdr[0] != frameMagic || hdr[1] != frameVersion {
+		return 0, 0, nil, fmt.Errorf("transport: bad frame header %x (want magic %#x version %d)", hdr[:2], frameMagic, frameVersion)
+	}
+	flags = hdr[2]
+	id = binary.BigEndian.Uint64(hdr[4:12])
+	n := binary.BigEndian.Uint32(hdr[12:16])
+	if n > maxFrame {
+		return 0, 0, nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	data = make([]byte, n)
+	if _, err = io.ReadFull(r, data); err != nil {
+		return 0, 0, nil, err
+	}
+	return id, flags, data, nil
+}

@@ -1,15 +1,14 @@
 // Package transport provides the request/response layer the live ROADS
 // prototype runs on, with two interchangeable implementations: an
 // in-process channel transport for tests, examples and benchmarks (with an
-// optional injected latency model), and a TCP transport (gob frames) for
-// real multi-process deployments.
+// optional injected latency model), and a pooled, multiplexed TCP
+// transport (gob frames) for real multi-process deployments. Both expose
+// operational counters through Stats().
 package transport
 
 import (
-	"encoding/binary"
 	"fmt"
 	"io"
-	"net"
 	"sync"
 	"time"
 
@@ -43,8 +42,8 @@ type Chan struct {
 	// CallerAddr tags outgoing calls for the latency function; transports
 	// are per-process so a single caller address suffices.
 	CallerAddr string
-	// Bytes counts the encoded bytes moved, for overhead measurements.
-	bytesMoved int64
+
+	ctr counters
 }
 
 // NewChan creates an empty in-process transport.
@@ -85,43 +84,50 @@ func (t *Chan) Call(addr string, req *wire.Message) (*wire.Message, error) {
 	caller := t.CallerAddr
 	t.mu.RUnlock()
 	if h == nil {
+		t.ctr.errors.Add(1)
 		return nil, fmt.Errorf("transport: no server at %q", addr)
 	}
+	start := time.Now()
+	t.ctr.inflight.Add(1)
+	defer t.ctr.inflight.Add(-1)
 	data, err := wire.Encode(req)
 	if err != nil {
+		t.ctr.errors.Add(1)
 		return nil, err
 	}
-	t.addBytes(len(data))
+	t.ctr.bytesSent.Add(uint64(len(data)))
 	if lat != nil {
 		time.Sleep(lat(caller, addr))
 	}
 	decoded, err := wire.Decode(data)
 	if err != nil {
+		t.ctr.errors.Add(1)
 		return nil, err
 	}
 	rep := h(decoded)
 	repData, err := wire.Encode(rep)
 	if err != nil {
+		t.ctr.errors.Add(1)
 		return nil, err
 	}
-	t.addBytes(len(repData))
+	t.ctr.bytesRecv.Add(uint64(len(repData)))
 	if lat != nil {
 		time.Sleep(lat(addr, caller))
 	}
+	t.ctr.calls.Add(1)
+	t.ctr.observe(time.Since(start))
 	return wire.Decode(repData)
 }
 
-func (t *Chan) addBytes(n int) {
-	t.mu.Lock()
-	t.bytesMoved += int64(n)
-	t.mu.Unlock()
-}
+// Stats returns a snapshot of the transport's counters. The Chan transport
+// never dials, so only calls, bytes and latency move.
+func (t *Chan) Stats() Stats { return t.ctr.snapshot() }
 
-// BytesMoved returns the total encoded bytes transferred.
+// BytesMoved returns the total encoded bytes transferred (both
+// directions), for overhead measurements.
 func (t *Chan) BytesMoved() int64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.bytesMoved
+	s := t.ctr.snapshot()
+	return int64(s.BytesSent + s.BytesRecv)
 }
 
 // Addrs returns the registered addresses (diagnostics).
@@ -133,134 +139,4 @@ func (t *Chan) Addrs() []string {
 		out = append(out, a)
 	}
 	return out
-}
-
-// --- TCP transport ---
-
-// TCP is a gob-over-TCP transport: each Call opens a connection, writes a
-// length-prefixed frame, and reads the length-prefixed reply. Simple and
-// stateless; adequate for the prototype's message rates.
-type TCP struct {
-	// DialTimeout bounds connection setup; CallTimeout bounds the whole
-	// exchange. Zero values use wire.Deadline.
-	DialTimeout time.Duration
-	CallTimeout time.Duration
-}
-
-// NewTCP creates a TCP transport with default timeouts.
-func NewTCP() *TCP { return &TCP{} }
-
-type tcpCloser struct {
-	ln net.Listener
-	wg *sync.WaitGroup
-}
-
-func (c *tcpCloser) Close() error {
-	err := c.ln.Close()
-	c.wg.Wait()
-	return err
-}
-
-// Listen implements Transport: it serves each accepted connection on its
-// own goroutine, one request/reply exchange per connection.
-func (t *TCP) Listen(addr string, h Handler) (io.Closer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
-	}
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return // listener closed
-			}
-			wg.Add(1)
-			go func(conn net.Conn) {
-				defer wg.Done()
-				defer conn.Close()
-				deadline := t.CallTimeout
-				if deadline == 0 {
-					deadline = wire.Deadline
-				}
-				_ = conn.SetDeadline(time.Now().Add(deadline))
-				req, err := readFrame(conn)
-				if err != nil {
-					return
-				}
-				msg, err := wire.Decode(req)
-				if err != nil {
-					return
-				}
-				rep := h(msg)
-				data, err := wire.Encode(rep)
-				if err != nil {
-					return
-				}
-				_ = writeFrame(conn, data)
-			}(conn)
-		}
-	}()
-	return &tcpCloser{ln: ln, wg: &wg}, nil
-}
-
-// Call implements Transport.
-func (t *TCP) Call(addr string, req *wire.Message) (*wire.Message, error) {
-	dialTO := t.DialTimeout
-	if dialTO == 0 {
-		dialTO = wire.Deadline
-	}
-	conn, err := net.DialTimeout("tcp", addr, dialTO)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
-	}
-	defer conn.Close()
-	callTO := t.CallTimeout
-	if callTO == 0 {
-		callTO = wire.Deadline
-	}
-	_ = conn.SetDeadline(time.Now().Add(callTO))
-	data, err := wire.Encode(req)
-	if err != nil {
-		return nil, err
-	}
-	if err := writeFrame(conn, data); err != nil {
-		return nil, fmt.Errorf("transport: write to %s: %w", addr, err)
-	}
-	rep, err := readFrame(conn)
-	if err != nil {
-		return nil, fmt.Errorf("transport: read from %s: %w", addr, err)
-	}
-	return wire.Decode(rep)
-}
-
-// maxFrame bounds a frame to 64 MiB, far above any legitimate message.
-const maxFrame = 64 << 20
-
-func writeFrame(w io.Writer, data []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(data)
-	return err
-}
-
-func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
-	}
-	data := make([]byte, n)
-	if _, err := io.ReadFull(r, data); err != nil {
-		return nil, err
-	}
-	return data, nil
 }

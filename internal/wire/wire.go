@@ -47,6 +47,12 @@ const (
 	// returns it.
 	KindStatus
 	KindStatusReply
+	// KindReplicaBatch carries all of a parent's replica pushes for one
+	// child in a single message — one frame instead of O(replicas) calls
+	// per aggregation tick. New kinds append here so existing values stay
+	// stable on the wire; peers that predate batching still understand
+	// the individual KindReplicaPush form.
+	KindReplicaBatch
 )
 
 // Message is the envelope every exchange uses.
@@ -59,6 +65,7 @@ type Message struct {
 	JoinReply *JoinReply
 	Report    *SummaryReport
 	Replica   *ReplicaPush
+	Batch     *ReplicaBatch
 	Query     *QueryDTO
 	QueryRep  *QueryReply
 	Heartbeat *Heartbeat
@@ -83,6 +90,25 @@ type Status struct {
 	QueriesServed   uint64
 	RedirectsIssued uint64
 	SummariesRecv   uint64
+	// Transport carries the server's transport counters when its
+	// transport exposes them (pooled TCP and the in-process Chan both do).
+	Transport *TransportStatus
+}
+
+// TransportStatus is the wire form of a transport's counter snapshot:
+// connection pooling effectiveness (dials vs reuses), traffic volume, and
+// call-latency percentiles derived from the transport's histogram.
+type TransportStatus struct {
+	Dials     uint64
+	Reuses    uint64
+	InFlight  uint64
+	Calls     uint64
+	Errors    uint64
+	Retries   uint64
+	BytesSent uint64
+	BytesRecv uint64
+	P50Micros uint64
+	P99Micros uint64
 }
 
 // SummaryReport carries a child's branch summary to its parent, with the
@@ -142,6 +168,14 @@ type ReplicaPush struct {
 	// grandparent and its siblings, and so on. Scoped queries use it to
 	// bound their search radius.
 	Level int
+}
+
+// ReplicaBatch bundles every replica push a parent owes one child into a
+// single message, so an aggregation tick costs one call per child instead
+// of one per (child × replica). Receivers apply the whole batch under a
+// single lock acquisition, making the overlay update atomic.
+type ReplicaBatch struct {
+	Pushes []*ReplicaPush
 }
 
 // QueryDTO is the wire form of a query.

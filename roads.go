@@ -179,13 +179,26 @@ func StartCluster(tr Transport, cfg ClusterConfig) (*Cluster, error) {
 // to owners' sharing policies.
 func NewClient(tr Transport, requester string) *Client { return live.NewClient(tr, requester) }
 
-// NewTCPTransport returns a gob-over-TCP transport for multi-process
-// federations.
+// NewTCPTransport returns a pooled, multiplexed gob-over-TCP transport
+// for multi-process federations.
 func NewTCPTransport() Transport { return transport.NewTCP() }
 
 // NewInProcessTransport returns an in-process transport for tests, demos
 // and benchmarks (optionally with injected latency; see transport.Chan).
 func NewInProcessTransport() *transport.Chan { return transport.NewChan() }
+
+// TransportStats is a snapshot of a transport's operational counters
+// (dials vs pooled reuses, in-flight calls, bytes, latency histogram).
+type TransportStats = transport.Stats
+
+// StatsOf returns the transport's counters when it exposes them (both
+// built-in transports do).
+func StatsOf(tr Transport) (TransportStats, bool) {
+	if s, ok := tr.(transport.Statser); ok {
+		return s.Stats(), true
+	}
+	return TransportStats{}, false
+}
 
 // --- Stores ---
 
