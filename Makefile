@@ -1,11 +1,13 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race bench-transport
+.PHONY: tier1 build vet test race chaos bench-transport
 
 # tier1 is the gate every change must pass: full build + vet + full test
 # suite, plus race-enabled runs of the concurrency-heavy packages (the
-# live protocol stack and the pooled transport).
-tier1: build vet test race
+# live protocol stack and the pooled transport) and the fault-injection
+# chaos suite. test/race/chaos depend on vet so a vet failure stops the
+# gate before any tests burn time.
+tier1: build vet test race chaos
 
 build:
 	$(GO) build ./...
@@ -13,11 +15,18 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+test: vet
 	$(GO) test ./...
 
-race:
+race: vet
 	$(GO) test -race ./internal/live/... ./internal/transport/...
+
+# chaos drives the deterministic fault-injection transport through the
+# failure scenarios in internal/live/chaos_test.go (crashed redirect
+# targets, one-way partitions, deadline-straddling delays, hung peers)
+# under the race detector.
+chaos: vet
+	$(GO) test -race -run 'TestChaos|TestFaulty' ./internal/live/ ./internal/transport/
 
 # bench-transport compares the pooled+batched comms hot path against the
 # legacy dial-per-call / push-per-replica baseline (see EXPERIMENTS.md).

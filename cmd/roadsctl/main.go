@@ -6,9 +6,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"roads/internal/live"
 	"roads/internal/query"
@@ -33,6 +35,8 @@ func main() {
 	requester := flag.String("as", "anonymous", "requester identity presented to owners' sharing policies")
 	limit := flag.Int("limit", 20, "max records to print (0 = all)")
 	status := flag.Bool("status", false, "print the server's status snapshot instead of querying")
+	deadline := flag.Duration("deadline", 10*time.Second, "overall resolve deadline; servers shed work that cannot meet it")
+	retries := flag.Int("retries", 1, "retries per failed server contact before failing over to alternate replica holders")
 	var preds predList
 	flag.Var(&preds, "q", "predicate attr=lo:hi, attr=value, attr>v or attr<v (repeatable)")
 	flag.Parse()
@@ -52,8 +56,8 @@ func main() {
 		}
 		fmt.Printf("  children: %d, overlay replicas: %d, owners: %d\n", st.Children, st.Replicas, st.Owners)
 		fmt.Printf("  records: %d local, %d in branch\n", st.LocalRecords, st.BranchRecords)
-		fmt.Printf("  served: %d queries, %d redirects, %d summary reports\n",
-			st.QueriesServed, st.RedirectsIssued, st.SummariesRecv)
+		fmt.Printf("  served: %d queries (%d shed over budget), %d redirects, %d summary reports\n",
+			st.QueriesServed, st.QueriesShed, st.RedirectsIssued, st.SummariesRecv)
 		if tr := st.Transport; tr != nil {
 			fmt.Printf("  transport: %d calls (%d errors, %d retries), %d in-flight\n",
 				tr.Calls, tr.Errors, tr.Retries, tr.InFlight)
@@ -73,13 +77,21 @@ func main() {
 	}
 	q := query.New("roadsctl", preds...)
 	client := live.NewClient(transport.NewTCP(), *requester)
-	recs, stats, err := client.Resolve(*server, q)
+	client.Retries = *retries
+	ctx, cancel := context.WithTimeout(context.Background(), *deadline)
+	defer cancel()
+	recs, stats, err := client.ResolveContext(ctx, *server, q)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "roadsctl:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("query: %s\n", q)
-	fmt.Printf("matched %d records via %d servers in %v\n", len(recs), stats.Contacted, stats.Elapsed.Round(0))
+	fmt.Printf("matched %d records via %d servers in %v (estimated coverage %.0f%%)\n",
+		len(recs), stats.Contacted, stats.Elapsed.Round(0), 100*stats.Coverage)
+	if stats.Retried > 0 || stats.FailedOver > 0 {
+		fmt.Printf("resilience: %d retries, %d failovers to alternate replica holders\n",
+			stats.Retried, stats.FailedOver)
+	}
 	if stats.Failed > 0 {
 		fmt.Fprintf(os.Stderr, "warning: %d of %d contacted servers failed; results may be incomplete\n",
 			stats.Failed, stats.Contacted+stats.Failed)

@@ -40,6 +40,7 @@ func main() {
 	buckets := flag.Int("buckets", 1000, "histogram buckets per attribute")
 	degree := flag.Int("degree", 8, "max children")
 	tick := flag.Duration("tick", 2*time.Second, "aggregation/heartbeat period")
+	ttlFloor := flag.Duration("replica-ttl-floor", live.DefaultReplicaTTLFloor, "minimum overlay-replica TTL, whatever the tick")
 	seed := flag.Int64("seed", 0, "workload seed (0 = derive from ID)")
 	load := flag.String("load", "", "JSON-lines records file to host (overrides -records)")
 	schemaFile := flag.String("schema", "", "schema JSON file (required with -load; default synthetic aN schema otherwise)")
@@ -96,6 +97,7 @@ func main() {
 	cfg.MaxChildren = *degree
 	cfg.AggregateEvery = *tick
 	cfg.HeartbeatEvery = *tick
+	cfg.ReplicaTTLFloor = *ttlFloor
 
 	tr := transport.NewTCP()
 	srv, err := live.NewServer(cfg, tr)

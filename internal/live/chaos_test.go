@@ -1,0 +1,444 @@
+package live
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"roads/internal/policy"
+	"roads/internal/query"
+	"roads/internal/record"
+	"roads/internal/transport"
+	"roads/internal/wire"
+)
+
+// leakCheck snapshots the goroutine count and registers a cleanup that
+// polls until the count settles back near it. Register it BEFORE building
+// a cluster: cleanups run LIFO, so it fires after the cluster's Stop.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(15 * time.Second)
+		var n int
+		for time.Now().Before(deadline) {
+			n = runtime.NumGoroutine()
+			if n <= base+3 {
+				return
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d running after cleanup, started with %d", n, base)
+	})
+}
+
+// startChaosCluster builds a cluster over a Faulty-wrapped Chan transport
+// with a fast replica TTL, so injected failures both hit quickly and heal
+// quickly. No owners are attached yet — chaos tests place records after
+// they have inspected the tree shape.
+func startChaosCluster(t *testing.T, n, maxChildren int, seed int64) (*Cluster, *transport.Faulty) {
+	t.Helper()
+	leakCheck(t)
+	f := transport.NewFaulty(transport.NewChan(), seed)
+	// Keep background loops from stalling on drop rules: their calls carry
+	// no deadline, so a black hole holds them for the full MaxBlackhole.
+	f.MaxBlackhole = 5 * time.Millisecond
+	cl, err := StartCluster(f, ClusterConfig{
+		N:               n,
+		Schema:          record.DefaultSchema(2),
+		MaxChildren:     maxChildren,
+		ReplicaTTLFloor: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+	return cl, f
+}
+
+// attachChaosOwners gives every server except skipIdx (use -1 for none)
+// recsPer records and waits for convergence. All records match the query
+// from matchAllQuery.
+func attachChaosOwners(t *testing.T, cl *Cluster, recsPer, skipIdx int) {
+	t.Helper()
+	total := 0
+	for i := range cl.Servers {
+		if i == skipIdx {
+			continue
+		}
+		o := policy.NewOwner(fmt.Sprintf("own%d", i), cl.Schema, nil)
+		recs := make([]*record.Record, recsPer)
+		for j := range recs {
+			r := record.New(cl.Schema, fmt.Sprintf("r%d-%d", i, j), o.ID)
+			r.SetNum(0, float64(j+1)/float64(recsPer+2))
+			r.SetNum(1, 0.5)
+			recs[j] = r
+		}
+		o.SetRecords(recs)
+		if err := cl.AttachOwner(i, o); err != nil {
+			t.Fatal(err)
+		}
+		total += recsPer
+	}
+	if err := cl.WaitConverged(uint64(total), convergeTimeout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func matchAllQuery() *query.Query {
+	return query.New("chaos-q", query.NewRange("a0", 0, 1))
+}
+
+// recordIDs turns a result set into a comparable set of owner/id keys.
+func recordIDs(recs []*record.Record) map[string]bool {
+	ids := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		ids[r.Owner+"/"+r.ID] = true
+	}
+	return ids
+}
+
+// interiorNonRoot returns a server that has children but is not the root.
+func interiorNonRoot(t *testing.T, cl *Cluster) (*Server, int) {
+	t.Helper()
+	for i, srv := range cl.Servers {
+		if !srv.IsRoot() && srv.NumChildren() > 0 {
+			return srv, i
+		}
+	}
+	t.Fatal("no interior non-root server; tree too shallow for this test")
+	return nil, -1
+}
+
+// TestChaosCrashedRedirectTargetFailsOver is the headline robustness
+// scenario: an interior server crashes, a resolve started inside the
+// child-prune window still redirects to it, and the client must route
+// around the corpse via the redirect's alternates — ending with the exact
+// record set a healthy cluster returns, since the victim held no records
+// of its own.
+func TestChaosCrashedRedirectTargetFailsOver(t *testing.T) {
+	cl, _ := startChaosCluster(t, 7, 2, 71)
+	victim, victimIdx := interiorNonRoot(t, cl)
+	attachChaosOwners(t, cl, 5, victimIdx)
+	root := cl.Root()
+	if root == nil {
+		t.Fatal("no root")
+	}
+	client := NewClient(cl.Tr, "t")
+	q := matchAllQuery()
+
+	baseline, bstats, err := client.Resolve(root.Addr(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bstats.Failed != 0 || bstats.FailedOver != 0 {
+		t.Fatalf("healthy baseline saw failures: %+v", bstats)
+	}
+	if len(baseline) != 6*5 {
+		t.Fatalf("baseline returned %d records; want 30", len(baseline))
+	}
+
+	// Crash the interior server. Its parent keeps redirecting to it for the
+	// whole heartbeat-miss window, so an immediate resolve hits the corpse.
+	victim.Kill()
+	recs, stats, err := client.Resolve(root.Addr(), q)
+	if err != nil {
+		t.Fatalf("resolve with crashed redirect target: %v (stats %+v)", err, stats)
+	}
+	if stats.FailedOver == 0 {
+		t.Fatalf("client never failed over to alternates: %+v", stats)
+	}
+	if stats.Retried == 0 {
+		t.Fatalf("dead contact was not retried before failover: %+v", stats)
+	}
+	if stats.Failed == 0 || len(stats.Errors) != stats.Failed {
+		t.Fatalf("failed-contact accounting off: %+v", stats)
+	}
+	want, got := recordIDs(baseline), recordIDs(recs)
+	for id := range want {
+		if !got[id] {
+			t.Fatalf("record %s lost after failover (got %d of %d)", id, len(got), len(want))
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("failover returned %d records; baseline had %d", len(got), len(want))
+	}
+	// The alternates cover the victim's whole branch, so the coverage
+	// estimate must not report the subtree as missing.
+	if stats.Coverage < 0.99 {
+		t.Fatalf("coverage %.3f after full failover; want ~1", stats.Coverage)
+	}
+}
+
+// TestChaosOneWayPartition drops parent→child traffic only: the child's
+// heartbeats still flow up, so the hierarchy holds, but the replica pushes
+// the child depends on vanish and its overlay replicas age out. Queries
+// from the root must stay complete throughout — routing is client-driven
+// and unaffected by the partitioned pair.
+func TestChaosOneWayPartition(t *testing.T) {
+	cl, f := startChaosCluster(t, 7, 2, 72)
+	child, _ := interiorNonRoot(t, cl)
+	attachChaosOwners(t, cl, 4, -1)
+	root := cl.Root()
+	if root == nil {
+		t.Fatal("no root")
+	}
+	if child.NumReplicas() == 0 {
+		t.Fatalf("%s holds no replicas before the partition", child.ID())
+	}
+	rootChildren := root.NumChildren()
+
+	f.SetRules(transport.Partition(root.ID(), child.Addr()))
+
+	// The child's replicas are soft state fed only by the (now severed)
+	// parent pushes; they must age out within the replica TTL.
+	deadline := time.Now().Add(30 * time.Second)
+	for child.NumReplicas() > 0 && time.Now().Before(deadline) {
+		time.Sleep(25 * time.Millisecond)
+	}
+	if n := child.NumReplicas(); n > 0 {
+		t.Fatalf("%s still holds %d replicas long after the partition", child.ID(), n)
+	}
+	if dropped, _, _ := f.Injected(); dropped == 0 {
+		t.Fatal("partition rule never fired")
+	}
+
+	// One-way means the reverse direction kept the hierarchy alive.
+	if pid := child.ParentID(); pid != root.ID() {
+		t.Fatalf("child reattached to %q; the partition should not break child→parent traffic", pid)
+	}
+	if n := root.NumChildren(); n != rootChildren {
+		t.Fatalf("root went from %d to %d children; child heartbeats should have kept it", rootChildren, n)
+	}
+
+	// Resolution from the root is unaffected: redirect traffic comes from
+	// the client, not the partitioned parent.
+	client := NewClient(cl.Tr, "t")
+	recs, stats, err := client.Resolve(root.Addr(), matchAllQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 7*4 {
+		t.Fatalf("resolve during partition returned %d records; want 28 (stats %+v)", len(recs), stats)
+	}
+
+	// Heal the partition: pushes resume and the replicas grow back.
+	f.ClearRules()
+	deadline = time.Now().Add(30 * time.Second)
+	for child.NumReplicas() == 0 && time.Now().Before(deadline) {
+		time.Sleep(25 * time.Millisecond)
+	}
+	if child.NumReplicas() == 0 {
+		t.Fatal("replicas never recovered after the partition healed")
+	}
+}
+
+// TestChaosDelayedRepliesStraddleDeadline injects one delay bigger than
+// the per-contact timeout and one smaller: the slow server times out (a
+// counted, partial failure — not a resolve error), the merely-laggy one
+// still contributes, and Coverage reports the hole.
+func TestChaosDelayedRepliesStraddleDeadline(t *testing.T) {
+	cl, f := startChaosCluster(t, 7, 2, 73)
+	attachChaosOwners(t, cl, 4, -1)
+	root := cl.Root()
+	var leafSlow, leafLaggy *Server
+	for _, srv := range cl.Servers {
+		if srv.IsRoot() || srv.NumChildren() > 0 {
+			continue
+		}
+		if leafSlow == nil {
+			leafSlow = srv
+		} else if leafLaggy == nil {
+			leafLaggy = srv
+		}
+	}
+	if leafSlow == nil || leafLaggy == nil {
+		t.Fatal("need two leaves")
+	}
+
+	// Scope the rules to client queries so server maintenance traffic —
+	// heartbeats, summary reports, replica pushes — keeps its timing.
+	f.SetRules(
+		transport.FaultRule{From: "t", To: leafSlow.Addr(), Kind: wire.KindQuery,
+			Action: transport.FaultDelay, Delay: 2 * time.Second},
+		transport.FaultRule{From: "t", To: leafLaggy.Addr(), Kind: wire.KindQuery,
+			Action: transport.FaultDelay, Delay: 30 * time.Millisecond},
+	)
+
+	client := NewClient(cl.Tr, "t")
+	client.Timeout = 300 * time.Millisecond
+	client.Retries = 0 // the retry would just time out again
+	recs, stats, err := client.Resolve(root.Addr(), matchAllQuery())
+	if err != nil {
+		t.Fatalf("partial answers must not be resolve errors: %v", err)
+	}
+	if stats.Failed != 1 {
+		t.Fatalf("exactly the slow leaf should fail: %+v", stats)
+	}
+	got := recordIDs(recs)
+	if len(recs) != 6*4 {
+		t.Fatalf("got %d records; want 24 (all but the slow leaf's)", len(recs))
+	}
+	for id := range got {
+		if leafSlowOwns(leafSlow, cl, id) {
+			t.Fatalf("record %s from the timed-out leaf should be missing", id)
+		}
+	}
+	if stats.Coverage >= 1 {
+		t.Fatalf("coverage %.3f claims completeness despite a lost leaf", stats.Coverage)
+	}
+	if _, delayed, _ := f.Injected(); delayed < 2 {
+		t.Fatalf("delay rules fired %d times; want both", delayed)
+	}
+}
+
+// leafSlowOwns reports whether the record key belongs to the given
+// server's owner (owners are named own<index>).
+func leafSlowOwns(srv *Server, cl *Cluster, key string) bool {
+	for i, s := range cl.Servers {
+		if s == srv {
+			prefix := fmt.Sprintf("own%d/", i)
+			return len(key) > len(prefix) && key[:len(prefix)] == prefix
+		}
+	}
+	return false
+}
+
+// TestChaosHungPeerBoundedByDeadline black-holes client queries to one
+// leaf with a very long blackhole: only the caller's deadline can release
+// the contact, so a prompt return proves cancellation reaches the
+// transport.
+func TestChaosHungPeerBoundedByDeadline(t *testing.T) {
+	cl, f := startChaosCluster(t, 7, 2, 74)
+	attachChaosOwners(t, cl, 3, -1)
+	root := cl.Root()
+	var leaf *Server
+	for _, srv := range cl.Servers {
+		if !srv.IsRoot() && srv.NumChildren() == 0 {
+			leaf = srv
+			break
+		}
+	}
+	if leaf == nil {
+		t.Fatal("no leaf")
+	}
+	// The blackhole far exceeds any test timeout; only ctx can end it.
+	f.MaxBlackhole = 5 * time.Minute
+	f.SetRules(transport.FaultRule{From: "t", To: leaf.Addr(), Kind: wire.KindQuery,
+		Action: transport.FaultDrop})
+
+	client := NewClient(cl.Tr, "t")
+	client.Timeout = 250 * time.Millisecond
+	client.Retries = 0
+	start := time.Now()
+	recs, stats, err := client.Resolve(root.Addr(), matchAllQuery())
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("resolve took %v against a hung peer; the deadline never propagated", elapsed)
+	}
+	if stats.Failed != 1 {
+		t.Fatalf("the hung leaf should be the one failure: %+v", stats)
+	}
+	if len(recs) != 6*3 {
+		t.Fatalf("got %d records; want 18 (all but the hung leaf's)", len(recs))
+	}
+	// Clear before cleanup so shutdown traffic is not black-holed.
+	f.ClearRules()
+}
+
+// TestQueryBudgetShedding drives the server-side half of the deadline
+// hierarchy directly: a query arriving with an exhausted budget is shed
+// with an error instead of burning owner-policy work, and the shed shows
+// up in the server's status counters.
+func TestQueryBudgetShedding(t *testing.T) {
+	cl, _ := startChaosCluster(t, 3, 3, 75)
+	attachChaosOwners(t, cl, 2, -1)
+	srv := cl.Servers[0]
+
+	q := matchAllQuery()
+	dto := wire.FromQuery(q, true)
+	dto.Budget = time.Nanosecond // exhausted on arrival
+	rep, err := cl.Tr.Call(srv.Addr(), &wire.Message{Kind: wire.KindQuery, From: "t", Query: dto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerr := wire.RemoteError(rep); rerr == nil {
+		t.Fatal("over-budget query must be shed with an error")
+	}
+	client := NewClient(cl.Tr, "t")
+	st, err := client.Status(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.QueriesShed == 0 {
+		t.Fatal("status does not count the shed query")
+	}
+
+	// A sane budget sails through.
+	dto2 := wire.FromQuery(q, true)
+	dto2.Budget = 10 * time.Second
+	rep, err = cl.Tr.Call(srv.Addr(), &wire.Message{Kind: wire.KindQuery, From: "t", Query: dto2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerr := wire.RemoteError(rep); rerr != nil {
+		t.Fatalf("budgeted query rejected: %v", rerr)
+	}
+}
+
+// TestLoopJitterDeterministic pins the ticker-jitter contract: the factor
+// stays within ±10% and the sequence is a pure function of the server ID,
+// so two runs of the same deployment phase identically.
+func TestLoopJitterDeterministic(t *testing.T) {
+	base := 100 * time.Millisecond
+	r1, r2 := loopRng("srv007", 0xa99a), loopRng("srv007", 0xa99a)
+	other := loopRng("srv008", 0xa99a)
+	same, diff := true, false
+	for i := 0; i < 64; i++ {
+		a, b, c := jittered(base, r1), jittered(base, r2), jittered(base, other)
+		if a != b {
+			same = false
+		}
+		if a != c {
+			diff = true
+		}
+		if a < 90*time.Millisecond || a >= 110*time.Millisecond {
+			t.Fatalf("jittered(%v) = %v; want within ±10%%", base, a)
+		}
+	}
+	if !same {
+		t.Fatal("same ID produced different jitter sequences")
+	}
+	if !diff {
+		t.Fatal("different IDs produced identical jitter sequences; desynchronization lost")
+	}
+}
+
+// TestReplicaTTLFloorConfig covers the configurable floor: validation
+// rejects negatives, zero falls back to the default, and explicit values
+// stick.
+func TestReplicaTTLFloorConfig(t *testing.T) {
+	cfg := DefaultConfig("a", "addr-a", record.DefaultSchema(1))
+	if cfg.ReplicaTTLFloor != DefaultReplicaTTLFloor {
+		t.Fatalf("default floor = %v; want %v", cfg.ReplicaTTLFloor, DefaultReplicaTTLFloor)
+	}
+	cfg.ReplicaTTLFloor = -time.Second
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative floor must fail validation")
+	}
+	cfg.ReplicaTTLFloor = 0
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.replicaTTLFloor(); got != DefaultReplicaTTLFloor {
+		t.Fatalf("zero floor resolves to %v; want default %v", got, DefaultReplicaTTLFloor)
+	}
+	cfg.ReplicaTTLFloor = 123 * time.Millisecond
+	if got := cfg.replicaTTLFloor(); got != 123*time.Millisecond {
+		t.Fatalf("explicit floor resolves to %v", got)
+	}
+}

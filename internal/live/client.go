@@ -1,7 +1,10 @@
 package live
 
 import (
+	"context"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -14,29 +17,67 @@ import (
 // Client resolves queries against a live ROADS deployment by following
 // redirects, querying redirect targets concurrently — one goroutine per
 // outstanding server contact, exactly the fan-out the overlay enables.
+// Each contact is bounded by Timeout, retried with exponential backoff,
+// and — when it stays unreachable — failed over to alternate replica
+// holders of the same branch, so a crashed or partitioned server costs
+// retries rather than its whole subtree.
 type Client struct {
 	tr transport.Transport
 	// Requester is the identity presented to owners' sharing policies.
 	Requester string
 	// MaxConcurrent bounds parallel contacts (default 16).
 	MaxConcurrent int
+	// Timeout bounds each individual server contact (default
+	// wire.Deadline). The overall resolve deadline comes from the
+	// caller's context; each contact's budget is the smaller of the two.
+	Timeout time.Duration
+	// Retries is how many times a failed contact is retried (on top of
+	// the first attempt) before failing over to alternates. NewClient
+	// sets 1; negative disables retries.
+	Retries int
+	// Backoff is the base retry delay, doubled per attempt with ±25%
+	// jitter (default 20ms, capped at 1s).
+	Backoff time.Duration
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // NewClient creates a client over the transport.
 func NewClient(tr transport.Transport, requester string) *Client {
-	return &Client{tr: tr, Requester: requester, MaxConcurrent: 16}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(requester))
+	return &Client{
+		tr:            tr,
+		Requester:     requester,
+		MaxConcurrent: 16,
+		Retries:       1,
+		rng:           rand.New(rand.NewSource(int64(h.Sum64()))),
+	}
 }
 
 // QueryStats reports how a resolution unfolded.
 type QueryStats struct {
 	// Contacted is the number of servers that answered.
 	Contacted int
-	// Failed is the number of contacts that errored mid-resolution. A
+	// Failed is the number of contacts that errored mid-resolution
+	// (counting a contact once, however many retry attempts it burned). A
 	// resolve with Failed > 0 returned real records but may not have
 	// covered the whole federation — callers needing completeness must
 	// check it (a partial answer is not an error, so err stays nil once
 	// any server has answered).
 	Failed int
+	// Retried counts retry attempts beyond each contact's first try.
+	Retried int
+	// FailedOver counts failed contacts whose alternate replica holders
+	// were contacted in their stead.
+	FailedOver int
+	// Coverage estimates the fraction of known subtree records the
+	// resolve reached: every redirect carries the target region's record
+	// count, and targets that never answered (nor any alternate for them)
+	// subtract theirs. 1.0 means every discovered region answered; it
+	// cannot see regions no surviving server advertised.
+	Coverage float64
 	// Errors describes each failed contact ("addr: cause").
 	Errors []string
 	// Elapsed is the wall-clock total response time.
@@ -49,15 +90,38 @@ type QueryStats struct {
 // records (deduplicated by record ID + owner), searching the whole
 // hierarchy.
 func (c *Client) Resolve(startAddr string, q *query.Query) ([]*record.Record, QueryStats, error) {
-	return c.ResolveScoped(startAddr, q, -1)
+	return c.ResolveScopedContext(context.Background(), startAddr, q, -1)
+}
+
+// ResolveContext is Resolve bounded by ctx: the resolve returns once ctx
+// expires, with whatever records had been gathered by then.
+func (c *Client) ResolveContext(ctx context.Context, startAddr string, q *query.Query) ([]*record.Record, QueryStats, error) {
+	return c.ResolveScopedContext(ctx, startAddr, q, -1)
 }
 
 // ResolveScoped is Resolve with the paper's §III-C scope control: the
 // search is bounded to the branch of the start server's ancestor `scope`
 // levels up (0 = only the start server's subtree, negative = everything).
 func (c *Client) ResolveScoped(startAddr string, q *query.Query, scope int) ([]*record.Record, QueryStats, error) {
+	return c.ResolveScopedContext(context.Background(), startAddr, q, scope)
+}
+
+// target is one server contact the resolve owes: where, how many records
+// its region covers (0 = unknown), and who can stand in for it.
+type target struct {
+	addr       string
+	records    uint64
+	alternates []wire.RedirectInfo
+}
+
+// ResolveScopedContext is ResolveScoped bounded by ctx. Every server
+// contact gets at most min(Timeout, remaining deadline); failed contacts
+// are retried with backoff and then failed over to the alternate replica
+// holders the redirecting server named, so the resolve routes around dead
+// or partitioned servers instead of silently dropping their subtrees.
+func (c *Client) ResolveScopedContext(ctx context.Context, startAddr string, q *query.Query, scope int) ([]*record.Record, QueryStats, error) {
 	begin := time.Now()
-	stats := QueryStats{}
+	stats := QueryStats{Coverage: 1}
 	q = q.Clone()
 	q.Requester = c.Requester
 
@@ -66,6 +130,14 @@ func (c *Client) ResolveScoped(startAddr string, q *query.Query, scope int) ([]*
 		maxPar = 16
 	}
 	sem := make(chan struct{}, maxPar)
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = wire.Deadline
+	}
+	retries := c.Retries
+	if retries < 0 {
+		retries = 0
+	}
 
 	var (
 		mu      sync.Mutex
@@ -74,38 +146,80 @@ func (c *Client) ResolveScoped(startAddr string, q *query.Query, scope int) ([]*
 		records []*record.Record
 		seenRec = make(map[string]bool)
 		firstEr error
+		// Coverage accounting: known sums the record estimates of every
+		// discovered redirect region, reached those whose target (or a
+		// stand-in alternate) answered.
+		known, reached uint64
 	)
 
-	var contact func(addr string, start bool)
-	contact = func(addr string, start bool) {
+	var contact func(t target, start bool)
+	contact = func(t target, start bool) {
 		defer wg.Done()
 		sem <- struct{}{}
 		dto := wire.FromQuery(q, start)
 		dto.Scope = scope
-		rep, err := c.tr.Call(addr, &wire.Message{
-			Kind:  wire.KindQuery,
-			From:  c.Requester,
-			Query: dto,
-		})
+		var rep *wire.Message
+		var err error
+		for attempt := 0; ; attempt++ {
+			cctx, cancel := context.WithTimeout(ctx, timeout)
+			// The budget the server sees is this contact's real deadline —
+			// the per-contact timeout clipped by the overall resolve
+			// deadline — so it can shed work the client has abandoned.
+			if dl, ok := cctx.Deadline(); ok {
+				dto.Budget = time.Until(dl)
+			}
+			rep, err = c.tr.CallContext(cctx, t.addr, &wire.Message{
+				Kind:  wire.KindQuery,
+				From:  c.Requester,
+				Query: dto,
+			})
+			cancel()
+			if err == nil {
+				err = wire.RemoteError(rep)
+			}
+			if err == nil && rep.QueryRep == nil {
+				err = fmt.Errorf("live: %s returned %v to a query", rep.From, rep.Kind)
+			}
+			if err == nil || attempt >= retries || ctx.Err() != nil {
+				break
+			}
+			mu.Lock()
+			stats.Retried++
+			mu.Unlock()
+			if !c.backoff(ctx, attempt) {
+				break
+			}
+		}
 		<-sem
 		mu.Lock()
 		defer mu.Unlock()
-		if err == nil {
-			err = wire.RemoteError(rep)
-		}
-		if err == nil && rep.QueryRep == nil {
-			err = fmt.Errorf("live: %s returned %v to a query", rep.From, rep.Kind)
-		}
 		if err != nil {
 			if firstEr == nil {
 				firstEr = err
 			}
 			stats.Failed++
-			stats.Errors = append(stats.Errors, fmt.Sprintf("%s: %v", addr, err))
+			stats.Errors = append(stats.Errors, fmt.Sprintf("%s: %v", t.addr, err))
+			// Fail over: the redirecting server named other holders of
+			// this branch (the target's children); contacting them keeps
+			// the subtree covered minus only the target's own local data.
+			spawned := false
+			for _, alt := range t.alternates {
+				if visited[alt.Addr] {
+					continue
+				}
+				visited[alt.Addr] = true
+				spawned = true
+				wg.Add(1)
+				go contact(target{addr: alt.Addr, records: alt.Records, alternates: alt.Alternates}, false)
+			}
+			if spawned {
+				stats.FailedOver++
+			}
 			return
 		}
 		stats.Contacted++
 		stats.Servers = append(stats.Servers, rep.From)
+		reached += t.records
 		for _, dto := range rep.QueryRep.Records {
 			key := dto.Owner + "/" + dto.ID
 			if !seenRec[key] {
@@ -118,26 +232,65 @@ func (c *Client) ResolveScoped(startAddr string, q *query.Query, scope int) ([]*
 				continue
 			}
 			visited[rd.Addr] = true
+			known += rd.Records
 			wg.Add(1)
-			go contact(rd.Addr, false)
+			go contact(target{addr: rd.Addr, records: rd.Records, alternates: rd.Alternates}, false)
 		}
 	}
 
 	visited[startAddr] = true
 	wg.Add(1)
-	go contact(startAddr, true)
+	go contact(target{addr: startAddr}, true)
 	wg.Wait()
 
 	stats.Elapsed = time.Since(begin)
+	if known > 0 {
+		stats.Coverage = float64(reached) / float64(known)
+		if stats.Coverage > 1 {
+			stats.Coverage = 1 // alternates can over-count a region
+		}
+	}
 	if firstEr != nil && stats.Contacted == 0 {
 		return nil, stats, firstEr
 	}
 	return records, stats, nil
 }
 
+// backoff sleeps for the attempt's exponential backoff with ±25% jitter;
+// it reports false when ctx expired instead.
+func (c *Client) backoff(ctx context.Context, attempt int) bool {
+	base := c.Backoff
+	if base <= 0 {
+		base = 20 * time.Millisecond
+	}
+	d := base << uint(attempt)
+	if d > time.Second {
+		d = time.Second
+	}
+	c.rngMu.Lock()
+	if c.rng == nil { // zero-valued Client (not via NewClient)
+		c.rng = rand.New(rand.NewSource(1))
+	}
+	d = time.Duration(float64(d) * (0.75 + 0.5*c.rng.Float64()))
+	c.rngMu.Unlock()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-timer.C:
+		return true
+	}
+}
+
 // Status fetches a server's operational snapshot.
 func (c *Client) Status(addr string) (*wire.Status, error) {
-	rep, err := c.tr.Call(addr, &wire.Message{Kind: wire.KindStatus, From: c.Requester})
+	return c.StatusContext(context.Background(), addr)
+}
+
+// StatusContext is Status bounded by ctx.
+func (c *Client) StatusContext(ctx context.Context, addr string) (*wire.Status, error) {
+	rep, err := c.tr.CallContext(ctx, addr, &wire.Message{Kind: wire.KindStatus, From: c.Requester})
 	if err != nil {
 		return nil, err
 	}

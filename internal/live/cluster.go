@@ -32,6 +32,10 @@ type ClusterConfig struct {
 	AddrFor func(i int) string
 	// Tick overrides the aggregation/heartbeat period (default 25ms).
 	Tick time.Duration
+	// ReplicaTTLFloor overrides the servers' replica-TTL floor (zero
+	// keeps DefaultReplicaTTLFloor); fast-tick chaos tests lower it so
+	// crashed origins age out quickly.
+	ReplicaTTLFloor time.Duration
 	Cost store.CostModel
 }
 
@@ -62,6 +66,9 @@ func StartCluster(tr transport.Transport, cfg ClusterConfig) (*Cluster, error) {
 		}
 		scfg.AggregateEvery = tick
 		scfg.HeartbeatEvery = tick
+		if cfg.ReplicaTTLFloor > 0 {
+			scfg.ReplicaTTLFloor = cfg.ReplicaTTLFloor
+		}
 		scfg.Cost = cfg.Cost
 		srv, err := NewServer(scfg, tr)
 		if err != nil {

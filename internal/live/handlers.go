@@ -119,6 +119,7 @@ func (s *Server) handleSummaryReport(msg *wire.Message) *wire.Message {
 	c.branch = sum
 	c.depth = msg.Report.Depth
 	c.descendants = msg.Report.Descendants
+	c.kids = msg.Report.Children
 	c.lastSeen = time.Now()
 	s.summariesRecv++
 	return s.ack()
@@ -146,6 +147,7 @@ func (s *Server) decodeReplica(p *wire.ReplicaPush) (*replicaState, error) {
 		ancestor:   p.Ancestor,
 		level:      level,
 		received:   time.Now(),
+		fallbacks:  p.Fallbacks,
 	}
 	if p.Local != nil {
 		local, err := p.Local.ToSummary(s.cfg.Schema)
@@ -198,10 +200,25 @@ func (s *Server) handleReplicaBatch(msg *wire.Message) *wire.Message {
 }
 
 // handleQuery evaluates the query against local data and held summaries,
-// returning local matches (after owner policies) plus redirect targets.
+// returning local matches (after owner policies) plus redirect targets,
+// each annotated with failover alternates and a record-count estimate.
+// Queries whose deadline budget runs out mid-evaluation are shed: the
+// client has already given up on this contact, so finishing the work
+// would only burn server time nobody is waiting on.
 func (s *Server) handleQuery(msg *wire.Message) *wire.Message {
 	if msg.Query == nil {
 		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf("live: query without payload"))
+	}
+	began := time.Now()
+	overBudget := func() bool {
+		return msg.Query.Budget > 0 && time.Since(began) > msg.Query.Budget
+	}
+	shed := func() *wire.Message {
+		s.mu.Lock()
+		s.queriesShed++
+		s.mu.Unlock()
+		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf(
+			"live: query %s shed: %v deadline budget exhausted", msg.Query.ID, msg.Query.Budget))
 	}
 	q := msg.Query.ToQuery()
 	if err := q.Bind(s.cfg.Schema); err != nil {
@@ -217,6 +234,9 @@ func (s *Server) handleQuery(msg *wire.Message) *wire.Message {
 		return wire.ErrorMessage(s.cfg.ID, err)
 	}
 	reply.Records = append(reply.Records, wire.FromRecords(sres.Records)...)
+	if overBudget() {
+		return shed()
+	}
 	s.mu.Lock()
 	owners := append(s.owners[:0:0], s.owners...)
 	s.mu.Unlock()
@@ -229,11 +249,15 @@ func (s *Server) handleQuery(msg *wire.Message) *wire.Message {
 			return wire.ErrorMessage(s.cfg.ID, err)
 		}
 		reply.Records = append(reply.Records, wire.FromRecords(ans)...)
+		if overBudget() {
+			return shed()
+		}
 	}
 
 	// Redirects: matching children always; overlay replicas only on the
 	// first contact (paper Fig. 2: redirected servers search their own
-	// branches).
+	// branches). Each redirect carries the target's record-count estimate
+	// and its known replica holders as failover alternates.
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	seen := map[string]bool{s.cfg.ID: true}
@@ -246,7 +270,12 @@ func (s *Server) handleQuery(msg *wire.Message) *wire.Message {
 		c := s.children[id]
 		if c.branch != nil && q.MatchSummary(c.branch) && !seen[id] {
 			seen[id] = true
-			reply.Redirects = append(reply.Redirects, wire.RedirectInfo{ID: c.id, Addr: c.addr})
+			reply.Redirects = append(reply.Redirects, wire.RedirectInfo{
+				ID:         c.id,
+				Addr:       c.addr,
+				Records:    c.branch.Records,
+				Alternates: c.kids,
+			})
 		}
 	}
 	if msg.Query.Start {
@@ -264,17 +293,33 @@ func (s *Server) handleQuery(msg *wire.Message) *wire.Message {
 				continue // outside the requested search scope
 			}
 			if r.ancestor {
+				// An ancestor redirect covers only the ancestor's local
+				// data; nothing replicates that, so no alternates.
 				if r.local != nil && q.MatchSummary(r.local) {
 					seen[id] = true
-					reply.Redirects = append(reply.Redirects, wire.RedirectInfo{ID: r.originID, Addr: r.originAddr})
+					reply.Redirects = append(reply.Redirects, wire.RedirectInfo{
+						ID:      r.originID,
+						Addr:    r.originAddr,
+						Records: r.local.Records,
+					})
 				}
 				continue
 			}
 			if q.MatchSummary(r.branch) {
 				seen[id] = true
-				reply.Redirects = append(reply.Redirects, wire.RedirectInfo{ID: r.originID, Addr: r.originAddr})
+				reply.Redirects = append(reply.Redirects, wire.RedirectInfo{
+					ID:         r.originID,
+					Addr:       r.originAddr,
+					Records:    r.branch.Records,
+					Alternates: r.fallbacks,
+				})
 			}
 		}
+	}
+	if overBudget() {
+		s.queriesShed++
+		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf(
+			"live: query %s shed: %v deadline budget exhausted", msg.Query.ID, msg.Query.Budget))
 	}
 	s.queriesServed++
 	s.redirectsIssued += uint64(len(reply.Redirects))
@@ -297,6 +342,7 @@ func (s *Server) handleStatus() *wire.Message {
 		QueriesServed:   s.queriesServed,
 		RedirectsIssued: s.redirectsIssued,
 		SummariesRecv:   s.summariesRecv,
+		QueriesShed:     s.queriesShed,
 	}
 	if s.branchSummary != nil {
 		st.BranchRecords = s.branchSummary.Records

@@ -1,6 +1,8 @@
 package live
 
 import (
+	"hash/fnv"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -9,23 +11,42 @@ import (
 	"roads/internal/wire"
 )
 
+// loopRng seeds a loop's jitter RNG from the server identity (salted per
+// loop), so a test cluster's tick pattern is reproducible run to run while
+// distinct servers still spread out.
+func loopRng(id string, salt uint64) *rand.Rand {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(id))
+	return rand.New(rand.NewSource(int64(h.Sum64() ^ salt)))
+}
+
+// jittered scales a period by a ±10% factor. Without jitter a large
+// federation phase-locks its rounds — every server whose config was
+// stamped out of the same template pushes replicas in the same instant,
+// thundering-herd style; the jitter decorrelates them within one period.
+func jittered(d time.Duration, rng *rand.Rand) time.Duration {
+	return time.Duration(float64(d) * (0.9 + 0.2*rng.Float64()))
+}
+
 // aggregationLoop periodically refreshes the local and branch summaries,
 // reports the branch to the parent, and pushes overlay replicas to the
 // children (paper §III-B/C).
 func (s *Server) aggregationLoop() {
 	defer s.wg.Done()
-	ticker := time.NewTicker(s.cfg.AggregateEvery)
-	defer ticker.Stop()
+	rng := loopRng(s.cfg.ID, 0xa99a)
+	timer := time.NewTimer(jittered(s.cfg.AggregateEvery, rng))
+	defer timer.Stop()
 	for {
 		select {
 		case <-s.stop:
 			return
-		case <-ticker.C:
+		case <-timer.C:
 			s.refreshSummaries()
 			s.reportToParent()
 			s.pushReplicas()
 			s.pruneDeadChildren()
 			s.pruneStaleReplicas()
+			timer.Reset(jittered(s.cfg.AggregateEvery, rng))
 		}
 	}
 }
@@ -34,14 +55,16 @@ func (s *Server) aggregationLoop() {
 // parent failure.
 func (s *Server) heartbeatLoop() {
 	defer s.wg.Done()
-	ticker := time.NewTicker(s.cfg.HeartbeatEvery)
-	defer ticker.Stop()
+	rng := loopRng(s.cfg.ID, 0x4bb4)
+	timer := time.NewTimer(jittered(s.cfg.HeartbeatEvery, rng))
+	defer timer.Stop()
 	for {
 		select {
 		case <-s.stop:
 			return
-		case <-ticker.C:
+		case <-timer.C:
 			s.sendHeartbeat()
+			timer.Reset(jittered(s.cfg.HeartbeatEvery, rng))
 		}
 	}
 }
@@ -100,6 +123,25 @@ func (s *Server) descendantsLocked() int {
 	return total
 }
 
+// childRedirectsLocked snapshots the children as redirect infos (with
+// branch record counts), for summary reports and replica fallbacks.
+// Callers hold s.mu.
+func (s *Server) childRedirectsLocked() []wire.RedirectInfo {
+	if len(s.children) == 0 {
+		return nil
+	}
+	out := make([]wire.RedirectInfo, 0, len(s.children))
+	for _, c := range s.children {
+		ri := wire.RedirectInfo{ID: c.id, Addr: c.addr}
+		if c.branch != nil {
+			ri.Records = c.branch.Records
+		}
+		out = append(out, ri)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // reportToParent sends the branch summary (with depth/descendant counts
 // piggybacked) up the hierarchy.
 func (s *Server) reportToParent() {
@@ -108,6 +150,7 @@ func (s *Server) reportToParent() {
 	branch := s.branchSummary
 	depth := s.subtreeDepthLocked()
 	desc := s.descendantsLocked()
+	kids := s.childRedirectsLocked()
 	s.mu.Unlock()
 	if parentAddr == "" || branch == nil {
 		return
@@ -120,6 +163,7 @@ func (s *Server) reportToParent() {
 			Summary:     wire.FromSummary(branch),
 			Depth:       depth,
 			Descendants: desc,
+			Children:    kids,
 		},
 	}
 	if rep, err := s.tr.Call(parentAddr, msg); err != nil || wire.RemoteError(rep) != nil {
@@ -147,11 +191,12 @@ func (s *Server) pushReplicas() {
 	type childSnap struct {
 		id, addr string
 		branch   *summary.Summary
+		kids     []wire.RedirectInfo
 	}
 	s.mu.Lock()
 	children := make([]childSnap, 0, len(s.children))
 	for _, c := range s.children {
-		children = append(children, childSnap{id: c.id, addr: c.addr, branch: c.branch})
+		children = append(children, childSnap{id: c.id, addr: c.addr, branch: c.branch, kids: c.kids})
 	}
 	sort.Slice(children, func(i, j int) bool { return children[i].id < children[j].id })
 	ownBranch := s.branchSummary
@@ -177,6 +222,7 @@ func (s *Server) pushReplicas() {
 			OriginAddr: sib.addr,
 			Branch:     wire.FromSummary(sib.branch),
 			Level:      1,
+			Fallbacks:  sib.kids,
 		}
 	}
 	// Self as ancestor (branch + local piggyback): distance 1.
@@ -202,6 +248,7 @@ func (s *Server) pushReplicas() {
 			Branch:     wire.FromSummary(r.branch),
 			Ancestor:   r.ancestor,
 			Level:      r.level + 1,
+			Fallbacks:  r.fallbacks,
 		}
 		if r.ancestor && r.local != nil {
 			p.Local = wire.FromSummary(r.local)
@@ -270,11 +317,12 @@ func (s *Server) pruneDeadChildren() {
 // takes one aggregation tick per hierarchy level).
 func (s *Server) pruneStaleReplicas() {
 	ttl := time.Duration(4*s.cfg.HeartbeatMiss) * s.cfg.AggregateEvery
-	if ttl < 5*time.Second {
-		// Floor: a full push round must always fit inside the TTL, even
-		// when encoding runs far slower than the tick (loaded hosts, race
-		// detector); otherwise replicas flap and coverage never settles.
-		ttl = 5 * time.Second
+	if floor := s.cfg.replicaTTLFloor(); ttl < floor {
+		// Floor (configurable via Config.ReplicaTTLFloor): a full push
+		// round must always fit inside the TTL, even when encoding runs
+		// far slower than the tick (loaded hosts, race detector);
+		// otherwise replicas flap and coverage never settles.
+		ttl = floor
 	}
 	now := time.Now()
 	s.mu.Lock()

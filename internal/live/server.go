@@ -39,6 +39,13 @@ type Config struct {
 	HeartbeatEvery time.Duration
 	// HeartbeatMiss is how many missed periods mark a peer dead.
 	HeartbeatMiss int
+	// ReplicaTTLFloor is the minimum overlay-replica TTL regardless of how
+	// fast the ticks run: a full push round must always fit inside the TTL
+	// even when encoding runs far slower than the tick (loaded hosts, race
+	// detector), or replicas flap and coverage never settles. Zero uses
+	// DefaultReplicaTTLFloor; fast-tick tests may lower it, slow
+	// production deployments raise it.
+	ReplicaTTLFloor time.Duration
 	// DisableReplicaBatch falls back to one KindReplicaPush call per
 	// replica per child instead of one KindReplicaBatch per child — the
 	// pre-batching wire behaviour, kept for benchmarks and for driving
@@ -53,16 +60,21 @@ func DefaultConfig(id, addr string, schema *record.Schema) Config {
 	scfg := summary.DefaultConfig()
 	scfg.Buckets = 200
 	return Config{
-		ID:             id,
-		Addr:           addr,
-		Schema:         schema,
-		Summary:        scfg,
-		MaxChildren:    8,
-		AggregateEvery: 50 * time.Millisecond,
-		HeartbeatEvery: 50 * time.Millisecond,
-		HeartbeatMiss:  4,
+		ID:              id,
+		Addr:            addr,
+		Schema:          schema,
+		Summary:         scfg,
+		MaxChildren:     8,
+		AggregateEvery:  50 * time.Millisecond,
+		HeartbeatEvery:  50 * time.Millisecond,
+		HeartbeatMiss:   4,
+		ReplicaTTLFloor: DefaultReplicaTTLFloor,
 	}
 }
+
+// DefaultReplicaTTLFloor is the replica-TTL floor applied when
+// Config.ReplicaTTLFloor is zero.
+const DefaultReplicaTTLFloor = 5 * time.Second
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
@@ -81,7 +93,18 @@ func (c Config) Validate() error {
 	if c.AggregateEvery <= 0 || c.HeartbeatEvery <= 0 || c.HeartbeatMiss <= 0 {
 		return fmt.Errorf("live: periods and HeartbeatMiss must be positive")
 	}
+	if c.ReplicaTTLFloor < 0 {
+		return fmt.Errorf("live: ReplicaTTLFloor must not be negative")
+	}
 	return nil
+}
+
+// replicaTTLFloor returns the configured floor, defaulted.
+func (c Config) replicaTTLFloor() time.Duration {
+	if c.ReplicaTTLFloor > 0 {
+		return c.ReplicaTTLFloor
+	}
+	return DefaultReplicaTTLFloor
 }
 
 // childState tracks one child branch.
@@ -91,6 +114,9 @@ type childState struct {
 	depth       int
 	descendants int
 	lastSeen    time.Time
+	// kids are the child's own children, piggybacked on its summary
+	// reports; they become failover Alternates on redirects to the child.
+	kids []wire.RedirectInfo
 }
 
 // replicaState is one overlay replica.
@@ -105,6 +131,9 @@ type replicaState struct {
 	// received is when this replica last refreshed; stale replicas age
 	// out (soft state), so crashed origins stop attracting redirects.
 	received time.Time
+	// fallbacks are the origin's children, carried on the push; they
+	// become failover Alternates on redirects to the origin.
+	fallbacks []wire.RedirectInfo
 }
 
 // Server is one live ROADS server.
@@ -131,6 +160,7 @@ type Server struct {
 	queriesServed   uint64
 	redirectsIssued uint64
 	summariesRecv   uint64
+	queriesShed     uint64
 
 	closer  io.Closer
 	stop    chan struct{}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -377,7 +378,7 @@ func (t *TCP) poolFor(addr string) *peerPool {
 // count against MaxConnsPerPeer, so call bursts multiplex instead of
 // stampeding into one socket each). fresh bypasses the pool — the
 // stale-retry path must not be handed the same dead connection back.
-func (t *TCP) getConn(addr string, fresh bool) (*peerConn, bool, error) {
+func (t *TCP) getConn(ctx context.Context, addr string, fresh bool) (*peerConn, bool, error) {
 	t.mu.Lock()
 	pp := t.poolFor(addr)
 	if !fresh {
@@ -403,7 +404,8 @@ func (t *TCP) getConn(addr string, fresh bool) (*peerConn, bool, error) {
 	pp.dialing++
 	t.mu.Unlock()
 
-	conn, err := net.DialTimeout("tcp", addr, t.dialTimeout())
+	d := net.Dialer{Timeout: t.dialTimeout()}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 
 	t.mu.Lock()
 	pp = t.poolFor(addr)
@@ -519,6 +521,14 @@ func (t *TCP) Close() error {
 // on a fresh dial; timeouts and fresh-connection failures are not retried,
 // since the request may have been handled.
 func (t *TCP) Call(addr string, req *wire.Message) (*wire.Message, error) {
+	return t.CallContext(context.Background(), addr, req)
+}
+
+// CallContext implements Transport. Cancellation releases the waiting
+// caller without poisoning the pooled connection: the request ID is simply
+// unregistered, and a reply that arrives later is discarded by the read
+// loop while other in-flight calls on the same connection proceed.
+func (t *TCP) CallContext(ctx context.Context, addr string, req *wire.Message) (*wire.Message, error) {
 	data, err := wire.Encode(req)
 	if err != nil {
 		return nil, err
@@ -532,12 +542,12 @@ func (t *TCP) Call(addr string, req *wire.Message) (*wire.Message, error) {
 
 	var rep []byte
 	if t.NoPool {
-		rep, err = t.callLegacy(addr, data)
+		rep, err = t.callLegacy(ctx, addr, data)
 	} else {
-		rep, err = t.callPooled(addr, data, false)
-		if errors.Is(err, errStaleConn) {
+		rep, err = t.callPooled(ctx, addr, data, false)
+		if errors.Is(err, errStaleConn) && ctx.Err() == nil {
 			t.ctr.retries.Add(1)
-			rep, err = t.callPooled(addr, data, true)
+			rep, err = t.callPooled(ctx, addr, data, true)
 		}
 	}
 	if err != nil {
@@ -552,10 +562,22 @@ func (t *TCP) Call(addr string, req *wire.Message) (*wire.Message, error) {
 	return wire.Decode(rep)
 }
 
+// deadlineWithin returns now+d, clamped to ctx's deadline when that comes
+// sooner — I/O deadlines must never outlive the caller's budget.
+func deadlineWithin(ctx context.Context, d time.Duration) time.Time {
+	t := time.Now().Add(d)
+	if cd, ok := ctx.Deadline(); ok && cd.Before(t) {
+		return cd
+	}
+	return t
+}
+
 // callPooled runs one v2 exchange over a pooled connection. Failures on a
 // reused connection surface as errStaleConn so Call can retry them once.
-func (t *TCP) callPooled(addr string, data []byte, fresh bool) ([]byte, error) {
-	pc, reused, err := t.getConn(addr, fresh)
+// Context expiry abandons only this call's waiter; the connection and its
+// other in-flight exchanges stay healthy.
+func (t *TCP) callPooled(ctx context.Context, addr string, data []byte, fresh bool) ([]byte, error) {
+	pc, reused, err := t.getConn(ctx, addr, fresh)
 	if err != nil {
 		return nil, err
 	}
@@ -574,7 +596,7 @@ func (t *TCP) callPooled(addr string, data []byte, fresh bool) ([]byte, error) {
 	}()
 
 	pc.wmu.Lock()
-	_ = pc.conn.SetWriteDeadline(time.Now().Add(t.callTimeout()))
+	_ = pc.conn.SetWriteDeadline(deadlineWithin(ctx, t.callTimeout()))
 	werr := writeFrameV2(pc.conn, id, 0, data)
 	pc.wmu.Unlock()
 	if werr != nil {
@@ -598,6 +620,9 @@ func (t *TCP) callPooled(addr string, data []byte, fresh bool) ([]byte, error) {
 			return nil, fmt.Errorf("transport: read from %s: %w", addr, res.err)
 		}
 		return res.data, nil
+	case <-ctx.Done():
+		pc.unregister(id)
+		return nil, fmt.Errorf("transport: call to %s: %w", addr, ctx.Err())
 	case <-timer.C:
 		pc.unregister(id)
 		return nil, fmt.Errorf("transport: call to %s timed out after %v", addr, t.callTimeout())
@@ -605,14 +630,15 @@ func (t *TCP) callPooled(addr string, data []byte, fresh bool) ([]byte, error) {
 }
 
 // callLegacy is the v1 baseline: dial, one framed exchange, close.
-func (t *TCP) callLegacy(addr string, data []byte) ([]byte, error) {
-	conn, err := net.DialTimeout("tcp", addr, t.dialTimeout())
+func (t *TCP) callLegacy(ctx context.Context, addr string, data []byte) ([]byte, error) {
+	d := net.Dialer{Timeout: t.dialTimeout()}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
 	t.ctr.dials.Add(1)
-	_ = conn.SetDeadline(time.Now().Add(t.callTimeout()))
+	_ = conn.SetDeadline(deadlineWithin(ctx, t.callTimeout()))
 	if err := writeFrame(conn, data); err != nil {
 		return nil, fmt.Errorf("transport: write to %s: %w", addr, err)
 	}

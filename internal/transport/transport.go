@@ -7,6 +7,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -25,6 +26,30 @@ type Transport interface {
 	Listen(addr string, h Handler) (io.Closer, error)
 	// Call sends a request to addr and waits for the reply.
 	Call(addr string, req *wire.Message) (*wire.Message, error)
+	// CallContext is Call bounded by ctx: cancellation or deadline expiry
+	// releases the caller promptly with the context's error, even when the
+	// remote handler never replies. The request may still reach (or have
+	// reached) the peer — cancellation only abandons the wait.
+	CallContext(ctx context.Context, addr string, req *wire.Message) (*wire.Message, error)
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // --- In-process transport ---
@@ -78,6 +103,16 @@ func (t *Chan) Listen(addr string, h Handler) (io.Closer, error) {
 // encoding so in-process behaviour matches TCP exactly (no shared
 // pointers, same encodability constraints).
 func (t *Chan) Call(addr string, req *wire.Message) (*wire.Message, error) {
+	return t.CallContext(context.Background(), addr, req)
+}
+
+// CallContext implements Transport. With a cancellable context the remote
+// handler runs on its own goroutine so a stalled peer cannot pin the
+// caller past its deadline: the caller is released with ctx.Err() and the
+// abandoned handler finishes (or stalls) on its own. With a plain
+// background context the handler runs inline on the caller's goroutine,
+// exactly the pre-context behaviour.
+func (t *Chan) CallContext(ctx context.Context, addr string, req *wire.Message) (*wire.Message, error) {
 	t.mu.RLock()
 	h := t.handlers[addr]
 	lat := t.Latency
@@ -97,26 +132,57 @@ func (t *Chan) Call(addr string, req *wire.Message) (*wire.Message, error) {
 	}
 	t.ctr.bytesSent.Add(uint64(len(data)))
 	if lat != nil {
-		time.Sleep(lat(caller, addr))
+		if err := sleepCtx(ctx, lat(caller, addr)); err != nil {
+			t.ctr.errors.Add(1)
+			return nil, fmt.Errorf("transport: call to %s: %w", addr, err)
+		}
 	}
-	decoded, err := wire.Decode(data)
-	if err != nil {
-		t.ctr.errors.Add(1)
-		return nil, err
+
+	var repData []byte
+	if ctx.Done() == nil {
+		repData, err = runHandler(h, data)
+	} else {
+		type result struct {
+			data []byte
+			err  error
+		}
+		ch := make(chan result, 1)
+		go func() {
+			d, e := runHandler(h, data)
+			ch <- result{data: d, err: e}
+		}()
+		select {
+		case <-ctx.Done():
+			t.ctr.errors.Add(1)
+			return nil, fmt.Errorf("transport: call to %s: %w", addr, ctx.Err())
+		case res := <-ch:
+			repData, err = res.data, res.err
+		}
 	}
-	rep := h(decoded)
-	repData, err := wire.Encode(rep)
 	if err != nil {
 		t.ctr.errors.Add(1)
 		return nil, err
 	}
 	t.ctr.bytesRecv.Add(uint64(len(repData)))
 	if lat != nil {
-		time.Sleep(lat(addr, caller))
+		if err := sleepCtx(ctx, lat(addr, caller)); err != nil {
+			t.ctr.errors.Add(1)
+			return nil, fmt.Errorf("transport: call to %s: %w", addr, err)
+		}
 	}
 	t.ctr.calls.Add(1)
 	t.ctr.observe(time.Since(start))
 	return wire.Decode(repData)
+}
+
+// runHandler decodes the request, invokes the handler, and encodes the
+// reply — the Chan transport's whole "remote" side.
+func runHandler(h Handler, data []byte) ([]byte, error) {
+	decoded, err := wire.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return wire.Encode(h(decoded))
 }
 
 // Stats returns a snapshot of the transport's counters. The Chan transport

@@ -90,6 +90,9 @@ type Status struct {
 	QueriesServed   uint64
 	RedirectsIssued uint64
 	SummariesRecv   uint64
+	// QueriesShed counts queries abandoned because their deadline budget
+	// ran out mid-evaluation (overload/deadline shedding).
+	QueriesShed uint64
 	// Transport carries the server's transport counters when its
 	// transport exposes them (pooled TCP and the in-process Chan both do).
 	Transport *TransportStatus
@@ -118,6 +121,11 @@ type SummaryReport struct {
 	Summary     *SummaryDTO
 	Depth       int
 	Descendants int
+	// Children lists the reporter's own children (with their branch record
+	// counts). The parent stores them as failover alternates: should the
+	// reporter die mid-query, its children can still route the query into
+	// the reporter's subtree.
+	Children []RedirectInfo
 }
 
 // Join asks to become a child.
@@ -168,6 +176,10 @@ type ReplicaPush struct {
 	// grandparent and its siblings, and so on. Scoped queries use it to
 	// bound their search radius.
 	Level int
+	// Fallbacks lists the origin's children: servers that can route a
+	// query into the origin's branch when the origin itself is
+	// unreachable. Propagated into redirect Alternates.
+	Fallbacks []RedirectInfo
 }
 
 // ReplicaBatch bundles every replica push a parent owes one child into a
@@ -190,6 +202,12 @@ type QueryDTO struct {
 	// ancestor Scope levels up (paper §III-C scope control); negative
 	// means the whole hierarchy.
 	Scope int
+	// Budget is the remaining time the client allows for this contact
+	// (relative, so clock skew between federated sites cannot cause
+	// early shedding). A server that cannot finish inside the budget
+	// sheds the query instead of returning an answer the client will
+	// have already abandoned. Zero means no budget.
+	Budget time.Duration
 }
 
 // ToQuery converts to the in-memory form.
@@ -208,6 +226,15 @@ func FromQuery(q *query.Query, start bool) *QueryDTO {
 type RedirectInfo struct {
 	ID   string
 	Addr string
+	// Records estimates how many records the target's region (branch or,
+	// for ancestor redirects, local data) covers, from the redirecting
+	// server's summaries. Clients weight coverage accounting with it.
+	Records uint64
+	// Alternates lists servers holding replicas of the target's branch —
+	// its children, learned through summary reports and replica pushes —
+	// which a client can fail over to when the target is unreachable.
+	// Alternates carry no nested alternates of their own.
+	Alternates []RedirectInfo
 }
 
 // RecordDTO is the wire form of a record.

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strconv"
 	"testing"
+	"time"
 
 	"roads/internal/query"
 	"roads/internal/record"
@@ -178,5 +179,60 @@ func TestRemoteError(t *testing.T) {
 	}
 	if err := RemoteError(nil); err == nil {
 		t.Fatal("nil message must produce an error")
+	}
+}
+
+// TestFailoverFieldsRoundTrip covers the deadline/failover additions: the
+// query's Budget, redirects with record estimates and alternates, child
+// lists on summary reports, and fallback holders on replica pushes all
+// survive the gob trip.
+func TestFailoverFieldsRoundTrip(t *testing.T) {
+	q := query.New("q2", query.NewRange("cpu", 0, 1))
+	dto := FromQuery(q, true)
+	dto.Budget = 750 * time.Millisecond
+	msg := &Message{
+		Kind:  KindQueryReply,
+		Query: dto,
+		QueryRep: &QueryReply{
+			Redirects: []RedirectInfo{{
+				ID: "b", Addr: "addr-b", Records: 42,
+				Alternates: []RedirectInfo{
+					{ID: "b1", Addr: "addr-b1", Records: 20},
+					{ID: "b2", Addr: "addr-b2", Records: 22},
+				},
+			}},
+		},
+		Report: &SummaryReport{
+			Children: []RedirectInfo{{ID: "c", Addr: "addr-c", Records: 7}},
+		},
+		Replica: &ReplicaPush{
+			OriginID: "b", OriginAddr: "addr-b",
+			Fallbacks: []RedirectInfo{{ID: "b1", Addr: "addr-b1", Records: 20}},
+		},
+		Status: &Status{QueriesShed: 3},
+	}
+	data, err := Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Query.Budget != 750*time.Millisecond {
+		t.Fatalf("budget changed: %v", got.Query.Budget)
+	}
+	rd := got.QueryRep.Redirects[0]
+	if rd.Records != 42 || len(rd.Alternates) != 2 || rd.Alternates[1].Addr != "addr-b2" {
+		t.Fatalf("redirect alternates changed: %+v", rd)
+	}
+	if len(got.Report.Children) != 1 || got.Report.Children[0].Records != 7 {
+		t.Fatalf("report children changed: %+v", got.Report.Children)
+	}
+	if len(got.Replica.Fallbacks) != 1 || got.Replica.Fallbacks[0].ID != "b1" {
+		t.Fatalf("replica fallbacks changed: %+v", got.Replica.Fallbacks)
+	}
+	if got.Status.QueriesShed != 3 {
+		t.Fatalf("queries-shed count changed: %d", got.Status.QueriesShed)
 	}
 }
