@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race chaos bench-transport
+.PHONY: tier1 build vet test race chaos bench-transport bench bench-compare
 
 # tier1 is the gate every change must pass: full build + vet + full test
 # suite, plus race-enabled runs of the concurrency-heavy packages (the
@@ -19,7 +19,7 @@ test: vet
 	$(GO) test ./...
 
 race: vet
-	$(GO) test -race ./internal/live/... ./internal/transport/...
+	$(GO) test -race ./internal/live/... ./internal/transport/... ./internal/wire/...
 
 # chaos drives the deterministic fault-injection transport through the
 # failure scenarios in internal/live/chaos_test.go (crashed redirect
@@ -32,3 +32,19 @@ chaos: vet
 # legacy dial-per-call / push-per-replica baseline (see EXPERIMENTS.md).
 bench-transport:
 	$(GO) test -bench 'BenchmarkTCPCall|BenchmarkPushReplicas' -benchmem -run '^$$' ./internal/transport/ ./internal/live/
+
+# bench runs the query-hot-path and wire-codec benchmarks — each carries
+# its own before/after baseline as sub-benchmarks (snapshot vs mutex
+# query locking, binary vs gob codec) — and archives the numbers as
+# BENCH_pr3.json via cmd/benchjson (see EXPERIMENTS.md).
+bench:
+	$(GO) test -bench 'BenchmarkHandleQuery|BenchmarkCodec' -benchmem -run '^$$' ./internal/live/ ./internal/wire/ \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_pr3.json
+
+# bench-compare diffs two benchjson archives, e.g.
+#   make bench && git stash && make bench BENCHOUT=BENCH_old.json && git stash pop
+#   make bench-compare OLD=BENCH_old.json NEW=BENCH_pr3.json
+OLD ?= BENCH_old.json
+NEW ?= BENCH_pr3.json
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)

@@ -1,0 +1,192 @@
+// benchjson turns `go test -bench` output into a machine-readable JSON
+// file, so benchmark runs can be archived next to the experiments
+// (BENCH_pr3.json) and compared across commits without eyeballing text.
+//
+//	go test -bench . -benchmem ./... | benchjson -o BENCH.json
+//	benchjson -compare BENCH_old.json BENCH_new.json
+//
+// The compare mode prints one line per benchmark present in both files
+// with the ns/op and allocs/op movement, and flags regressions.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line: the name, the iteration count, and
+// every reported "value unit" metric pair (ns/op, B/op, allocs/op, plus
+// any b.ReportMetric extras like rpcs/op).
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// File is the archived form: the run environment plus every result.
+type File struct {
+	GOOS    string   `json:"goos,omitempty"`
+	GOARCH  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Pkgs    []string `json:"packages,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	compare := flag.Bool("compare", false, "compare two benchjson files: benchjson -compare old.json new.json")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json")
+			os.Exit(2)
+		}
+		if err := compareFiles(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	f, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(f.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` text output. Benchmark lines look like
+//
+//	BenchmarkName/sub-8   319969   3469 ns/op   5616 B/op   15 allocs/op
+//
+// and header lines (goos:, goarch:, cpu:, pkg:) describe the run.
+func parse(r io.Reader) (*File, error) {
+	f := &File{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			f.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			f.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			f.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			f.Pkgs = append(f.Pkgs, strings.TrimPrefix(line, "pkg: "))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseLine(line)
+			if ok {
+				f.Results = append(f.Results, res)
+			}
+		}
+	}
+	return f, sc.Err()
+}
+
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	// name, iterations, then (value, unit) pairs: at least one pair.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, true
+}
+
+func load(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]Result, len(f.Results))
+	for _, r := range f.Results {
+		m[r.Name] = r
+	}
+	return m, nil
+}
+
+// compareFiles prints the ns/op and allocs/op movement for every
+// benchmark present in both files, newest relative to oldest: a ratio
+// below 1.00x is an improvement.
+func compareFiles(oldPath, newPath string) error {
+	oldR, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newR, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(newR))
+	for name := range newR {
+		if _, ok := oldR[name]; ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+	sort.Strings(names)
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-60s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "allocs")
+	for _, name := range names {
+		o, n := oldR[name], newR[name]
+		ons, nns := o.Metrics["ns/op"], n.Metrics["ns/op"]
+		ratio := "n/a"
+		if ons > 0 {
+			ratio = fmt.Sprintf("%.2fx", nns/ons)
+		}
+		allocs := "n/a"
+		oa, oka := o.Metrics["allocs/op"]
+		na, okn := n.Metrics["allocs/op"]
+		if oka && okn {
+			allocs = fmt.Sprintf("%g→%g", oa, na)
+		}
+		fmt.Fprintf(w, "%-60s %14.1f %14.1f %8s %10s\n", name, ons, nns, ratio, allocs)
+	}
+	return nil
+}

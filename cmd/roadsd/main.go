@@ -44,6 +44,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "workload seed (0 = derive from ID)")
 	load := flag.String("load", "", "JSON-lines records file to host (overrides -records)")
 	schemaFile := flag.String("schema", "", "schema JSON file (required with -load; default synthetic aN schema otherwise)")
+	gob := flag.Bool("gob", false, "send outgoing calls in the legacy gob wire codec (for peers that predate the binary codec; incoming calls are always answered in the codec they arrive in)")
 	flag.Parse()
 
 	if *id == "" {
@@ -100,6 +101,7 @@ func main() {
 	cfg.ReplicaTTLFloor = *ttlFloor
 
 	tr := transport.NewTCP()
+	tr.UseGob = *gob
 	srv, err := live.NewServer(cfg, tr)
 	if err != nil {
 		log.Fatal(err)

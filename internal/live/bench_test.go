@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"roads/internal/policy"
+	"roads/internal/query"
 	"roads/internal/transport"
+	"roads/internal/wire"
 	"roads/internal/workload"
 )
 
@@ -83,6 +85,67 @@ func BenchmarkPushReplicas(b *testing.B) {
 			st := tr.Stats()
 			b.ReportMetric(float64(st.Calls-start.Calls)/float64(b.N), "rpcs/op")
 			b.ReportMetric(float64(st.BytesSent-start.BytesSent+st.BytesRecv-start.BytesRecv)/float64(b.N), "wirebytes/op")
+		})
+	}
+}
+
+// BenchmarkHandleQuery measures the query hot path on a root holding 16
+// child branches and 8 overlay replicas — every query matches all of
+// them, so the handler does the full local-search + redirect-matching
+// walk. snapshot is the lock-free routing-snapshot path, mutex the legacy
+// path that evaluates under s.mu (Config.LegacyQueryLocking); parallel
+// runs a querier per core, where the mutex path serializes and the
+// snapshot path scales.
+func BenchmarkHandleQuery(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		legacy bool
+	}{
+		{"snapshot", false},
+		{"mutex", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			root, _ := benchStar(b, 16, 8)
+			root.cfg.LegacyQueryLocking = mode.legacy
+			// Give the root the replica load a mid-hierarchy server carries:
+			// 8 sibling branches pushed from a pretend parent.
+			pushes := make([]*wire.ReplicaPush, 8)
+			for i := range pushes {
+				pushes[i] = &wire.ReplicaPush{
+					OriginID:   fmt.Sprintf("sib%d", i),
+					OriginAddr: fmt.Sprintf("addr-sib%d", i),
+					Branch:     wire.FromSummary(root.snap.Load().localSummary),
+					Level:      1,
+				}
+			}
+			batch := &wire.Message{Kind: wire.KindReplicaBatch, From: "P", Addr: "addr-P",
+				Batch: &wire.ReplicaBatch{Pushes: pushes}}
+			if err := wire.RemoteError(root.handle(batch)); err != nil {
+				b.Fatal(err)
+			}
+			q := query.New("bench-q", query.NewRange("a0", 0, 1))
+			msg := &wire.Message{Kind: wire.KindQuery, From: "t", Query: wire.FromQuery(q, true)}
+			rep := root.handle(msg)
+			if err := wire.RemoteError(rep); err != nil {
+				b.Fatal(err)
+			}
+			if got := len(rep.QueryRep.Redirects); got != 16+8 {
+				b.Fatalf("warmup query produced %d redirects, want 24", got)
+			}
+			b.Run("serial", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					root.handle(msg)
+				}
+			})
+			b.Run("parallel", func(b *testing.B) {
+				b.ReportAllocs()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						root.handle(msg)
+					}
+				})
+			})
 		})
 	}
 }

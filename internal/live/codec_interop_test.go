@@ -1,0 +1,97 @@
+package live
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"roads/internal/policy"
+	"roads/internal/query"
+	"roads/internal/record"
+	"roads/internal/transport"
+)
+
+// TestLegacyGobServerInterop runs the full live protocol across the codec
+// boundary over real TCP: a legacy peer that only speaks gob (UseGob
+// dialer, as a binary pre-dating build would) joins a binary-codec root,
+// reports summaries, receives replica pushes, and serves queries — and
+// clients on either codec resolve the complete record set through both
+// servers. This is the mixed-version deployment story: the fleet upgrades
+// one server at a time with no flag day.
+func TestLegacyGobServerInterop(t *testing.T) {
+	schema := record.DefaultSchema(2)
+	addrs := make([]string, 2)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+
+	trBin := transport.NewTCP()
+	defer trBin.Close()
+	trGob := transport.NewTCP()
+	trGob.UseGob = true
+	defer trGob.Close()
+
+	mk := func(id, addr string, tr transport.Transport, val float64) *Server {
+		t.Helper()
+		cfg := DefaultConfig(id, addr, schema)
+		srv, err := NewServer(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Stop)
+		o := policy.NewOwner("own-"+id, schema, nil)
+		r := record.New(schema, "r-"+id, o.ID)
+		r.SetNum(0, val)
+		r.SetNum(1, 0.5)
+		o.SetRecords([]*record.Record{r})
+		if err := srv.AttachOwner(o); err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+	root := mk("root", addrs[0], trBin, 0.3)
+	legacy := mk("legacy", addrs[1], trGob, 0.7)
+
+	if err := legacy.Join(root.Addr()); err != nil {
+		t.Fatalf("gob peer failed to join binary root: %v", err)
+	}
+
+	// Converged: the root's branch covers both records (the legacy child's
+	// summary report made it across the codec boundary), and the legacy
+	// server holds the root's ancestor replica (the push came back down).
+	deadline := time.Now().Add(30 * time.Second)
+	for root.BranchRecords() < 2 || legacy.NumReplicas() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no convergence: root branch=%d legacy replicas=%d",
+				root.BranchRecords(), legacy.NumReplicas())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	q := query.New("interop-q", query.NewRange("a0", 0, 1))
+	for _, tc := range []struct {
+		name  string
+		tr    transport.Transport
+		start string
+	}{
+		{"gob client via binary root", trGob, root.Addr()},
+		{"binary client via gob server", trBin, legacy.Addr()},
+	} {
+		client := NewClient(tc.tr, "t")
+		recs, stats, err := client.Resolve(tc.start, q)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(recs) != 2 {
+			t.Fatalf("%s: got %d records, want 2 (contacted %v)", tc.name, len(recs), stats.Servers)
+		}
+	}
+}

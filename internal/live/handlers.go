@@ -71,6 +71,7 @@ func (s *Server) handleJoin(msg *wire.Message) *wire.Message {
 				lastSeen: time.Now(),
 			}
 		}
+		s.publishSnapshotLocked()
 		return &wire.Message{
 			Kind: wire.KindJoinReply,
 			From: s.cfg.ID,
@@ -121,7 +122,8 @@ func (s *Server) handleSummaryReport(msg *wire.Message) *wire.Message {
 	c.descendants = msg.Report.Descendants
 	c.kids = msg.Report.Children
 	c.lastSeen = time.Now()
-	s.summariesRecv++
+	s.publishSnapshotLocked()
+	s.summariesRecv.Add(1)
 	return s.ack()
 }
 
@@ -168,6 +170,7 @@ func (s *Server) handleReplicaPush(msg *wire.Message) *wire.Message {
 	s.mu.Lock()
 	if rs.originID != s.cfg.ID { // never replicate ourselves
 		s.replicas[rs.originID] = rs
+		s.publishSnapshotLocked()
 	}
 	s.mu.Unlock()
 	return s.ack()
@@ -195,6 +198,7 @@ func (s *Server) handleReplicaBatch(msg *wire.Message) *wire.Message {
 			s.replicas[rs.originID] = rs
 		}
 	}
+	s.publishSnapshotLocked()
 	s.mu.Unlock()
 	return s.ack()
 }
@@ -205,18 +209,98 @@ func (s *Server) handleReplicaBatch(msg *wire.Message) *wire.Message {
 // Queries whose deadline budget runs out mid-evaluation are shed: the
 // client has already given up on this contact, so finishing the work
 // would only burn server time nobody is waiting on.
+//
+// The happy path acquires no locks at all: one atomic load of the routing
+// snapshot pins a consistent view of owners, children and replicas for the
+// whole evaluation (the store carries its own lock), and the counters are
+// atomics. Concurrent joins, reports and replica pushes publish fresh
+// snapshots without ever blocking a query.
 func (s *Server) handleQuery(msg *wire.Message) *wire.Message {
 	if msg.Query == nil {
 		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf("live: query without payload"))
+	}
+	if s.cfg.LegacyQueryLocking {
+		return s.handleQueryLegacy(msg)
 	}
 	began := time.Now()
 	overBudget := func() bool {
 		return msg.Query.Budget > 0 && time.Since(began) > msg.Query.Budget
 	}
 	shed := func() *wire.Message {
-		s.mu.Lock()
-		s.queriesShed++
-		s.mu.Unlock()
+		s.queriesShed.Add(1)
+		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf(
+			"live: query %s shed: %v deadline budget exhausted", msg.Query.ID, msg.Query.Budget))
+	}
+	q := msg.Query.ToQuery()
+	if err := q.Bind(s.cfg.Schema); err != nil {
+		return wire.ErrorMessage(s.cfg.ID, err)
+	}
+
+	snap := s.snap.Load()
+	reply := &wire.QueryReply{}
+
+	// Local matches: the trusted store plus each summary-mode owner's
+	// policy-filtered answer (the "final control" step).
+	sres, err := s.store.Search(q)
+	if err != nil {
+		return wire.ErrorMessage(s.cfg.ID, err)
+	}
+	reply.Records = append(reply.Records, wire.FromRecords(sres.Records)...)
+	if overBudget() {
+		return shed()
+	}
+	for _, o := range snap.owners {
+		if o.Policy.Mode != policy.ExportSummary {
+			continue // records-mode owners answer via the store
+		}
+		ans, err := o.Answer(q)
+		if err != nil {
+			return wire.ErrorMessage(s.cfg.ID, err)
+		}
+		reply.Records = append(reply.Records, wire.FromRecords(ans)...)
+		if overBudget() {
+			return shed()
+		}
+	}
+
+	// Redirects: matching children always; overlay replicas only on the
+	// first contact (paper Fig. 2: redirected servers search their own
+	// branches). The snapshot pre-built each redirect and pre-filtered
+	// replicas shadowed by a child, so this is pure summary matching.
+	for _, c := range snap.children {
+		if c.branch != nil && q.MatchSummary(c.branch) {
+			reply.Redirects = append(reply.Redirects, c.ri)
+		}
+	}
+	if msg.Query.Start {
+		for _, r := range snap.replicas {
+			if msg.Query.Scope >= 0 && r.level > msg.Query.Scope {
+				continue // outside the requested search scope
+			}
+			if q.MatchSummary(r.match) {
+				reply.Redirects = append(reply.Redirects, r.ri)
+			}
+		}
+	}
+	if overBudget() {
+		return shed()
+	}
+	s.queriesServed.Add(1)
+	s.redirectsIssued.Add(uint64(len(reply.Redirects)))
+	return &wire.Message{Kind: wire.KindQueryReply, From: s.cfg.ID, Addr: s.cfg.Addr, QueryRep: reply}
+}
+
+// handleQueryLegacy is the pre-snapshot query path: every routing lookup
+// happens under s.mu against the live maps. Kept behind
+// Config.LegacyQueryLocking as the measurable baseline the lock-free path
+// is benchmarked against (see BenchmarkHandleQuery).
+func (s *Server) handleQueryLegacy(msg *wire.Message) *wire.Message {
+	began := time.Now()
+	overBudget := func() bool {
+		return msg.Query.Budget > 0 && time.Since(began) > msg.Query.Budget
+	}
+	shed := func() *wire.Message {
+		s.queriesShed.Add(1)
 		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf(
 			"live: query %s shed: %v deadline budget exhausted", msg.Query.ID, msg.Query.Budget))
 	}
@@ -226,9 +310,6 @@ func (s *Server) handleQuery(msg *wire.Message) *wire.Message {
 	}
 
 	reply := &wire.QueryReply{}
-
-	// Local matches: the trusted store plus each summary-mode owner's
-	// policy-filtered answer (the "final control" step).
 	sres, err := s.store.Search(q)
 	if err != nil {
 		return wire.ErrorMessage(s.cfg.ID, err)
@@ -254,10 +335,6 @@ func (s *Server) handleQuery(msg *wire.Message) *wire.Message {
 		}
 	}
 
-	// Redirects: matching children always; overlay replicas only on the
-	// first contact (paper Fig. 2: redirected servers search their own
-	// branches). Each redirect carries the target's record-count estimate
-	// and its known replica holders as failover alternates.
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	seen := map[string]bool{s.cfg.ID: true}
@@ -317,38 +394,40 @@ func (s *Server) handleQuery(msg *wire.Message) *wire.Message {
 		}
 	}
 	if overBudget() {
-		s.queriesShed++
+		s.queriesShed.Add(1)
 		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf(
 			"live: query %s shed: %v deadline budget exhausted", msg.Query.ID, msg.Query.Budget))
 	}
-	s.queriesServed++
-	s.redirectsIssued += uint64(len(reply.Redirects))
+	s.queriesServed.Add(1)
+	s.redirectsIssued.Add(uint64(len(reply.Redirects)))
 	return &wire.Message{Kind: wire.KindQueryReply, From: s.cfg.ID, Addr: s.cfg.Addr, QueryRep: reply}
 }
 
-// handleStatus returns the server's operational snapshot.
+// handleStatus returns the server's operational snapshot. Like the query
+// path it reads the routing snapshot and atomic counters only — a status
+// probe never contends with the write paths.
 func (s *Server) handleStatus() *wire.Message {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	snap := s.snap.Load()
 	st := &wire.Status{
 		ID:              s.cfg.ID,
 		Addr:            s.cfg.Addr,
-		ParentID:        s.parentID,
-		IsRoot:          s.parentAddr == "",
-		Children:        len(s.children),
-		Replicas:        len(s.replicas),
-		Owners:          len(s.owners),
-		RootPath:        append([]string(nil), s.rootPath...),
-		QueriesServed:   s.queriesServed,
-		RedirectsIssued: s.redirectsIssued,
-		SummariesRecv:   s.summariesRecv,
-		QueriesShed:     s.queriesShed,
+		ParentID:        snap.parentID,
+		IsRoot:          snap.parentAddr == "",
+		Children:        len(snap.children),
+		Replicas:        snap.numReplicas,
+		Owners:          len(snap.owners),
+		RootPath:        append([]string(nil), snap.rootPath...),
+		QueriesServed:   s.queriesServed.Load(),
+		RedirectsIssued: s.redirectsIssued.Load(),
+		SummariesRecv:   s.summariesRecv.Load(),
+		QueriesShed:     s.queriesShed.Load(),
+		SummaryErrors:   s.summaryErrors.Load(),
 	}
-	if s.branchSummary != nil {
-		st.BranchRecords = s.branchSummary.Records
+	if snap.branchSummary != nil {
+		st.BranchRecords = snap.branchSummary.Records
 	}
-	if s.localSummary != nil {
-		st.LocalRecords = s.localSummary.Records
+	if snap.localSummary != nil {
+		st.LocalRecords = snap.localSummary.Records
 	}
 	if ts, ok := s.tr.(transport.Statser); ok {
 		snap := ts.Stats()
@@ -407,6 +486,7 @@ func (s *Server) handleLeave(msg *wire.Message) *wire.Message {
 		// loop can disturb the root path or parent state.
 		plan = s.planRejoinLocked()
 	}
+	s.publishSnapshotLocked()
 	s.mu.Unlock()
 	if plan != nil {
 		// Execute in the background: the handler must not block on

@@ -2,6 +2,7 @@ package live
 
 import (
 	"hash/fnv"
+	"log"
 	"math/rand"
 	"sort"
 	"time"
@@ -70,11 +71,17 @@ func (s *Server) heartbeatLoop() {
 }
 
 // refreshSummaries rebuilds the local summary (store + owners) and the
-// branch summary (local + children).
+// branch summary (local + children). Failures never abort serving — the
+// previous summaries stay published — but they are counted
+// (Status.SummaryErrors) and logged on each OK→failing transition, because
+// a silently skipped refresh means the advertised state is going stale
+// while queries still succeed.
 func (s *Server) refreshSummaries() {
+	failed := false
 	local, err := summary.FromRecords(s.cfg.Schema, s.cfg.Summary, s.store.Records())
 	if err != nil {
-		return // config was validated; schema mismatch cannot happen
+		s.noteSummaryError(err)
+		return
 	}
 	s.mu.Lock()
 	owners := append([]*policy.Owner(nil), s.owners...)
@@ -85,6 +92,10 @@ func (s *Server) refreshSummaries() {
 		}
 		osum, err := o.ExportSummary(s.cfg.Summary)
 		if err != nil {
+			// Skip this owner's contribution but keep the rest of the
+			// refresh: a partial summary beats a stale one.
+			s.noteSummaryError(err)
+			failed = true
 			continue
 		}
 		_ = local.Merge(osum)
@@ -92,7 +103,6 @@ func (s *Server) refreshSummaries() {
 	local.Origin = s.cfg.ID
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.localSummary = local
 	branch := local.Clone()
 	branch.Origin = s.cfg.ID
@@ -102,6 +112,29 @@ func (s *Server) refreshSummaries() {
 		}
 	}
 	s.branchSummary = branch
+	s.publishSnapshotLocked()
+	s.mu.Unlock()
+	if !failed {
+		s.noteSummaryOK()
+	}
+}
+
+// noteSummaryError counts one summary-refresh failure and logs only on
+// the OK→failing transition, so a persistent fault produces one line
+// rather than one per aggregation tick.
+func (s *Server) noteSummaryError(err error) {
+	s.summaryErrors.Add(1)
+	if s.summaryFailing.CompareAndSwap(false, true) {
+		log.Printf("live %s: summary refresh failing (serving previous summaries): %v", s.cfg.ID, err)
+	}
+}
+
+// noteSummaryOK marks a fully clean refresh, logging the recovery if the
+// previous state was failing.
+func (s *Server) noteSummaryOK() {
+	if s.summaryFailing.CompareAndSwap(true, false) {
+		log.Printf("live %s: summary refresh recovered", s.cfg.ID)
+	}
 }
 
 // subtreeDepth returns the depth of this server's subtree (leaf = 1).
@@ -300,6 +333,7 @@ func (s *Server) pruneDeadChildren() {
 	now := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	changed := false
 	for id, c := range s.children {
 		if c.lastSeen.IsZero() {
 			c.lastSeen = now
@@ -307,7 +341,11 @@ func (s *Server) pruneDeadChildren() {
 		}
 		if now.Sub(c.lastSeen) > deadline {
 			delete(s.children, id)
+			changed = true
 		}
+	}
+	if changed {
+		s.publishSnapshotLocked()
 	}
 }
 
@@ -327,6 +365,7 @@ func (s *Server) pruneStaleReplicas() {
 	now := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	changed := false
 	for id, r := range s.replicas {
 		if r.received.IsZero() {
 			r.received = now
@@ -334,7 +373,11 @@ func (s *Server) pruneStaleReplicas() {
 		}
 		if now.Sub(r.received) > ttl {
 			delete(s.replicas, id)
+			changed = true
 		}
+	}
+	if changed {
+		s.publishSnapshotLocked()
 	}
 }
 
@@ -354,6 +397,7 @@ func (s *Server) sendHeartbeat() {
 			if !s.rejoining && s.parentAddr == "" {
 				s.rootPath = []string{s.cfg.ID}
 				s.rootPathAddrs = []string{s.cfg.Addr}
+				s.publishSnapshotLocked()
 			}
 			s.mu.Unlock()
 		}
@@ -375,6 +419,7 @@ func (s *Server) sendHeartbeat() {
 	if rep.QueryRep != nil {
 		s.siblingsOfMe = rep.QueryRep.Redirects
 	}
+	s.publishSnapshotLocked()
 	s.mu.Unlock()
 }
 
@@ -429,6 +474,7 @@ func (s *Server) planRejoinLocked() *rejoinPlan {
 	s.parentID = ""
 	s.parentAddr = ""
 	s.parentMisses = 0
+	s.publishSnapshotLocked()
 	return p
 }
 

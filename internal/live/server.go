@@ -12,6 +12,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"roads/internal/policy"
@@ -51,6 +52,11 @@ type Config struct {
 	// pre-batching wire behaviour, kept for benchmarks and for driving
 	// peers that predate KindReplicaBatch.
 	DisableReplicaBatch bool
+	// LegacyQueryLocking evaluates queries under the server mutex against
+	// the live routing maps (the pre-snapshot behaviour) instead of
+	// against the lock-free routing snapshot — the measurable baseline
+	// the snapshot path is benchmarked against.
+	LegacyQueryLocking bool
 	// Cost models the store backend.
 	Cost store.CostModel
 }
@@ -156,11 +162,24 @@ type Server struct {
 	localSummary  *summary.Summary
 	branchSummary *summary.Summary
 
-	// Operational counters (monotone since startup).
-	queriesServed   uint64
-	redirectsIssued uint64
-	summariesRecv   uint64
-	queriesShed     uint64
+	// snap is the immutable routing snapshot the lock-free read paths
+	// (handleQuery, handleStatus, the public accessors) evaluate against.
+	// Never nil after NewServer; write paths republish it via
+	// publishSnapshotLocked while holding s.mu.
+	snap atomic.Pointer[routingSnapshot]
+
+	// Operational counters (monotone since startup). Atomics rather than
+	// mutex-guarded fields: the query hot path bumps them without
+	// touching s.mu.
+	queriesServed   atomic.Uint64
+	redirectsIssued atomic.Uint64
+	summariesRecv   atomic.Uint64
+	queriesShed     atomic.Uint64
+	summaryErrors   atomic.Uint64
+	// summaryFailing tracks the summary-refresh error state so the OK →
+	// failing and failing → recovered transitions each log exactly once
+	// instead of once per tick.
+	summaryFailing atomic.Bool
 
 	closer  io.Closer
 	stop    chan struct{}
@@ -173,14 +192,19 @@ func NewServer(cfg Config, tr transport.Transport) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		tr:       tr,
 		store:    store.New(cfg.Schema, cfg.Cost),
 		children: make(map[string]*childState),
 		replicas: make(map[string]*replicaState),
 		stop:     make(chan struct{}),
-	}, nil
+	}
+	// Publish the empty snapshot so the lock-free paths never see nil.
+	s.mu.Lock()
+	s.publishSnapshotLocked()
+	s.mu.Unlock()
+	return s, nil
 }
 
 // ID returns the server's identity.
@@ -202,6 +226,7 @@ func (s *Server) AttachOwner(o *policy.Owner) error {
 		}
 		s.store.Add(recs...)
 	}
+	s.publishSnapshotLocked()
 	return nil
 }
 
@@ -216,6 +241,7 @@ func (s *Server) Start() error {
 	s.started = true
 	s.rootPath = []string{s.cfg.ID}
 	s.rootPathAddrs = []string{s.cfg.Addr}
+	s.publishSnapshotLocked()
 	s.mu.Unlock()
 
 	closer, err := s.tr.Listen(s.cfg.Addr, s.handle)
@@ -313,6 +339,7 @@ func (s *Server) Join(seedAddr string) error {
 			s.parentID = jr.ParentID
 			s.parentAddr = jr.ParentAddr
 			s.parentMisses = 0
+			s.publishSnapshotLocked()
 			s.mu.Unlock()
 			// Prime the parent's view and our root path immediately.
 			s.reportToParent()
@@ -348,41 +375,31 @@ func (s *Server) Join(seedAddr string) error {
 
 // IsRoot reports whether the server currently has no parent.
 func (s *Server) IsRoot() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.parentAddr == ""
+	return s.snap.Load().parentAddr == ""
 }
 
 // ParentID returns the current parent (empty at the root).
 func (s *Server) ParentID() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.parentID
+	return s.snap.Load().parentID
 }
 
 // NumChildren returns the current child count.
 func (s *Server) NumChildren() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.children)
+	return len(s.snap.Load().children)
 }
 
 // BranchRecords returns how many records the branch summary covers — the
 // convergence signal tests and examples poll.
 func (s *Server) BranchRecords() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.branchSummary == nil {
-		return 0
+	if b := s.snap.Load().branchSummary; b != nil {
+		return b.Records
 	}
-	return s.branchSummary.Records
+	return 0
 }
 
 // NumReplicas returns how many overlay replicas the server holds.
 func (s *Server) NumReplicas() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.replicas)
+	return s.snap.Load().numReplicas
 }
 
 // CoveredRecords returns how many records this server can currently route
@@ -391,27 +408,10 @@ func (s *Server) NumReplicas() int {
 // the hierarchy, the value equals the federation's total record count
 // exactly when the overlay has fully converged.
 func (s *Server) CoveredRecords() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var total uint64
-	if s.branchSummary != nil {
-		total += s.branchSummary.Records
-	}
-	for _, r := range s.replicas {
-		if r.ancestor {
-			if r.local != nil {
-				total += r.local.Records
-			}
-		} else if r.branch != nil {
-			total += r.branch.Records
-		}
-	}
-	return total
+	return s.snap.Load().covered
 }
 
 // RootPath returns the server's current root path (IDs, root first).
 func (s *Server) RootPath() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]string(nil), s.rootPath...)
+	return append([]string(nil), s.snap.Load().rootPath...)
 }

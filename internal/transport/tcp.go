@@ -73,6 +73,12 @@ type TCP struct {
 	MaxConnsPerPeer int
 	// NoPool selects the legacy path: one v1-framed exchange per dial.
 	NoPool bool
+	// UseGob sends outgoing requests in the legacy gob codec instead of
+	// the compact binary one, for driving peers that predate the binary
+	// codec (their listeners cannot decode binary payloads). Incoming
+	// requests are always answered in the codec they arrived in, so a
+	// binary-codec listener serves gob and binary dialers side by side.
+	UseGob bool
 
 	ctr    counters
 	nextID atomic.Uint64
@@ -212,7 +218,8 @@ func (t *TCP) serveConn(conn net.Conn, h Handler, wg *sync.WaitGroup) {
 	t.serveLegacy(conn, br, h)
 }
 
-// serveLegacy answers exactly one v1 request/reply exchange.
+// serveLegacy answers exactly one v1 request/reply exchange, replying in
+// the codec the request used (v1 peers are usually gob-only).
 func (t *TCP) serveLegacy(conn net.Conn, br *bufio.Reader, h Handler) {
 	_ = conn.SetDeadline(time.Now().Add(t.callTimeout()))
 	req, err := readFrame(br)
@@ -225,10 +232,11 @@ func (t *TCP) serveLegacy(conn net.Conn, br *bufio.Reader, h Handler) {
 		return
 	}
 	rep := h(msg)
-	data, err := wire.Encode(rep)
+	data, release, err := encodeReply(rep, wire.IsBinary(req))
 	if err != nil {
 		return
 	}
+	defer release()
 	if writeFrame(conn, data) == nil {
 		t.ctr.bytesSent.Add(uint64(4 + len(data)))
 	}
@@ -261,10 +269,11 @@ func (t *TCP) serveMux(conn net.Conn, br *bufio.Reader, h Handler, wg *sync.Wait
 			} else {
 				rep = h(msg)
 			}
-			out, err := wire.Encode(rep)
+			out, release, err := encodeReply(rep, wire.IsBinary(data))
 			if err != nil {
 				return
 			}
+			defer release()
 			wmu.Lock()
 			defer wmu.Unlock()
 			_ = conn.SetWriteDeadline(time.Now().Add(t.callTimeout()))
@@ -529,10 +538,11 @@ func (t *TCP) Call(addr string, req *wire.Message) (*wire.Message, error) {
 // unregistered, and a reply that arrives later is discarded by the read
 // loop while other in-flight calls on the same connection proceed.
 func (t *TCP) CallContext(ctx context.Context, addr string, req *wire.Message) (*wire.Message, error) {
-	data, err := wire.Encode(req)
+	data, release, err := encodeRequest(req, t.UseGob)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	if len(data) > maxFrame {
 		return nil, fmt.Errorf("transport: message of %d bytes exceeds the %d-byte frame limit", len(data), maxFrame)
 	}

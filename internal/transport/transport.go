@@ -33,6 +33,32 @@ type Transport interface {
 	CallContext(ctx context.Context, addr string, req *wire.Message) (*wire.Message, error)
 }
 
+// encodeRequest serializes an outgoing request: the compact binary codec
+// through a pooled buffer by default, legacy gob when useGob is set (for
+// driving peers that predate the binary codec). The caller must not touch
+// data after calling release.
+func encodeRequest(m *wire.Message, useGob bool) (data []byte, release func(), err error) {
+	if useGob {
+		data, err = wire.EncodeGob(m)
+		return data, func() {}, err
+	}
+	bp := wire.GetBuf()
+	data, err = wire.AppendEncode((*bp)[:0], m)
+	if err != nil {
+		wire.PutBuf(bp)
+		return nil, nil, err
+	}
+	*bp = data
+	return data, func() { wire.PutBuf(bp) }, nil
+}
+
+// encodeReply serializes a reply in the codec the request arrived in —
+// the whole compatibility negotiation: an old gob-only peer gets gob back,
+// a binary peer gets binary. Binary replies use a pooled buffer.
+func encodeReply(m *wire.Message, reqWasBinary bool) (data []byte, release func(), err error) {
+	return encodeRequest(m, !reqWasBinary)
+}
+
 // sleepCtx sleeps for d or until ctx is done, whichever comes first.
 func sleepCtx(ctx context.Context, d time.Duration) error {
 	if d <= 0 {
@@ -67,6 +93,11 @@ type Chan struct {
 	// CallerAddr tags outgoing calls for the latency function; transports
 	// are per-process so a single caller address suffices.
 	CallerAddr string
+	// UseGob sends outgoing requests in the legacy gob codec instead of
+	// the binary one — the measurable baseline, and how a peer that
+	// predates the binary codec behaves. Replies always come back in the
+	// request's codec. Set before first use.
+	UseGob bool
 
 	ctr counters
 }
@@ -125,7 +156,7 @@ func (t *Chan) CallContext(ctx context.Context, addr string, req *wire.Message) 
 	start := time.Now()
 	t.ctr.inflight.Add(1)
 	defer t.ctr.inflight.Add(-1)
-	data, err := wire.Encode(req)
+	data, release, err := encodeRequest(req, t.UseGob)
 	if err != nil {
 		t.ctr.errors.Add(1)
 		return nil, err
@@ -133,6 +164,7 @@ func (t *Chan) CallContext(ctx context.Context, addr string, req *wire.Message) 
 	t.ctr.bytesSent.Add(uint64(len(data)))
 	if lat != nil {
 		if err := sleepCtx(ctx, lat(caller, addr)); err != nil {
+			release()
 			t.ctr.errors.Add(1)
 			return nil, fmt.Errorf("transport: call to %s: %w", addr, err)
 		}
@@ -141,6 +173,7 @@ func (t *Chan) CallContext(ctx context.Context, addr string, req *wire.Message) 
 	var repData []byte
 	if ctx.Done() == nil {
 		repData, err = runHandler(h, data)
+		release()
 	} else {
 		type result struct {
 			data []byte
@@ -148,7 +181,10 @@ func (t *Chan) CallContext(ctx context.Context, addr string, req *wire.Message) 
 		}
 		ch := make(chan result, 1)
 		go func() {
+			// The goroutine owns data: an abandoned call must not let the
+			// caller recycle the buffer out from under the handler.
 			d, e := runHandler(h, data)
+			release()
 			ch <- result{data: d, err: e}
 		}()
 		select {
@@ -176,13 +212,18 @@ func (t *Chan) CallContext(ctx context.Context, addr string, req *wire.Message) 
 }
 
 // runHandler decodes the request, invokes the handler, and encodes the
-// reply — the Chan transport's whole "remote" side.
+// reply in the request's codec — the Chan transport's whole "remote"
+// side, including the respond-in-kind codec negotiation.
 func runHandler(h Handler, data []byte) ([]byte, error) {
 	decoded, err := wire.Decode(data)
 	if err != nil {
 		return nil, err
 	}
-	return wire.Encode(h(decoded))
+	rep := h(decoded)
+	if wire.IsBinary(data) {
+		return wire.Encode(rep)
+	}
+	return wire.EncodeGob(rep)
 }
 
 // Stats returns a snapshot of the transport's counters. The Chan transport

@@ -1,0 +1,785 @@
+package wire
+
+// The compact binary codec. Gob re-serializes full type descriptors on
+// every one-shot Encode, which makes each RPC pay kilobytes of schema and
+// thousands of reflection-driven allocations; this codec writes fields
+// positionally with varint integers, length-prefixed strings, and raw
+// little-endian arrays for histogram buckets and Bloom bitsets, so the hot
+// query and replica-push paths move only payload bytes.
+//
+// Layout: every binary payload starts with binMagic, a byte gob can never
+// emit first (gob streams open with a message byte count, whose first byte
+// is either <= 0x7f or >= 0xf8), so Decode distinguishes the two codecs
+// from the first byte and old gob peers interoperate without negotiation:
+// listeners answer in whichever codec the request arrived in.
+//
+// Compatibility rule: fields are appended in a fixed order per struct.
+// Changing or reordering existing fields requires bumping binVersion;
+// decoders reject versions they do not know instead of misparsing.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"roads/internal/query"
+	"roads/internal/record"
+)
+
+const (
+	// binMagic marks a binary-codec payload. It sits in the byte range a
+	// gob stream can never start with (0x80..0xf7).
+	binMagic = 0xb5
+	// binVersion is the codec revision.
+	binVersion = 1
+	// maxRedirectDepth bounds RedirectInfo.Alternates nesting on decode.
+	// Real messages nest one level (alternates carry no alternates); the
+	// bound stops crafted input from recursing the decoder off the stack.
+	maxRedirectDepth = 8
+)
+
+// presence bits for Message's optional payload pointers.
+const (
+	hasJoin = 1 << iota
+	hasJoinReply
+	hasReport
+	hasReplica
+	hasBatch
+	hasQuery
+	hasQueryRep
+	hasHeartbeat
+	hasStatus
+)
+
+// IsBinary reports whether data is a binary-codec payload (as opposed to
+// gob). Transports use it to answer in the codec the request arrived in.
+func IsBinary(data []byte) bool {
+	return len(data) > 0 && data[0] == binMagic
+}
+
+// --- Buffer pool ---
+
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// GetBuf returns a pooled scratch buffer for AppendEncode. Callers own it
+// until PutBuf; typical use is `data, err := AppendEncode((*bp)[:0], m)`
+// followed by `*bp = data` before PutBuf so grown capacity is retained.
+func GetBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutBuf returns a buffer to the pool. The caller must not retain any
+// slice aliasing it afterwards.
+func PutBuf(bp *[]byte) {
+	if cap(*bp) > 1<<20 {
+		return // don't let one huge message pin a huge buffer forever
+	}
+	bufPool.Put(bp)
+}
+
+// --- Encoding primitives ---
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+func appendVarint(b []byte, v int64) []byte { return binary.AppendVarint(b, v) }
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendF64(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// --- Decoding primitives ---
+
+// binReader walks a binary payload with sticky error state: after the
+// first malformed field every subsequent read returns zero values, so
+// decoders need no per-field error plumbing and corrupt input can never
+// panic.
+type binReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *binReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: binary decode: "+format, args...)
+	}
+}
+
+func (r *binReader) remaining() int { return len(r.b) - r.off }
+
+func (r *binReader) u8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.fail("truncated at byte %d", r.off)
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *binReader) bool() bool { return r.u8() != 0 }
+
+func (r *binReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint at byte %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *binReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("bad varint at byte %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *binReader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 8 {
+		r.fail("truncated float at byte %d", r.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *binReader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(r.remaining()) {
+		r.fail("string of %d bytes exceeds %d remaining", n, r.remaining())
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)]) // copies: decoded messages never alias the input
+	r.off += int(n)
+	return s
+}
+
+// count reads a collection length and validates it against the remaining
+// bytes (each element costs at least elemSize bytes), so corrupt input
+// cannot trigger a huge allocation.
+func (r *binReader) count(elemSize int) int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	if n > uint64(r.remaining()/elemSize) {
+		r.fail("collection of %d elements exceeds %d remaining bytes", n, r.remaining())
+		return 0
+	}
+	return int(n)
+}
+
+// --- Message ---
+
+// AppendEncode appends m's binary encoding to buf and returns the grown
+// slice. Pair with GetBuf/PutBuf to run the hot path allocation-free.
+func AppendEncode(buf []byte, m *Message) ([]byte, error) {
+	if m == nil {
+		return nil, fmt.Errorf("wire: encode nil message")
+	}
+	b := append(buf, binMagic, binVersion)
+	b = append(b, byte(m.Kind))
+	b = appendString(b, m.From)
+	b = appendString(b, m.Addr)
+	b = appendString(b, m.Error)
+
+	var bits uint64
+	if m.Join != nil {
+		bits |= hasJoin
+	}
+	if m.JoinReply != nil {
+		bits |= hasJoinReply
+	}
+	if m.Report != nil {
+		bits |= hasReport
+	}
+	if m.Replica != nil {
+		bits |= hasReplica
+	}
+	if m.Batch != nil {
+		bits |= hasBatch
+	}
+	if m.Query != nil {
+		bits |= hasQuery
+	}
+	if m.QueryRep != nil {
+		bits |= hasQueryRep
+	}
+	if m.Heartbeat != nil {
+		bits |= hasHeartbeat
+	}
+	if m.Status != nil {
+		bits |= hasStatus
+	}
+	b = appendUvarint(b, bits)
+
+	if m.Join != nil {
+		b = appendString(b, m.Join.ID)
+		b = appendString(b, m.Join.Addr)
+	}
+	if m.JoinReply != nil {
+		b = appendJoinReply(b, m.JoinReply)
+	}
+	if m.Report != nil {
+		b = appendReport(b, m.Report)
+	}
+	if m.Replica != nil {
+		b = appendReplicaPush(b, m.Replica)
+	}
+	if m.Batch != nil {
+		b = appendUvarint(b, uint64(len(m.Batch.Pushes)))
+		for _, p := range m.Batch.Pushes {
+			if p == nil {
+				b = appendBool(b, false)
+				continue
+			}
+			b = appendBool(b, true)
+			b = appendReplicaPush(b, p)
+		}
+	}
+	if m.Query != nil {
+		b = appendQuery(b, m.Query)
+	}
+	if m.QueryRep != nil {
+		b = appendQueryReply(b, m.QueryRep)
+	}
+	if m.Heartbeat != nil {
+		b = appendStrings(b, m.Heartbeat.RootPath)
+		b = appendStrings(b, m.Heartbeat.PathAddrs)
+	}
+	if m.Status != nil {
+		b = appendStatus(b, m.Status)
+	}
+	return b, nil
+}
+
+// decodeBinary parses a binary payload into a Message. It never panics on
+// malformed input and rejects trailing bytes, so fuzzing can assert a
+// strict decode/encode/decode fixed point.
+func decodeBinary(data []byte) (*Message, error) {
+	r := &binReader{b: data}
+	if r.u8() != binMagic {
+		return nil, fmt.Errorf("wire: not a binary payload")
+	}
+	if v := r.u8(); v != binVersion && r.err == nil {
+		return nil, fmt.Errorf("wire: unknown binary codec version %d", v)
+	}
+	m := &Message{}
+	m.Kind = Kind(r.u8())
+	m.From = r.str()
+	m.Addr = r.str()
+	m.Error = r.str()
+	bits := r.uvarint()
+
+	if bits&hasJoin != 0 {
+		m.Join = &Join{ID: r.str(), Addr: r.str()}
+	}
+	if bits&hasJoinReply != 0 {
+		m.JoinReply = readJoinReply(r)
+	}
+	if bits&hasReport != 0 {
+		m.Report = readReport(r)
+	}
+	if bits&hasReplica != 0 {
+		m.Replica = readReplicaPush(r)
+	}
+	if bits&hasBatch != 0 {
+		n := r.count(1)
+		batch := &ReplicaBatch{}
+		if n > 0 {
+			batch.Pushes = make([]*ReplicaPush, 0, n)
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			if !r.bool() {
+				batch.Pushes = append(batch.Pushes, nil)
+				continue
+			}
+			batch.Pushes = append(batch.Pushes, readReplicaPush(r))
+		}
+		m.Batch = batch
+	}
+	if bits&hasQuery != 0 {
+		m.Query = readQuery(r)
+	}
+	if bits&hasQueryRep != 0 {
+		m.QueryRep = readQueryReply(r)
+	}
+	if bits&hasHeartbeat != 0 {
+		m.Heartbeat = &Heartbeat{RootPath: readStrings(r), PathAddrs: readStrings(r)}
+	}
+	if bits&hasStatus != 0 {
+		m.Status = readStatus(r)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.b) {
+		return nil, fmt.Errorf("wire: binary decode: %d trailing bytes", len(r.b)-r.off)
+	}
+	return m, nil
+}
+
+// --- Sub-structures ---
+
+func appendStrings(b []byte, ss []string) []byte {
+	b = appendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = appendString(b, s)
+	}
+	return b
+}
+
+func readStrings(r *binReader) []string {
+	n := r.count(1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, r.str())
+	}
+	return out
+}
+
+func appendJoinReply(b []byte, jr *JoinReply) []byte {
+	b = appendBool(b, jr.Accepted)
+	b = appendString(b, jr.ParentID)
+	b = appendString(b, jr.ParentAddr)
+	b = appendUvarint(b, uint64(len(jr.Children)))
+	for _, c := range jr.Children {
+		b = appendString(b, c.ID)
+		b = appendString(b, c.Addr)
+		b = appendVarint(b, int64(c.Depth))
+		b = appendVarint(b, int64(c.Descendants))
+	}
+	return b
+}
+
+func readJoinReply(r *binReader) *JoinReply {
+	jr := &JoinReply{
+		Accepted:   r.bool(),
+		ParentID:   r.str(),
+		ParentAddr: r.str(),
+	}
+	n := r.count(4)
+	if n > 0 {
+		jr.Children = make([]ChildInfo, 0, n)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		jr.Children = append(jr.Children, ChildInfo{
+			ID:          r.str(),
+			Addr:        r.str(),
+			Depth:       int(r.varint()),
+			Descendants: int(r.varint()),
+		})
+	}
+	return jr
+}
+
+func appendRedirects(b []byte, rs []RedirectInfo) []byte {
+	b = appendUvarint(b, uint64(len(rs)))
+	for i := range rs {
+		b = appendString(b, rs[i].ID)
+		b = appendString(b, rs[i].Addr)
+		b = appendUvarint(b, rs[i].Records)
+		b = appendRedirects(b, rs[i].Alternates)
+	}
+	return b
+}
+
+func readRedirects(r *binReader, depth int) []RedirectInfo {
+	if depth > maxRedirectDepth {
+		r.fail("redirect alternates nested deeper than %d", maxRedirectDepth)
+		return nil
+	}
+	n := r.count(3)
+	if n == 0 {
+		return nil
+	}
+	out := make([]RedirectInfo, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, RedirectInfo{
+			ID:         r.str(),
+			Addr:       r.str(),
+			Records:    r.uvarint(),
+			Alternates: readRedirects(r, depth+1),
+		})
+	}
+	return out
+}
+
+func appendReport(b []byte, rep *SummaryReport) []byte {
+	b = appendBool(b, rep.Summary != nil)
+	if rep.Summary != nil {
+		b = appendSummary(b, rep.Summary)
+	}
+	b = appendVarint(b, int64(rep.Depth))
+	b = appendVarint(b, int64(rep.Descendants))
+	return appendRedirects(b, rep.Children)
+}
+
+func readReport(r *binReader) *SummaryReport {
+	rep := &SummaryReport{}
+	if r.bool() {
+		rep.Summary = readSummary(r)
+	}
+	rep.Depth = int(r.varint())
+	rep.Descendants = int(r.varint())
+	rep.Children = readRedirects(r, 0)
+	return rep
+}
+
+func appendReplicaPush(b []byte, p *ReplicaPush) []byte {
+	b = appendString(b, p.OriginID)
+	b = appendString(b, p.OriginAddr)
+	var flags byte
+	if p.Branch != nil {
+		flags |= 1
+	}
+	if p.Local != nil {
+		flags |= 2
+	}
+	if p.Ancestor {
+		flags |= 4
+	}
+	b = append(b, flags)
+	if p.Branch != nil {
+		b = appendSummary(b, p.Branch)
+	}
+	if p.Local != nil {
+		b = appendSummary(b, p.Local)
+	}
+	b = appendVarint(b, int64(p.Level))
+	return appendRedirects(b, p.Fallbacks)
+}
+
+func readReplicaPush(r *binReader) *ReplicaPush {
+	p := &ReplicaPush{OriginID: r.str(), OriginAddr: r.str()}
+	flags := r.u8()
+	p.Ancestor = flags&4 != 0
+	if flags&1 != 0 {
+		p.Branch = readSummary(r)
+	}
+	if flags&2 != 0 {
+		p.Local = readSummary(r)
+	}
+	p.Level = int(r.varint())
+	p.Fallbacks = readRedirects(r, 0)
+	return p
+}
+
+func appendQuery(b []byte, q *QueryDTO) []byte {
+	b = appendString(b, q.ID)
+	b = appendString(b, q.Requester)
+	b = appendBool(b, q.Start)
+	b = appendVarint(b, int64(q.Scope))
+	b = appendVarint(b, int64(q.Budget))
+	b = appendUvarint(b, uint64(len(q.Preds)))
+	for i := range q.Preds {
+		p := &q.Preds[i]
+		b = appendString(b, p.Attr)
+		b = append(b, byte(p.Op))
+		b = appendF64(b, p.Lo)
+		b = appendF64(b, p.Hi)
+		b = appendString(b, p.Str)
+	}
+	return b
+}
+
+func readQuery(r *binReader) *QueryDTO {
+	q := &QueryDTO{
+		ID:        r.str(),
+		Requester: r.str(),
+		Start:     r.bool(),
+		Scope:     int(r.varint()),
+		Budget:    time.Duration(r.varint()),
+	}
+	n := r.count(19) // attr len + op + two floats + str len
+	if n > 0 {
+		q.Preds = make([]query.Predicate, 0, n)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		q.Preds = append(q.Preds, query.Predicate{
+			Attr: r.str(),
+			Op:   query.Op(r.u8()),
+			Lo:   r.f64(),
+			Hi:   r.f64(),
+			Str:  r.str(),
+		})
+	}
+	return q
+}
+
+func appendQueryReply(b []byte, qr *QueryReply) []byte {
+	b = appendUvarint(b, uint64(len(qr.Records)))
+	for i := range qr.Records {
+		rec := &qr.Records[i]
+		b = appendString(b, rec.ID)
+		b = appendString(b, rec.Owner)
+		b = appendUvarint(b, uint64(len(rec.Values)))
+		for j := range rec.Values {
+			b = appendF64(b, rec.Values[j].Num)
+			b = appendString(b, rec.Values[j].Str)
+		}
+	}
+	return appendRedirects(b, qr.Redirects)
+}
+
+func readQueryReply(r *binReader) *QueryReply {
+	qr := &QueryReply{}
+	n := r.count(3)
+	if n > 0 {
+		qr.Records = make([]RecordDTO, 0, n)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		rec := RecordDTO{ID: r.str(), Owner: r.str()}
+		nv := r.count(9) // float + str len
+		if nv > 0 {
+			rec.Values = make([]record.Value, 0, nv)
+		}
+		for j := 0; j < nv && r.err == nil; j++ {
+			rec.Values = append(rec.Values, record.Value{Num: r.f64(), Str: r.str()})
+		}
+		qr.Records = append(qr.Records, rec)
+	}
+	qr.Redirects = readRedirects(r, 0)
+	return qr
+}
+
+func appendStatus(b []byte, st *Status) []byte {
+	b = appendString(b, st.ID)
+	b = appendString(b, st.Addr)
+	b = appendString(b, st.ParentID)
+	b = appendBool(b, st.IsRoot)
+	b = appendVarint(b, int64(st.Children))
+	b = appendVarint(b, int64(st.Replicas))
+	b = appendVarint(b, int64(st.Owners))
+	b = appendUvarint(b, st.BranchRecords)
+	b = appendUvarint(b, st.LocalRecords)
+	b = appendStrings(b, st.RootPath)
+	b = appendUvarint(b, st.QueriesServed)
+	b = appendUvarint(b, st.RedirectsIssued)
+	b = appendUvarint(b, st.SummariesRecv)
+	b = appendUvarint(b, st.QueriesShed)
+	b = appendUvarint(b, st.SummaryErrors)
+	b = appendBool(b, st.Transport != nil)
+	if tr := st.Transport; tr != nil {
+		b = appendUvarint(b, tr.Dials)
+		b = appendUvarint(b, tr.Reuses)
+		b = appendUvarint(b, tr.InFlight)
+		b = appendUvarint(b, tr.Calls)
+		b = appendUvarint(b, tr.Errors)
+		b = appendUvarint(b, tr.Retries)
+		b = appendUvarint(b, tr.BytesSent)
+		b = appendUvarint(b, tr.BytesRecv)
+		b = appendUvarint(b, tr.P50Micros)
+		b = appendUvarint(b, tr.P99Micros)
+	}
+	return b
+}
+
+func readStatus(r *binReader) *Status {
+	st := &Status{
+		ID:              r.str(),
+		Addr:            r.str(),
+		ParentID:        r.str(),
+		IsRoot:          r.bool(),
+		Children:        int(r.varint()),
+		Replicas:        int(r.varint()),
+		Owners:          int(r.varint()),
+		BranchRecords:   r.uvarint(),
+		LocalRecords:    r.uvarint(),
+		RootPath:        readStrings(r),
+		QueriesServed:   r.uvarint(),
+		RedirectsIssued: r.uvarint(),
+		SummariesRecv:   r.uvarint(),
+		QueriesShed:     r.uvarint(),
+		SummaryErrors:   r.uvarint(),
+	}
+	if r.bool() {
+		st.Transport = &TransportStatus{
+			Dials:     r.uvarint(),
+			Reuses:    r.uvarint(),
+			InFlight:  r.uvarint(),
+			Calls:     r.uvarint(),
+			Errors:    r.uvarint(),
+			Retries:   r.uvarint(),
+			BytesSent: r.uvarint(),
+			BytesRecv: r.uvarint(),
+			P50Micros: r.uvarint(),
+			P99Micros: r.uvarint(),
+		}
+	}
+	return st
+}
+
+// --- Summaries ---
+
+// appendSummary writes a SummaryDTO: header fields, then histograms as raw
+// little-endian uint32 bucket arrays, value sets as sorted (value, count)
+// pairs, and Bloom filters as raw little-endian uint64 bitsets. Raw arrays
+// beat per-element varints here: buckets and bitset words are dense and
+// uniformly sized, so the copy is one memmove each way.
+func appendSummary(b []byte, s *SummaryDTO) []byte {
+	b = appendString(b, s.Origin)
+	b = appendUvarint(b, s.Version)
+	b = appendUvarint(b, s.Records)
+	b = appendVarint(b, int64(s.Buckets))
+	b = appendF64(b, s.Min)
+	b = appendF64(b, s.Max)
+
+	b = appendUvarint(b, uint64(len(s.Hists)))
+	for i := range s.Hists {
+		h := &s.Hists[i]
+		b = appendVarint(b, int64(h.Attr))
+		b = appendUvarint(b, h.Total)
+		b = appendUvarint(b, uint64(len(h.Counts)))
+		for _, c := range h.Counts {
+			b = binary.LittleEndian.AppendUint32(b, c)
+		}
+	}
+
+	b = appendUvarint(b, uint64(len(s.Sets)))
+	for i := range s.Sets {
+		vs := &s.Sets[i]
+		b = appendVarint(b, int64(vs.Attr))
+		b = appendUvarint(b, uint64(len(vs.Counts)))
+		keys := make([]string, 0, len(vs.Counts))
+		for k := range vs.Counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys) // deterministic bytes for identical sets
+		for _, k := range keys {
+			b = appendString(b, k)
+			b = appendUvarint(b, uint64(vs.Counts[k]))
+		}
+	}
+
+	b = appendUvarint(b, uint64(len(s.Blooms)))
+	for i := range s.Blooms {
+		bl := &s.Blooms[i]
+		b = appendVarint(b, int64(bl.Attr))
+		b = appendUvarint(b, uint64(bl.NumBit))
+		b = appendUvarint(b, uint64(bl.Hashes))
+		b = appendUvarint(b, bl.N)
+		b = appendUvarint(b, uint64(len(bl.Bits)))
+		for _, w := range bl.Bits {
+			b = binary.LittleEndian.AppendUint64(b, w)
+		}
+	}
+	return b
+}
+
+func readSummary(r *binReader) *SummaryDTO {
+	s := &SummaryDTO{
+		Origin:  r.str(),
+		Version: r.uvarint(),
+		Records: r.uvarint(),
+		Buckets: int(r.varint()),
+		Min:     r.f64(),
+		Max:     r.f64(),
+	}
+
+	nh := r.count(3)
+	if nh > 0 {
+		s.Hists = make([]HistDTO, 0, nh)
+	}
+	for i := 0; i < nh && r.err == nil; i++ {
+		h := HistDTO{Attr: int(r.varint()), Total: r.uvarint()}
+		nc := r.count(4)
+		if nc > 0 {
+			h.Counts = make([]uint32, nc)
+			for j := range h.Counts {
+				if r.remaining() < 4 {
+					r.fail("truncated histogram counts")
+					break
+				}
+				h.Counts[j] = binary.LittleEndian.Uint32(r.b[r.off:])
+				r.off += 4
+			}
+		}
+		s.Hists = append(s.Hists, h)
+	}
+
+	ns := r.count(2)
+	if ns > 0 {
+		s.Sets = make([]SetDTO, 0, ns)
+	}
+	for i := 0; i < ns && r.err == nil; i++ {
+		vs := SetDTO{Attr: int(r.varint())}
+		nv := r.count(2)
+		vs.Counts = make(map[string]uint32, nv)
+		for j := 0; j < nv && r.err == nil; j++ {
+			k := r.str()
+			vs.Counts[k] = uint32(r.uvarint())
+		}
+		s.Sets = append(s.Sets, vs)
+	}
+
+	nb := r.count(5)
+	if nb > 0 {
+		s.Blooms = make([]BloomDTO, 0, nb)
+	}
+	for i := 0; i < nb && r.err == nil; i++ {
+		bl := BloomDTO{
+			Attr:   int(r.varint()),
+			NumBit: uint32(r.uvarint()),
+			Hashes: uint32(r.uvarint()),
+			N:      r.uvarint(),
+		}
+		nw := r.count(8)
+		if nw > 0 {
+			bl.Bits = make([]uint64, nw)
+			for j := range bl.Bits {
+				if r.remaining() < 8 {
+					r.fail("truncated bloom bits")
+					break
+				}
+				bl.Bits[j] = binary.LittleEndian.Uint64(r.b[r.off:])
+				r.off += 8
+			}
+		}
+		s.Blooms = append(s.Blooms, bl)
+	}
+	return s
+}

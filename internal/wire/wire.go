@@ -93,6 +93,11 @@ type Status struct {
 	// QueriesShed counts queries abandoned because their deadline budget
 	// ran out mid-evaluation (overload/deadline shedding).
 	QueriesShed uint64
+	// SummaryErrors counts summary-refresh failures (local FromRecords or
+	// an owner's ExportSummary): the server keeps serving its previous
+	// summaries, so a non-zero, growing value means the advertised state
+	// is going stale even though queries still succeed.
+	SummaryErrors uint64
 	// Transport carries the server's transport counters when its
 	// transport exposes them (pooled TCP and the in-process Chan both do).
 	Transport *TransportStatus
@@ -385,8 +390,18 @@ func (dto *SummaryDTO) ToSummary(schema *record.Schema) (*summary.Summary, error
 	return s, nil
 }
 
-// Encode serializes a message with gob.
+// Encode serializes a message with the compact binary codec (see
+// binary.go). Peers that predate the codec are still reachable: EncodeGob
+// produces the legacy representation, and Decode accepts both.
 func Encode(m *Message) ([]byte, error) {
+	return AppendEncode(nil, m)
+}
+
+// EncodeGob serializes a message with the legacy gob codec, kept for
+// driving peers that predate the binary codec and as the benchmark
+// baseline. Gob re-sends its type descriptors on every one-shot encode,
+// which is exactly the per-RPC overhead the binary codec removes.
+func EncodeGob(m *Message) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
 		return nil, fmt.Errorf("wire: encode: %w", err)
@@ -394,8 +409,15 @@ func Encode(m *Message) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Decode deserializes a message.
+// Decode deserializes a message in either codec, distinguished by the
+// first payload byte: binMagic marks the binary codec, anything else is a
+// gob stream (whose first byte can never be binMagic). This is the whole
+// version negotiation — servers answer in the codec the request used, so
+// old gob-only peers and new binary peers share one listener.
 func Decode(data []byte) (*Message, error) {
+	if IsBinary(data) {
+		return decodeBinary(data)
+	}
 	var m Message
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
 		return nil, fmt.Errorf("wire: decode: %w", err)
