@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race chaos bench-transport bench bench-compare
+.PHONY: tier1 build vet test race chaos docs-check bench-transport bench bench-compare
 
 # tier1 is the gate every change must pass: full build + vet + full test
 # suite, plus race-enabled runs of the concurrency-heavy packages (the
-# live protocol stack and the pooled transport) and the fault-injection
-# chaos suite. test/race/chaos depend on vet so a vet failure stops the
-# gate before any tests burn time.
-tier1: build vet test race chaos
+# live protocol stack and the pooled transport), the fault-injection
+# chaos suite, and the documentation checks. test/race/chaos depend on
+# vet so a vet failure stops the gate before any tests burn time.
+tier1: build vet test race chaos docs-check
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,12 @@ race: vet
 # under the race detector.
 chaos: vet
 	$(GO) test -race -run 'TestChaos|TestFaulty' ./internal/live/ ./internal/transport/
+
+# docs-check validates every relative markdown link resolves and that
+# every registered metric name appears in the OPERATIONS.md catalog (see
+# cmd/docscheck).
+docs-check:
+	$(GO) run ./cmd/docscheck
 
 # bench-transport compares the pooled+batched comms hot path against the
 # legacy dial-per-call / push-per-replica baseline (see EXPERIMENTS.md).

@@ -1,0 +1,139 @@
+// Command docscheck guards the repository's documentation in two ways:
+//
+//  1. Every relative markdown link in the repo's *.md files must point at a
+//     file that exists (external http(s)/mailto links are skipped — CI has
+//     no network).
+//  2. Every metric name the live stack registers must appear in
+//     OPERATIONS.md, so the operator catalog can never silently fall
+//     behind the code. The check builds the registry exactly the way
+//     roadsd does — transport + wire codec + live server — and greps the
+//     handbook for each resulting name.
+//
+// Run via `make docs-check` (part of the tier1 gate). Exit status is
+// non-zero when any check fails; every failure is listed, not just the
+// first.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"roads/internal/live"
+	"roads/internal/obs"
+	"roads/internal/record"
+	"roads/internal/transport"
+	"roads/internal/wire"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var failures []string
+
+	mdFiles, err := markdownFiles(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+	for _, f := range mdFiles {
+		failures = append(failures, checkLinks(root, f)...)
+	}
+	failures = append(failures, checkMetricsCatalog(root)...)
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "docscheck:", f)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d failure(s)\n", len(failures))
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d markdown files OK, metrics catalog complete\n", len(mdFiles))
+}
+
+// markdownFiles lists every tracked *.md file under root, skipping
+// dot-directories and testdata.
+func markdownFiles(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".md") {
+			out = append(out, path)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// linkRe matches inline markdown links [text](target). Reference-style
+// links are rare in this repo and not checked.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkLinks verifies every relative link target in file exists on disk
+// (anchors are stripped; pure-anchor links within a file are skipped).
+func checkLinks(root, file string) []string {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", file, err)}
+	}
+	var failures []string
+	for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+		target := m[1]
+		if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+			strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+			continue
+		}
+		if i := strings.IndexByte(target, '#'); i >= 0 {
+			target = target[:i]
+		}
+		if target == "" {
+			continue
+		}
+		resolved := filepath.Join(filepath.Dir(file), target)
+		if _, err := os.Stat(resolved); err != nil {
+			failures = append(failures, fmt.Sprintf("%s: broken link %q (%s does not exist)", file, m[1], resolved))
+		}
+	}
+	return failures
+}
+
+// checkMetricsCatalog registers every metric the way roadsd does and
+// verifies OPERATIONS.md names each of them.
+func checkMetricsCatalog(root string) []string {
+	reg := obs.NewRegistry()
+	tr := transport.NewChan()
+	tr.RegisterMetrics(reg)
+	wire.RegisterMetrics(reg)
+	cfg := live.DefaultConfig("docscheck", "docscheck-addr", record.DefaultSchema(2))
+	cfg.Metrics = reg
+	if _, err := live.NewServer(cfg, tr); err != nil {
+		return []string{fmt.Sprintf("building reference server: %v", err)}
+	}
+
+	opsPath := filepath.Join(root, "OPERATIONS.md")
+	data, err := os.ReadFile(opsPath)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v (the metrics catalog lives there)", opsPath, err)}
+	}
+	ops := string(data)
+	var failures []string
+	for _, name := range reg.Names() {
+		if !strings.Contains(ops, name) {
+			failures = append(failures, fmt.Sprintf("OPERATIONS.md: registered metric %q is not documented", name))
+		}
+	}
+	return failures
+}

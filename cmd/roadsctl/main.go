@@ -38,6 +38,7 @@ func main() {
 	deadline := flag.Duration("deadline", 10*time.Second, "overall resolve deadline; servers shed work that cannot meet it")
 	retries := flag.Int("retries", 1, "retries per failed server contact before failing over to alternate replica holders")
 	gob := flag.Bool("gob", false, "send requests in the legacy gob wire codec (for servers that predate the binary codec)")
+	trace := flag.Bool("trace", false, "trace the resolve: print every server contact with its redirect path, per-hop latency, and the server's summary-match decisions")
 	var preds predList
 	flag.Var(&preds, "q", "predicate attr=lo:hi, attr=value, attr>v or attr<v (repeatable)")
 	flag.Parse()
@@ -85,6 +86,7 @@ func main() {
 	q := query.New("roadsctl", preds...)
 	client := live.NewClient(newTCP(), *requester)
 	client.Retries = *retries
+	client.Trace = *trace
 	ctx, cancel := context.WithTimeout(context.Background(), *deadline)
 	defer cancel()
 	recs, stats, err := client.ResolveContext(ctx, *server, q)
@@ -106,11 +108,57 @@ func main() {
 			fmt.Fprintln(os.Stderr, "  ", e)
 		}
 	}
+	if *trace {
+		printTrace(stats)
+	}
 	for i, r := range recs {
 		if *limit > 0 && i >= *limit {
 			fmt.Printf("... and %d more\n", len(recs)-*limit)
 			break
 		}
 		fmt.Println(" ", r)
+	}
+}
+
+// printTrace renders the resolve's hop log: one line per server contact in
+// completion order, with the redirect path that led there, the round-trip
+// latency, and — when the server answered — its evaluation trace.
+func printTrace(stats live.QueryStats) {
+	fmt.Printf("trace %s: %d hops\n", stats.TraceID, len(stats.Hops))
+	for i, h := range stats.Hops {
+		who := h.ServerID
+		if who == "" {
+			who = h.Addr
+		}
+		path := "(entry)"
+		if len(h.Path) > 0 {
+			path = ""
+			for j, p := range h.Path {
+				if j > 0 {
+					path += " > "
+				}
+				path += p
+			}
+		}
+		fmt.Printf("  hop %d [%s] %s (%s) via %s, rtt %v", i+1, h.Kind, who, h.Addr, path, h.RTT.Round(time.Microsecond))
+		if h.Attempts > 1 {
+			fmt.Printf(" (%d attempts)", h.Attempts)
+		}
+		fmt.Println()
+		if h.Err != "" {
+			fmt.Printf("        failed: %s\n", h.Err)
+			continue
+		}
+		fmt.Printf("        returned %d records, %d redirects", h.Records, h.Redirects)
+		if ti := h.Info; ti != nil {
+			fmt.Printf("; eval %dµs, %d local matches", ti.EvalMicros, ti.LocalRecords)
+			if len(ti.MatchedChildren) > 0 {
+				fmt.Printf("; matched children %v of %d", ti.MatchedChildren, ti.Children)
+			}
+			if len(ti.MatchedReplicas) > 0 {
+				fmt.Printf("; matched replicas %v of %d", ti.MatchedReplicas, ti.Replicas)
+			}
+		}
+		fmt.Println()
 	}
 }

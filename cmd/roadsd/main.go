@@ -18,16 +18,19 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"roads/internal/live"
+	"roads/internal/obs"
 	"roads/internal/policy"
 	"roads/internal/record"
 	"roads/internal/summary"
 	"roads/internal/transport"
+	"roads/internal/wire"
 	"roads/internal/workload"
 )
 
@@ -45,6 +48,7 @@ func main() {
 	load := flag.String("load", "", "JSON-lines records file to host (overrides -records)")
 	schemaFile := flag.String("schema", "", "schema JSON file (required with -load; default synthetic aN schema otherwise)")
 	gob := flag.Bool("gob", false, "send outgoing calls in the legacy gob wire codec (for peers that predate the binary codec; incoming calls are always answered in the codec they arrive in)")
+	httpAddr := flag.String("http", "", "observability sidecar listen address, e.g. :9090 (serves /metrics, /statusz, /debug/pprof/; empty = disabled; bind to a trusted interface — pprof exposes profiles)")
 	flag.Parse()
 
 	if *id == "" {
@@ -100,11 +104,25 @@ func main() {
 	cfg.HeartbeatEvery = *tick
 	cfg.ReplicaTTLFloor = *ttlFloor
 
+	reg := obs.NewRegistry()
 	tr := transport.NewTCP()
 	tr.UseGob = *gob
+	tr.RegisterMetrics(reg)
+	wire.RegisterMetrics(reg)
+	cfg.Metrics = reg
 	srv, err := live.NewServer(cfg, tr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *httpAddr != "" {
+		h := obs.Handler(reg, func() any { return srv.StatusSnapshot() })
+		hsrv := &http.Server{Addr: *httpAddr, Handler: h}
+		go func() {
+			if err := hsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Fatalf("roadsd %s: http sidecar: %v", *id, err)
+			}
+		}()
+		log.Printf("roadsd %s: observability sidecar on %s (/metrics /statusz /debug/pprof/)", *id, *httpAddr)
 	}
 	if len(hosted) > 0 {
 		owner := policy.NewOwner(*id+"-owner", schema, nil)

@@ -38,6 +38,13 @@ type Client struct {
 	// Backoff is the base retry delay, doubled per attempt with ±25%
 	// jitter (default 20ms, capped at 1s).
 	Backoff time.Duration
+	// Trace enables per-hop query tracing: the client stamps each resolve
+	// with a trace ID, asks every contacted server for its evaluation
+	// trace (wire.TraceInfo), and records each contact as a HopTrace in
+	// QueryStats.Hops — including the contacts that failed and the
+	// failover stand-ins spawned for them. Tracing adds a few fields per
+	// hop on the wire and is off by default.
+	Trace bool
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -45,6 +52,9 @@ type Client struct {
 
 // NewClient creates a client over the transport.
 func NewClient(tr transport.Transport, requester string) *Client {
+	// Seed from the requester name AND the clock: the name alone would give
+	// every process the same jitter and — worse — the same trace IDs, making
+	// traces from separate runs indistinguishable in server logs.
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(requester))
 	return &Client{
@@ -52,7 +62,7 @@ func NewClient(tr transport.Transport, requester string) *Client {
 		Requester:     requester,
 		MaxConcurrent: 16,
 		Retries:       1,
-		rng:           rand.New(rand.NewSource(int64(h.Sum64()))),
+		rng:           rand.New(rand.NewSource(int64(h.Sum64()) ^ time.Now().UnixNano())),
 	}
 }
 
@@ -84,6 +94,44 @@ type QueryStats struct {
 	Elapsed time.Duration
 	// Servers lists contacted server IDs.
 	Servers []string
+	// TraceID identifies this resolve in server logs (set when the client
+	// has Trace enabled).
+	TraceID string
+	// Hops records every server contact of a traced resolve, in completion
+	// order (empty unless the client has Trace enabled).
+	Hops []HopTrace
+}
+
+// HopTrace is one server contact of a traced resolve: how the target was
+// discovered, how the contact went, and — when the server answered — its
+// own evaluation trace.
+type HopTrace struct {
+	// Kind is how the contact was discovered: "start" (the entry server),
+	// "redirect" (named in a query reply) or "failover" (an alternate
+	// stood in for a failed contact).
+	Kind string
+	// Addr is the address contacted; ServerID the responder's identity
+	// (empty when the contact never answered).
+	Addr     string
+	ServerID string
+	// Via is the server that named this target (empty for the start hop).
+	Via string
+	// Path is the redirect chain from the start server to this contact
+	// (server IDs, excluding the contact itself), capped at
+	// wire.MaxTracePath entries.
+	Path []string
+	// Attempts is how many attempts the contact burned (1 = no retries).
+	Attempts int
+	// RTT is the round-trip time of the final attempt.
+	RTT time.Duration
+	// Records and Redirects count what the reply carried.
+	Records   int
+	Redirects int
+	// Err is the final error when the contact failed.
+	Err string
+	// Info is the server-side evaluation trace (eval latency, match
+	// decisions), present when the server answered.
+	Info *wire.TraceInfo
 }
 
 // Resolve runs the query starting at startAddr and gathers all matching
@@ -107,11 +155,28 @@ func (c *Client) ResolveScoped(startAddr string, q *query.Query, scope int) ([]*
 }
 
 // target is one server contact the resolve owes: where, how many records
-// its region covers (0 = unknown), and who can stand in for it.
+// its region covers (0 = unknown), and who can stand in for it. The trace
+// fields (kind, via, path) ride along only so traced resolves can label
+// the hop.
 type target struct {
 	addr       string
 	records    uint64
 	alternates []wire.RedirectInfo
+	kind       string
+	via        string
+	path       []string
+}
+
+// extendPath returns path + next, shared-safely (fresh backing array) and
+// capped at wire.MaxTracePath entries — beyond the cap the chain stops
+// growing rather than the resolve stopping.
+func extendPath(path []string, next string) []string {
+	if len(path) >= wire.MaxTracePath {
+		return path
+	}
+	out := make([]string, 0, len(path)+1)
+	out = append(out, path...)
+	return append(out, next)
 }
 
 // ResolveScopedContext is ResolveScoped bounded by ctx. Every server
@@ -122,6 +187,9 @@ type target struct {
 func (c *Client) ResolveScopedContext(ctx context.Context, startAddr string, q *query.Query, scope int) ([]*record.Record, QueryStats, error) {
 	begin := time.Now()
 	stats := QueryStats{Coverage: 1}
+	if c.Trace {
+		stats.TraceID = c.newTraceID()
+	}
 	q = q.Clone()
 	q.Requester = c.Requester
 
@@ -158,9 +226,17 @@ func (c *Client) ResolveScopedContext(ctx context.Context, startAddr string, q *
 		sem <- struct{}{}
 		dto := wire.FromQuery(q, start)
 		dto.Scope = scope
+		if c.Trace {
+			dto.Trace = true
+			dto.TraceID = stats.TraceID
+			dto.Path = t.path
+		}
 		var rep *wire.Message
 		var err error
+		var attempts int
+		var lastRTT time.Duration
 		for attempt := 0; ; attempt++ {
+			attempts = attempt + 1
 			cctx, cancel := context.WithTimeout(ctx, timeout)
 			// The budget the server sees is this contact's real deadline —
 			// the per-contact timeout clipped by the overall resolve
@@ -168,11 +244,13 @@ func (c *Client) ResolveScopedContext(ctx context.Context, startAddr string, q *
 			if dl, ok := cctx.Deadline(); ok {
 				dto.Budget = time.Until(dl)
 			}
+			sent := time.Now()
 			rep, err = c.tr.CallContext(cctx, t.addr, &wire.Message{
 				Kind:  wire.KindQuery,
 				From:  c.Requester,
 				Query: dto,
 			})
+			lastRTT = time.Since(sent)
 			cancel()
 			if err == nil {
 				err = wire.RemoteError(rep)
@@ -193,7 +271,22 @@ func (c *Client) ResolveScopedContext(ctx context.Context, startAddr string, q *
 		<-sem
 		mu.Lock()
 		defer mu.Unlock()
+		var hop *HopTrace
+		if c.Trace {
+			stats.Hops = append(stats.Hops, HopTrace{
+				Kind:     t.kind,
+				Addr:     t.addr,
+				Via:      t.via,
+				Path:     t.path,
+				Attempts: attempts,
+				RTT:      lastRTT,
+			})
+			hop = &stats.Hops[len(stats.Hops)-1]
+		}
 		if err != nil {
+			if hop != nil {
+				hop.Err = err.Error()
+			}
 			if firstEr == nil {
 				firstEr = err
 			}
@@ -210,12 +303,21 @@ func (c *Client) ResolveScopedContext(ctx context.Context, startAddr string, q *
 				visited[alt.Addr] = true
 				spawned = true
 				wg.Add(1)
-				go contact(target{addr: alt.Addr, records: alt.Records, alternates: alt.Alternates}, false)
+				go contact(target{
+					addr: alt.Addr, records: alt.Records, alternates: alt.Alternates,
+					kind: "failover", via: t.via, path: t.path,
+				}, false)
 			}
 			if spawned {
 				stats.FailedOver++
 			}
 			return
+		}
+		if hop != nil {
+			hop.ServerID = rep.From
+			hop.Records = len(rep.QueryRep.Records)
+			hop.Redirects = len(rep.QueryRep.Redirects)
+			hop.Info = rep.QueryRep.Trace
 		}
 		stats.Contacted++
 		stats.Servers = append(stats.Servers, rep.From)
@@ -227,6 +329,10 @@ func (c *Client) ResolveScopedContext(ctx context.Context, startAddr string, q *
 				records = append(records, &record.Record{ID: dto.ID, Owner: dto.Owner, Values: dto.Values})
 			}
 		}
+		nextPath := t.path
+		if c.Trace {
+			nextPath = extendPath(t.path, rep.From)
+		}
 		for _, rd := range rep.QueryRep.Redirects {
 			if visited[rd.Addr] {
 				continue
@@ -234,13 +340,16 @@ func (c *Client) ResolveScopedContext(ctx context.Context, startAddr string, q *
 			visited[rd.Addr] = true
 			known += rd.Records
 			wg.Add(1)
-			go contact(target{addr: rd.Addr, records: rd.Records, alternates: rd.Alternates}, false)
+			go contact(target{
+				addr: rd.Addr, records: rd.Records, alternates: rd.Alternates,
+				kind: "redirect", via: rep.From, path: nextPath,
+			}, false)
 		}
 	}
 
 	visited[startAddr] = true
 	wg.Add(1)
-	go contact(target{addr: startAddr}, true)
+	go contact(target{addr: startAddr, kind: "start"}, true)
 	wg.Wait()
 
 	stats.Elapsed = time.Since(begin)
@@ -254,6 +363,18 @@ func (c *Client) ResolveScopedContext(ctx context.Context, startAddr string, q *
 		return nil, stats, firstEr
 	}
 	return records, stats, nil
+}
+
+// newTraceID draws a 64-bit hex trace ID from the client's seeded RNG —
+// unique enough to grep a cluster's logs for one resolve, deterministic
+// enough that replayed test runs produce the same IDs.
+func (c *Client) newTraceID() string {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	if c.rng == nil { // zero-valued Client (not via NewClient)
+		c.rng = rand.New(rand.NewSource(1))
+	}
+	return fmt.Sprintf("%016x", c.rng.Uint64())
 }
 
 // backoff sleeps for the attempt's exponential backoff with ±25% jitter;

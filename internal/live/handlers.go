@@ -123,7 +123,7 @@ func (s *Server) handleSummaryReport(msg *wire.Message) *wire.Message {
 	c.kids = msg.Report.Children
 	c.lastSeen = time.Now()
 	s.publishSnapshotLocked()
-	s.summariesRecv.Add(1)
+	s.mx.summaryReports.Inc()
 	return s.ack()
 }
 
@@ -173,6 +173,7 @@ func (s *Server) handleReplicaPush(msg *wire.Message) *wire.Message {
 		s.publishSnapshotLocked()
 	}
 	s.mu.Unlock()
+	s.mx.replicaPushes.Inc()
 	return s.ack()
 }
 
@@ -200,6 +201,7 @@ func (s *Server) handleReplicaBatch(msg *wire.Message) *wire.Message {
 	}
 	s.publishSnapshotLocked()
 	s.mu.Unlock()
+	s.mx.replicaPushes.Add(uint64(len(states)))
 	return s.ack()
 }
 
@@ -227,7 +229,7 @@ func (s *Server) handleQuery(msg *wire.Message) *wire.Message {
 		return msg.Query.Budget > 0 && time.Since(began) > msg.Query.Budget
 	}
 	shed := func() *wire.Message {
-		s.queriesShed.Add(1)
+		s.mx.shed.Inc()
 		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf(
 			"live: query %s shed: %v deadline budget exhausted", msg.Query.ID, msg.Query.Budget))
 	}
@@ -238,6 +240,10 @@ func (s *Server) handleQuery(msg *wire.Message) *wire.Message {
 
 	snap := s.snap.Load()
 	reply := &wire.QueryReply{}
+	// Trace collection is opt-in per query; the untraced hot path never
+	// touches these.
+	tracing := msg.Query.Trace
+	var matchedChildren, matchedReplicas []string
 
 	// Local matches: the trusted store plus each summary-mode owner's
 	// policy-filtered answer (the "final control" step).
@@ -270,6 +276,9 @@ func (s *Server) handleQuery(msg *wire.Message) *wire.Message {
 	for _, c := range snap.children {
 		if c.branch != nil && q.MatchSummary(c.branch) {
 			reply.Redirects = append(reply.Redirects, c.ri)
+			if tracing {
+				matchedChildren = append(matchedChildren, c.ri.ID)
+			}
 		}
 	}
 	if msg.Query.Start {
@@ -279,14 +288,29 @@ func (s *Server) handleQuery(msg *wire.Message) *wire.Message {
 			}
 			if q.MatchSummary(r.match) {
 				reply.Redirects = append(reply.Redirects, r.ri)
+				if tracing {
+					matchedReplicas = append(matchedReplicas, r.ri.ID)
+				}
 			}
 		}
 	}
 	if overBudget() {
 		return shed()
 	}
-	s.queriesServed.Add(1)
-	s.redirectsIssued.Add(uint64(len(reply.Redirects)))
+	if tracing {
+		reply.Trace = &wire.TraceInfo{
+			ServerID:        s.cfg.ID,
+			EvalMicros:      uint64(time.Since(began) / time.Microsecond),
+			LocalRecords:    len(reply.Records),
+			Children:        len(snap.children),
+			Replicas:        len(snap.replicas),
+			MatchedChildren: matchedChildren,
+			MatchedReplicas: matchedReplicas,
+		}
+	}
+	s.mx.queries.Inc()
+	s.mx.redirects.Add(uint64(len(reply.Redirects)))
+	s.mx.evalLatency.Observe(time.Since(began))
 	return &wire.Message{Kind: wire.KindQueryReply, From: s.cfg.ID, Addr: s.cfg.Addr, QueryRep: reply}
 }
 
@@ -300,7 +324,7 @@ func (s *Server) handleQueryLegacy(msg *wire.Message) *wire.Message {
 		return msg.Query.Budget > 0 && time.Since(began) > msg.Query.Budget
 	}
 	shed := func() *wire.Message {
-		s.queriesShed.Add(1)
+		s.mx.shed.Inc()
 		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf(
 			"live: query %s shed: %v deadline budget exhausted", msg.Query.ID, msg.Query.Budget))
 	}
@@ -309,6 +333,8 @@ func (s *Server) handleQueryLegacy(msg *wire.Message) *wire.Message {
 		return wire.ErrorMessage(s.cfg.ID, err)
 	}
 
+	tracing := msg.Query.Trace
+	var matchedChildren, matchedReplicas []string
 	reply := &wire.QueryReply{}
 	sres, err := s.store.Search(q)
 	if err != nil {
@@ -353,6 +379,9 @@ func (s *Server) handleQueryLegacy(msg *wire.Message) *wire.Message {
 				Records:    c.branch.Records,
 				Alternates: c.kids,
 			})
+			if tracing {
+				matchedChildren = append(matchedChildren, c.id)
+			}
 		}
 	}
 	if msg.Query.Start {
@@ -379,6 +408,9 @@ func (s *Server) handleQueryLegacy(msg *wire.Message) *wire.Message {
 						Addr:    r.originAddr,
 						Records: r.local.Records,
 					})
+					if tracing {
+						matchedReplicas = append(matchedReplicas, r.originID)
+					}
 				}
 				continue
 			}
@@ -390,23 +422,41 @@ func (s *Server) handleQueryLegacy(msg *wire.Message) *wire.Message {
 					Records:    r.branch.Records,
 					Alternates: r.fallbacks,
 				})
+				if tracing {
+					matchedReplicas = append(matchedReplicas, r.originID)
+				}
 			}
 		}
 	}
+	numChildren, numReplicas := len(s.children), len(s.replicas)
 	if overBudget() {
-		s.queriesShed.Add(1)
+		s.mx.shed.Inc()
 		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf(
 			"live: query %s shed: %v deadline budget exhausted", msg.Query.ID, msg.Query.Budget))
 	}
-	s.queriesServed.Add(1)
-	s.redirectsIssued.Add(uint64(len(reply.Redirects)))
+	if tracing {
+		reply.Trace = &wire.TraceInfo{
+			ServerID:        s.cfg.ID,
+			EvalMicros:      uint64(time.Since(began) / time.Microsecond),
+			LocalRecords:    len(reply.Records),
+			Children:        numChildren,
+			Replicas:        numReplicas,
+			MatchedChildren: matchedChildren,
+			MatchedReplicas: matchedReplicas,
+		}
+	}
+	s.mx.queries.Inc()
+	s.mx.redirects.Add(uint64(len(reply.Redirects)))
+	s.mx.evalLatency.Observe(time.Since(began))
 	return &wire.Message{Kind: wire.KindQueryReply, From: s.cfg.ID, Addr: s.cfg.Addr, QueryRep: reply}
 }
 
-// handleStatus returns the server's operational snapshot. Like the query
-// path it reads the routing snapshot and atomic counters only — a status
-// probe never contends with the write paths.
-func (s *Server) handleStatus() *wire.Message {
+// StatusSnapshot returns the server's operational snapshot — the wire
+// Status compatibility view over the same counters the obs registry
+// exposes as named series. Like the query path it reads the routing
+// snapshot and atomics only, so a status probe (or a /statusz scrape,
+// which embeds this) never contends with the write paths.
+func (s *Server) StatusSnapshot() *wire.Status {
 	snap := s.snap.Load()
 	st := &wire.Status{
 		ID:              s.cfg.ID,
@@ -417,11 +467,11 @@ func (s *Server) handleStatus() *wire.Message {
 		Replicas:        snap.numReplicas,
 		Owners:          len(snap.owners),
 		RootPath:        append([]string(nil), snap.rootPath...),
-		QueriesServed:   s.queriesServed.Load(),
-		RedirectsIssued: s.redirectsIssued.Load(),
-		SummariesRecv:   s.summariesRecv.Load(),
-		QueriesShed:     s.queriesShed.Load(),
-		SummaryErrors:   s.summaryErrors.Load(),
+		QueriesServed:   s.mx.queries.Load(),
+		RedirectsIssued: s.mx.redirects.Load(),
+		SummariesRecv:   s.mx.summaryReports.Load(),
+		QueriesShed:     s.mx.shed.Load(),
+		SummaryErrors:   s.mx.summaryErrors.Load(),
 	}
 	if snap.branchSummary != nil {
 		st.BranchRecords = snap.branchSummary.Records
@@ -430,21 +480,26 @@ func (s *Server) handleStatus() *wire.Message {
 		st.LocalRecords = snap.localSummary.Records
 	}
 	if ts, ok := s.tr.(transport.Statser); ok {
-		snap := ts.Stats()
+		tst := ts.Stats()
 		st.Transport = &wire.TransportStatus{
-			Dials:     snap.Dials,
-			Reuses:    snap.Reuses,
-			InFlight:  snap.InFlight,
-			Calls:     snap.Calls,
-			Errors:    snap.Errors,
-			Retries:   snap.Retries,
-			BytesSent: snap.BytesSent,
-			BytesRecv: snap.BytesRecv,
-			P50Micros: uint64(snap.Latency.Percentile(0.50) / time.Microsecond),
-			P99Micros: uint64(snap.Latency.Percentile(0.99) / time.Microsecond),
+			Dials:     tst.Dials,
+			Reuses:    tst.Reuses,
+			InFlight:  tst.InFlight,
+			Calls:     tst.Calls,
+			Errors:    tst.Errors,
+			Retries:   tst.Retries,
+			BytesSent: tst.BytesSent,
+			BytesRecv: tst.BytesRecv,
+			P50Micros: uint64(tst.Latency.Percentile(0.50) / time.Microsecond),
+			P99Micros: uint64(tst.Latency.Percentile(0.99) / time.Microsecond),
 		}
 	}
-	return &wire.Message{Kind: wire.KindStatusReply, From: s.cfg.ID, Addr: s.cfg.Addr, Status: st}
+	return st
+}
+
+// handleStatus answers a KindStatus probe with StatusSnapshot.
+func (s *Server) handleStatus() *wire.Message {
+	return &wire.Message{Kind: wire.KindStatusReply, From: s.cfg.ID, Addr: s.cfg.Addr, Status: s.StatusSnapshot()}
 }
 
 // handleHeartbeat refreshes the child's liveness and returns our root path

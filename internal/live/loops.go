@@ -115,6 +115,7 @@ func (s *Server) refreshSummaries() {
 	s.publishSnapshotLocked()
 	s.mu.Unlock()
 	if !failed {
+		s.lastRefresh.Store(time.Now().UnixNano())
 		s.noteSummaryOK()
 	}
 }
@@ -123,7 +124,7 @@ func (s *Server) refreshSummaries() {
 // the OK→failing transition, so a persistent fault produces one line
 // rather than one per aggregation tick.
 func (s *Server) noteSummaryError(err error) {
-	s.summaryErrors.Add(1)
+	s.mx.summaryErrors.Inc()
 	if s.summaryFailing.CompareAndSwap(false, true) {
 		log.Printf("live %s: summary refresh failing (serving previous summaries): %v", s.cfg.ID, err)
 	}
@@ -475,6 +476,7 @@ func (s *Server) planRejoinLocked() *rejoinPlan {
 	s.parentAddr = ""
 	s.parentMisses = 0
 	s.publishSnapshotLocked()
+	s.mx.parentFailovers.Inc()
 	return p
 }
 

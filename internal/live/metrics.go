@@ -1,0 +1,108 @@
+package live
+
+import (
+	"time"
+
+	"roads/internal/obs"
+)
+
+// serverMetrics is the server's named-series view of its operational
+// counters. The counters are the same atomics the handlers bump — the
+// registry only adds names, help strings and gauge closures on top — so
+// instrumentation costs the hot path nothing beyond the atomic adds it
+// already paid for Status.
+//
+// When Config.Metrics is nil each server registers into a private registry
+// (many servers share a process in tests and simulations, and series are
+// label-free, so sharing one registry would collide); roadsd passes one
+// shared registry per process and serves it at /metrics.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	queries         *obs.Counter
+	shed            *obs.Counter
+	redirects       *obs.Counter
+	summaryReports  *obs.Counter
+	replicaPushes   *obs.Counter
+	summaryErrors   *obs.Counter
+	parentFailovers *obs.Counter
+	evalLatency     *obs.Histogram
+}
+
+// newServerMetrics registers the server's series on reg (which must not
+// already hold roads_* server series). Gauges are closures over the routing
+// snapshot, so scrapes read the same lock-free state queries route by.
+func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
+	m := &serverMetrics{
+		reg: reg,
+		queries: reg.Counter("roads_queries_total",
+			"Queries evaluated to completion (not shed)."),
+		shed: reg.Counter("roads_queries_shed_total",
+			"Queries abandoned mid-evaluation because their deadline budget ran out."),
+		redirects: reg.Counter("roads_redirects_total",
+			"Redirect targets issued across all query replies."),
+		summaryReports: reg.Counter("roads_summary_reports_total",
+			"Child branch-summary reports ingested."),
+		replicaPushes: reg.Counter("roads_replica_pushes_total",
+			"Overlay replicas ingested (each push inside a batch counts once)."),
+		summaryErrors: reg.Counter("roads_summary_errors_total",
+			"Summary refresh failures (previous summaries stay published)."),
+		parentFailovers: reg.Counter("roads_parent_failovers_total",
+			"Parent-failure recoveries started (rejoin via ancestors or root election)."),
+		evalLatency: reg.Histogram("roads_query_eval_seconds",
+			"Query evaluation latency on this server (canonical obs bucket ladder).",
+			obs.DefaultLatencyBounds()),
+	}
+	reg.GaugeFunc("roads_children",
+		"Current child count.", func() float64 {
+			return float64(len(s.snap.Load().children))
+		})
+	reg.GaugeFunc("roads_replicas",
+		"Overlay replicas currently held.", func() float64 {
+			return float64(s.snap.Load().numReplicas)
+		})
+	reg.GaugeFunc("roads_owners",
+		"Resource owners attached locally.", func() float64 {
+			return float64(len(s.snap.Load().owners))
+		})
+	reg.GaugeFunc("roads_local_records",
+		"Records the local summary covers.", func() float64 {
+			if l := s.snap.Load().localSummary; l != nil {
+				return float64(l.Records)
+			}
+			return 0
+		})
+	reg.GaugeFunc("roads_branch_records",
+		"Records the branch summary covers (self + descendants).", func() float64 {
+			if b := s.snap.Load().branchSummary; b != nil {
+				return float64(b.Records)
+			}
+			return 0
+		})
+	reg.GaugeFunc("roads_covered_records",
+		"Records reachable via branch + overlay replicas; equals the federation total at full convergence.",
+		func() float64 {
+			return float64(s.snap.Load().covered)
+		})
+	reg.GaugeFunc("roads_is_root",
+		"1 when the server currently has no parent.", func() float64 {
+			if s.snap.Load().parentAddr == "" {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("roads_summary_age_seconds",
+		"Seconds since the last successful summary refresh (0 before the first).",
+		func() float64 {
+			ns := s.lastRefresh.Load()
+			if ns == 0 {
+				return 0
+			}
+			return time.Since(time.Unix(0, ns)).Seconds()
+		})
+	reg.GaugeFunc("roads_uptime_seconds",
+		"Seconds since NewServer constructed this server.", func() float64 {
+			return time.Since(s.startTime).Seconds()
+		})
+	return m
+}

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"roads/internal/obs"
 	"roads/internal/policy"
 	"roads/internal/record"
 	"roads/internal/store"
@@ -57,6 +58,12 @@ type Config struct {
 	// against the lock-free routing snapshot — the measurable baseline
 	// the snapshot path is benchmarked against.
 	LegacyQueryLocking bool
+	// Metrics is the obs registry the server's named series register into
+	// (roadsd passes one shared registry per process and serves it at
+	// /metrics). Nil gives the server a private registry: series are
+	// label-free, so two servers sharing a registry would collide on
+	// names — and tests and simulations run many servers per process.
+	Metrics *obs.Registry
 	// Cost models the store backend.
 	Cost store.CostModel
 }
@@ -168,18 +175,20 @@ type Server struct {
 	// publishSnapshotLocked while holding s.mu.
 	snap atomic.Pointer[routingSnapshot]
 
-	// Operational counters (monotone since startup). Atomics rather than
-	// mutex-guarded fields: the query hot path bumps them without
-	// touching s.mu.
-	queriesServed   atomic.Uint64
-	redirectsIssued atomic.Uint64
-	summariesRecv   atomic.Uint64
-	queriesShed     atomic.Uint64
-	summaryErrors   atomic.Uint64
+	// mx holds the operational counters (monotone since startup) as named
+	// obs series. The counters are atomics, not mutex-guarded fields: the
+	// query hot path bumps them without touching s.mu, and a /metrics
+	// scrape reads them without blocking a query.
+	mx *serverMetrics
 	// summaryFailing tracks the summary-refresh error state so the OK →
 	// failing and failing → recovered transitions each log exactly once
 	// instead of once per tick.
 	summaryFailing atomic.Bool
+	// lastRefresh is the unix-nano time of the last successful summary
+	// refresh (0 before the first); roads_summary_age_seconds derives
+	// from it.
+	lastRefresh atomic.Int64
+	startTime   time.Time
 
 	closer  io.Closer
 	stop    chan struct{}
@@ -193,17 +202,24 @@ func NewServer(cfg Config, tr transport.Transport) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:      cfg,
-		tr:       tr,
-		store:    store.New(cfg.Schema, cfg.Cost),
-		children: make(map[string]*childState),
-		replicas: make(map[string]*replicaState),
-		stop:     make(chan struct{}),
+		cfg:       cfg,
+		tr:        tr,
+		store:     store.New(cfg.Schema, cfg.Cost),
+		children:  make(map[string]*childState),
+		replicas:  make(map[string]*replicaState),
+		stop:      make(chan struct{}),
+		startTime: time.Now(),
 	}
-	// Publish the empty snapshot so the lock-free paths never see nil.
+	// Publish the empty snapshot so the lock-free paths never see nil —
+	// the metric gauges registered next read it too.
 	s.mu.Lock()
 	s.publishSnapshotLocked()
 	s.mu.Unlock()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.mx = newServerMetrics(s, reg)
 	return s, nil
 }
 

@@ -103,7 +103,7 @@ func TestHandleQueryLockFree(t *testing.T) {
 	}
 	srv.mu.Unlock()
 
-	if got := srv.queriesServed.Load(); got != 100 {
+	if got := srv.mx.queries.Load(); got != 100 {
 		t.Fatalf("queriesServed = %d, want 100", got)
 	}
 }
@@ -292,7 +292,7 @@ func TestQueryChurnStress(t *testing.T) {
 	if served.Load() == 0 {
 		t.Fatal("no queries completed during the churn window")
 	}
-	if got := srv.queriesServed.Load(); got < served.Load() {
+	if got := srv.mx.queries.Load(); got < served.Load() {
 		t.Fatalf("queriesServed = %d, want at least %d", got, served.Load())
 	}
 }

@@ -1,0 +1,246 @@
+package live
+
+import (
+	"io"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"roads/internal/record"
+	"roads/internal/transport"
+)
+
+// TestTraceHopPropagation resolves a traced query across a 3-level
+// hierarchy and checks the hop log reconstructs the exact server path:
+// one start hop at the entry server, redirect hops whose Path is the chain
+// that led there, per-hop latency, and the server-side match decisions.
+func TestTraceHopPropagation(t *testing.T) {
+	leakCheck(t)
+	tr := transport.NewChan()
+	cl, err := StartCluster(tr, ClusterConfig{
+		N: 7, Schema: record.DefaultSchema(2), MaxChildren: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+	attachChaosOwners(t, cl, 3, -1)
+	root := cl.Root()
+	if root == nil {
+		t.Fatal("no root")
+	}
+
+	client := NewClient(tr, "tracer")
+	client.Trace = true
+	recs, stats, err := client.Resolve(root.Addr(), matchAllQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 7*3 {
+		t.Fatalf("traced resolve returned %d records, want 21", len(recs))
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(stats.TraceID) {
+		t.Fatalf("trace ID %q is not 16 hex chars", stats.TraceID)
+	}
+	if len(stats.Hops) != stats.Contacted+stats.Failed {
+		t.Fatalf("hop log has %d entries; %d contacted + %d failed", len(stats.Hops), stats.Contacted, stats.Failed)
+	}
+
+	starts, maxDepth := 0, 0
+	for _, h := range stats.Hops {
+		switch h.Kind {
+		case "start":
+			starts++
+			if len(h.Path) != 0 || h.Via != "" {
+				t.Fatalf("start hop carries a path: %+v", h)
+			}
+			if h.ServerID != root.ID() {
+				t.Fatalf("start hop answered by %s, want root %s", h.ServerID, root.ID())
+			}
+		case "redirect":
+			if h.Via == "" || len(h.Path) == 0 {
+				t.Fatalf("redirect hop missing provenance: %+v", h)
+			}
+			if h.Path[0] != root.ID() {
+				t.Fatalf("redirect path does not start at the root: %v", h.Path)
+			}
+			if h.Path[len(h.Path)-1] != h.Via {
+				t.Fatalf("redirect path %v does not end at via %s", h.Path, h.Via)
+			}
+		default:
+			t.Fatalf("unexpected hop kind %q in a healthy resolve", h.Kind)
+		}
+		if len(h.Path) > maxDepth {
+			maxDepth = len(h.Path)
+		}
+		if h.Err != "" {
+			t.Fatalf("healthy resolve recorded a failed hop: %+v", h)
+		}
+		if h.Attempts != 1 {
+			t.Fatalf("healthy hop burned %d attempts", h.Attempts)
+		}
+		if h.RTT <= 0 {
+			t.Fatalf("hop has no latency: %+v", h)
+		}
+		if h.Info == nil {
+			t.Fatalf("answered hop has no server-side trace: %+v", h)
+		}
+		if h.Info.ServerID != h.ServerID {
+			t.Fatalf("server trace from %s on a hop answered by %s", h.Info.ServerID, h.ServerID)
+		}
+		if h.Info.LocalRecords != h.Records {
+			t.Fatalf("server says %d local matches, reply carried %d", h.Info.LocalRecords, h.Records)
+		}
+		if got := len(h.Info.MatchedChildren) + len(h.Info.MatchedReplicas); got < h.Redirects {
+			t.Fatalf("match decisions (%d) cover fewer targets than the %d redirects issued", got, h.Redirects)
+		}
+	}
+	if starts != 1 {
+		t.Fatalf("%d start hops, want exactly 1", starts)
+	}
+	// 7 servers with degree 2 form at least 3 levels: the deepest contacts
+	// must have been reached through a chain of 2+ servers (root >
+	// interior > ...).
+	if maxDepth < 2 {
+		t.Fatalf("deepest redirect path has %d entries, want >= 2 (3-level hierarchy)", maxDepth)
+	}
+
+	// Tracing off: no trace ID, no hops, and no trace work on the servers.
+	client.Trace = false
+	_, stats, err = client.Resolve(root.Addr(), matchAllQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TraceID != "" || len(stats.Hops) != 0 {
+		t.Fatalf("untraced resolve produced trace state: %+v", stats)
+	}
+}
+
+// TestTraceFailoverHop crashes an interior redirect target mid-resolve (the
+// chaos failover scenario) with tracing on: the hop log must show the dead
+// contact — retries, final error — and the failover hops that stood in for
+// it, labelled as such.
+func TestTraceFailoverHop(t *testing.T) {
+	cl, _ := startChaosCluster(t, 7, 2, 73)
+	victim, victimIdx := interiorNonRoot(t, cl)
+	attachChaosOwners(t, cl, 5, victimIdx)
+	root := cl.Root()
+	if root == nil {
+		t.Fatal("no root")
+	}
+	client := NewClient(cl.Tr, "tracer")
+	client.Trace = true
+
+	victim.Kill()
+	recs, stats, err := client.Resolve(root.Addr(), matchAllQuery())
+	if err != nil {
+		t.Fatalf("traced resolve with crashed target: %v (stats %+v)", err, stats)
+	}
+	if len(recs) != 6*5 {
+		t.Fatalf("failover resolve returned %d records, want 30", len(recs))
+	}
+	if stats.FailedOver == 0 {
+		t.Fatalf("client never failed over: %+v", stats)
+	}
+
+	var dead, failover int
+	for _, h := range stats.Hops {
+		if h.Err != "" {
+			dead++
+			if h.Attempts < 2 {
+				t.Fatalf("dead hop was not retried before giving up: %+v", h)
+			}
+		}
+		if h.Kind == "failover" {
+			failover++
+			if h.Err != "" {
+				t.Fatalf("failover stand-in also failed: %+v", h)
+			}
+			if h.Info == nil {
+				t.Fatalf("failover hop has no server-side trace: %+v", h)
+			}
+		}
+	}
+	if dead == 0 {
+		t.Fatalf("hop log shows no failed contact despite FailedOver=%d: %+v", stats.FailedOver, stats.Hops)
+	}
+	if failover == 0 {
+		t.Fatalf("hop log shows no failover hops despite FailedOver=%d: %+v", stats.FailedOver, stats.Hops)
+	}
+	if len(stats.Hops) != stats.Contacted+stats.Failed {
+		t.Fatalf("hop log has %d entries; %d contacted + %d failed", len(stats.Hops), stats.Contacted, stats.Failed)
+	}
+}
+
+// TestMetricsScrapeDuringQueries hammers a server with queries while
+// scraping its registry concurrently — under -race this proves the
+// obs wiring keeps the query hot path and the scrape path disjoint.
+func TestMetricsScrapeDuringQueries(t *testing.T) {
+	leakCheck(t)
+	tr := transport.NewChan()
+	cl, err := StartCluster(tr, ClusterConfig{
+		N: 3, Schema: record.DefaultSchema(2), MaxChildren: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+	attachChaosOwners(t, cl, 2, -1)
+	root := cl.Root()
+	if root == nil {
+		t.Fatal("no root")
+	}
+
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for _, srv := range cl.Servers {
+		reg := srv.mx.reg
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := reg.WritePrometheus(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = reg.Snapshot()
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+
+	const resolvers = 4
+	const perResolver = 25
+	var wg sync.WaitGroup
+	wg.Add(resolvers)
+	for i := 0; i < resolvers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			client := NewClient(tr, "hammer")
+			client.Trace = i%2 == 0 // mix traced and untraced load
+			for j := 0; j < perResolver; j++ {
+				if _, _, err := client.Resolve(root.Addr(), matchAllQuery()); err != nil {
+					t.Errorf("resolve: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	scrapers.Wait()
+
+	if got := root.mx.queries.Load(); got < resolvers*perResolver {
+		t.Fatalf("root served %d queries, want at least %d", got, resolvers*perResolver)
+	}
+	if root.mx.evalLatency.Snapshot().Total() != root.mx.queries.Load() {
+		t.Fatalf("eval histogram (%d) and query counter (%d) disagree",
+			root.mx.evalLatency.Snapshot().Total(), root.mx.queries.Load())
+	}
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler builds the observability sidecar's HTTP handler:
+//
+//	/metrics      — the registry in Prometheus text exposition format
+//	/statusz      — JSON: the statusz payload plus every metric's value
+//	/debug/pprof/ — the standard net/http/pprof profiling endpoints
+//	/             — a small plain-text index of the above
+//
+// statusz supplies the daemon-level status object embedded in the
+// /statusz reply (roadsd passes the server's StatusSnapshot); nil omits
+// it. The handler is read-only and safe to serve concurrently with
+// queries — scrapes read the same atomics the hot paths write, never a
+// lock the hot paths take. It is the operator's responsibility to bind
+// it to a trusted interface: pprof exposes heap and CPU profiles.
+func Handler(reg *Registry, statusz func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		out := map[string]any{
+			"time":    time.Now().UTC().Format(time.RFC3339Nano),
+			"metrics": reg.Snapshot(),
+		}
+		if statusz != nil {
+			out["status"] = statusz()
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("roads observability sidecar\n\n" +
+			"  /metrics       Prometheus text exposition\n" +
+			"  /statusz       JSON status + metrics snapshot\n" +
+			"  /debug/pprof/  runtime profiles\n"))
+	})
+	return mux
+}

@@ -1,3 +1,12 @@
+// Package summary implements ROADS's constant-size resource summaries
+// (paper §II-B): per-attribute histograms — equi-width or equi-depth —
+// for numeric attributes, and value sets or Bloom filters for categorical
+// ones. A Summary is what an owner voluntarily exports instead of its raw
+// records, what servers merge bottom-up into branch summaries, and what
+// the replication overlay copies across the hierarchy. The essential
+// property, relied on by query routing, is that summaries never produce
+// false negatives: if any summarized record matches a query, the summary
+// matches it too.
 package summary
 
 import (

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"roads/internal/obs"
 	"roads/internal/wire"
 )
 
@@ -153,6 +154,14 @@ func (f *Faulty) Stats() Stats {
 		return s.Stats()
 	}
 	return Stats{}
+}
+
+// RegisterMetrics implements MetricsRegisterer by forwarding to the
+// wrapped transport when it supports registration; otherwise a no-op.
+func (f *Faulty) RegisterMetrics(reg *obs.Registry) {
+	if m, ok := f.inner.(MetricsRegisterer); ok {
+		m.RegisterMetrics(reg)
+	}
 }
 
 // Call implements Transport.

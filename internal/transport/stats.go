@@ -4,37 +4,27 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"roads/internal/obs"
 )
 
-// numLatBuckets is the bucket count of the call-latency histogram: one per
-// bound in latBounds plus an unbounded overflow bucket.
-const numLatBuckets = 16
+// numLatBuckets is the bucket count of the call-latency histogram. The
+// bucket scheme itself — a 1–2.5–5 decade ladder from 100µs to 5s plus an
+// overflow bucket — is defined once in internal/obs and shared with every
+// other ROADS latency histogram, so /metrics, Status percentiles and
+// roadsctl all speak the same buckets.
+const numLatBuckets = obs.NumLatencyBuckets
 
-// latBounds are the inclusive upper bounds of the latency buckets,
-// exponentially spaced from 100µs to 5s.
-var latBounds = [numLatBuckets - 1]time.Duration{
-	100 * time.Microsecond, 250 * time.Microsecond, 500 * time.Microsecond,
-	1 * time.Millisecond, 2500 * time.Microsecond, 5 * time.Millisecond,
-	10 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond,
-	100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond,
-	time.Second, 2500 * time.Millisecond, 5 * time.Second,
-}
+// latBounds are the inclusive upper bounds of the latency buckets (the
+// canonical obs ladder; the last bucket, not listed, is unbounded).
+var latBounds = obs.DefaultLatencyBounds()
 
 // LatencyBucketBounds returns the histogram bucket upper bounds (the last
 // bucket, not listed, is unbounded).
 func LatencyBucketBounds() []time.Duration {
 	out := make([]time.Duration, len(latBounds))
-	copy(out, latBounds[:])
+	copy(out, latBounds)
 	return out
-}
-
-func latBucket(d time.Duration) int {
-	for i, b := range latBounds {
-		if d <= b {
-			return i
-		}
-	}
-	return numLatBuckets - 1
 }
 
 // LatencyHist is a point-in-time snapshot of the call-latency histogram.
@@ -116,17 +106,27 @@ type Statser interface {
 	Stats() Stats
 }
 
-// counters is the live, atomically-updated form of Stats.
+// MetricsRegisterer is implemented by transports whose counters can be
+// registered as named series on an obs.Registry (the TCP and Chan
+// transports both; the Faulty wrapper forwards to its inner transport).
+type MetricsRegisterer interface {
+	RegisterMetrics(reg *obs.Registry)
+}
+
+// counters is the live, atomically-updated form of Stats. The zero value
+// is ready to use, so transports embed it without construction.
 type counters struct {
 	dials, reuses          atomic.Uint64
 	calls, errors, retries atomic.Uint64
 	bytesSent, bytesRecv   atomic.Uint64
 	inflight               atomic.Int64
 	lat                    [numLatBuckets]atomic.Uint64
+	latSumNanos            atomic.Int64
 }
 
 func (c *counters) observe(d time.Duration) {
-	c.lat[latBucket(d)].Add(1)
+	c.lat[obs.LatencyBucket(d)].Add(1)
+	c.latSumNanos.Add(int64(d))
 }
 
 func (c *counters) snapshot() Stats {
@@ -146,4 +146,44 @@ func (c *counters) snapshot() Stats {
 		s.Latency.Counts[i] = c.lat[i].Load()
 	}
 	return s
+}
+
+// register exposes the counters as roads_transport_* series on reg. The
+// series read the same atomics the call paths write, so a scrape never
+// contends with a call.
+func (c *counters) register(reg *obs.Registry) {
+	reg.CounterFunc("roads_transport_dials_total",
+		"New connections opened to peers.", c.dials.Load)
+	reg.CounterFunc("roads_transport_reuses_total",
+		"Calls served by an already-pooled connection.", c.reuses.Load)
+	reg.CounterFunc("roads_transport_calls_total",
+		"Completed successful calls (RPCs).", c.calls.Load)
+	reg.CounterFunc("roads_transport_errors_total",
+		"Failed calls (dial, encode, transport or context errors).", c.errors.Load)
+	reg.CounterFunc("roads_transport_retries_total",
+		"Calls replayed on a fresh connection after a stale pooled one.", c.retries.Load)
+	reg.CounterFunc("roads_transport_bytes_sent_total",
+		"Frame bytes written to peers (both roles).", c.bytesSent.Load)
+	reg.CounterFunc("roads_transport_bytes_recv_total",
+		"Frame bytes read from peers (both roles).", c.bytesRecv.Load)
+	reg.GaugeFunc("roads_transport_inflight",
+		"Calls currently outstanding.", func() float64 {
+			if in := c.inflight.Load(); in > 0 {
+				return float64(in)
+			}
+			return 0
+		})
+	reg.HistogramFunc("roads_transport_call_seconds",
+		"Round-trip latency of successful calls (canonical obs bucket ladder).",
+		func() obs.HistSnapshot {
+			s := obs.HistSnapshot{
+				Bounds: LatencyBucketBounds(),
+				Counts: make([]uint64, numLatBuckets),
+			}
+			for i := range c.lat {
+				s.Counts[i] = c.lat[i].Load()
+			}
+			s.SumSeconds = float64(c.latSumNanos.Load()) / float64(time.Second)
+			return s
+		})
 }

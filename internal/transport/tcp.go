@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"roads/internal/obs"
 	"roads/internal/wire"
 )
 
@@ -101,6 +102,10 @@ func NewTCP() *TCP { return &TCP{} }
 
 // Stats returns a snapshot of the transport's counters.
 func (t *TCP) Stats() Stats { return t.ctr.snapshot() }
+
+// RegisterMetrics exposes the transport's counters as roads_transport_*
+// series on reg. Call once, at startup, before the registry is scraped.
+func (t *TCP) RegisterMetrics(reg *obs.Registry) { t.ctr.register(reg) }
 
 func (t *TCP) dialTimeout() time.Duration {
 	if t.DialTimeout > 0 {

@@ -2,8 +2,10 @@
 // prototype runs on, with two interchangeable implementations: an
 // in-process channel transport for tests, examples and benchmarks (with an
 // optional injected latency model), and a pooled, multiplexed TCP
-// transport (gob frames) for real multi-process deployments. Both expose
-// operational counters through Stats().
+// transport (binary or gob frames) for real multi-process deployments.
+// Both expose operational counters through Stats() and can publish them as
+// named roads_transport_* series on an obs.Registry via RegisterMetrics;
+// the Faulty chaos wrapper forwards both to the transport it wraps.
 package transport
 
 import (
@@ -13,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"roads/internal/obs"
 	"roads/internal/wire"
 )
 
@@ -229,6 +232,10 @@ func runHandler(h Handler, data []byte) ([]byte, error) {
 // Stats returns a snapshot of the transport's counters. The Chan transport
 // never dials, so only calls, bytes and latency move.
 func (t *Chan) Stats() Stats { return t.ctr.snapshot() }
+
+// RegisterMetrics exposes the transport's counters as roads_transport_*
+// series on reg. Call once, at startup, before the registry is scraped.
+func (t *Chan) RegisterMetrics(reg *obs.Registry) { t.ctr.register(reg) }
 
 // BytesMoved returns the total encoded bytes transferred (both
 // directions), for overhead measurements.

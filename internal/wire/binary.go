@@ -14,8 +14,19 @@ package wire
 // listeners answer in whichever codec the request arrived in.
 //
 // Compatibility rule: fields are appended in a fixed order per struct.
-// Changing or reordering existing fields requires bumping binVersion;
-// decoders reject versions they do not know instead of misparsing.
+// New fields are appended at the end of their struct's encoding and gated
+// on a binVersion bump: the encoder always writes the newest version, and
+// the decoder reads appended fields only when the payload's version has
+// them (see binReader.ver), so it still accepts every older version.
+// Changing or reordering existing fields is not allowed — that would
+// require a new magic byte, not just a version bump. Decoders reject
+// versions newer than they know instead of misparsing.
+//
+// Version history:
+//
+//	1 — initial layout.
+//	2 — QueryDTO gains TraceID/Trace/Path, QueryReply gains TraceInfo
+//	    (per-query hop tracing).
 
 import (
 	"encoding/binary"
@@ -33,8 +44,9 @@ const (
 	// binMagic marks a binary-codec payload. It sits in the byte range a
 	// gob stream can never start with (0x80..0xf7).
 	binMagic = 0xb5
-	// binVersion is the codec revision.
-	binVersion = 1
+	// binVersion is the codec revision the encoder writes; the decoder
+	// accepts this and every earlier revision.
+	binVersion = 2
 	// maxRedirectDepth bounds RedirectInfo.Alternates nesting on decode.
 	// Real messages nest one level (alternates carry no alternates); the
 	// bound stops crafted input from recursing the decoder off the stack.
@@ -113,6 +125,9 @@ type binReader struct {
 	b   []byte
 	off int
 	err error
+	// ver is the payload's codec revision; readers of version-gated
+	// appended fields check it before consuming bytes.
+	ver byte
 }
 
 func (r *binReader) fail(format string, args ...any) {
@@ -290,6 +305,7 @@ func AppendEncode(buf []byte, m *Message) ([]byte, error) {
 	if m.Status != nil {
 		b = appendStatus(b, m.Status)
 	}
+	codecCounters.binaryEncodes.Inc()
 	return b, nil
 }
 
@@ -301,8 +317,9 @@ func decodeBinary(data []byte) (*Message, error) {
 	if r.u8() != binMagic {
 		return nil, fmt.Errorf("wire: not a binary payload")
 	}
-	if v := r.u8(); v != binVersion && r.err == nil {
-		return nil, fmt.Errorf("wire: unknown binary codec version %d", v)
+	r.ver = r.u8()
+	if (r.ver < 1 || r.ver > binVersion) && r.err == nil {
+		return nil, fmt.Errorf("wire: unknown binary codec version %d", r.ver)
 	}
 	m := &Message{}
 	m.Kind = Kind(r.u8())
@@ -523,6 +540,10 @@ func appendQuery(b []byte, q *QueryDTO) []byte {
 		b = appendF64(b, p.Hi)
 		b = appendString(b, p.Str)
 	}
+	// v2: trace fields, appended per the compatibility rule.
+	b = appendString(b, q.TraceID)
+	b = appendBool(b, q.Trace)
+	b = appendStrings(b, q.Path)
 	return b
 }
 
@@ -547,6 +568,11 @@ func readQuery(r *binReader) *QueryDTO {
 			Str:  r.str(),
 		})
 	}
+	if r.ver >= 2 {
+		q.TraceID = r.str()
+		q.Trace = r.bool()
+		q.Path = readStrings(r)
+	}
 	return q
 }
 
@@ -562,7 +588,19 @@ func appendQueryReply(b []byte, qr *QueryReply) []byte {
 			b = appendString(b, rec.Values[j].Str)
 		}
 	}
-	return appendRedirects(b, qr.Redirects)
+	b = appendRedirects(b, qr.Redirects)
+	// v2: per-server trace detail, appended per the compatibility rule.
+	b = appendBool(b, qr.Trace != nil)
+	if ti := qr.Trace; ti != nil {
+		b = appendString(b, ti.ServerID)
+		b = appendUvarint(b, ti.EvalMicros)
+		b = appendVarint(b, int64(ti.LocalRecords))
+		b = appendVarint(b, int64(ti.Children))
+		b = appendVarint(b, int64(ti.Replicas))
+		b = appendStrings(b, ti.MatchedChildren)
+		b = appendStrings(b, ti.MatchedReplicas)
+	}
+	return b
 }
 
 func readQueryReply(r *binReader) *QueryReply {
@@ -583,6 +621,17 @@ func readQueryReply(r *binReader) *QueryReply {
 		qr.Records = append(qr.Records, rec)
 	}
 	qr.Redirects = readRedirects(r, 0)
+	if r.ver >= 2 && r.bool() {
+		qr.Trace = &TraceInfo{
+			ServerID:        r.str(),
+			EvalMicros:      r.uvarint(),
+			LocalRecords:    int(r.varint()),
+			Children:        int(r.varint()),
+			Replicas:        int(r.varint()),
+			MatchedChildren: readStrings(r),
+			MatchedReplicas: readStrings(r),
+		}
+	}
 	return qr
 }
 

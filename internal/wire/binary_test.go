@@ -78,6 +78,7 @@ func sampleMessages(tb testing.TB) []*Message {
 				{Attr: "cpu", Op: query.Range, Lo: 0.25, Hi: math.Inf(1)},
 				{Attr: "os", Op: query.Eq, Str: "linux"},
 			},
+			TraceID: "74ace5f00d15c0de", Trace: true, Path: []string{"root", "mid"},
 		}},
 		{Kind: KindQueryReply, From: "n6", QueryRep: &QueryReply{
 			Records: []RecordDTO{
@@ -85,6 +86,10 @@ func sampleMessages(tb testing.TB) []*Message {
 				{ID: "r2", Owner: "orgB", Values: []record.Value{{Num: 0.75}, {Str: "bsd"}}},
 			},
 			Redirects: []RedirectInfo{{ID: "t", Addr: "ta", Records: 42, Alternates: alt}},
+			Trace: &TraceInfo{
+				ServerID: "n6", EvalMicros: 180, LocalRecords: 2, Children: 3, Replicas: 5,
+				MatchedChildren: []string{"t"}, MatchedReplicas: []string{"rep1", "rep2"},
+			},
 		}},
 		{Kind: KindHeartbeat, From: "n7", Heartbeat: &Heartbeat{
 			RootPath: []string{"root", "mid", "n7"}, PathAddrs: []string{"ra", "ma", "na"},
@@ -163,6 +168,98 @@ func TestBinaryDeterministic(t *testing.T) {
 	}
 }
 
+// encodeV1 hand-builds a version-1 binary payload — the envelope plus a
+// query or query-reply payload exactly as the v1 encoder wrote them,
+// without the v2 trace fields — so the compat test does not depend on the
+// current encoder being able to write old versions.
+func encodeV1(kind Kind, from string, q *QueryDTO, qr *QueryReply) []byte {
+	b := []byte{binMagic, 1, byte(kind)}
+	b = appendString(b, from)
+	b = appendString(b, "") // Addr
+	b = appendString(b, "") // Error
+	var bits uint64
+	if q != nil {
+		bits |= hasQuery
+	}
+	if qr != nil {
+		bits |= hasQueryRep
+	}
+	b = appendUvarint(b, bits)
+	if q != nil {
+		b = appendString(b, q.ID)
+		b = appendString(b, q.Requester)
+		b = appendBool(b, q.Start)
+		b = appendVarint(b, int64(q.Scope))
+		b = appendVarint(b, int64(q.Budget))
+		b = appendUvarint(b, uint64(len(q.Preds)))
+		for i := range q.Preds {
+			p := &q.Preds[i]
+			b = appendString(b, p.Attr)
+			b = append(b, byte(p.Op))
+			b = appendF64(b, p.Lo)
+			b = appendF64(b, p.Hi)
+			b = appendString(b, p.Str)
+		}
+	}
+	if qr != nil {
+		b = appendUvarint(b, uint64(len(qr.Records)))
+		for i := range qr.Records {
+			rec := &qr.Records[i]
+			b = appendString(b, rec.ID)
+			b = appendString(b, rec.Owner)
+			b = appendUvarint(b, uint64(len(rec.Values)))
+			for j := range rec.Values {
+				b = appendF64(b, rec.Values[j].Num)
+				b = appendString(b, rec.Values[j].Str)
+			}
+		}
+		b = appendRedirects(b, qr.Redirects)
+	}
+	return b
+}
+
+// TestBinaryV1Compat checks the v2 decoder still accepts version-1
+// payloads — the appended-fields compatibility rule in action: trace
+// fields simply decode to their zero values.
+func TestBinaryV1Compat(t *testing.T) {
+	q := &QueryDTO{
+		ID: "q1", Requester: "alice", Start: true, Scope: -1, Budget: time.Second,
+		Preds: []query.Predicate{{Attr: "os", Op: query.Eq, Str: "linux"}},
+	}
+	got, err := Decode(encodeV1(KindQuery, "cli", q, nil))
+	if err != nil {
+		t.Fatalf("v1 query: %v", err)
+	}
+	if !reflect.DeepEqual(got.Query, q) {
+		t.Fatalf("v1 query decoded wrong:\nwant %+v\ngot  %+v", q, got.Query)
+	}
+	if got.Query.Trace || got.Query.TraceID != "" || got.Query.Path != nil {
+		t.Fatalf("v1 query grew trace fields: %+v", got.Query)
+	}
+
+	qr := &QueryReply{
+		Records:   []RecordDTO{{ID: "r1", Owner: "o", Values: []record.Value{{Num: 0.5, Str: "x"}}}},
+		Redirects: []RedirectInfo{{ID: "t", Addr: "ta", Records: 7}},
+	}
+	got, err = Decode(encodeV1(KindQueryReply, "srv", nil, qr))
+	if err != nil {
+		t.Fatalf("v1 query reply: %v", err)
+	}
+	if !reflect.DeepEqual(got.QueryRep, qr) {
+		t.Fatalf("v1 query reply decoded wrong:\nwant %+v\ngot  %+v", qr, got.QueryRep)
+	}
+	if got.QueryRep.Trace != nil {
+		t.Fatalf("v1 query reply grew a trace: %+v", got.QueryRep.Trace)
+	}
+
+	// A v1 payload with v2 trailing bytes must be rejected (no optional
+	// suffix within one version).
+	withTail := append(encodeV1(KindQuery, "cli", q, nil), 0)
+	if _, err := Decode(withTail); err == nil {
+		t.Fatal("v1 payload with trailing bytes must fail")
+	}
+}
+
 // TestBinaryRejectsCorruptInput feeds the decoder truncations and
 // mutations of every valid message: each must error (or decode cleanly,
 // for mutations that happen to stay well-formed) — never panic.
@@ -238,6 +335,9 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{binMagic})
 	f.Add([]byte{binMagic, binVersion})
+	// Version-1 payloads: the decoder must keep accepting them.
+	f.Add(encodeV1(KindQuery, "cli", &QueryDTO{ID: "q", Preds: []query.Predicate{{Attr: "a", Op: query.Eq, Str: "v"}}}, nil))
+	f.Add(encodeV1(KindQueryReply, "srv", nil, &QueryReply{Redirects: []RedirectInfo{{ID: "t", Addr: "ta"}}}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
 		if err != nil {

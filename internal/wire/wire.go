@@ -1,7 +1,15 @@
 // Package wire defines the messages ROADS servers exchange in the live
-// prototype and their gob-friendly representations. Summaries, queries and
-// records travel as explicit DTOs so the wire format is independent of the
-// in-memory types (which hold unexported fields and shared pointers).
+// prototype and the two codecs that carry them: the compact positional
+// binary codec (the default — see binary.go) and the legacy gob codec,
+// kept for peers that predate it. Summaries, queries and records travel
+// as explicit DTOs so the wire format is independent of the in-memory
+// types (which hold unexported fields and shared pointers); Decode sniffs
+// the codec from the first payload byte and servers answer in the codec
+// the request arrived in, so both peer generations share one listener.
+//
+// The package also counts its own codec activity (encodes, decodes and
+// decode failures per codec) as process-wide atomics; RegisterMetrics
+// exposes them as roads_wire_* series on an obs.Registry.
 package wire
 
 import (
@@ -10,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"roads/internal/obs"
 	"roads/internal/query"
 	"roads/internal/record"
 	"roads/internal/summary"
@@ -195,6 +204,12 @@ type ReplicaBatch struct {
 	Pushes []*ReplicaPush
 }
 
+// MaxTracePath caps QueryDTO.Path: a trace records at most this many
+// routing steps, so a pathological redirect chain cannot grow the hop log
+// without bound. 32 covers a hierarchy far deeper than the paper's
+// evaluation (depth ≤ 5) ever produces.
+const MaxTracePath = 32
+
 // QueryDTO is the wire form of a query.
 type QueryDTO struct {
 	ID        string
@@ -213,6 +228,19 @@ type QueryDTO struct {
 	// sheds the query instead of returning an answer the client will
 	// have already abandoned. Zero means no budget.
 	Budget time.Duration
+	// TraceID names the resolution this contact belongs to; the client
+	// stamps every contact of one resolve with the same ID so hop logs
+	// and server-side trace lines can be correlated across the
+	// federation. Empty when tracing is off.
+	TraceID string
+	// Trace asks the receiving server to return its evaluation detail
+	// (TraceInfo) on the reply and log the contact. Off by default: the
+	// hot path pays nothing for the machinery it does not use.
+	Trace bool
+	// Path is the bounded hop log: the IDs of the servers this query was
+	// routed through to reach the receiver, oldest first (the redirect
+	// chain from the start server). Capped at MaxTracePath entries.
+	Path []string
 }
 
 // ToQuery converts to the in-memory form.
@@ -253,6 +281,36 @@ type RecordDTO struct {
 type QueryReply struct {
 	Records   []RecordDTO
 	Redirects []RedirectInfo
+	// Trace carries the server's evaluation detail when the query asked
+	// for it (QueryDTO.Trace); nil otherwise.
+	Trace *TraceInfo
+}
+
+// TraceInfo is one server's evaluation detail for a traced query: how the
+// summary-match decisions went (which child branches and overlay replicas
+// matched, out of how many candidates), how many local records the server
+// itself contributed, and how long the evaluation took. Together with the
+// client-side hop log this reconstructs the paper's hops/messages numbers
+// (Fig. 8) for one real query.
+type TraceInfo struct {
+	// ServerID identifies the evaluating server (redundant with the
+	// enclosing Message.From, but keeps the trace self-contained once
+	// detached from the envelope).
+	ServerID string
+	// EvalMicros is the server-side evaluation time in microseconds.
+	EvalMicros uint64
+	// LocalRecords is how many local matches this server returned.
+	LocalRecords int
+	// Children and Replicas count the redirect candidates held: child
+	// branch summaries, and overlay replicas eligible for this contact
+	// (replicas are only candidates on the first contact of a resolve).
+	Children int
+	Replicas int
+	// MatchedChildren and MatchedReplicas list the candidate IDs whose
+	// summaries matched the query — the positive summary-match decisions
+	// that became redirects.
+	MatchedChildren []string
+	MatchedReplicas []string
 }
 
 // ToRecords converts wire records to in-memory records.
@@ -390,6 +448,34 @@ func (dto *SummaryDTO) ToSummary(schema *record.Schema) (*summary.Summary, error
 	return s, nil
 }
 
+// codecCounters tracks the process's codec activity: every transport in
+// the process funnels through Encode/EncodeGob/Decode, so one set of
+// package-level counters covers them all. A growing gob share on a
+// binary-era deployment means some peer is still dialing in the legacy
+// codec; growing decode errors mean corrupt frames are arriving.
+var codecCounters struct {
+	binaryEncodes, gobEncodes obs.Counter
+	binaryDecodes, gobDecodes obs.Counter
+	decodeErrors              obs.Counter
+}
+
+// RegisterMetrics exposes the process-wide codec counters as roads_wire_*
+// series on reg. Safe to call once per registry; the counters themselves
+// are shared across registries.
+func RegisterMetrics(reg *obs.Registry) {
+	c := &codecCounters
+	reg.CounterFunc("roads_wire_binary_encodes_total",
+		"Messages encoded with the binary codec (process-wide).", c.binaryEncodes.Load)
+	reg.CounterFunc("roads_wire_gob_encodes_total",
+		"Messages encoded with the legacy gob codec (process-wide).", c.gobEncodes.Load)
+	reg.CounterFunc("roads_wire_binary_decodes_total",
+		"Messages decoded from the binary codec (process-wide).", c.binaryDecodes.Load)
+	reg.CounterFunc("roads_wire_gob_decodes_total",
+		"Messages decoded from the legacy gob codec (process-wide).", c.gobDecodes.Load)
+	reg.CounterFunc("roads_wire_decode_errors_total",
+		"Messages that failed to decode in either codec (process-wide).", c.decodeErrors.Load)
+}
+
 // Encode serializes a message with the compact binary codec (see
 // binary.go). Peers that predate the codec are still reachable: EncodeGob
 // produces the legacy representation, and Decode accepts both.
@@ -406,6 +492,7 @@ func EncodeGob(m *Message) ([]byte, error) {
 	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
 		return nil, fmt.Errorf("wire: encode: %w", err)
 	}
+	codecCounters.gobEncodes.Inc()
 	return buf.Bytes(), nil
 }
 
@@ -416,12 +503,20 @@ func EncodeGob(m *Message) ([]byte, error) {
 // old gob-only peers and new binary peers share one listener.
 func Decode(data []byte) (*Message, error) {
 	if IsBinary(data) {
-		return decodeBinary(data)
+		m, err := decodeBinary(data)
+		if err != nil {
+			codecCounters.decodeErrors.Inc()
+			return nil, err
+		}
+		codecCounters.binaryDecodes.Inc()
+		return m, nil
 	}
 	var m Message
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		codecCounters.decodeErrors.Inc()
 		return nil, fmt.Errorf("wire: decode: %w", err)
 	}
+	codecCounters.gobDecodes.Inc()
 	return &m, nil
 }
 
