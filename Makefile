@@ -39,18 +39,20 @@ docs-check:
 bench-transport:
 	$(GO) test -bench 'BenchmarkTCPCall|BenchmarkPushReplicas' -benchmem -run '^$$' ./internal/transport/ ./internal/live/
 
-# bench runs the query-hot-path and wire-codec benchmarks — each carries
-# its own before/after baseline as sub-benchmarks (snapshot vs mutex
-# query locking, binary vs gob codec) — and archives the numbers as
-# BENCH_pr3.json via cmd/benchjson (see EXPERIMENTS.md).
+# bench runs the query-hot-path, wire-codec, and aggregation-tick
+# benchmarks — each carries its own before/after baseline as
+# sub-benchmarks (snapshot vs mutex query locking, binary vs gob codec,
+# delta vs full dissemination across churn rates) — and archives the
+# numbers as BENCH_pr5.json via cmd/benchjson (see EXPERIMENTS.md).
+BENCHOUT ?= BENCH_pr5.json
 bench:
-	$(GO) test -bench 'BenchmarkHandleQuery|BenchmarkCodec' -benchmem -run '^$$' ./internal/live/ ./internal/wire/ \
-		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_pr3.json
+	$(GO) test -bench 'BenchmarkHandleQuery|BenchmarkCodec|BenchmarkAggregationTick' -benchmem -run '^$$' ./internal/live/ ./internal/wire/ \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCHOUT)
 
-# bench-compare diffs two benchjson archives, e.g.
-#   make bench && git stash && make bench BENCHOUT=BENCH_old.json && git stash pop
-#   make bench-compare OLD=BENCH_old.json NEW=BENCH_pr3.json
-OLD ?= BENCH_old.json
-NEW ?= BENCH_pr3.json
+# bench-compare diffs two benchjson archives; defaults compare this PR's
+# archive against the PR-3 one (only the benchmarks present in both), e.g.
+#   make bench && make bench-compare
+OLD ?= BENCH_pr3.json
+NEW ?= BENCH_pr5.json
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)

@@ -66,6 +66,10 @@ func main() {
 		fmt.Printf("  records: %d local, %d in branch\n", st.LocalRecords, st.BranchRecords)
 		fmt.Printf("  served: %d queries (%d shed over budget), %d redirects, %d summary reports\n",
 			st.QueriesServed, st.QueriesShed, st.RedirectsIssued, st.SummariesRecv)
+		if st.SummaryRebuildsSkipped+st.ReportsSuppressed+st.ReplicaPushDelta+st.ReplicaPushFull > 0 {
+			fmt.Printf("  dissemination: %d rebuilds skipped, %d reports suppressed, %d delta / %d full push entries, %d anti-entropy rounds\n",
+				st.SummaryRebuildsSkipped, st.ReportsSuppressed, st.ReplicaPushDelta, st.ReplicaPushFull, st.AntiEntropyRounds)
+		}
 		if tr := st.Transport; tr != nil {
 			fmt.Printf("  transport: %d calls (%d errors, %d retries), %d in-flight\n",
 				tr.Calls, tr.Errors, tr.Retries, tr.InFlight)

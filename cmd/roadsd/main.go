@@ -44,6 +44,8 @@ func main() {
 	degree := flag.Int("degree", 8, "max children")
 	tick := flag.Duration("tick", 2*time.Second, "aggregation/heartbeat period")
 	ttlFloor := flag.Duration("replica-ttl-floor", live.DefaultReplicaTTLFloor, "minimum overlay-replica TTL, whatever the tick")
+	noDelta := flag.Bool("no-delta", false, "disable change-driven dissemination: rebuild summaries and send full reports/pushes every tick (pre-v3 wire behaviour)")
+	antiEntropy := flag.Int("anti-entropy-every", live.DefaultAntiEntropyEvery, "send full state every Nth aggregation tick even to up-to-date peers (ignored with -no-delta)")
 	seed := flag.Int64("seed", 0, "workload seed (0 = derive from ID)")
 	load := flag.String("load", "", "JSON-lines records file to host (overrides -records)")
 	schemaFile := flag.String("schema", "", "schema JSON file (required with -load; default synthetic aN schema otherwise)")
@@ -103,6 +105,8 @@ func main() {
 	cfg.AggregateEvery = *tick
 	cfg.HeartbeatEvery = *tick
 	cfg.ReplicaTTLFloor = *ttlFloor
+	cfg.DisableDeltaDissemination = *noDelta
+	cfg.AntiEntropyEvery = *antiEntropy
 
 	reg := obs.NewRegistry()
 	tr := transport.NewTCP()

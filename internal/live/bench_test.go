@@ -8,6 +8,7 @@ import (
 
 	"roads/internal/policy"
 	"roads/internal/query"
+	"roads/internal/record"
 	"roads/internal/transport"
 	"roads/internal/wire"
 	"roads/internal/workload"
@@ -17,7 +18,7 @@ import (
 // in-process transport, each child holding records, and reports every
 // child branch up so the root's replica pushes carry real summaries.
 // Background loops are parked; the benchmark drives pushReplicas itself.
-func benchStar(b *testing.B, children, recsPer int) (*Server, *transport.Chan) {
+func benchStar(b *testing.B, children, recsPer int, disableDelta bool) (*Server, *transport.Chan) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(99))
 	w := workload.MustGenerate(workload.Config{Nodes: children + 1, RecordsPerNode: recsPer, AttrsPerDist: 2}, rng)
@@ -27,6 +28,7 @@ func benchStar(b *testing.B, children, recsPer int) (*Server, *transport.Chan) {
 		cfg.MaxChildren = children
 		cfg.AggregateEvery = time.Hour
 		cfg.HeartbeatEvery = time.Hour
+		cfg.DisableDeltaDissemination = disableDelta
 		srv, err := NewServer(cfg, tr)
 		if err != nil {
 			b.Fatal(err)
@@ -72,7 +74,10 @@ func BenchmarkPushReplicas(b *testing.B) {
 		{"batched", false},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
-			root, tr := benchStar(b, children, 8)
+			// Delta dissemination off on every server: this benchmark pins
+			// the percall-vs-batched comparison on the full-push pipeline it
+			// was introduced for.
+			root, tr := benchStar(b, children, 8, true)
 			root.cfg.DisableReplicaBatch = mode.disable
 			root.pushReplicas() // warm up: children allocate replica state once
 			start := tr.Stats()
@@ -105,7 +110,7 @@ func BenchmarkHandleQuery(b *testing.B) {
 		{"mutex", true},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
-			root, _ := benchStar(b, 16, 8)
+			root, _ := benchStar(b, 16, 8, false)
 			root.cfg.LegacyQueryLocking = mode.legacy
 			// Give the root the replica load a mid-hierarchy server carries:
 			// 8 sibling branches pushed from a pretend parent.
@@ -147,5 +152,126 @@ func BenchmarkHandleQuery(b *testing.B) {
 				})
 			})
 		})
+	}
+}
+
+// benchMidTier builds the three-level chain P ← M ← c1..c8 with parked
+// loops, every server holding recsPer records, and drives enough warmup
+// rounds that the delta handshake (when enabled) has fully converged: M
+// suppresses its reports to P and ships version-only entries to the
+// children. Returns M (the server whose tick the benchmark measures), M's
+// owner and record set (for churn injection), and the transport.
+func benchMidTier(b *testing.B, disableDelta bool, recsPer int) (*Server, *policy.Owner, []*record.Record, *transport.Chan) {
+	b.Helper()
+	const children = 8
+	rng := rand.New(rand.NewSource(41))
+	w := workload.MustGenerate(workload.Config{Nodes: children + 2, RecordsPerNode: recsPer, AttrsPerDist: 2}, rng)
+	tr := transport.NewChan()
+	mk := func(i int) (*Server, *policy.Owner) {
+		cfg := DefaultConfig(fmt.Sprintf("n%02d", i), fmt.Sprintf("addr%02d", i), w.Schema)
+		cfg.MaxChildren = children
+		cfg.AggregateEvery = time.Hour
+		cfg.HeartbeatEvery = time.Hour
+		cfg.DisableDeltaDissemination = disableDelta
+		// A longer-than-default anti-entropy cadence so the steady-state
+		// numbers are dominated by delta rounds; the periodic full round is
+		// still included in the measurement (1 tick in 64).
+		cfg.AntiEntropyEvery = 64
+		srv, err := NewServer(cfg, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.Start(); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(srv.Stop)
+		o := policy.NewOwner(fmt.Sprintf("owner%d", i), w.Schema, nil)
+		o.SetRecords(w.PerNode[i])
+		if err := srv.AttachOwner(o); err != nil {
+			b.Fatal(err)
+		}
+		return srv, o
+	}
+	parent, _ := mk(0)
+	mid, own := mk(1)
+	if err := mid.Join(parent.Addr()); err != nil {
+		b.Fatal(err)
+	}
+	all := []*Server{mid, parent}
+	for i := 2; i < children+2; i++ {
+		c, _ := mk(i)
+		if err := c.Join(mid.Addr()); err != nil {
+			b.Fatal(err)
+		}
+		all = append([]*Server{c}, all...)
+	}
+	for round := 0; round < 6; round++ {
+		driveRound(all...)
+	}
+	if got := mid.NumChildren(); got != children {
+		b.Fatalf("mid-tier server has %d children; want %d", got, children)
+	}
+	if !disableDelta && mid.mx.reportsSuppressed.Load() == 0 {
+		b.Fatal("warmup never reached steady-state suppression")
+	}
+	return mid, own, w.PerNode[1], tr
+}
+
+// BenchmarkAggregationTick measures one full aggregation tick (refresh,
+// report, push, both prunes) on a mid-tier server with a parent and 8
+// children, across churn rates: churn0 mutates nothing between ticks (the
+// steady state the change-driven pipeline targets), churn1 rewrites 1% of
+// the server's own records before every tick, churn100 rewrites all of
+// them. delta is the change-driven pipeline (including its 1-in-64
+// anti-entropy full rounds); full is the DisableDeltaDissemination
+// baseline that rebuilds and retransmits everything every tick. rpcs/op
+// and wirebytes/op come from the transport's own counters.
+func BenchmarkAggregationTick(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"delta", false},
+		{"full", true},
+	} {
+		for _, churn := range []struct {
+			name string
+			frac float64
+		}{
+			{"churn0", 0},
+			{"churn1", 0.01},
+			{"churn100", 1},
+		} {
+			b.Run(mode.name+"/"+churn.name, func(b *testing.B) {
+				mid, own, recs, tr := benchMidTier(b, mode.disable, 100)
+				rng := rand.New(rand.NewSource(7))
+				start := tr.Stats()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if churn.frac > 0 {
+						b.StopTimer()
+						k := int(churn.frac * float64(len(recs)))
+						if k < 1 {
+							k = 1
+						}
+						for j := 0; j < k; j++ {
+							recs[rng.Intn(len(recs))].SetNum(0, rng.Float64())
+						}
+						own.SetRecords(recs)
+						b.StartTimer()
+					}
+					mid.refreshSummaries()
+					mid.reportToParent()
+					mid.pushReplicas()
+					mid.pruneDeadChildren()
+					mid.pruneStaleReplicas()
+				}
+				b.StopTimer()
+				st := tr.Stats()
+				b.ReportMetric(float64(st.Calls-start.Calls)/float64(b.N), "rpcs/op")
+				b.ReportMetric(float64(st.BytesSent-start.BytesSent+st.BytesRecv-start.BytesRecv)/float64(b.N), "wirebytes/op")
+			})
+		}
 	}
 }

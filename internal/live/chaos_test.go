@@ -350,6 +350,106 @@ func TestChaosHungPeerBoundedByDeadline(t *testing.T) {
 	f.ClearRules()
 }
 
+// TestChaosDeltaTTLKeepalive proves replica soft-state liveness rides on
+// version-only refreshes alone: with the anti-entropy cadence parked far
+// beyond the test window and zero churn, every push after convergence is a
+// version-only TTL renewal — if that path failed to renew, every replica
+// would age out within one TTL and coverage would collapse.
+func TestChaosDeltaTTLKeepalive(t *testing.T) {
+	leakCheck(t)
+	cl, err := StartCluster(transport.NewChan(), ClusterConfig{
+		N:                5,
+		Schema:           record.DefaultSchema(2),
+		MaxChildren:      2,
+		ReplicaTTLFloor:  1 * time.Second,
+		AntiEntropyEvery: 1 << 20, // no full round inside the test window
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+	attachChaosOwners(t, cl, 3, -1)
+	const total = 5 * 3
+
+	// Let the delta handshake settle, then watch coverage across several
+	// TTL windows. pruneStaleReplicas runs every 25ms tick, so any replica
+	// whose TTL stopped renewing disappears (and dents coverage) for many
+	// consecutive polls — the 20ms polling below cannot miss it.
+	time.Sleep(500 * time.Millisecond)
+	var pushDelta0, suppressed0 uint64
+	for _, srv := range cl.Servers {
+		pushDelta0 += srv.mx.pushDelta.Load()
+		suppressed0 += srv.mx.reportsSuppressed.Load()
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, srv := range cl.Servers {
+			if got := srv.CoveredRecords(); got != total {
+				t.Fatalf("%s dropped to %d covered records mid-window; version-only refreshes must keep replicas alive", srv.ID(), got)
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	var pushDelta1, suppressed1 uint64
+	for _, srv := range cl.Servers {
+		pushDelta1 += srv.mx.pushDelta.Load()
+		suppressed1 += srv.mx.reportsSuppressed.Load()
+	}
+	if pushDelta1 == pushDelta0 {
+		t.Fatal("no version-only push entries moved during the window; the test exercised nothing")
+	}
+	if suppressed1 == suppressed0 {
+		t.Fatal("no reports were suppressed during the window; the test exercised nothing")
+	}
+}
+
+// TestChaosVersionMismatchRecovery corrupts a held replica's version on a
+// live cluster and checks the NeedFullOrigins path restores full state
+// within a few ticks — divergence is self-healing without waiting for the
+// anti-entropy cadence.
+func TestChaosVersionMismatchRecovery(t *testing.T) {
+	cl, _ := startChaosCluster(t, 5, 2, 76)
+	attachChaosOwners(t, cl, 3, -1)
+	const wrongVersion = 0xdeadbeef
+
+	// Pick any non-root server and corrupt one of its replicas.
+	var victim *Server
+	for _, srv := range cl.Servers {
+		if !srv.IsRoot() && srv.NumReplicas() > 0 {
+			victim = srv
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no non-root server holds replicas")
+	}
+	victim.mu.Lock()
+	var origin string
+	for id, r := range victim.replicas {
+		if r.version != 0 {
+			origin = id
+			r.version = wrongVersion
+			break
+		}
+	}
+	victim.mu.Unlock()
+	if origin == "" {
+		t.Fatal("victim holds no versioned replica to corrupt")
+	}
+
+	deadline := time.Now().Add(convergeTimeout)
+	for time.Now().Before(deadline) {
+		if v, _, ok := replicaVersion(victim, origin); ok && v != wrongVersion {
+			if err := cl.WaitConverged(5*3, convergeTimeout); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("replica %s on %s never recovered from the version mismatch", origin, victim.ID())
+}
+
 // TestQueryBudgetShedding drives the server-side half of the deadline
 // hierarchy directly: a query arriving with an exhausted budget is shed
 // with an error instead of burning owner-policy work, and the shed shows

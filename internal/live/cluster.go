@@ -36,7 +36,14 @@ type ClusterConfig struct {
 	// keeps DefaultReplicaTTLFloor); fast-tick chaos tests lower it so
 	// crashed origins age out quickly.
 	ReplicaTTLFloor time.Duration
-	Cost store.CostModel
+	// AntiEntropyEvery overrides the servers' anti-entropy cadence (zero
+	// keeps DefaultAntiEntropyEvery); TTL tests raise it so soft-state
+	// liveness provably rides on version-only refreshes alone.
+	AntiEntropyEvery int
+	// DisableDeltaDissemination runs every server on the full-state
+	// baseline pipeline.
+	DisableDeltaDissemination bool
+	Cost                      store.CostModel
 }
 
 // StartCluster launches the servers and joins 1..n-1 under server 0.
@@ -69,6 +76,8 @@ func StartCluster(tr transport.Transport, cfg ClusterConfig) (*Cluster, error) {
 		if cfg.ReplicaTTLFloor > 0 {
 			scfg.ReplicaTTLFloor = cfg.ReplicaTTLFloor
 		}
+		scfg.AntiEntropyEvery = cfg.AntiEntropyEvery
+		scfg.DisableDeltaDissemination = cfg.DisableDeltaDissemination
 		scfg.Cost = cfg.Cost
 		srv, err := NewServer(scfg, tr)
 		if err != nil {

@@ -1,0 +1,533 @@
+package live
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"roads/internal/policy"
+	"roads/internal/record"
+	"roads/internal/transport"
+	"roads/internal/wire"
+)
+
+// deltaServerCfg builds a parked-loop server (background loops effectively
+// off) so tests drive aggregation rounds deterministically by calling
+// refreshSummaries/reportToParent/pushReplicas themselves.
+func deltaServerCfg(t *testing.T, tr transport.Transport, id string, schema *record.Schema, mut func(*Config)) *Server {
+	t.Helper()
+	cfg := DefaultConfig(id, "addr-"+id, schema)
+	cfg.AggregateEvery = time.Hour
+	cfg.HeartbeatEvery = time.Hour
+	// Park the anti-entropy cadence too: tests that want full rounds set
+	// their own cadence via mut.
+	cfg.AntiEntropyEvery = 1 << 20
+	if mut != nil {
+		mut(&cfg)
+	}
+	srv, err := NewServer(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Stop)
+	return srv
+}
+
+func deltaServer(t *testing.T, tr transport.Transport, id string, schema *record.Schema, disable bool) *Server {
+	t.Helper()
+	return deltaServerCfg(t, tr, id, schema, func(c *Config) { c.DisableDeltaDissemination = disable })
+}
+
+// deltaRecords builds n records that all match matchAllQuery.
+func deltaRecords(schema *record.Schema, ownerID string, n int) []*record.Record {
+	recs := make([]*record.Record, n)
+	for j := range recs {
+		r := record.New(schema, fmt.Sprintf("%s-r%d", ownerID, j), ownerID)
+		r.SetNum(0, float64(j+1)/float64(n+2))
+		r.SetNum(1, 0.5)
+		recs[j] = r
+	}
+	return recs
+}
+
+func attachDeltaOwner(t *testing.T, srv *Server, schema *record.Schema, n int) *policy.Owner {
+	t.Helper()
+	o := policy.NewOwner("own-"+srv.ID(), schema, nil)
+	o.SetRecords(deltaRecords(schema, o.ID, n))
+	if err := srv.AttachOwner(o); err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// driveRound runs one full aggregation round on each server in order
+// (children before parents, so reports land before the parent pushes).
+func driveRound(servers ...*Server) {
+	for _, s := range servers {
+		s.refreshSummaries()
+		s.reportToParent()
+		s.pushReplicas()
+	}
+}
+
+// childDelta snapshots the parent-side delta state for one child.
+func childDelta(s *Server, id string) (version uint64, capable bool, acked map[string]uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.children[id]
+	if !ok {
+		return 0, false, nil
+	}
+	acked = make(map[string]uint64, len(c.acked))
+	for k, v := range c.acked {
+		acked[k] = v
+	}
+	return c.version, c.deltaCapable, acked
+}
+
+// parentDelta snapshots the child-side delta state.
+func parentDelta(s *Server) (v3 bool, have uint64, needFull bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.parentV3, s.parentHaveVersion, s.parentNeedFull
+}
+
+func setChildVersion(s *Server, id string, v uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.children[id]
+	if ok {
+		c.version = v
+	}
+	return ok
+}
+
+func replicaVersion(s *Server, origin string) (version uint64, received time.Time, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.replicas[origin]
+	if !ok {
+		return 0, time.Time{}, false
+	}
+	return r.version, r.received, true
+}
+
+func setReplicaVersion(s *Server, origin string, v uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.replicas[origin]
+	if ok {
+		r.version = v
+	}
+	return ok
+}
+
+// TestDeltaHandshakeAndSuppression walks the whole negotiation on a parked
+// two-child star and then pins the steady-state behaviour: version-only
+// reports and pushes, counters moving, replica TTLs renewed, and a
+// steady-state round moving a small fraction of the first full round's
+// bytes.
+func TestDeltaHandshakeAndSuppression(t *testing.T) {
+	schema := record.DefaultSchema(2)
+	tr := transport.NewChan()
+	root := deltaServer(t, tr, "root", schema, false)
+	c1 := deltaServer(t, tr, "c1", schema, false)
+	c2 := deltaServer(t, tr, "c2", schema, false)
+	attachDeltaOwner(t, root, schema, 5)
+	attachDeltaOwner(t, c1, schema, 5)
+	attachDeltaOwner(t, c2, schema, 5)
+	if err := c1.Join(root.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Join(root.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	firstStart := tr.Stats()
+	driveRound(c1, c2, root)
+	firstEnd := tr.Stats()
+	// The handshake converges over the next rounds: the batch ack marks the
+	// children capable, the stamped ancestor push marks the parent v3, the
+	// stamped report earns a HaveVersion ack, and suppression begins.
+	for i := 0; i < 4; i++ {
+		driveRound(c1, c2, root)
+	}
+
+	ver, capable, acked := childDelta(root, "c1")
+	if !capable || ver == 0 || len(acked) == 0 {
+		t.Fatalf("root never completed the handshake with c1: version=%d capable=%v acked=%v", ver, capable, acked)
+	}
+	v3, have, _ := parentDelta(c1)
+	branch := c1.snap.Load().branchSummary
+	if branch == nil || !v3 || have != branch.Version {
+		t.Fatalf("c1 never learned the parent holds its branch: v3=%v have=%d branch=%+v", v3, have, branch)
+	}
+
+	supBefore := c1.mx.reportsSuppressed.Load()
+	deltaBefore := root.mx.pushDelta.Load()
+	repsBefore := root.mx.summaryReports.Load()
+	if _, _, ok := replicaVersion(c1, "root"); !ok {
+		t.Fatal("c1 holds no ancestor replica for root")
+	}
+	_, recvBefore, _ := replicaVersion(c1, "root")
+
+	steadyStart := tr.Stats()
+	driveRound(c1, c2, root)
+	steadyEnd := tr.Stats()
+
+	if got := c1.mx.reportsSuppressed.Load(); got != supBefore+1 {
+		t.Fatalf("steady round suppressed %d reports on c1; want exactly 1", got-supBefore)
+	}
+	if got := root.mx.pushDelta.Load(); got <= deltaBefore {
+		t.Fatal("steady round sent no version-only push entries")
+	}
+	if got := root.mx.summaryReports.Load(); got != repsBefore+2 {
+		t.Fatalf("version-only reports must still count as reports: got %d new, want 2", got-repsBefore)
+	}
+	if _, recvAfter, _ := replicaVersion(c1, "root"); !recvAfter.After(recvBefore) {
+		t.Fatal("version-only push did not renew the replica's soft-state TTL")
+	}
+	if got := root.BranchRecords(); got != 15 {
+		t.Fatalf("root branch covers %d records after suppression; want 15", got)
+	}
+
+	fullBytes := (firstEnd.BytesSent - firstStart.BytesSent) + (firstEnd.BytesRecv - firstStart.BytesRecv)
+	steadyBytes := (steadyEnd.BytesSent - steadyStart.BytesSent) + (steadyEnd.BytesRecv - steadyStart.BytesRecv)
+	if steadyBytes*4 > fullBytes {
+		t.Fatalf("steady-state round moved %d bytes vs %d for the first full round; want at least a 4x reduction", steadyBytes, fullBytes)
+	}
+}
+
+// TestDeltaAntiEntropyRound pins the cadence: with AntiEntropyEvery=4, one
+// round in four goes full-state on both the report and the push path even
+// though every version matches, and the anti-entropy counter ticks.
+func TestDeltaAntiEntropyRound(t *testing.T) {
+	schema := record.DefaultSchema(2)
+	tr := transport.NewChan()
+	ae := func(c *Config) { c.AntiEntropyEvery = 4 }
+	root := deltaServerCfg(t, tr, "root", schema, ae)
+	c1 := deltaServerCfg(t, tr, "c1", schema, ae)
+	c2 := deltaServerCfg(t, tr, "c2", schema, ae)
+	attachDeltaOwner(t, root, schema, 4)
+	attachDeltaOwner(t, c1, schema, 4)
+	attachDeltaOwner(t, c2, schema, 4)
+	if err := c1.Join(root.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Join(root.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// Converge (the handshake needs ~5 rounds; extra rounds are harmless).
+	for i := 0; i < 8; i++ {
+		driveRound(c1, c2, root)
+	}
+	if _, capable, _ := childDelta(root, "c1"); !capable {
+		t.Fatal("handshake did not converge")
+	}
+
+	// All servers tick in lockstep (Start ran round 1 on each), so the next
+	// four rounds contain exactly one anti-entropy round for every server.
+	ae0 := c1.mx.antiEntropyRounds.Load()
+	sup0 := c1.mx.reportsSuppressed.Load()
+	full0 := root.mx.pushFull.Load()
+	delta0 := root.mx.pushDelta.Load()
+	for i := 0; i < 4; i++ {
+		driveRound(c1, c2, root)
+	}
+	if got := c1.mx.antiEntropyRounds.Load() - ae0; got != 1 {
+		t.Fatalf("4 rounds contained %d anti-entropy rounds; want 1", got)
+	}
+	if got := c1.mx.reportsSuppressed.Load() - sup0; got != 3 {
+		t.Fatalf("c1 suppressed %d of 4 reports; want 3 (anti-entropy round goes full)", got)
+	}
+	// Root pushes 2 entries (sibling + ancestor) to each of 2 children per
+	// round: the anti-entropy round sends all 4 full, the other 3 rounds
+	// send all 4 version-only.
+	if got := root.mx.pushFull.Load() - full0; got != 4 {
+		t.Fatalf("anti-entropy window sent %d full push entries; want 4", got)
+	}
+	if got := root.mx.pushDelta.Load() - delta0; got != 12 {
+		t.Fatalf("anti-entropy window sent %d version-only push entries; want 12", got)
+	}
+}
+
+// TestDeltaNeedFullRecovery diverges both directions of the protocol on
+// purpose and checks each recovers to full state within one round: a
+// parent that lost track of the child's version NAKs the version-only
+// report with NeedFull, and a child whose replica diverged NAKs the
+// version-only push with NeedFullOrigins.
+func TestDeltaNeedFullRecovery(t *testing.T) {
+	schema := record.DefaultSchema(2)
+	tr := transport.NewChan()
+	root := deltaServer(t, tr, "root", schema, false)
+	c1 := deltaServer(t, tr, "c1", schema, false)
+	c2 := deltaServer(t, tr, "c2", schema, false)
+	attachDeltaOwner(t, root, schema, 5)
+	attachDeltaOwner(t, c1, schema, 5)
+	attachDeltaOwner(t, c2, schema, 5)
+	if err := c1.Join(root.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Join(root.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		driveRound(c1, c2, root)
+	}
+	if sup := c1.mx.reportsSuppressed.Load(); sup == 0 {
+		t.Fatal("setup never reached steady suppression")
+	}
+
+	// Report path: the parent's recorded version diverges. The child's next
+	// version-only report must be NAKed, the retransmit goes full, and
+	// suppression resumes after that.
+	if !setChildVersion(root, "c1", 0xdead) {
+		t.Fatal("root lost child c1")
+	}
+	c1.reportToParent() // version-only → NeedFull
+	if _, _, needFull := parentDelta(c1); !needFull {
+		t.Fatal("NeedFull ack did not reach the child")
+	}
+	c1.reportToParent() // full retransmit
+	branch := c1.snap.Load().branchSummary
+	if ver, _, _ := childDelta(root, "c1"); ver != branch.Version {
+		t.Fatalf("full retransmit left the parent at version %d; want %d", ver, branch.Version)
+	}
+	if _, _, needFull := parentDelta(c1); needFull {
+		t.Fatal("NeedFull flag survived the full retransmit")
+	}
+	sup := c1.mx.reportsSuppressed.Load()
+	c1.reportToParent()
+	if got := c1.mx.reportsSuppressed.Load(); got != sup+1 {
+		t.Fatal("suppression did not resume after recovery")
+	}
+
+	// Push path: the child's held replica diverges. The parent's next
+	// version-only entry is NAKed via NeedFullOrigins, the entry's acked
+	// version is dropped, and the round after that ships full state.
+	wantVer, _, ok := replicaVersion(c1, "root")
+	if !ok || wantVer == 0 {
+		t.Fatalf("c1 holds no versioned root replica (ver=%d ok=%v)", wantVer, ok)
+	}
+	if !setReplicaVersion(c1, "root", 0xdead) {
+		t.Fatal("c1 lost the root replica")
+	}
+	root.pushReplicas() // version-only → NeedFullOrigins
+	if _, _, acked := childDelta(root, "c1"); acked["root"] != 0 {
+		t.Fatalf("NAKed origin still acked at version %d", acked["root"])
+	}
+	root.pushReplicas() // full retransmit
+	if got, _, _ := replicaVersion(c1, "root"); got != wantVer {
+		t.Fatalf("replica recovered to version %d; want %d", got, wantVer)
+	}
+	if _, _, acked := childDelta(root, "c1"); acked["root"] != wantVer {
+		t.Fatalf("recovered origin re-acked at %d; want %d", acked["root"], wantVer)
+	}
+}
+
+// TestDeltaMixedVersionInterop runs a pre-v3 stand-in (a server with
+// DisableDeltaDissemination, which is byte-equivalent to a legacy peer) in
+// both roles. A legacy child under a delta parent keeps its full-state
+// protocol — unstamped reports, full unversioned pushes, plain acks —
+// while a delta sibling negotiates deltas on the same parent; a delta
+// child under a legacy parent never stamps or suppresses anything.
+func TestDeltaMixedVersionInterop(t *testing.T) {
+	schema := record.DefaultSchema(2)
+	tr := transport.NewChan()
+	root := deltaServer(t, tr, "root", schema, false)
+	legacy := deltaServer(t, tr, "legacy", schema, true)
+	dc := deltaServer(t, tr, "dc", schema, false)
+	attachDeltaOwner(t, root, schema, 5)
+	attachDeltaOwner(t, legacy, schema, 5)
+	attachDeltaOwner(t, dc, schema, 5)
+	if err := legacy.Join(root.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Join(root.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		driveRound(legacy, dc, root)
+	}
+
+	// The legacy child stays on the v2 protocol end to end.
+	if ver, capable, _ := childDelta(root, "legacy"); capable || ver != 0 {
+		t.Fatalf("parent treats the legacy child as delta-capable (ver=%d capable=%v)", ver, capable)
+	}
+	if v3, _, _ := parentDelta(legacy); v3 {
+		t.Fatal("legacy child believes its parent speaks v3")
+	}
+	if got := legacy.mx.reportsSuppressed.Load(); got != 0 {
+		t.Fatalf("legacy child suppressed %d reports", got)
+	}
+	legacy.mu.Lock()
+	for origin, r := range legacy.replicas {
+		if r.version != 0 || r.branch == nil {
+			legacy.mu.Unlock()
+			t.Fatalf("legacy child received a v3-shaped push for %s (version=%d branch=%v)", origin, r.version, r.branch != nil)
+		}
+	}
+	nreps := len(legacy.replicas)
+	legacy.mu.Unlock()
+	if nreps == 0 {
+		t.Fatal("legacy child received no replicas at all")
+	}
+	// Its own wire output stays v2-encodable: every dissemination counter
+	// is zero, so even a status reply fits the old codec.
+	st := legacy.handle(&wire.Message{Kind: wire.KindStatus, From: "t"})
+	data, err := wire.Encode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[1] != 2 {
+		t.Fatalf("legacy status reply encoded at wire version %d; want 2", data[1])
+	}
+
+	// The delta sibling negotiated deltas on the same parent meanwhile.
+	if _, capable, _ := childDelta(root, "dc"); !capable {
+		t.Fatal("delta sibling never negotiated capability")
+	}
+	if root.mx.pushDelta.Load() == 0 {
+		t.Fatal("parent never sent the delta sibling version-only entries")
+	}
+	if got, _, _ := replicaVersion(dc, "root"); got == 0 {
+		t.Fatal("delta sibling's ancestor replica is unversioned")
+	}
+
+	// The legacy child still serves complete answers.
+	recs, _, err := NewClient(tr, "t").Resolve(legacy.Addr(), matchAllQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 15 {
+		t.Fatalf("resolve via the legacy child returned %d records; want 15", len(recs))
+	}
+
+	// Reverse roles: a delta child under a legacy parent never stamps.
+	droot := deltaServer(t, tr, "droot", schema, true)
+	dchild := deltaServer(t, tr, "dchild", schema, false)
+	attachDeltaOwner(t, droot, schema, 3)
+	attachDeltaOwner(t, dchild, schema, 3)
+	if err := dchild.Join(droot.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		driveRound(dchild, droot)
+	}
+	if v3, _, _ := parentDelta(dchild); v3 {
+		t.Fatal("delta child under a legacy parent believes the parent speaks v3")
+	}
+	if got := dchild.mx.reportsSuppressed.Load(); got != 0 {
+		t.Fatalf("delta child under a legacy parent suppressed %d reports", got)
+	}
+	if got := droot.mx.pushFull.Load() + droot.mx.pushDelta.Load() + droot.mx.antiEntropyRounds.Load(); got != 0 {
+		t.Fatalf("disabled parent moved dissemination counters to %d; they must stay 0", got)
+	}
+	if got := droot.BranchRecords(); got != 6 {
+		t.Fatalf("legacy parent's branch covers %d records; want 6", got)
+	}
+}
+
+// TestDeltaRefreshSkipsUnchanged pins the incremental-refresh contract: a
+// tick with no store mutation, no owner generation bump and no child change
+// skips the rebuild entirely, and any of those changes un-skips it.
+func TestDeltaRefreshSkipsUnchanged(t *testing.T) {
+	schema := record.DefaultSchema(2)
+	tr := transport.NewChan()
+	srv := deltaServer(t, tr, "solo", schema, false)
+	o := attachDeltaOwner(t, srv, schema, 10)
+
+	srv.refreshSummaries() // absorbs the owner attached after Start
+	srv.refreshSummaries() // sees no change
+	if got := srv.mx.rebuildsSkipped.Load(); got != 1 {
+		t.Fatalf("unchanged refresh skipped %d rebuilds; want 1", got)
+	}
+	v0 := srv.snap.Load().branchSummary.Version
+
+	// Owner mutation un-skips: the generation moved.
+	o.SetRecords(deltaRecords(schema, "own-solo", 11))
+	srv.refreshSummaries()
+	if got := srv.mx.rebuildsSkipped.Load(); got != 1 {
+		t.Fatal("refresh after an owner mutation must rebuild")
+	}
+	if got := srv.BranchRecords(); got != 11 {
+		t.Fatalf("rebuilt branch covers %d records; want 11", got)
+	}
+	if v := srv.snap.Load().branchSummary.Version; v == v0 {
+		t.Fatal("content changed but the branch version did not")
+	}
+
+	// Back to steady state.
+	srv.refreshSummaries()
+	if got := srv.mx.rebuildsSkipped.Load(); got != 2 {
+		t.Fatalf("second unchanged refresh skipped %d rebuilds total; want 2", got)
+	}
+
+	// Store mutation un-skips: the epoch moved.
+	r := record.New(schema, "direct-1", "direct")
+	r.SetNum(0, 0.5)
+	r.SetNum(1, 0.5)
+	srv.store.Add(r)
+	srv.refreshSummaries()
+	if got := srv.mx.rebuildsSkipped.Load(); got != 2 {
+		t.Fatal("refresh after a store mutation must rebuild")
+	}
+	if got := srv.BranchRecords(); got != 12 {
+		t.Fatalf("rebuilt branch covers %d records; want 12", got)
+	}
+
+	// The baseline pipeline never skips.
+	full := deltaServer(t, tr, "full", schema, true)
+	attachDeltaOwner(t, full, schema, 5)
+	full.refreshSummaries()
+	full.refreshSummaries()
+	if got := full.mx.rebuildsSkipped.Load(); got != 0 {
+		t.Fatalf("disabled pipeline skipped %d rebuilds; want 0", got)
+	}
+}
+
+// TestDeltaStalenessAccounting pins the satellite fix: an owner whose
+// export can never merge (mismatched schema arity) fails every tick and is
+// recounted every tick, but the refresh still publishes everything else
+// and advances the staleness clock — partial success is not staleness.
+func TestDeltaStalenessAccounting(t *testing.T) {
+	schema := record.DefaultSchema(2)
+	tr := transport.NewChan()
+	srv := deltaServer(t, tr, "stale", schema, false)
+	attachDeltaOwner(t, srv, schema, 5)
+
+	wrong := record.DefaultSchema(3) // arity mismatch: merge always fails
+	bad := policy.NewOwner("own-bad", wrong, nil)
+	bad.SetRecords(deltaRecords(wrong, "own-bad", 2))
+	if err := srv.AttachOwner(bad); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.refreshSummaries()
+	e1 := srv.mx.summaryErrors.Load()
+	if e1 == 0 {
+		t.Fatal("mismatched owner did not count a summary error")
+	}
+	lr1 := srv.lastRefresh.Load()
+	if lr1 == 0 {
+		t.Fatal("partial refresh did not advance the staleness clock")
+	}
+	if got := srv.BranchRecords(); got != 5 {
+		t.Fatalf("partial refresh published %d records; want the 5 mergeable ones", got)
+	}
+
+	time.Sleep(2 * time.Millisecond)
+	srv.refreshSummaries()
+	if got := srv.mx.summaryErrors.Load(); got <= e1 {
+		t.Fatal("persistently failing owner must be recounted every tick")
+	}
+	if got := srv.lastRefresh.Load(); got <= lr1 {
+		t.Fatalf("staleness clock stuck at %d despite a completed partial refresh", lr1)
+	}
+	if !srv.summaryFailing.Load() {
+		t.Fatal("failing flag must stay set while an owner keeps failing")
+	}
+}

@@ -40,6 +40,15 @@ func (s *Server) ack() *wire.Message {
 	return &wire.Message{Kind: wire.KindAck, From: s.cfg.ID, Addr: s.cfg.Addr}
 }
 
+// ackWith is an ack carrying delta-dissemination feedback (wire v3; only
+// sent to peers that proved they speak v3, or on replies the sender is
+// free to ignore).
+func (s *Server) ackWith(info *wire.AckInfo) *wire.Message {
+	m := s.ack()
+	m.Ack = info
+	return m
+}
+
 // handleJoin accepts the joiner as a child if capacity allows and the
 // joiner is not on our root path (loop avoidance); otherwise it redirects
 // to our children with their branch shapes.
@@ -60,9 +69,14 @@ func (s *Server) handleJoin(msg *wire.Message) *wire.Message {
 			// Re-accepting a known child: keep its branch summary, depth
 			// and descendant counts — rebuilding the state from scratch
 			// clobbered the subtree shape until the next summary report
-			// and skewed join-placement decisions.
+			// and skewed join-placement decisions. The delta handshake
+			// does reset: the child may have restarted as (or behind) a
+			// pre-v3 peer, and sending it version-only state it no longer
+			// holds would go unnoticed until anti-entropy.
 			c.addr = msg.Join.Addr
 			c.lastSeen = time.Now()
+			c.deltaCapable = false
+			c.acked = nil
 		} else {
 			s.children[msg.Join.ID] = &childState{
 				id:       msg.Join.ID,
@@ -96,8 +110,35 @@ func (s *Server) handleJoin(msg *wire.Message) *wire.Message {
 	}
 }
 
-// handleSummaryReport ingests a child's branch summary.
+// handleSummaryReport ingests a child's branch summary. A version-only
+// report (Summary nil, Version set — sent once this server confirmed
+// holding the child's current branch version) refreshes the child's
+// liveness and shape metadata without any summary decode or re-merge; a
+// version mismatch answers NeedFull so the child resends in full next
+// tick. Full reports from delta children are acked with the version now
+// held, which is what lets the child start suppressing.
 func (s *Server) handleSummaryReport(msg *wire.Message) *wire.Message {
+	delta := !s.cfg.DisableDeltaDissemination
+	if msg.Report != nil && msg.Report.Summary == nil && msg.Report.Version != 0 && delta {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		c, ok := s.children[msg.From]
+		if !ok || c.branch == nil || c.version != msg.Report.Version {
+			// Unknown child or stale version: the sender must restate its
+			// branch in full. Answered as an ack, not an error — the
+			// sender proved it speaks v3 by stamping the report.
+			return s.ackWith(&wire.AckInfo{NeedFull: true})
+		}
+		c.depth = msg.Report.Depth
+		c.descendants = msg.Report.Descendants
+		c.kids = msg.Report.Children
+		c.lastSeen = time.Now()
+		s.mx.summaryReports.Inc()
+		// The branch content did not change, so neither the branch merge
+		// epoch nor the routing snapshot needs touching — redirect record
+		// counts ride on c.branch, which stands.
+		return s.ackWith(&wire.AckInfo{HaveVersion: c.version})
+	}
 	if msg.Report == nil || msg.Report.Summary == nil {
 		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf("live: summary report without payload"))
 	}
@@ -117,13 +158,32 @@ func (s *Server) handleSummaryReport(msg *wire.Message) *wire.Message {
 		c = &childState{id: msg.From, addr: msg.Addr}
 		s.children[msg.From] = c
 	}
+	// A full report with the same non-zero version restates unchanged
+	// content (anti-entropy round): swap the object but skip the branch
+	// re-merge. Unversioned reports must be assumed changed every time.
+	if c.branch == nil || c.version != msg.Report.Version || msg.Report.Version == 0 {
+		s.childEpoch++
+	}
+	if c.version != 0 && msg.Report.Version == 0 && c.deltaCapable {
+		// Downgrade: the child restarted as a pre-v3 peer. Stop sending
+		// it anything version-stamped.
+		c.deltaCapable = false
+		c.acked = nil
+	}
 	c.branch = sum
+	c.version = msg.Report.Version
 	c.depth = msg.Report.Depth
 	c.descendants = msg.Report.Descendants
 	c.kids = msg.Report.Children
 	c.lastSeen = time.Now()
 	s.publishSnapshotLocked()
 	s.mx.summaryReports.Inc()
+	if delta && msg.Report.Version != 0 {
+		// Confirm the version so the child can suppress its next reports.
+		// Only stamped reporters get the v3 ack: a pre-v3 child treats an
+		// undecodable reply as a parent miss and spirals into rejoins.
+		return s.ackWith(&wire.AckInfo{HaveVersion: msg.Report.Version})
+	}
 	return s.ack()
 }
 
@@ -150,6 +210,7 @@ func (s *Server) decodeReplica(p *wire.ReplicaPush) (*replicaState, error) {
 		level:      level,
 		received:   time.Now(),
 		fallbacks:  p.Fallbacks,
+		version:    p.Version,
 	}
 	if p.Local != nil {
 		local, err := p.Local.ToSummary(s.cfg.Schema)
@@ -181,27 +242,71 @@ func (s *Server) handleReplicaPush(msg *wire.Message) *wire.Message {
 // Every push is decoded first, then the batch is applied under a single
 // lock acquisition, so concurrent queries observe either the previous
 // overlay state or the complete new one — never a half-applied tick.
+//
+// Version-only entries (Branch nil, Version set) renew the matching
+// replica's soft-state TTL without any summary decode; a mismatch or an
+// unknown origin lands in the ack's NeedFullOrigins so the sender
+// restates that origin in full next tick. The AckInfo attached to the
+// reply doubles as the delta-capability signal — senders that cannot
+// decode it ignore batch-ack contents entirely, so attaching it
+// unconditionally is safe.
 func (s *Server) handleReplicaBatch(msg *wire.Message) *wire.Message {
 	if msg.Batch == nil {
 		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf("live: replica batch without payload"))
 	}
+	delta := !s.cfg.DisableDeltaDissemination
 	states := make([]*replicaState, 0, len(msg.Batch.Pushes))
+	var versionOnly []*wire.ReplicaPush
+	stamped := false
 	for _, p := range msg.Batch.Pushes {
+		if p != nil && p.Version != 0 {
+			stamped = true
+		}
+		if delta && p != nil && p.Branch == nil && p.Version != 0 {
+			versionOnly = append(versionOnly, p)
+			continue
+		}
 		rs, err := s.decodeReplica(p)
 		if err != nil {
 			return wire.ErrorMessage(s.cfg.ID, err)
 		}
 		states = append(states, rs)
 	}
+	var needFull []string
+	now := time.Now()
 	s.mu.Lock()
 	for _, rs := range states {
 		if rs.originID != s.cfg.ID { // never replicate ourselves
 			s.replicas[rs.originID] = rs
 		}
 	}
-	s.publishSnapshotLocked()
+	for _, p := range versionOnly {
+		if p.OriginID == s.cfg.ID {
+			continue
+		}
+		r, ok := s.replicas[p.OriginID]
+		if !ok || r.version == 0 || r.version != p.Version {
+			needFull = append(needFull, p.OriginID)
+			continue
+		}
+		// TTL refresh: the held replica is confirmed current. received is
+		// not part of the routing snapshot, so no republish is needed for
+		// a purely version-only batch.
+		r.received = now
+	}
+	if stamped && msg.From == s.parentID {
+		// A version-stamped push proves the parent speaks wire v3, which
+		// is what authorizes stamping our reports to it.
+		s.parentV3 = true
+	}
+	if len(states) > 0 {
+		s.publishSnapshotLocked()
+	}
 	s.mu.Unlock()
-	s.mx.replicaPushes.Add(uint64(len(states)))
+	s.mx.replicaPushes.Add(uint64(len(states) + len(versionOnly)))
+	if delta {
+		return s.ackWith(&wire.AckInfo{NeedFullOrigins: needFull})
+	}
 	return s.ack()
 }
 
@@ -472,6 +577,14 @@ func (s *Server) StatusSnapshot() *wire.Status {
 		SummariesRecv:   s.mx.summaryReports.Load(),
 		QueriesShed:     s.mx.shed.Load(),
 		SummaryErrors:   s.mx.summaryErrors.Load(),
+
+		// Dissemination counters: all zero while delta dissemination is
+		// disabled, which keeps status replies encodable at wire v2.
+		SummaryRebuildsSkipped: s.mx.rebuildsSkipped.Load(),
+		ReportsSuppressed:      s.mx.reportsSuppressed.Load(),
+		ReplicaPushDelta:       s.mx.pushDelta.Load(),
+		ReplicaPushFull:        s.mx.pushFull.Load(),
+		AntiEntropyRounds:      s.mx.antiEntropyRounds.Load(),
 	}
 	if snap.branchSummary != nil {
 		st.BranchRecords = snap.branchSummary.Records
@@ -533,6 +646,9 @@ func (s *Server) handleHeartbeat(msg *wire.Message) *wire.Message {
 // handleLeave removes a departing parent or child.
 func (s *Server) handleLeave(msg *wire.Message) *wire.Message {
 	s.mu.Lock()
+	if _, ok := s.children[msg.From]; ok {
+		s.childEpoch++ // its branch leaves the merged summary
+	}
 	delete(s.children, msg.From)
 	delete(s.replicas, msg.From)
 	var plan *rejoinPlan

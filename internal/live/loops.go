@@ -5,6 +5,7 @@ import (
 	"log"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"roads/internal/policy"
@@ -70,52 +71,204 @@ func (s *Server) heartbeatLoop() {
 	}
 }
 
+// exportWorkers bounds the concurrent owner exports one refresh runs:
+// exports are independent CPU-bound FromRecords builds, but one refresh
+// must not commandeer the whole machine.
+const exportWorkers = 4
+
 // refreshSummaries rebuilds the local summary (store + owners) and the
 // branch summary (local + children). Failures never abort serving — the
 // previous summaries stay published — but they are counted
 // (Status.SummaryErrors) and logged on each OK→failing transition, because
 // a silently skipped refresh means the advertised state is going stale
 // while queries still succeed.
+//
+// The rebuild is change-driven (unless Config.DisableDeltaDissemination):
+// the store part is cached against the store's mutation epoch, each
+// owner's export is cached against the owner's record-set generation, and
+// the branch re-merge is skipped while neither the local content hash nor
+// the child epoch moved — so a steady-state tick costs a few counter
+// reads instead of O(records × attributes) work. Owners that did change
+// re-export concurrently on a bounded worker pool.
 func (s *Server) refreshSummaries() {
-	failed := false
-	local, err := summary.FromRecords(s.cfg.Schema, s.cfg.Summary, s.store.Records())
-	if err != nil {
-		s.noteSummaryError(err)
-		return
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	delta := !s.cfg.DisableDeltaDissemination
+	round := s.aggRound.Add(1)
+	if delta && round%s.cfg.antiEntropyEvery() == 0 {
+		s.mx.antiEntropyRounds.Inc()
 	}
+	failed := false
+
+	// Store part: rebuild only when the store's mutation epoch moved.
+	// The epoch is read before the records, so a concurrent mutation can
+	// only make the cached summary newer than its epoch claims — the next
+	// tick re-exports. Never the stale direction.
+	var storeSum *summary.Summary
+	storeFresh := true
+	if delta {
+		epoch := s.store.Epoch()
+		if s.haveStore && epoch == s.storeEpoch {
+			storeSum = s.storeSummary
+			storeFresh = false
+		} else {
+			sum, err := summary.FromRecords(s.cfg.Schema, s.cfg.Summary, s.store.Records())
+			if err != nil {
+				s.noteSummaryError(err)
+				return
+			}
+			s.storeSummary, s.storeEpoch, s.haveStore = sum, epoch, true
+			storeSum = sum
+		}
+	} else {
+		sum, err := summary.FromRecords(s.cfg.Schema, s.cfg.Summary, s.store.Records())
+		if err != nil {
+			s.noteSummaryError(err)
+			return
+		}
+		storeSum = sum
+	}
+
+	// Owner part: reuse cached exports for unchanged owners; re-export
+	// the rest (concurrently when several changed at once).
 	s.mu.Lock()
 	owners := append([]*policy.Owner(nil), s.owners...)
 	s.mu.Unlock()
-	for _, o := range owners {
+	exports := make([]*summary.Summary, len(owners)) // cached or fresh, nil = skip
+	gens := make([]uint64, len(owners))
+	errs := make([]error, len(owners))
+	fresh := make([]bool, len(owners))
+	var need []int
+	for i, o := range owners {
 		if o.Policy.Mode != policy.ExportSummary {
 			continue // records-mode data already sits in the store
 		}
-		osum, err := o.ExportSummary(s.cfg.Summary)
-		if err != nil {
-			// Skip this owner's contribution but keep the rest of the
-			// refresh: a partial summary beats a stale one.
-			s.noteSummaryError(err)
-			failed = true
-			continue
+		if delta {
+			if e, ok := s.ownerCache[o]; ok && e.gen == o.Generation() {
+				exports[i] = e.sum
+				continue
+			}
 		}
-		_ = local.Merge(osum)
+		need = append(need, i)
 	}
-	local.Origin = s.cfg.ID
+	export := func(i int) {
+		o := owners[i]
+		// Generation before export: a mutation landing between the two
+		// makes the cached summary newer than its generation claims, so
+		// the next tick re-exports — never the stale direction.
+		gens[i] = o.Generation()
+		exports[i], errs[i] = o.ExportSummary(s.cfg.Summary)
+		fresh[i] = true
+	}
+	if delta && len(need) > 1 {
+		workers := exportWorkers
+		if workers > len(need) {
+			workers = len(need)
+		}
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					export(i)
+				}
+			}()
+		}
+		for _, i := range need {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	} else {
+		for _, i := range need {
+			export(i)
+		}
+	}
 
+	// Merge phase (serialized, owner order — deterministic content hash).
+	// Skipped entirely when nothing changed: the published local summary
+	// is still current.
+	rebuildLocal := !delta || storeFresh || len(need) > 0
+	var local *summary.Summary
+	if rebuildLocal {
+		if delta {
+			local = storeSum.Clone()
+		} else {
+			local = storeSum // fresh this tick; safe to own outright
+		}
+		for i, o := range owners {
+			if o.Policy.Mode != policy.ExportSummary {
+				continue
+			}
+			if fresh[i] && errs[i] != nil {
+				// Skip this owner's contribution but keep the rest of the
+				// refresh: a partial summary beats a stale one. Not cached,
+				// so every tick retries (and keeps counting the error).
+				s.noteSummaryError(errs[i])
+				failed = true
+				continue
+			}
+			if exports[i] == nil {
+				continue
+			}
+			if err := local.Merge(exports[i]); err != nil {
+				s.noteSummaryError(err)
+				failed = true
+				if delta {
+					delete(s.ownerCache, o) // retry (and recount) next tick
+				}
+				continue
+			}
+			if delta && fresh[i] {
+				s.ownerCache[o] = ownerCacheEntry{gen: gens[i], sum: exports[i]}
+			}
+		}
+		local.Origin = s.cfg.ID
+		local.ComputeVersion()
+	}
+
+	// Branch part: re-merge only when the local content or a child branch
+	// actually changed; otherwise the whole refresh was a no-op and the
+	// published summaries stand.
 	s.mu.Lock()
-	s.localSummary = local
-	branch := local.Clone()
+	localDirty := true
+	if delta {
+		localDirty = rebuildLocal &&
+			(s.localSummary == nil || local.Version != s.localSummary.Version)
+	}
+	if delta && !localDirty && s.haveBranch && s.childEpoch == s.lastChildEpoch {
+		s.mu.Unlock()
+		s.mx.rebuildsSkipped.Inc()
+		s.lastRefresh.Store(time.Now().UnixNano())
+		if !failed {
+			s.noteSummaryOK()
+		}
+		return
+	}
+	if localDirty {
+		s.localSummary = local
+	}
+	branch := s.localSummary.Clone()
 	branch.Origin = s.cfg.ID
 	for _, c := range s.children {
 		if c.branch != nil {
 			_ = branch.Merge(c.branch)
 		}
 	}
+	branch.ComputeVersion()
 	s.branchSummary = branch
+	s.lastChildEpoch = s.childEpoch
+	s.haveBranch = true
 	s.publishSnapshotLocked()
 	s.mu.Unlock()
+	// Partial success still advances the staleness clock: the published
+	// summaries were rebuilt this tick from everything reachable, so the
+	// advertised state is current even while one owner keeps failing —
+	// the per-owner errors (and the failing flag) track that separately.
+	s.lastRefresh.Store(time.Now().UnixNano())
 	if !failed {
-		s.lastRefresh.Store(time.Now().UnixNano())
 		s.noteSummaryOK()
 	}
 }
@@ -178,32 +331,71 @@ func (s *Server) childRedirectsLocked() []wire.RedirectInfo {
 
 // reportToParent sends the branch summary (with depth/descendant counts
 // piggybacked) up the hierarchy.
+//
+// Change-driven path: once the parent has proven it speaks wire v3 the
+// report carries the branch content version, and while the parent keeps
+// confirming it holds the current version the summary payload is dropped
+// entirely — a version-only report still refreshes liveness and branch
+// shape but moves ~30 bytes instead of the full summary. Anti-entropy
+// rounds, a version mismatch (parent asked NeedFull), or any content
+// change switch back to full reports.
 func (s *Server) reportToParent() {
+	delta := !s.cfg.DisableDeltaDissemination
+	fullRound := delta && s.aggRound.Load()%s.cfg.antiEntropyEvery() == 0
 	s.mu.Lock()
 	parentAddr := s.parentAddr
 	branch := s.branchSummary
 	depth := s.subtreeDepthLocked()
 	desc := s.descendantsLocked()
 	kids := s.childRedirectsLocked()
+	parentV3 := s.parentV3
+	haveVersion := s.parentHaveVersion
+	needFull := s.parentNeedFull
 	s.mu.Unlock()
 	if parentAddr == "" || branch == nil {
 		return
 	}
-	msg := &wire.Message{
-		Kind: wire.KindSummaryReport,
-		From: s.cfg.ID,
-		Addr: s.cfg.Addr,
-		Report: &wire.SummaryReport{
-			Summary:     wire.FromSummary(branch),
-			Depth:       depth,
-			Descendants: desc,
-			Children:    kids,
-		},
+	report := &wire.SummaryReport{
+		Depth:       depth,
+		Descendants: desc,
+		Children:    kids,
 	}
-	if rep, err := s.tr.Call(parentAddr, msg); err != nil || wire.RemoteError(rep) != nil {
-		s.noteParentMiss()
+	if delta && parentV3 {
+		report.Version = branch.Version
+	}
+	suppress := delta && parentV3 && !needFull && !fullRound &&
+		branch.Version != 0 && haveVersion == branch.Version
+	if suppress {
+		s.mx.reportsSuppressed.Inc()
 	} else {
-		s.noteParentOK()
+		report.Summary = wire.FromSummary(branch)
+	}
+	msg := &wire.Message{
+		Kind:   wire.KindSummaryReport,
+		From:   s.cfg.ID,
+		Addr:   s.cfg.Addr,
+		Report: report,
+	}
+	rep, err := s.tr.Call(parentAddr, msg)
+	if err != nil || wire.RemoteError(rep) != nil {
+		s.noteParentMiss()
+		return
+	}
+	s.noteParentOK()
+	if delta && rep.Ack != nil {
+		s.mu.Lock()
+		if s.parentAddr == parentAddr { // parent may have changed mid-flight
+			s.parentV3 = true
+			switch {
+			case rep.Ack.NeedFull:
+				s.parentNeedFull = true
+				s.parentHaveVersion = 0
+			case rep.Ack.HaveVersion != 0:
+				s.parentHaveVersion = rep.Ack.HaveVersion
+				s.parentNeedFull = false
+			}
+		}
+		s.mu.Unlock()
 	}
 }
 
@@ -218,7 +410,19 @@ func (s *Server) reportToParent() {
 // the overlay-maintenance traffic the paper identifies as ROADS' dominant
 // overhead. Each push DTO is encoded once and shared across the per-child
 // batches. DisableReplicaBatch restores the per-push calls.
+//
+// Change-driven path (batched mode only): a child that attached AckInfo
+// to a batch ack is delta-capable; full pushes to it carry the origin's
+// branch version (via a per-child stamped copy, so the shared DTO stays
+// unversioned for legacy children), and the acked version per (child,
+// origin) is tracked. While the child holds the current version, the
+// entry ships version-only — origin identity, level and version, no
+// summaries — which renews the replica's TTL for a few dozen bytes. A
+// NeedFullOrigins ack or the periodic anti-entropy round downgrades the
+// affected entries to full.
 func (s *Server) pushReplicas() {
+	delta := !s.cfg.DisableDeltaDissemination && !s.cfg.DisableReplicaBatch
+	fullRound := delta && s.aggRound.Load()%s.cfg.antiEntropyEvery() == 0
 	// Snapshot under the lock: childState fields are mutated in place by
 	// summary reports, so copy the values; summary objects themselves are
 	// replaced wholesale on update and never mutated after publish.
@@ -226,13 +430,31 @@ func (s *Server) pushReplicas() {
 		id, addr string
 		branch   *summary.Summary
 		kids     []wire.RedirectInfo
+		capable  bool
+		acked    map[string]uint64
 	}
 	s.mu.Lock()
 	children := make([]childSnap, 0, len(s.children))
 	for _, c := range s.children {
-		children = append(children, childSnap{id: c.id, addr: c.addr, branch: c.branch, kids: c.kids})
+		cs := childSnap{id: c.id, addr: c.addr, branch: c.branch, kids: c.kids}
+		if delta && c.deltaCapable {
+			cs.capable = true
+			cs.acked = make(map[string]uint64, len(c.acked))
+			for o, v := range c.acked {
+				cs.acked[o] = v
+			}
+		}
+		children = append(children, cs)
 	}
 	sort.Slice(children, func(i, j int) bool { return children[i].id < children[j].id })
+	// Sibling-push versions come from the childrens' stamped reports (0
+	// from pre-v3 children, which disables delta for those entries).
+	sibVersion := make([]uint64, len(children))
+	for i := range children {
+		if c, ok := s.children[children[i].id]; ok {
+			sibVersion[i] = c.version
+		}
+	}
 	ownBranch := s.branchSummary
 	ownLocal := s.localSummary
 	reps := make([]*replicaState, 0, len(s.replicas))
@@ -244,7 +466,9 @@ func (s *Server) pushReplicas() {
 		return
 	}
 
-	// Build every push DTO once; the per-child batches share them.
+	// Build every push DTO once; the per-child batches share them. The
+	// shared DTOs stay unversioned — capable children get shallow stamped
+	// copies, so a legacy child never sees a v3 payload.
 	// Sibling branches: distance 1 from the child.
 	sibPush := make([]*wire.ReplicaPush, len(children))
 	for i, sib := range children {
@@ -261,6 +485,7 @@ func (s *Server) pushReplicas() {
 	}
 	// Self as ancestor (branch + local piggyback): distance 1.
 	var ancestor *wire.ReplicaPush
+	var ancestorVersion uint64
 	if ownBranch != nil {
 		ancestor = &wire.ReplicaPush{
 			OriginID:   s.cfg.ID,
@@ -270,11 +495,13 @@ func (s *Server) pushReplicas() {
 			Ancestor:   true,
 			Level:      1,
 		}
+		ancestorVersion = ownBranch.Version
 	}
 	// Forward everything this server replicates (its siblings and
 	// ancestors become the child's ancestor-siblings and ancestors, one
 	// level further away).
 	forwarded := make([]*wire.ReplicaPush, 0, len(reps))
+	forwardedVersion := make([]uint64, 0, len(reps))
 	for _, r := range reps {
 		p := &wire.ReplicaPush{
 			OriginID:   r.originID,
@@ -288,19 +515,56 @@ func (s *Server) pushReplicas() {
 			p.Local = wire.FromSummary(r.local)
 		}
 		forwarded = append(forwarded, p)
+		forwardedVersion = append(forwardedVersion, r.version)
 	}
 
+	type sentEntry struct {
+		origin  string
+		version uint64
+	}
 	for i, child := range children {
 		pushes := make([]*wire.ReplicaPush, 0, len(children)+len(forwarded))
+		var sent []sentEntry
+		// appendEntry adds one origin's entry: version-only when the child
+		// already confirmed holding this version, a stamped full copy when
+		// the child is capable, the shared unversioned DTO otherwise.
+		appendEntry := func(p *wire.ReplicaPush, ver uint64) {
+			switch {
+			case child.capable && ver != 0 && !fullRound && child.acked[p.OriginID] == ver:
+				pushes = append(pushes, &wire.ReplicaPush{
+					OriginID:   p.OriginID,
+					OriginAddr: p.OriginAddr,
+					Ancestor:   p.Ancestor,
+					Level:      p.Level,
+					Version:    ver,
+				})
+				s.mx.pushDelta.Inc()
+			case child.capable && ver != 0:
+				stamped := *p // shallow: shares the summary DTOs
+				stamped.Version = ver
+				pushes = append(pushes, &stamped)
+				s.mx.pushFull.Inc()
+			default:
+				pushes = append(pushes, p)
+				if delta {
+					s.mx.pushFull.Inc()
+				}
+			}
+			if child.capable {
+				sent = append(sent, sentEntry{origin: p.OriginID, version: ver})
+			}
+		}
 		for j, p := range sibPush {
 			if j != i && p != nil {
-				pushes = append(pushes, p)
+				appendEntry(p, sibVersion[j])
 			}
 		}
 		if ancestor != nil {
-			pushes = append(pushes, ancestor)
+			appendEntry(ancestor, ancestorVersion)
 		}
-		pushes = append(pushes, forwarded...)
+		for j, p := range forwarded {
+			appendEntry(p, forwardedVersion[j])
+		}
 		if len(pushes) == 0 {
 			continue
 		}
@@ -317,7 +581,31 @@ func (s *Server) pushReplicas() {
 			Addr:  s.cfg.Addr,
 			Batch: &wire.ReplicaBatch{Pushes: pushes},
 		}
-		_, _ = s.tr.Call(child.addr, msg)
+		rep, err := s.tr.Call(child.addr, msg)
+		if !delta || err != nil || rep == nil || rep.Ack == nil {
+			continue // legacy child (or failed call): no delta bookkeeping
+		}
+		// The AckInfo reply is the capability proof; record what the
+		// child now holds, minus anything it explicitly asked refreshed.
+		s.mu.Lock()
+		if c, ok := s.children[child.id]; ok {
+			c.deltaCapable = true
+			if c.acked == nil {
+				c.acked = make(map[string]uint64, len(sent)+len(pushes))
+			}
+			for _, e := range sent {
+				if e.version != 0 {
+					c.acked[e.origin] = e.version
+				}
+			}
+			// A not-yet-capable child acked full unversioned entries; it
+			// holds their content but no version to confirm against, so
+			// nothing is recorded for it until the next stamped round.
+			for _, o := range rep.Ack.NeedFullOrigins {
+				delete(c.acked, o)
+			}
+		}
+		s.mu.Unlock()
 	}
 }
 
@@ -342,6 +630,7 @@ func (s *Server) pruneDeadChildren() {
 		}
 		if now.Sub(c.lastSeen) > deadline {
 			delete(s.children, id)
+			s.childEpoch++ // its branch leaves the merged summary
 			changed = true
 		}
 	}
@@ -475,6 +764,9 @@ func (s *Server) planRejoinLocked() *rejoinPlan {
 	s.parentID = ""
 	s.parentAddr = ""
 	s.parentMisses = 0
+	s.parentV3 = false
+	s.parentHaveVersion = 0
+	s.parentNeedFull = false
 	s.publishSnapshotLocked()
 	s.mx.parentFailovers.Inc()
 	return p

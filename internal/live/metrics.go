@@ -27,6 +27,14 @@ type serverMetrics struct {
 	summaryErrors   *obs.Counter
 	parentFailovers *obs.Counter
 	evalLatency     *obs.Histogram
+
+	// Change-driven dissemination counters; all stay zero while
+	// Config.DisableDeltaDissemination is set.
+	rebuildsSkipped   *obs.Counter
+	reportsSuppressed *obs.Counter
+	pushDelta         *obs.Counter
+	pushFull          *obs.Counter
+	antiEntropyRounds *obs.Counter
 }
 
 // newServerMetrics registers the server's series on reg (which must not
@@ -52,6 +60,16 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 		evalLatency: reg.Histogram("roads_query_eval_seconds",
 			"Query evaluation latency on this server (canonical obs bucket ladder).",
 			obs.DefaultLatencyBounds()),
+		rebuildsSkipped: reg.Counter("roads_summary_rebuilds_skipped_total",
+			"Refresh ticks that reused every cached summary because neither the store, an owner, nor a child branch changed."),
+		reportsSuppressed: reg.Counter("roads_report_suppressed_total",
+			"Version-only reports sent in place of full branch summaries (the parent confirmed holding the current version)."),
+		pushDelta: reg.Counter("roads_replica_push_delta_total",
+			"Replica-batch entries sent version-only (TTL refresh, no summary payload)."),
+		pushFull: reg.Counter("roads_replica_push_full_total",
+			"Replica-batch entries sent with full summaries while delta dissemination is enabled."),
+		antiEntropyRounds: reg.Counter("roads_antientropy_rounds_total",
+			"Aggregation rounds forced full-state by the anti-entropy cadence (Config.AntiEntropyEvery)."),
 	}
 	reg.GaugeFunc("roads_children",
 		"Current child count.", func() float64 {

@@ -51,8 +51,25 @@ type Config struct {
 	// DisableReplicaBatch falls back to one KindReplicaPush call per
 	// replica per child instead of one KindReplicaBatch per child — the
 	// pre-batching wire behaviour, kept for benchmarks and for driving
-	// peers that predate KindReplicaBatch.
+	// peers that predate KindReplicaBatch. Batching is also what carries
+	// the delta handshake, so disabling it forces full per-push calls.
 	DisableReplicaBatch bool
+	// DisableDeltaDissemination turns off the change-driven pipeline
+	// end to end: summaries rebuild from scratch every tick, reports
+	// always carry the full branch summary, replica pushes always carry
+	// full state, and no wire-v3 field (Version, AckInfo, the new Status
+	// counters) is ever emitted. A disabled server is byte-equivalent to
+	// a pre-v3 peer, which is both the measurable full-rebuild/full-push
+	// baseline and the mixed-version interop stand-in.
+	DisableDeltaDissemination bool
+	// AntiEntropyEvery is the anti-entropy cadence in aggregation ticks:
+	// every Nth tick sends full reports and full replica pushes even to
+	// peers that confirmed holding the current versions, bounding how
+	// long any divergence (lost state, metadata drift a version-only
+	// refresh does not carry) can persist. Zero uses
+	// DefaultAntiEntropyEvery; ignored when delta dissemination is
+	// disabled (every tick is full then).
+	AntiEntropyEvery int
 	// LegacyQueryLocking evaluates queries under the server mutex against
 	// the live routing maps (the pre-snapshot behaviour) instead of
 	// against the lock-free routing snapshot — the measurable baseline
@@ -89,6 +106,13 @@ func DefaultConfig(id, addr string, schema *record.Schema) Config {
 // Config.ReplicaTTLFloor is zero.
 const DefaultReplicaTTLFloor = 5 * time.Second
 
+// DefaultAntiEntropyEvery is the anti-entropy cadence applied when
+// Config.AntiEntropyEvery is zero: one full-state round every 16
+// aggregation ticks. Version-only refreshes renew replica TTLs several
+// times per full round, so soft-state liveness never depends on the
+// full-state cadence.
+const DefaultAntiEntropyEvery = 16
+
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if c.ID == "" || c.Addr == "" {
@@ -109,7 +133,18 @@ func (c Config) Validate() error {
 	if c.ReplicaTTLFloor < 0 {
 		return fmt.Errorf("live: ReplicaTTLFloor must not be negative")
 	}
+	if c.AntiEntropyEvery < 0 {
+		return fmt.Errorf("live: AntiEntropyEvery must not be negative")
+	}
 	return nil
+}
+
+// antiEntropyEvery returns the configured anti-entropy cadence, defaulted.
+func (c Config) antiEntropyEvery() uint64 {
+	if c.AntiEntropyEvery > 0 {
+		return uint64(c.AntiEntropyEvery)
+	}
+	return DefaultAntiEntropyEvery
 }
 
 // replicaTTLFloor returns the configured floor, defaulted.
@@ -130,6 +165,20 @@ type childState struct {
 	// kids are the child's own children, piggybacked on its summary
 	// reports; they become failover Alternates on redirects to the child.
 	kids []wire.RedirectInfo
+	// version is the branch-summary content version the child stamped on
+	// its last full report (0 from pre-v3 children). It versions the
+	// sibling pushes built from this branch and gates childEpoch: a full
+	// report carrying the same version left the merged branch unchanged.
+	version uint64
+	// deltaCapable is set once the child attaches AckInfo to a
+	// replica-batch ack, proving it understands wire v3; only then may
+	// pushes to it be version-stamped or version-only. Reset when the
+	// child rejoins or downgrades to unversioned reports.
+	deltaCapable bool
+	// acked maps origin ID → the branch version this child last
+	// confirmed holding, so unchanged replicas ship as version-only TTL
+	// refreshes. Entries are dropped when the child asks for full state.
+	acked map[string]uint64
 }
 
 // replicaState is one overlay replica.
@@ -147,6 +196,19 @@ type replicaState struct {
 	// fallbacks are the origin's children, carried on the push; they
 	// become failover Alternates on redirects to the origin.
 	fallbacks []wire.RedirectInfo
+	// version is the origin's branch content version carried on the push
+	// (0 from pre-v3 senders). A version-only refresh entry renews
+	// received only when it matches; forwarding this replica propagates
+	// the same version one level down.
+	version uint64
+}
+
+// ownerCacheEntry is one cached owner export: the summary the owner
+// exported at record-set generation gen. While Generation() still returns
+// gen the cached summary is current and the export is skipped.
+type ownerCacheEntry struct {
+	gen uint64
+	sum *summary.Summary
 }
 
 // Server is one live ROADS server.
@@ -168,6 +230,41 @@ type Server struct {
 	replicas      map[string]*replicaState
 	localSummary  *summary.Summary
 	branchSummary *summary.Summary
+
+	// childEpoch counts child-branch mutations (branch content set,
+	// changed, or child removed); refreshSummaries skips the branch
+	// re-merge while it matches lastChildEpoch. Guarded by s.mu.
+	childEpoch     uint64
+	lastChildEpoch uint64
+
+	// Parent-side delta state (guarded by s.mu), reset whenever the
+	// parent changes: parentV3 is set once the parent proves it speaks
+	// wire v3 (a version-stamped push or an AckInfo reply);
+	// parentHaveVersion is the branch version the parent last confirmed
+	// holding (reports while it matches go version-only);
+	// parentNeedFull forces the next report full after the parent
+	// rejected a version-only one.
+	parentV3          bool
+	parentHaveVersion uint64
+	parentNeedFull    bool
+
+	// refreshMu serializes refreshSummaries: the incremental-refresh
+	// caches below are its private state, and tests drive refreshes
+	// concurrently with the aggregation loop.
+	refreshMu sync.Mutex
+	// storeSummary caches the summary built from the store at storeEpoch;
+	// while the epoch matches, the O(records × attributes) rebuild is
+	// skipped. Guarded by refreshMu.
+	storeSummary *summary.Summary
+	storeEpoch   uint64
+	haveStore    bool
+	haveBranch   bool
+	// ownerCache caches each summary-mode owner's export keyed by the
+	// owner's record-set generation. Guarded by refreshMu.
+	ownerCache map[*policy.Owner]ownerCacheEntry
+	// aggRound counts aggregation rounds (shared by refresh, report and
+	// push within one tick) for the anti-entropy cadence.
+	aggRound atomic.Uint64
 
 	// snap is the immutable routing snapshot the lock-free read paths
 	// (handleQuery, handleStatus, the public accessors) evaluate against.
@@ -202,13 +299,14 @@ func NewServer(cfg Config, tr transport.Transport) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:       cfg,
-		tr:        tr,
-		store:     store.New(cfg.Schema, cfg.Cost),
-		children:  make(map[string]*childState),
-		replicas:  make(map[string]*replicaState),
-		stop:      make(chan struct{}),
-		startTime: time.Now(),
+		cfg:        cfg,
+		tr:         tr,
+		store:      store.New(cfg.Schema, cfg.Cost),
+		children:   make(map[string]*childState),
+		replicas:   make(map[string]*replicaState),
+		ownerCache: make(map[*policy.Owner]ownerCacheEntry),
+		stop:       make(chan struct{}),
+		startTime:  time.Now(),
 	}
 	// Publish the empty snapshot so the lock-free paths never see nil —
 	// the metric gauges registered next read it too.
@@ -355,6 +453,11 @@ func (s *Server) Join(seedAddr string) error {
 			s.parentID = jr.ParentID
 			s.parentAddr = jr.ParentAddr
 			s.parentMisses = 0
+			// A new (or re-joined) parent starts with no proven delta
+			// capability and holds none of our versions.
+			s.parentV3 = false
+			s.parentHaveVersion = 0
+			s.parentNeedFull = false
 			s.publishSnapshotLocked()
 			s.mu.Unlock()
 			// Prime the parent's view and our root path immediately.

@@ -111,6 +111,10 @@ type Owner struct {
 
 	mu      sync.RWMutex
 	records []*record.Record
+	// gen counts record-set mutations. Attachment points cache the owner's
+	// exported summary keyed by this generation, so an unchanged owner
+	// costs no per-tick FromRecords rebuild.
+	gen uint64
 }
 
 // NewOwner creates an owner with the given policy (nil means a default
@@ -127,6 +131,7 @@ func (o *Owner) SetRecords(recs []*record.Record) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.records = append(o.records[:0:0], recs...)
+	o.gen++
 }
 
 // AddRecords appends records.
@@ -134,6 +139,16 @@ func (o *Owner) AddRecords(recs ...*record.Record) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.records = append(o.records, recs...)
+	o.gen++
+}
+
+// Generation returns the owner's record-set mutation counter. A caller
+// holding a summary exported at generation N may keep serving it while
+// Generation still returns N.
+func (o *Owner) Generation() uint64 {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.gen
 }
 
 // NumRecords returns the record count.

@@ -53,9 +53,17 @@ type numericIndex struct {
 // Store holds one participant's records with per-attribute indexes. It is
 // safe for concurrent readers once built; mutations take the write lock.
 type Store struct {
-	mu      sync.RWMutex
-	schema  *record.Schema
+	mu     sync.RWMutex
+	schema *record.Schema
+	// records is copy-on-write: Add and Replace install a fresh slice and
+	// never mutate a published one, so Records can hand the slice itself to
+	// readers (no per-call copy) and a reader's snapshot stays immutable
+	// while mutations land concurrently.
 	records []*record.Record
+	// epoch counts mutations (Add/Replace). Readers that derive state from
+	// the records — summary refresh above all — compare epochs to skip
+	// recomputing when nothing changed.
+	epoch   uint64
 	num     map[int]*numericIndex // attr position -> index
 	cat     map[int]map[string][]int
 	dirty   bool
@@ -89,7 +97,11 @@ func (st *Store) Schema() *record.Schema { return st.schema }
 func (st *Store) Add(recs ...*record.Record) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	st.records = append(st.records, recs...)
+	next := make([]*record.Record, 0, len(st.records)+len(recs))
+	next = append(next, st.records...)
+	next = append(next, recs...)
+	st.records = next
+	st.epoch++
 	st.dirty = true
 }
 
@@ -98,6 +110,7 @@ func (st *Store) Replace(recs []*record.Record) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.records = append(st.records[:0:0], recs...)
+	st.epoch++
 	st.dirty = true
 }
 
@@ -108,12 +121,23 @@ func (st *Store) Len() int {
 	return len(st.records)
 }
 
-// Records returns the stored records (shared slice; callers must not
-// mutate).
+// Records returns the stored records. The slice is immutable — mutations
+// install a fresh slice rather than appending in place — so the returned
+// snapshot is safe to walk without a copy while Add/Replace land
+// concurrently. Callers must not mutate it.
 func (st *Store) Records() []*record.Record {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	return st.records
+}
+
+// Epoch returns the store's mutation epoch: it advances on every Add and
+// Replace, so a caller that cached epoch-N derived state (a summary, a
+// count) can skip recomputation while Epoch still returns N.
+func (st *Store) Epoch() uint64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.epoch
 }
 
 func (st *Store) rebuildLocked() {

@@ -10,7 +10,10 @@
 package summary
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"sort"
 	"time"
 
 	"roads/internal/record"
@@ -86,7 +89,11 @@ type Summary struct {
 
 	// Origin identifies the server or owner whose branch this summarizes.
 	Origin string
-	// Version increases every time the origin regenerates the summary.
+	// Version identifies the summarized content. FromRecords stamps it
+	// with the ComputeVersion content hash, so two summaries condensing
+	// identical data carry equal versions and an equality check costs one
+	// uint64 compare; the simulator's Touch still bumps it per refresh.
+	// Zero means unstamped (pre-versioning producers).
 	Version uint64
 	// Expires is the soft-state deadline; zero time means no expiry.
 	Expires time.Time
@@ -128,7 +135,8 @@ func MustNew(s *record.Schema, cfg Config) *Summary {
 	return sum
 }
 
-// FromRecords builds a summary of the given records.
+// FromRecords builds a summary of the given records, stamped with its
+// content version.
 func FromRecords(s *record.Schema, cfg Config, recs []*record.Record) (*Summary, error) {
 	sum, err := New(s, cfg)
 	if err != nil {
@@ -137,6 +145,7 @@ func FromRecords(s *record.Schema, cfg Config, recs []*record.Record) (*Summary,
 	for _, r := range recs {
 		sum.AddRecord(r)
 	}
+	sum.ComputeVersion()
 	return sum, nil
 }
 
@@ -234,6 +243,63 @@ func (sum *Summary) MatchEq(i int, v string) bool {
 		return sum.Sets[i].Contains(v)
 	}
 	return false
+}
+
+// ComputeVersion hashes the summarized content (record count, histogram
+// buckets, value sets, Bloom bitsets — not origin or expiry metadata) into
+// Version and returns it. Two summaries condensing identical data hash
+// identically, so downstream equality checks — "does my parent already
+// hold this branch?" — cost one uint64 compare instead of a bucket-wise
+// walk. The hash is FNV-1a over the canonical field order; zero is mapped
+// to 1 so a stamped version is always distinguishable from the unstamped
+// zero value. The cost is one pass over the summary's fixed-size state,
+// independent of how many records were condensed.
+func (sum *Summary) ComputeVersion() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, _ = h.Write(buf[:])
+	}
+	w(sum.Records)
+	for i := range sum.Hists {
+		switch {
+		case sum.Hists[i] != nil:
+			hist := sum.Hists[i]
+			w(uint64(i)<<8 | 1)
+			w(hist.Total)
+			for _, c := range hist.Counts {
+				w(uint64(c))
+			}
+		case sum.Sets[i] != nil:
+			vs := sum.Sets[i]
+			w(uint64(i)<<8 | 2)
+			keys := make([]string, 0, len(vs.Counts))
+			for k := range vs.Counts {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				_, _ = h.Write([]byte(k))
+				w(uint64(vs.Counts[k]))
+			}
+		case sum.Blooms[i] != nil:
+			bl := sum.Blooms[i]
+			w(uint64(i)<<8 | 3)
+			w(uint64(bl.NumBit))
+			w(uint64(bl.Hashes))
+			w(bl.N)
+			for _, word := range bl.Bits {
+				w(word)
+			}
+		}
+	}
+	v := h.Sum64()
+	if v == 0 {
+		v = 1
+	}
+	sum.Version = v
+	return v
 }
 
 // Empty reports whether the summary condenses zero records.

@@ -27,6 +27,13 @@ package wire
 //	1 — initial layout.
 //	2 — QueryDTO gains TraceID/Trace/Path, QueryReply gains TraceInfo
 //	    (per-query hop tracing).
+//	3 — change-driven dissemination: SummaryReport and ReplicaPush gain
+//	    Version, Message gains Ack (AckInfo), Status gains the
+//	    dissemination counters. The encoder writes version 2 when a
+//	    message uses none of these (see encodeVersion), so all traffic
+//	    that a v2 peer could produce stays byte-identical and decodable
+//	    by v2 peers — v3 features activate only after capability
+//	    negotiation proves the receiver understands them.
 
 import (
 	"encoding/binary"
@@ -44,9 +51,10 @@ const (
 	// binMagic marks a binary-codec payload. It sits in the byte range a
 	// gob stream can never start with (0x80..0xf7).
 	binMagic = 0xb5
-	// binVersion is the codec revision the encoder writes; the decoder
-	// accepts this and every earlier revision.
-	binVersion = 2
+	// binVersion is the newest codec revision; the decoder accepts this
+	// and every earlier revision. The encoder writes the lowest revision
+	// that can carry the message (encodeVersion), not always the newest.
+	binVersion = 3
 	// maxRedirectDepth bounds RedirectInfo.Alternates nesting on decode.
 	// Real messages nest one level (alternates carry no alternates); the
 	// bound stops crafted input from recursing the decoder off the stack.
@@ -64,6 +72,10 @@ const (
 	hasQueryRep
 	hasHeartbeat
 	hasStatus
+	// hasAckInfo (v3) marks a Message.Ack payload, appended after Status.
+	// Only ever set on version-3 payloads: Ack != nil forces the encoder
+	// to version 3, and pre-v3 decoders reject version 3 outright.
+	hasAckInfo
 )
 
 // IsBinary reports whether data is a binary-codec payload (as opposed to
@@ -226,13 +238,48 @@ func (r *binReader) count(elemSize int) int {
 
 // --- Message ---
 
+// encodeVersion picks the codec revision for m: 3 when the message uses
+// any v3 field, 2 otherwise. Writing the lowest sufficient version keeps
+// every message a v2 peer could produce decodable by v2 peers, which is
+// what lets delta-capable and legacy servers share one tree: v3 features
+// only appear on the wire after the sender has proof the receiver
+// understands them. FuzzDecode's encode/decode fixed point tolerates this
+// because a re-encode of a decoded message is already normalized.
+func encodeVersion(m *Message) byte {
+	if m.Ack != nil {
+		return 3
+	}
+	if m.Report != nil && m.Report.Version != 0 {
+		return 3
+	}
+	if m.Replica != nil && m.Replica.Version != 0 {
+		return 3
+	}
+	if m.Batch != nil {
+		for _, p := range m.Batch.Pushes {
+			if p != nil && p.Version != 0 {
+				return 3
+			}
+		}
+	}
+	if st := m.Status; st != nil {
+		if st.SummaryRebuildsSkipped != 0 || st.ReportsSuppressed != 0 ||
+			st.ReplicaPushDelta != 0 || st.ReplicaPushFull != 0 ||
+			st.AntiEntropyRounds != 0 {
+			return 3
+		}
+	}
+	return 2
+}
+
 // AppendEncode appends m's binary encoding to buf and returns the grown
 // slice. Pair with GetBuf/PutBuf to run the hot path allocation-free.
 func AppendEncode(buf []byte, m *Message) ([]byte, error) {
 	if m == nil {
 		return nil, fmt.Errorf("wire: encode nil message")
 	}
-	b := append(buf, binMagic, binVersion)
+	ver := encodeVersion(m)
+	b := append(buf, binMagic, ver)
 	b = append(b, byte(m.Kind))
 	b = appendString(b, m.From)
 	b = appendString(b, m.Addr)
@@ -266,6 +313,9 @@ func AppendEncode(buf []byte, m *Message) ([]byte, error) {
 	if m.Status != nil {
 		bits |= hasStatus
 	}
+	if m.Ack != nil {
+		bits |= hasAckInfo
+	}
 	b = appendUvarint(b, bits)
 
 	if m.Join != nil {
@@ -276,10 +326,10 @@ func AppendEncode(buf []byte, m *Message) ([]byte, error) {
 		b = appendJoinReply(b, m.JoinReply)
 	}
 	if m.Report != nil {
-		b = appendReport(b, m.Report)
+		b = appendReport(b, m.Report, ver)
 	}
 	if m.Replica != nil {
-		b = appendReplicaPush(b, m.Replica)
+		b = appendReplicaPush(b, m.Replica, ver)
 	}
 	if m.Batch != nil {
 		b = appendUvarint(b, uint64(len(m.Batch.Pushes)))
@@ -289,7 +339,7 @@ func AppendEncode(buf []byte, m *Message) ([]byte, error) {
 				continue
 			}
 			b = appendBool(b, true)
-			b = appendReplicaPush(b, p)
+			b = appendReplicaPush(b, p, ver)
 		}
 	}
 	if m.Query != nil {
@@ -303,7 +353,12 @@ func AppendEncode(buf []byte, m *Message) ([]byte, error) {
 		b = appendStrings(b, m.Heartbeat.PathAddrs)
 	}
 	if m.Status != nil {
-		b = appendStatus(b, m.Status)
+		b = appendStatus(b, m.Status, ver)
+	}
+	if m.Ack != nil {
+		b = appendUvarint(b, m.Ack.HaveVersion)
+		b = appendBool(b, m.Ack.NeedFull)
+		b = appendStrings(b, m.Ack.NeedFullOrigins)
 	}
 	codecCounters.binaryEncodes.Inc()
 	return b, nil
@@ -366,6 +421,13 @@ func decodeBinary(data []byte) (*Message, error) {
 	}
 	if bits&hasStatus != 0 {
 		m.Status = readStatus(r)
+	}
+	if r.ver >= 3 && bits&hasAckInfo != 0 {
+		m.Ack = &AckInfo{
+			HaveVersion:     r.uvarint(),
+			NeedFull:        r.bool(),
+			NeedFullOrigins: readStrings(r),
+		}
 	}
 	if r.err != nil {
 		return nil, r.err
@@ -465,14 +527,18 @@ func readRedirects(r *binReader, depth int) []RedirectInfo {
 	return out
 }
 
-func appendReport(b []byte, rep *SummaryReport) []byte {
+func appendReport(b []byte, rep *SummaryReport, ver byte) []byte {
 	b = appendBool(b, rep.Summary != nil)
 	if rep.Summary != nil {
 		b = appendSummary(b, rep.Summary)
 	}
 	b = appendVarint(b, int64(rep.Depth))
 	b = appendVarint(b, int64(rep.Descendants))
-	return appendRedirects(b, rep.Children)
+	b = appendRedirects(b, rep.Children)
+	if ver >= 3 {
+		b = appendUvarint(b, rep.Version)
+	}
+	return b
 }
 
 func readReport(r *binReader) *SummaryReport {
@@ -483,10 +549,13 @@ func readReport(r *binReader) *SummaryReport {
 	rep.Depth = int(r.varint())
 	rep.Descendants = int(r.varint())
 	rep.Children = readRedirects(r, 0)
+	if r.ver >= 3 {
+		rep.Version = r.uvarint()
+	}
 	return rep
 }
 
-func appendReplicaPush(b []byte, p *ReplicaPush) []byte {
+func appendReplicaPush(b []byte, p *ReplicaPush, ver byte) []byte {
 	b = appendString(b, p.OriginID)
 	b = appendString(b, p.OriginAddr)
 	var flags byte
@@ -507,7 +576,11 @@ func appendReplicaPush(b []byte, p *ReplicaPush) []byte {
 		b = appendSummary(b, p.Local)
 	}
 	b = appendVarint(b, int64(p.Level))
-	return appendRedirects(b, p.Fallbacks)
+	b = appendRedirects(b, p.Fallbacks)
+	if ver >= 3 {
+		b = appendUvarint(b, p.Version)
+	}
+	return b
 }
 
 func readReplicaPush(r *binReader) *ReplicaPush {
@@ -522,6 +595,9 @@ func readReplicaPush(r *binReader) *ReplicaPush {
 	}
 	p.Level = int(r.varint())
 	p.Fallbacks = readRedirects(r, 0)
+	if r.ver >= 3 {
+		p.Version = r.uvarint()
+	}
 	return p
 }
 
@@ -635,7 +711,7 @@ func readQueryReply(r *binReader) *QueryReply {
 	return qr
 }
 
-func appendStatus(b []byte, st *Status) []byte {
+func appendStatus(b []byte, st *Status, ver byte) []byte {
 	b = appendString(b, st.ID)
 	b = appendString(b, st.Addr)
 	b = appendString(b, st.ParentID)
@@ -663,6 +739,13 @@ func appendStatus(b []byte, st *Status) []byte {
 		b = appendUvarint(b, tr.BytesRecv)
 		b = appendUvarint(b, tr.P50Micros)
 		b = appendUvarint(b, tr.P99Micros)
+	}
+	if ver >= 3 {
+		b = appendUvarint(b, st.SummaryRebuildsSkipped)
+		b = appendUvarint(b, st.ReportsSuppressed)
+		b = appendUvarint(b, st.ReplicaPushDelta)
+		b = appendUvarint(b, st.ReplicaPushFull)
+		b = appendUvarint(b, st.AntiEntropyRounds)
 	}
 	return b
 }
@@ -698,6 +781,13 @@ func readStatus(r *binReader) *Status {
 			P50Micros: r.uvarint(),
 			P99Micros: r.uvarint(),
 		}
+	}
+	if r.ver >= 3 {
+		st.SummaryRebuildsSkipped = r.uvarint()
+		st.ReportsSuppressed = r.uvarint()
+		st.ReplicaPushDelta = r.uvarint()
+		st.ReplicaPushFull = r.uvarint()
+		st.AntiEntropyRounds = r.uvarint()
 	}
 	return st
 }

@@ -63,14 +63,22 @@ func sampleMessages(tb testing.TB) []*Message {
 		{Kind: KindSummaryReport, From: "n3", Addr: "addr3", Report: &SummaryReport{
 			Summary: dto, Depth: 3, Descendants: 9,
 			Children: []RedirectInfo{{ID: "k", Addr: "ka", Records: 11, Alternates: alt}},
+			Version:  77,
+		}},
+		// Version-only heartbeat report (v3): summary omitted, version set.
+		{Kind: KindSummaryReport, From: "n3b", Report: &SummaryReport{
+			Depth: 3, Descendants: 9, Version: 78,
+			Children: []RedirectInfo{{ID: "k", Addr: "ka", Records: 11}},
 		}},
 		{Kind: KindReplicaPush, From: "n4", Replica: &ReplicaPush{
 			OriginID: "o", OriginAddr: "oa", Branch: dto, Local: bloomed,
-			Ancestor: true, Level: 2, Fallbacks: alt,
+			Ancestor: true, Level: 2, Fallbacks: alt, Version: 88,
 		}},
 		{Kind: KindReplicaBatch, From: "n5", Batch: &ReplicaBatch{Pushes: []*ReplicaPush{
 			{OriginID: "p1", OriginAddr: "pa1", Branch: dto, Level: 1},
 			{OriginID: "p2", OriginAddr: "pa2", Branch: bloomed, Level: 3, Fallbacks: alt},
+			// Version-only TTL refresh entry (v3): no summaries at all.
+			{OriginID: "p3", OriginAddr: "pa3", Level: 2, Version: 99},
 		}}},
 		{Kind: KindQuery, From: "cli", Query: &QueryDTO{
 			ID: "q1", Requester: "alice", Start: true, Scope: -1, Budget: 750 * time.Millisecond,
@@ -98,6 +106,10 @@ func sampleMessages(tb testing.TB) []*Message {
 			QueryRep: &QueryReply{Redirects: []RedirectInfo{{ID: "sib", Addr: "sa"}}}},
 		{Kind: KindLeave, From: "n9", Addr: "addr9"},
 		{Kind: KindAck, From: "n10"},
+		// Ack carrying delta-dissemination feedback (v3).
+		{Kind: KindAck, From: "n10b", Ack: &AckInfo{
+			HaveVersion: 42, NeedFull: true, NeedFullOrigins: []string{"o1", "o2"},
+		}},
 		{Kind: KindError, From: "n11", Error: "live: something broke"},
 		{Kind: KindStatus, From: "mon"},
 		{Kind: KindStatusReply, From: "n12", Status: &Status{
@@ -106,6 +118,8 @@ func sampleMessages(tb testing.TB) []*Message {
 			RootPath: []string{"root", "n2", "n12"}, QueriesServed: 9, RedirectsIssued: 17,
 			SummariesRecv: 5, QueriesShed: 1, SummaryErrors: 2,
 			Transport: &TransportStatus{Dials: 1, Reuses: 8, Calls: 9, BytesSent: 1000, BytesRecv: 2000, P50Micros: 120, P99Micros: 900},
+			SummaryRebuildsSkipped: 30, ReportsSuppressed: 12,
+			ReplicaPushDelta: 40, ReplicaPushFull: 6, AntiEntropyRounds: 3,
 		}},
 	}
 }

@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestEncodeVersionAdaptive pins the backwards-compatibility contract of
+// wire v3: the encoder writes version 2 for every message that carries no
+// v3 field, so a v2 peer can decode all traffic a server sends before
+// delta capability has been negotiated — and version 3 only once a v3
+// field is actually in use.
+func TestEncodeVersionAdaptive(t *testing.T) {
+	v2 := []*Message{
+		{Kind: KindJoin, From: "n", Join: &Join{ID: "n", Addr: "a"}},
+		{Kind: KindSummaryReport, From: "n", Report: &SummaryReport{
+			Summary: sampleSummaryDTO(t, 8, 4), Depth: 1,
+		}},
+		{Kind: KindReplicaPush, From: "n", Replica: &ReplicaPush{
+			OriginID: "o", OriginAddr: "oa", Branch: sampleSummaryDTO(t, 8, 4),
+		}},
+		{Kind: KindReplicaBatch, From: "n", Batch: &ReplicaBatch{Pushes: []*ReplicaPush{
+			{OriginID: "o", OriginAddr: "oa", Branch: sampleSummaryDTO(t, 8, 4)},
+		}}},
+		{Kind: KindAck, From: "n"},
+		{Kind: KindStatusReply, From: "n", Status: &Status{ID: "n", QueriesServed: 5}},
+	}
+	for _, m := range v2 {
+		data, err := Encode(m)
+		if err != nil {
+			t.Fatalf("kind %d: %v", m.Kind, err)
+		}
+		if data[1] != 2 {
+			t.Fatalf("kind %d without v3 fields encoded as version %d, want 2", m.Kind, data[1])
+		}
+	}
+
+	v3 := []*Message{
+		{Kind: KindSummaryReport, From: "n", Report: &SummaryReport{Depth: 1, Version: 9}},
+		{Kind: KindReplicaPush, From: "n", Replica: &ReplicaPush{OriginID: "o", Version: 9}},
+		{Kind: KindReplicaBatch, From: "n", Batch: &ReplicaBatch{Pushes: []*ReplicaPush{
+			{OriginID: "o", OriginAddr: "oa", Version: 9},
+		}}},
+		{Kind: KindAck, From: "n", Ack: &AckInfo{HaveVersion: 9}},
+		{Kind: KindAck, From: "n", Ack: &AckInfo{NeedFull: true}},
+		{Kind: KindStatusReply, From: "n", Status: &Status{ID: "n", ReportsSuppressed: 1}},
+	}
+	for _, m := range v3 {
+		data, err := Encode(m)
+		if err != nil {
+			t.Fatalf("kind %d: %v", m.Kind, err)
+		}
+		if data[1] != 3 {
+			t.Fatalf("kind %d with v3 fields encoded as version %d, want 3", m.Kind, data[1])
+		}
+	}
+}
+
+// TestBinaryV3RoundTrip checks the delta-dissemination shapes survive the
+// codec exactly: version-only reports, version-only push entries mixed
+// with full ones, and acks with feedback.
+func TestBinaryV3RoundTrip(t *testing.T) {
+	msgs := []*Message{
+		{Kind: KindSummaryReport, From: "child", Report: &SummaryReport{
+			Depth: 2, Descendants: 5, Version: 0xfeedbeef,
+			Children: []RedirectInfo{{ID: "gc", Addr: "ga", Records: 3}},
+		}},
+		{Kind: KindReplicaBatch, From: "parent", Batch: &ReplicaBatch{Pushes: []*ReplicaPush{
+			{OriginID: "sib", OriginAddr: "sa", Level: 1, Version: 7},
+			{OriginID: "anc", OriginAddr: "aa", Ancestor: true, Level: 0,
+				Branch: sampleSummaryDTO(t, 8, 4), Version: 8},
+			nil,
+		}}},
+		{Kind: KindAck, From: "parent", Ack: &AckInfo{HaveVersion: 0xfeedbeef}},
+		{Kind: KindAck, From: "child", Ack: &AckInfo{
+			NeedFull: true, NeedFullOrigins: []string{"sib", "anc"},
+		}},
+	}
+	for _, msg := range msgs {
+		data, err := Encode(msg)
+		if err != nil {
+			t.Fatalf("kind %d: %v", msg.Kind, err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("kind %d: %v", msg.Kind, err)
+		}
+		if !reflect.DeepEqual(msg, got) {
+			t.Fatalf("kind %d changed across the codec:\nsent %+v\ngot  %+v", msg.Kind, msg, got)
+		}
+	}
+}
+
+// encodeV2Report hand-builds a version-2 summary-report payload exactly as
+// the pr3-era encoder wrote it, so the compat test does not depend on the
+// current encoder being able to write old versions.
+func encodeV2Report(from string, rep *SummaryReport) []byte {
+	b := []byte{binMagic, 2, byte(KindSummaryReport)}
+	b = appendString(b, from)
+	b = appendString(b, "") // Addr
+	b = appendString(b, "") // Error
+	b = appendUvarint(b, hasReport)
+	b = appendBool(b, rep.Summary != nil)
+	if rep.Summary != nil {
+		b = appendSummary(b, rep.Summary)
+	}
+	b = appendVarint(b, int64(rep.Depth))
+	b = appendVarint(b, int64(rep.Descendants))
+	b = appendRedirects(b, rep.Children)
+	return b
+}
+
+// TestBinaryV2Compat checks the v3 decoder still accepts version-2
+// payloads, with the appended v3 fields decoding to their zero values —
+// so a legacy peer's reports and pushes remain fully usable.
+func TestBinaryV2Compat(t *testing.T) {
+	rep := &SummaryReport{
+		Summary: sampleSummaryDTO(t, 8, 4), Depth: 2, Descendants: 4,
+		Children: []RedirectInfo{{ID: "c", Addr: "ca", Records: 2}},
+	}
+	got, err := Decode(encodeV2Report("legacy", rep))
+	if err != nil {
+		t.Fatalf("v2 report: %v", err)
+	}
+	if got.Report.Version != 0 {
+		t.Fatalf("v2 report grew a version: %d", got.Report.Version)
+	}
+	if got.Ack != nil {
+		t.Fatalf("v2 payload grew an ack: %+v", got.Ack)
+	}
+	rep.Version = 0
+	if !reflect.DeepEqual(got.Report, rep) {
+		t.Fatalf("v2 report decoded wrong:\nwant %+v\ngot  %+v", rep, got.Report)
+	}
+
+	// A v2 payload with v3 trailing bytes must be rejected (no optional
+	// suffix within one version).
+	withTail := append(encodeV2Report("legacy", rep), 0)
+	if _, err := Decode(withTail); err == nil {
+		t.Fatal("v2 payload with trailing bytes must fail")
+	}
+}

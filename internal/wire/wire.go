@@ -80,6 +80,31 @@ type Message struct {
 	Heartbeat *Heartbeat
 	Status    *Status
 	Error     string
+	// Ack carries delta-dissemination feedback on KindAck replies (wire
+	// v3). Its presence doubles as the capability signal: a peer that
+	// attaches AckInfo understands version-only refreshes, so senders may
+	// start suppressing redundant summary payloads toward it. Nil on
+	// plain acks and from pre-v3 peers.
+	Ack *AckInfo
+}
+
+// AckInfo is the delta-dissemination feedback piggybacked on acks.
+// Receivers of summary reports and replica batches use it to tell the
+// sender what they hold, so the sender can ship version-only TTL refreshes
+// instead of full summaries — and to ask for full state again when a
+// version-only entry referenced content they don't hold.
+type AckInfo struct {
+	// HaveVersion echoes the branch-summary version the acker now holds
+	// for the sender (summary-report acks). Zero means none/unknown.
+	HaveVersion uint64
+	// NeedFull asks the sender to send its full branch summary on the
+	// next report — set when a version-only report referenced a version
+	// the acker doesn't hold.
+	NeedFull bool
+	// NeedFullOrigins lists replica origins whose version-only refresh
+	// entries referenced versions the acker doesn't hold; the sender
+	// downgrades those origins to full pushes on the next tick.
+	NeedFullOrigins []string
 }
 
 // Status is a server's operational snapshot, for monitoring tools.
@@ -110,6 +135,18 @@ type Status struct {
 	// Transport carries the server's transport counters when its
 	// transport exposes them (pooled TCP and the in-process Chan both do).
 	Transport *TransportStatus
+
+	// Change-driven dissemination counters (wire v3; zero from older
+	// peers). SummaryRebuildsSkipped counts refresh ticks that reused
+	// cached summaries because nothing mutated; ReportsSuppressed counts
+	// version-only reports sent in place of full branch summaries;
+	// ReplicaPushDelta/ReplicaPushFull split pushed replica entries by
+	// form; AntiEntropyRounds counts the periodic forced-full rounds.
+	SummaryRebuildsSkipped uint64
+	ReportsSuppressed      uint64
+	ReplicaPushDelta       uint64
+	ReplicaPushFull        uint64
+	AntiEntropyRounds      uint64
 }
 
 // TransportStatus is the wire form of a transport's counter snapshot:
@@ -140,6 +177,12 @@ type SummaryReport struct {
 	// reporter die mid-query, its children can still route the query into
 	// the reporter's subtree.
 	Children []RedirectInfo
+	// Version is the reporter's branch-summary content version (wire v3).
+	// A report with Version set and Summary nil is a version-only
+	// heartbeat report: the parent already confirmed holding this version,
+	// so the report refreshes liveness and branch-shape metadata without
+	// retransmitting or re-decoding the summary. Zero from pre-v3 peers.
+	Version uint64
 }
 
 // Join asks to become a child.
@@ -194,6 +237,13 @@ type ReplicaPush struct {
 	// query into the origin's branch when the origin itself is
 	// unreachable. Propagated into redirect Alternates.
 	Fallbacks []RedirectInfo
+	// Version is the origin's branch-summary content version (wire v3).
+	// A push with Version set and Branch nil is a version-only TTL
+	// refresh: the receiver confirmed holding this version, so the entry
+	// renews the replica's soft-state lifetime without retransmitting the
+	// summary. On full pushes a non-zero Version additionally signals the
+	// sender speaks wire v3. Zero from pre-v3 peers.
+	Version uint64
 }
 
 // ReplicaBatch bundles every replica push a parent owes one child into a
