@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race chaos docs-check bench-transport bench bench-compare
+.PHONY: tier1 build vet test race chaos docs-check bench-transport bench bench-load bench-compare
 
 # tier1 is the gate every change must pass: full build + vet + full test
 # suite, plus race-enabled runs of the concurrency-heavy packages (the
@@ -19,7 +19,7 @@ test: vet
 	$(GO) test ./...
 
 race: vet
-	$(GO) test -race ./internal/live/... ./internal/transport/... ./internal/wire/...
+	$(GO) test -race ./internal/live/... ./internal/transport/... ./internal/wire/... ./internal/loadgen/...
 
 # chaos drives the deterministic fault-injection transport through the
 # failure scenarios in internal/live/chaos_test.go (crashed redirect
@@ -48,6 +48,17 @@ BENCHOUT ?= BENCH_pr5.json
 bench:
 	$(GO) test -bench 'BenchmarkHandleQuery|BenchmarkCodec|BenchmarkAggregationTick' -benchmem -run '^$$' ./internal/live/ ./internal/wire/ \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCHOUT)
+
+# bench-load runs the thousand-server live-topology load harness
+# (cmd/roads-load → internal/loadgen): trace-shaped queries against a deep
+# hierarchy with record churn and server crash/rejoin mid-run, archived as
+# BENCH_pr6.json via cmd/benchjson. Override LOADARGS for other shapes
+# (see EXPERIMENTS.md for the knobs and the archived baseline).
+BENCHLOAD ?= BENCH_pr6.json
+LOADARGS ?= -n 1000 -fanout 8 -mindepth 6 -owner-every 4 -queries 400 \
+	-tick 250ms -churn-records 250ms -churn-kill 500ms -churn-revive 1s
+bench-load:
+	$(GO) run ./cmd/roads-load $(LOADARGS) | tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCHLOAD)
 
 # bench-compare diffs two benchjson archives; defaults compare this PR's
 # archive against the PR-3 one (only the benchmarks present in both), e.g.

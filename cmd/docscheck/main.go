@@ -6,8 +6,8 @@
 //  2. Every metric name the live stack registers must appear in
 //     OPERATIONS.md, so the operator catalog can never silently fall
 //     behind the code. The check builds the registry exactly the way
-//     roadsd does — transport + wire codec + live server — and greps the
-//     handbook for each resulting name.
+//     roadsd does — transport + wire codec + live server, plus the load
+//     harness counters — and greps the handbook for each resulting name.
 //
 // Run via `make docs-check` (part of the tier1 gate). Exit status is
 // non-zero when any check fails; every failure is listed, not just the
@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"roads/internal/live"
+	"roads/internal/loadgen"
 	"roads/internal/obs"
 	"roads/internal/record"
 	"roads/internal/transport"
@@ -117,6 +118,7 @@ func checkMetricsCatalog(root string) []string {
 	tr := transport.NewChan()
 	tr.RegisterMetrics(reg)
 	wire.RegisterMetrics(reg)
+	loadgen.RegisterMetrics(reg)
 	cfg := live.DefaultConfig("docscheck", "docscheck-addr", record.DefaultSchema(2))
 	cfg.Metrics = reg
 	if _, err := live.NewServer(cfg, tr); err != nil {

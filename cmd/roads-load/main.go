@@ -1,0 +1,103 @@
+// Command roads-load runs the topology-scale load harness
+// (internal/loadgen): it builds an N-server live hierarchy on the
+// in-process transport, drives it with trace-shaped queries under an
+// optional churn schedule, and reports latency percentiles, coverage,
+// false-positive descent rate and transport bytes per node per second.
+//
+// The human-readable report goes to stderr. Stdout carries one
+// `go test -bench`-format line so the run archives through cmd/benchjson:
+//
+//	roads-load -n 1000 -churn-kill 2s | benchjson -o BENCH_pr6.json
+//
+// `make bench-load` wires exactly that pipeline (see EXPERIMENTS.md for
+// the knobs and the archived baselines).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"roads/internal/loadgen"
+	"roads/internal/obs"
+)
+
+func main() {
+	var cfg loadgen.Config
+	flag.IntVar(&cfg.Servers, "n", 1000, "number of live servers")
+	flag.IntVar(&cfg.FanOut, "fanout", 8, "max children per server")
+	flag.IntVar(&cfg.MinDepth, "mindepth", 0, "force the hierarchy at least this deep (spine)")
+	flag.IntVar(&cfg.OwnerEvery, "owner-every", 4, "attach a resource owner at every k-th server")
+	flag.IntVar(&cfg.RecordsPerOwner, "records", 50, "records per owner")
+	flag.IntVar(&cfg.AttrsPerDist, "attrs", 2, "attributes per distribution family (4 families)")
+	flag.IntVar(&cfg.SummaryBuckets, "buckets", 32, "summary histogram buckets per attribute")
+	flag.IntVar(&cfg.QueryDims, "dims", 3, "query dimensions")
+	flag.Float64Var(&cfg.QueryRange, "range", 0.25, "per-dimension query range length")
+	flag.IntVar(&cfg.Queries, "queries", 400, "queries to issue")
+	flag.IntVar(&cfg.Clients, "clients", 4, "concurrent query clients")
+	flag.DurationVar(&cfg.QueryTimeout, "query-timeout", 15*time.Second, "per-query resolve timeout")
+	flag.DurationVar(&cfg.ConvergeTimeout, "converge-timeout", 5*time.Minute, "post-build convergence wait")
+	flag.DurationVar(&cfg.Tick, "tick", 250*time.Millisecond, "server aggregation/heartbeat period")
+	flag.IntVar(&cfg.Parallelism, "par", 0, "cluster build worker pool (0: library default)")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "workload/schedule seed")
+	flag.DurationVar(&cfg.Churn.RecordEvery, "churn-records", 0, "interval between owner record-swap events (0: off)")
+	flag.IntVar(&cfg.Churn.RecordOwners, "churn-owners", 1, "owners touched per record-swap event")
+	flag.Float64Var(&cfg.Churn.RecordFraction, "churn-frac", 0.2, "fraction of a touched owner's records replaced")
+	flag.DurationVar(&cfg.Churn.KillEvery, "churn-kill", 0, "interval between server crash-kills (0: off)")
+	flag.DurationVar(&cfg.Churn.ReviveAfter, "churn-revive", 2*time.Second, "downtime before a killed server rejoins")
+	promOut := flag.String("metrics-out", "", "also write the harness metrics registry (Prometheus text) to this file")
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	cfg.Metrics = loadgen.RegisterMetrics(reg)
+
+	fmt.Fprintf(os.Stderr, "roads-load: %d servers, fan-out %d, min depth %d, %d queries, churn(records=%v kill=%v)\n",
+		cfg.Servers, cfg.FanOut, cfg.MinDepth, cfg.Queries, cfg.Churn.RecordEvery, cfg.Churn.KillEvery)
+	res, err := loadgen.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roads-load:", err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr, "built %d servers (depth %d) in %.2fs, converged %d records in %.2fs\n",
+		res.Servers, res.Depth, res.BuildSeconds, res.Records, res.ConvergeSeconds)
+	fmt.Fprintf(os.Stderr, "drove %d queries in %.2fs: %d failed, latency mean %v p50 %v p95 %v p99 %v\n",
+		res.Queries, res.DriveSeconds, res.Failures, res.LatencyMean, res.LatencyP50, res.LatencyP95, res.LatencyP99)
+	fmt.Fprintf(os.Stderr, "coverage mean %.4f min %.4f, fp descents %d/%d (%.4f), %.1f bytes/node/s\n",
+		res.CoverageMean, res.CoverageMin, res.FPDescents, res.RedirectHops, res.FPDescentRate, res.BytesPerNodePerSec)
+	if res.RecordChurnEvents > 0 || res.Kills > 0 {
+		fmt.Fprintf(os.Stderr, "churn: %d record events (%d records), %d kills, %d revives\n",
+			res.RecordChurnEvents, res.RecordsReplaced, res.Kills, res.Revives)
+	}
+
+	if *promOut != "" {
+		f, err := os.Create(*promOut)
+		if err == nil {
+			err = reg.WritePrometheus(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roads-load: writing metrics:", err)
+			os.Exit(1)
+		}
+	}
+
+	// Benchmark-format line on stdout, parseable by cmd/benchjson. The
+	// iteration count is the successful-query count; ns/op is the mean
+	// end-to-end latency so bench-compare diffs it across archives.
+	name := fmt.Sprintf("BenchmarkRoadsLoad/n=%d/fanout=%d/depth=%d", res.Servers, res.FanOut, res.Depth)
+	if cfg.Churn.RecordEvery > 0 || cfg.Churn.KillEvery > 0 {
+		name += "/churn"
+	}
+	fmt.Printf("goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
+	fmt.Printf("%s\t%d\t%d ns/op\t%d p50-ns/op\t%d p95-ns/op\t%d p99-ns/op\t%.4f coverage\t%.4f fp-rate\t%.1f node-B/s\t%.2f converge-s\t%.2f build-s\n",
+		name, res.Queries-res.Failures,
+		res.LatencyMean.Nanoseconds(), res.LatencyP50.Nanoseconds(),
+		res.LatencyP95.Nanoseconds(), res.LatencyP99.Nanoseconds(),
+		res.CoverageMean, res.FPDescentRate, res.BytesPerNodePerSec,
+		res.ConvergeSeconds, res.BuildSeconds)
+}

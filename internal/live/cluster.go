@@ -2,6 +2,8 @@ package live
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 	"time"
 
 	"roads/internal/policy"
@@ -13,13 +15,26 @@ import (
 
 // Cluster is a convenience harness that spins up n live servers on one
 // transport, joins them into a hierarchy, and waits for aggregation and
-// replication to converge. Tests, examples and the prototype benchmark all
-// build on it.
+// replication to converge. Tests, examples, the prototype benchmark and
+// the load harness (internal/loadgen) all build on it.
 type Cluster struct {
 	Servers []*Server
 	Tr      transport.Transport
 	Schema  *record.Schema
+
+	// Effective settings StartCluster resolved, kept for the convergence
+	// heuristics (WaitConverged derives the replica soft-state TTL from
+	// them) and for Stop's worker pool.
+	tick     time.Duration
+	ttlFloor time.Duration
+	par      int
 }
+
+// defaultClusterParallelism is the worker-pool width StartCluster and Stop
+// use when ClusterConfig.Parallelism is zero. Wide enough that a
+// thousand-server cluster builds in a few join waves instead of one server
+// at a time, narrow enough not to commandeer the machine.
+const defaultClusterParallelism = 8
 
 // ClusterConfig configures StartCluster.
 type ClusterConfig struct {
@@ -30,12 +45,29 @@ type ClusterConfig struct {
 	// AddrFor maps server index to a listen address. Defaults to
 	// "srvNNN" (in-process) when nil.
 	AddrFor func(i int) string
+	// JoinVia maps server index i (i > 0) to the index of the server whose
+	// address seeds i's join descent — the joiner may still be redirected
+	// into that server's subtree per the join policy. Nil seeds every join
+	// at server 0 (the historical behaviour). Explicit placements let
+	// harnesses build exact deep or wide topologies: point each server at
+	// its intended parent and size MaxChildren so the parent has capacity.
+	JoinVia func(i int) int
+	// Parallelism bounds the worker pool that starts, joins and stops
+	// servers (default defaultClusterParallelism; 1 restores the fully
+	// serial construction). Joins run in waves: a server joins as soon as
+	// its JoinVia seed is attached, so with the default seed (server 0)
+	// the whole cluster joins in one bounded-concurrency wave instead of
+	// serializing every join onto one caller.
+	Parallelism int
 	// Tick overrides the aggregation/heartbeat period (default 25ms).
 	Tick time.Duration
 	// ReplicaTTLFloor overrides the servers' replica-TTL floor (zero
 	// keeps DefaultReplicaTTLFloor); fast-tick chaos tests lower it so
 	// crashed origins age out quickly.
 	ReplicaTTLFloor time.Duration
+	// JoinMaxHops overrides the servers' join hop cap (zero keeps the
+	// frontier-derived default; see Config.JoinMaxHops).
+	JoinMaxHops int
 	// AntiEntropyEvery overrides the servers' anti-entropy cadence (zero
 	// keeps DefaultAntiEntropyEvery); TTL tests raise it so soft-state
 	// liveness provably rides on version-only refreshes alone.
@@ -46,7 +78,49 @@ type ClusterConfig struct {
 	Cost                      store.CostModel
 }
 
-// StartCluster launches the servers and joins 1..n-1 under server 0.
+// parallelism returns the effective worker-pool width.
+func (cfg ClusterConfig) parallelism() int {
+	if cfg.Parallelism > 0 {
+		return cfg.Parallelism
+	}
+	return defaultClusterParallelism
+}
+
+// runPool runs fn(i) for every i in [0,n) on at most par goroutines.
+func runPool(par, n int, fn func(int)) {
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// StartCluster launches the servers and joins 1..n-1 into the hierarchy.
+// Server starts run on a bounded worker pool, and joins run in waves of
+// the same width: every server whose join seed (JoinVia, default server 0)
+// is already attached joins concurrently, so a deep explicit placement
+// costs one wave per level and the default flat seed costs a single wave —
+// not one serial join per server.
 func StartCluster(tr transport.Transport, cfg ClusterConfig) (*Cluster, error) {
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("live: cluster needs at least one server")
@@ -62,8 +136,17 @@ func StartCluster(tr transport.Transport, cfg ClusterConfig) (*Cluster, error) {
 	if tick == 0 {
 		tick = 25 * time.Millisecond
 	}
-	cl := &Cluster{Tr: tr, Schema: cfg.Schema}
-	for i := 0; i < cfg.N; i++ {
+	par := cfg.parallelism()
+	cl := &Cluster{
+		Tr:       tr,
+		Schema:   cfg.Schema,
+		Servers:  make([]*Server, cfg.N),
+		tick:     tick,
+		ttlFloor: cfg.ReplicaTTLFloor,
+		par:      par,
+	}
+	errs := make([]error, cfg.N)
+	runPool(par, cfg.N, func(i int) {
 		scfg := DefaultConfig(fmt.Sprintf("srv%03d", i), addrFor(i), cfg.Schema)
 		if cfg.Summary.Buckets > 0 {
 			scfg.Summary = cfg.Summary
@@ -76,28 +159,95 @@ func StartCluster(tr transport.Transport, cfg ClusterConfig) (*Cluster, error) {
 		if cfg.ReplicaTTLFloor > 0 {
 			scfg.ReplicaTTLFloor = cfg.ReplicaTTLFloor
 		}
+		scfg.JoinMaxHops = cfg.JoinMaxHops
 		scfg.AntiEntropyEvery = cfg.AntiEntropyEvery
 		scfg.DisableDeltaDissemination = cfg.DisableDeltaDissemination
 		scfg.Cost = cfg.Cost
 		srv, err := NewServer(scfg, tr)
 		if err != nil {
-			cl.Stop()
-			return nil, err
+			errs[i] = err
+			return
 		}
 		if err := srv.Start(); err != nil {
-			cl.Stop()
-			return nil, err
+			errs[i] = err
+			return
 		}
-		cl.Servers = append(cl.Servers, srv)
+		cl.Servers[i] = srv
+	})
+	if err := cl.compact(errs); err != nil {
+		cl.Stop()
+		return nil, err
 	}
-	seed := cl.Servers[0].Addr()
-	for _, srv := range cl.Servers[1:] {
-		if err := srv.Join(seed); err != nil {
-			cl.Stop()
-			return nil, err
+
+	// Join waves: a server may join once its seed is attached. With the
+	// default seed everything joins in wave one; explicit JoinVia
+	// placements join level by level.
+	attached := make([]bool, cfg.N)
+	attached[0] = true
+	pending := make([]int, 0, cfg.N-1)
+	for i := 1; i < cfg.N; i++ {
+		pending = append(pending, i)
+	}
+	for len(pending) > 0 {
+		wave := make([]int, 0, len(pending))
+		rest := pending[:0]
+		for _, i := range pending {
+			via := 0
+			if cfg.JoinVia != nil {
+				via = cfg.JoinVia(i)
+			}
+			if via < 0 || via >= cfg.N || via == i {
+				cl.Stop()
+				return nil, fmt.Errorf("live: cluster JoinVia(%d) = %d is not another server index", i, via)
+			}
+			if attached[via] {
+				wave = append(wave, i)
+			} else {
+				rest = append(rest, i)
+			}
 		}
+		if len(wave) == 0 {
+			cl.Stop()
+			return nil, fmt.Errorf("live: cluster JoinVia placement never attaches servers %v", rest)
+		}
+		waveErrs := make([]error, len(wave))
+		runPool(par, len(wave), func(w int) {
+			i := wave[w]
+			via := 0
+			if cfg.JoinVia != nil {
+				via = cfg.JoinVia(i)
+			}
+			waveErrs[w] = cl.Servers[i].Join(cl.Servers[via].Addr())
+		})
+		for w, err := range waveErrs {
+			if err != nil {
+				cl.Stop()
+				return nil, fmt.Errorf("live: joining server %d: %w", wave[w], err)
+			}
+			attached[wave[w]] = true
+		}
+		pending = rest
 	}
 	return cl, nil
+}
+
+// compact verifies every server slot was built; on failure it keeps the
+// started subset so Stop can clean up, and returns the first error.
+func (cl *Cluster) compact(errs []error) error {
+	var first error
+	alive := cl.Servers[:0]
+	for i, srv := range cl.Servers {
+		if srv != nil {
+			alive = append(alive, srv)
+		}
+		if errs[i] != nil && first == nil {
+			first = errs[i]
+		}
+	}
+	if first != nil {
+		cl.Servers = alive
+	}
+	return first
 }
 
 // AttachOwner attaches an owner at server index i.
@@ -108,32 +258,102 @@ func (cl *Cluster) AttachOwner(i int, o *policy.Owner) error {
 	return cl.Servers[i].AttachOwner(o)
 }
 
-// WaitConverged blocks until every server can route queries to
+// coverageLag classifies every server against the convergence target:
+// servers covering fewer records than wantRecords land in under, servers
+// covering more land in over, each rendered as "id=got(±diff)".
+func (cl *Cluster) coverageLag(wantRecords uint64) (under, over []string) {
+	for _, srv := range cl.Servers {
+		got := srv.CoveredRecords()
+		switch {
+		case got < wantRecords:
+			under = append(under, fmt.Sprintf("%s=%d(-%d)", srv.ID(), got, wantRecords-got))
+		case got > wantRecords:
+			over = append(over, fmt.Sprintf("%s=%d(+%d)", srv.ID(), got, got-wantRecords))
+		}
+	}
+	return under, over
+}
+
+// lagDetail renders a lag list compactly (first few servers plus a count).
+func lagDetail(lag []string) string {
+	const keep = 8
+	if len(lag) <= keep {
+		return strings.Join(lag, ", ")
+	}
+	return fmt.Sprintf("%s, … (%d servers total)", strings.Join(lag[:keep], ", "), len(lag))
+}
+
+// overshootGrace is how long WaitConverged lets a pure coverage overshoot
+// stand before declaring it structural. A transient overshoot — a stale
+// replica still double-counting a branch that moved or died — heals by
+// soft-state expiry within one replica TTL plus a prune tick, so the grace
+// is twice the effective TTL (mirroring pruneStaleReplicas' computation)
+// plus generous slack for loaded or race-instrumented runs.
+func (cl *Cluster) overshootGrace() time.Duration {
+	// DefaultConfig's HeartbeatMiss (4): cluster servers always run it.
+	ttl := time.Duration(4*4) * cl.tick
+	floor := cl.ttlFloor
+	if floor <= 0 {
+		floor = DefaultReplicaTTLFloor
+	}
+	if ttl < floor {
+		ttl = floor
+	}
+	return 2*ttl + 8*cl.tick + time.Second
+}
+
+// WaitConverged blocks until every server can route queries to exactly
 // wantRecords records — its own branch plus its overlay replicas cover the
 // whole federation — or the timeout expires.
+//
+// Undershoot (servers still missing records) is the normal transient state
+// while aggregation and replication propagate, and is waited out. Coverage
+// *overshoot* — every server at or above the target with at least one
+// counting more — means some branch is double-counted (typically a stale
+// replica after churn, or one subtree adopted under two parents). A stale
+// replica ages out within one soft-state TTL; an overshoot that outlives
+// that grace can never self-heal, so it is reported immediately as a
+// distinct failure with per-server detail instead of burning the rest of
+// the timeout.
 func (cl *Cluster) WaitConverged(wantRecords uint64, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		converged := cl.Root() != nil
-		for _, srv := range cl.Servers {
-			if srv.CoveredRecords() != wantRecords {
-				converged = false
-				break
-			}
-		}
-		if converged {
+	grace := cl.overshootGrace()
+	var overshootSince time.Time
+	for {
+		under, over := cl.coverageLag(wantRecords)
+		hasRoot := cl.Root() != nil
+		if hasRoot && len(under) == 0 && len(over) == 0 {
 			return nil
+		}
+		now := time.Now()
+		if hasRoot && len(under) == 0 && len(over) > 0 {
+			if overshootSince.IsZero() {
+				overshootSince = now
+			}
+			if now.Sub(overshootSince) >= grace {
+				return fmt.Errorf("live: cluster overshot convergence on %d records for %v "+
+					"(stale replica double-counting cannot explain an overshoot outliving the replica TTL); over: %s",
+					wantRecords, now.Sub(overshootSince).Round(time.Millisecond), lagDetail(over))
+			}
+		} else {
+			overshootSince = time.Time{}
+		}
+		if !now.Before(deadline) {
+			detail := make([]string, 0, 2)
+			if len(under) > 0 {
+				detail = append(detail, "under: "+lagDetail(under))
+			}
+			if len(over) > 0 {
+				detail = append(detail, "over: "+lagDetail(over))
+			}
+			if !hasRoot {
+				detail = append(detail, "no root")
+			}
+			return fmt.Errorf("live: cluster did not converge on %d records; %s",
+				wantRecords, strings.Join(detail, "; "))
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	detail := make([]string, 0, len(cl.Servers))
-	for _, srv := range cl.Servers {
-		if got := srv.CoveredRecords(); got != wantRecords {
-			detail = append(detail, fmt.Sprintf("%s=%d", srv.ID(), got))
-		}
-	}
-	return fmt.Errorf("live: cluster did not converge on %d records; lagging servers: %v",
-		wantRecords, detail)
 }
 
 // Root returns the current root server (nil if none claims to be root).
@@ -146,9 +366,17 @@ func (cl *Cluster) Root() *Server {
 	return nil
 }
 
-// Stop shuts all servers down.
+// Stop shuts all servers down, fanning the graceful Leave rounds out on
+// the cluster's worker pool — a thousand-server teardown costs a few
+// parallel waves, not a thousand serial Leave fan-outs.
 func (cl *Cluster) Stop() {
-	for _, srv := range cl.Servers {
-		srv.Stop()
+	par := cl.par
+	if par <= 0 {
+		par = defaultClusterParallelism
 	}
+	runPool(par, len(cl.Servers), func(i int) {
+		if srv := cl.Servers[i]; srv != nil {
+			srv.Stop()
+		}
+	})
 }

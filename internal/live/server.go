@@ -34,6 +34,14 @@ type Config struct {
 	Summary summary.Config
 	// MaxChildren caps the hierarchy degree.
 	MaxChildren int
+	// JoinMaxHops caps how many servers one Join descent may visit. Zero
+	// (the default) derives the cap from the discovered frontier: the
+	// budget grows as the descent uncovers more of the topology, so joins
+	// into arbitrarily deep or wide hierarchies never spuriously exhaust
+	// it while genuine redirect cycles still terminate. Set a positive
+	// value to bound join cost explicitly (e.g. latency-sensitive rejoin
+	// paths that would rather fail fast than walk a thousand servers).
+	JoinMaxHops int
 	// AggregateEvery is the summary refresh period (t_s). Small values
 	// make tests fast; production would use minutes.
 	AggregateEvery time.Duration
@@ -126,6 +134,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxChildren <= 0 {
 		return fmt.Errorf("live: MaxChildren must be positive")
+	}
+	if c.JoinMaxHops < 0 {
+		return fmt.Errorf("live: JoinMaxHops must not be negative")
 	}
 	if c.AggregateEvery <= 0 || c.HeartbeatEvery <= 0 || c.HeartbeatMiss <= 0 {
 		return fmt.Errorf("live: periods and HeartbeatMiss must be positive")
@@ -415,6 +426,46 @@ func (s *Server) shutdown(graceful bool) {
 	}
 }
 
+// Join errors, distinguishable with errors.Is. They separate the two ways
+// a descent can end without a parent: the hop budget ran out while
+// unexplored branches remained (a topology-vs-Config.JoinMaxHops problem —
+// the join might have succeeded with a bigger budget), and the frontier
+// genuinely drained (every reachable server refused or was unreachable —
+// more budget would not have helped).
+var (
+	// ErrJoinHopsExhausted reports a Join that hit its hop cap with
+	// candidate servers still unexplored.
+	ErrJoinHopsExhausted = errors.New("join hop budget exhausted")
+	// ErrJoinRefused reports a Join whose every discovered candidate
+	// refused the join or was unreachable.
+	ErrJoinRefused = errors.New("no server accepted the join")
+)
+
+// defaultJoinHopFloor is the minimum derived hop budget when
+// Config.JoinMaxHops is zero. The derived budget scales with the
+// discovered topology beyond this floor.
+const defaultJoinHopFloor = 256
+
+// joinHopBudget returns how many descent hops a Join may burn given how
+// many addresses it has discovered so far (visited plus still-queued). An
+// explicit Config.JoinMaxHops wins outright; the default budget is twice
+// the discovered count (every discovered server may be visited once and
+// skipped once as a queued duplicate), floored at defaultJoinHopFloor —
+// so the budget grows with the topology the descent uncovers and a
+// thousand-server tree of full or refusing branches can be walked end to
+// end, while a redirect cycle (stale child lists pointing at each other)
+// still terminates instead of spinning forever.
+func (s *Server) joinHopBudget(discovered int) int {
+	if s.cfg.JoinMaxHops > 0 {
+		return s.cfg.JoinMaxHops
+	}
+	budget := 2 * discovered
+	if budget < defaultJoinHopFloor {
+		budget = defaultJoinHopFloor
+	}
+	return budget
+}
+
 // Join attaches the server under the hierarchy reachable at seedAddr,
 // descending per the paper: query the contact, follow the least-depth
 // child branch until someone accepts, backtracking into other branches if
@@ -423,7 +474,12 @@ func (s *Server) Join(seedAddr string) error {
 	tried := make(map[string]bool)
 	frontier := []string{seedAddr}
 	var lastErr error
-	for hops := 0; len(frontier) > 0 && hops < 256; hops++ {
+	refused, unreachable := 0, 0
+	for hops := 0; len(frontier) > 0; hops++ {
+		if budget := s.joinHopBudget(len(tried) + len(frontier)); hops >= budget {
+			return fmt.Errorf("live: %w after %d hops (%d servers visited, %d still queued; raise Config.JoinMaxHops)",
+				ErrJoinHopsExhausted, hops, len(tried), len(frontier))
+		}
 		addr := frontier[0]
 		frontier = frontier[1:]
 		if tried[addr] || addr == s.cfg.Addr {
@@ -436,11 +492,14 @@ func (s *Server) Join(seedAddr string) error {
 			Addr: s.cfg.Addr,
 			Join: &wire.Join{ID: s.cfg.ID, Addr: s.cfg.Addr},
 		})
-		if err == nil {
-			err = wire.RemoteError(rep)
-		}
 		if err != nil {
-			lastErr = err // dead or refusing server: backtrack to others
+			lastErr = err // dead server: backtrack to others
+			unreachable++
+			continue
+		}
+		if err := wire.RemoteError(rep); err != nil {
+			lastErr = err // refusing server (e.g. loop avoidance): backtrack
+			refused++
 			continue
 		}
 		jr := rep.JoinReply
@@ -486,10 +545,14 @@ func (s *Server) Join(seedAddr string) error {
 		}
 		frontier = append(next, frontier...)
 	}
+	// Frontier drained: every discovered server was tried and none
+	// accepted. Unlike a hop-budget exhaustion this is final — there is
+	// nothing left to explore.
 	if lastErr != nil {
-		return fmt.Errorf("live: join failed: %w", lastErr)
+		return fmt.Errorf("live: %w (%d refused, %d unreachable): last error: %v",
+			ErrJoinRefused, refused, unreachable, lastErr)
 	}
-	return errors.New("live: no server accepted the join")
+	return fmt.Errorf("live: %w: every discovered server redirected elsewhere", ErrJoinRefused)
 }
 
 // IsRoot reports whether the server currently has no parent.

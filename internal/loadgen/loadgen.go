@@ -1,0 +1,542 @@
+// Package loadgen drives a live ROADS federation at topology scale: it
+// spins up hundreds to thousands of servers on the in-process transport
+// in a configurable deep/wide hierarchy, attaches trace-shaped workloads
+// from internal/workload, resolves selectivity-realistic queries through
+// concurrent clients, and injects churn — owner record swaps and server
+// crash/rejoin — mid-run. It reports end-to-end latency percentiles,
+// coverage, false-positive descent rate and transport bytes per node per
+// second, the yardstick numbers ROADMAP item 1 asks for.
+//
+// cmd/roads-load is the CLI front-end; `make bench-load` archives a run
+// as BENCH_pr6.json via cmd/benchjson.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roads/internal/live"
+	"roads/internal/obs"
+	"roads/internal/policy"
+	"roads/internal/record"
+	"roads/internal/stats"
+	"roads/internal/summary"
+	"roads/internal/transport"
+	"roads/internal/workload"
+)
+
+// Churn schedules the disturbances injected while queries run. Zero
+// intervals disable the respective disturbance.
+type Churn struct {
+	// RecordEvery is the interval between owner record-swap events. Each
+	// event picks RecordOwners owners (default 1) and replaces
+	// RecordFraction of each one's records (default 0.2) with fresh
+	// bootstrap-resampled records, bumping the owner generation so the
+	// change propagates through summary re-export. The record total stays
+	// constant, so convergence targets remain meaningful.
+	RecordEvery    time.Duration
+	RecordOwners   int
+	RecordFraction float64
+	// KillEvery is the interval between server crashes. Each event
+	// crash-kills (no Leave) one random non-root alive server; after
+	// ReviveAfter (default 2s) the server is rebuilt with the same
+	// ID/address, its owner re-attached, and rejoined through the root.
+	KillEvery   time.Duration
+	ReviveAfter time.Duration
+}
+
+func (c Churn) enabled() bool { return c.RecordEvery > 0 || c.KillEvery > 0 }
+
+// Config sizes a load run. Zero values take the documented defaults.
+type Config struct {
+	// Servers is the federation size (required).
+	Servers int
+	// FanOut caps children per server (default 8); MinDepth, when
+	// positive, forces the hierarchy at least that deep via a spine (see
+	// Placement).
+	FanOut   int
+	MinDepth int
+	// OwnerEvery attaches a resource owner at every k-th server (default
+	// 1: every server hosts records). RecordsPerOwner (default 50) and
+	// AttrsPerDist (default 2, i.e. 8 numeric attributes) shape the
+	// workload per the paper's §V generator.
+	OwnerEvery      int
+	RecordsPerOwner int
+	AttrsPerDist    int
+	// SummaryBuckets sizes the per-attribute histograms (default 64 —
+	// the paper's 1000 is impractical times a thousand servers).
+	SummaryBuckets int
+	// QueryDims and QueryRange shape queries (defaults 3 dimensions of
+	// range length workload.DefaultQueryRange).
+	QueryDims  int
+	QueryRange float64
+	// Queries is how many resolves to issue (default 500), spread over
+	// Clients concurrent clients (default 4), each bounded by
+	// QueryTimeout (default 10s).
+	Queries      int
+	Clients      int
+	QueryTimeout time.Duration
+	// ConvergeTimeout bounds the post-build wait for full coverage
+	// (default 2m). Tick is the servers' aggregation/heartbeat period
+	// (default 50ms). Parallelism bounds the cluster build worker pool
+	// (default: live's own default).
+	ConvergeTimeout time.Duration
+	Tick            time.Duration
+	Parallelism     int
+	// Seed makes workload, placement and schedule deterministic
+	// (default 1).
+	Seed int64
+	// Churn is the mid-run disturbance schedule (zero: steady state).
+	Churn Churn
+	// Metrics receives operational counters when set (see
+	// RegisterMetrics); nil uses a private throwaway registry.
+	Metrics *Metrics
+}
+
+func (c Config) withDefaults() Config {
+	if c.FanOut == 0 {
+		c.FanOut = 8
+	}
+	if c.OwnerEvery == 0 {
+		c.OwnerEvery = 1
+	}
+	if c.RecordsPerOwner == 0 {
+		c.RecordsPerOwner = 50
+	}
+	if c.AttrsPerDist == 0 {
+		c.AttrsPerDist = 2
+	}
+	if c.SummaryBuckets == 0 {
+		c.SummaryBuckets = 64
+	}
+	if c.QueryDims == 0 {
+		c.QueryDims = 3
+	}
+	if c.QueryRange == 0 {
+		c.QueryRange = workload.DefaultQueryRange
+	}
+	if c.Queries == 0 {
+		c.Queries = 500
+	}
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 10 * time.Second
+	}
+	if c.ConvergeTimeout == 0 {
+		c.ConvergeTimeout = 2 * time.Minute
+	}
+	if c.Tick == 0 {
+		c.Tick = 50 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Churn.RecordOwners == 0 {
+		c.Churn.RecordOwners = 1
+	}
+	if c.Churn.RecordFraction == 0 {
+		c.Churn.RecordFraction = 0.2
+	}
+	if c.Churn.ReviveAfter == 0 {
+		c.Churn.ReviveAfter = 2 * time.Second
+	}
+	return c
+}
+
+// Result is what one load run measured.
+type Result struct {
+	Servers int `json:"servers"`
+	FanOut  int `json:"fan_out"`
+	Depth   int `json:"depth"`
+	Owners  int `json:"owners"`
+	Records int `json:"records"`
+
+	BuildSeconds    float64 `json:"build_seconds"`
+	ConvergeSeconds float64 `json:"converge_seconds"`
+	DriveSeconds    float64 `json:"drive_seconds"`
+
+	Queries  int `json:"queries"`
+	Failures int `json:"failures"`
+
+	LatencyMean time.Duration `json:"latency_mean_ns"`
+	LatencyP50  time.Duration `json:"latency_p50_ns"`
+	LatencyP95  time.Duration `json:"latency_p95_ns"`
+	LatencyP99  time.Duration `json:"latency_p99_ns"`
+
+	// CoverageMean/Min summarize per-query discovered-region coverage
+	// (1.0 = every advertised region answered).
+	CoverageMean float64 `json:"coverage_mean"`
+	CoverageMin  float64 `json:"coverage_min"`
+
+	// RedirectHops counts answered redirect descents across all queries;
+	// FPDescents the subset that yielded neither records nor further
+	// redirects; FPDescentRate their ratio.
+	RedirectHops  int     `json:"redirect_hops"`
+	FPDescents    int     `json:"fp_descents"`
+	FPDescentRate float64 `json:"fp_descent_rate"`
+
+	// BytesPerNodePerSec is transport bytes moved during the drive phase
+	// divided by server count and drive seconds.
+	BytesPerNodePerSec float64 `json:"bytes_per_node_per_sec"`
+
+	RecordChurnEvents int `json:"record_churn_events"`
+	RecordsReplaced   int `json:"records_replaced"`
+	Kills             int `json:"kills"`
+	Revives           int `json:"revives"`
+}
+
+// Run executes one load run: build the hierarchy, attach owners, wait for
+// convergence, drive queries (with churn, if scheduled), tear down, and
+// report.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Servers < 1 {
+		return nil, fmt.Errorf("loadgen: Config.Servers must be positive")
+	}
+	parents, err := Placement(cfg.Servers, cfg.FanOut, cfg.MinDepth)
+	if err != nil {
+		return nil, err
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = RegisterMetrics(obs.NewRegistry())
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Workload: one record set per owner server.
+	ownerIdx := make([]int, 0, cfg.Servers/cfg.OwnerEvery+1)
+	for i := 0; i < cfg.Servers; i += cfg.OwnerEvery {
+		ownerIdx = append(ownerIdx, i)
+	}
+	w, err := workload.Generate(workload.Config{
+		Nodes:          len(ownerIdx),
+		RecordsPerNode: cfg.RecordsPerOwner,
+		AttrsPerDist:   cfg.AttrsPerDist,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	sumCfg := summary.DefaultConfig()
+	sumCfg.Buckets = cfg.SummaryBuckets
+
+	tr := transport.NewChan()
+	buildStart := time.Now()
+	cl, err := live.StartCluster(tr, live.ClusterConfig{
+		N:           cfg.Servers,
+		Schema:      w.Schema,
+		Summary:     sumCfg,
+		MaxChildren: cfg.FanOut,
+		JoinVia:     func(i int) int { return parents[i] },
+		Parallelism: cfg.Parallelism,
+		Tick:        cfg.Tick,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Stop()
+	buildSecs := time.Since(buildStart).Seconds()
+
+	owners := make(map[int]*policy.Owner, len(ownerIdx))
+	for j, idx := range ownerIdx {
+		o := policy.NewOwner(fmt.Sprintf("owner%04d", idx), w.Schema, nil)
+		o.SetRecords(w.PerNode[j])
+		if err := cl.AttachOwner(idx, o); err != nil {
+			return nil, err
+		}
+		owners[idx] = o
+	}
+	total := uint64(w.TotalRecords())
+	convStart := time.Now()
+	if err := cl.WaitConverged(total, cfg.ConvergeTimeout); err != nil {
+		return nil, err
+	}
+	convSecs := time.Since(convStart).Seconds()
+
+	queries, err := w.GenQueries(cfg.Queries, cfg.QueryDims, cfg.QueryRange, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Servers: cfg.Servers,
+		FanOut:  cfg.FanOut,
+		Depth:   Depth(parents),
+		Owners:  len(ownerIdx),
+		Records: int(total),
+
+		BuildSeconds:    buildSecs,
+		ConvergeSeconds: convSecs,
+		CoverageMin:     1,
+	}
+
+	// Liveness bookkeeping shared by entry-point picking and churn:
+	// aliveMu guards both the alive mask and cl.Servers slots (revive
+	// swaps in a fresh *Server).
+	var aliveMu sync.Mutex
+	alive := make([]bool, cfg.Servers)
+	for i := range alive {
+		alive[i] = true
+	}
+	pickAlive := func(r *rand.Rand) int {
+		aliveMu.Lock()
+		defer aliveMu.Unlock()
+		for try := 0; try < 8; try++ {
+			if i := r.Intn(cfg.Servers); alive[i] {
+				return i
+			}
+		}
+		off := r.Intn(cfg.Servers)
+		for d := 0; d < cfg.Servers; d++ {
+			if i := (off + d) % cfg.Servers; alive[i] {
+				return i
+			}
+		}
+		return 0 // unreachable: server 0 is never killed
+	}
+	addrOf := func(i int) string { return fmt.Sprintf("srv%03d", i) }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var churnWg sync.WaitGroup
+	var churnSeq atomic.Int64
+	var recordEvents, recordsReplaced, kills, revives atomic.Int64
+
+	if cfg.Churn.RecordEvery > 0 {
+		churnWg.Add(1)
+		crng := rand.New(rand.NewSource(cfg.Seed + 101))
+		go func() {
+			defer churnWg.Done()
+			tick := time.NewTicker(cfg.Churn.RecordEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+				for j := 0; j < cfg.Churn.RecordOwners; j++ {
+					o := owners[ownerIdx[crng.Intn(len(ownerIdx))]]
+					cur := o.Records()
+					n := len(cur)
+					if n == 0 {
+						continue
+					}
+					k := int(cfg.Churn.RecordFraction * float64(n))
+					if k < 1 {
+						k = 1
+					}
+					next := make([]*record.Record, n)
+					copy(next, cur)
+					for r := 0; r < k; r++ {
+						nr := cur[crng.Intn(n)].Clone()
+						nr.ID = fmt.Sprintf("churn%06d", churnSeq.Add(1))
+						next[crng.Intn(n)] = nr
+					}
+					o.SetRecords(next)
+					recordsReplaced.Add(int64(k))
+				}
+				recordEvents.Add(1)
+				m.RecordChurn.Inc()
+			}
+		}()
+	}
+	if cfg.Churn.KillEvery > 0 {
+		churnWg.Add(1)
+		krng := rand.New(rand.NewSource(cfg.Seed + 211))
+		go func() {
+			defer churnWg.Done()
+			tick := time.NewTicker(cfg.Churn.KillEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+				// Pick a random alive victim, sparing the root (killing
+				// it forces an election; that failure mode has its own
+				// chaos tests and would swamp every other measurement).
+				aliveMu.Lock()
+				victim := -1
+				for try := 0; try < 16; try++ {
+					i := 1 + krng.Intn(cfg.Servers-1)
+					if alive[i] && !cl.Servers[i].IsRoot() {
+						victim = i
+						break
+					}
+				}
+				var srv *live.Server
+				if victim >= 0 {
+					alive[victim] = false
+					srv = cl.Servers[victim]
+				}
+				aliveMu.Unlock()
+				if victim < 0 {
+					continue
+				}
+				srv.Kill()
+				kills.Add(1)
+				m.Kills.Inc()
+				churnWg.Add(1)
+				go func(i int) {
+					defer churnWg.Done()
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(cfg.Churn.ReviveAfter):
+					}
+					srv, err := reviveServer(cl, tr, cfg, sumCfg, w, owners[i], i, addrOf(i))
+					if err != nil {
+						return // stays dead; coverage shows it
+					}
+					aliveMu.Lock()
+					cl.Servers[i] = srv
+					alive[i] = true
+					aliveMu.Unlock()
+					revives.Add(1)
+					m.Revives.Inc()
+				}(victim)
+			}
+		}()
+	}
+
+	// Drive phase: Clients workers share one query index.
+	var (
+		qIdx     atomic.Int64
+		resMu    sync.Mutex
+		durs     = make([]time.Duration, 0, len(queries))
+		covSum   float64
+		covMin   = 1.0
+		failures int
+		fpHops   int
+		redirs   int
+	)
+	bytesStart := tr.BytesMoved()
+	driveStart := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cli := live.NewClient(tr, fmt.Sprintf("loadgen-%d", c))
+			cli.Trace = true
+			wrng := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919 + 17))
+			for {
+				k := qIdx.Add(1) - 1
+				if k >= int64(len(queries)) {
+					return
+				}
+				entry := addrOf(pickAlive(wrng))
+				qctx, qcancel := context.WithTimeout(ctx, cfg.QueryTimeout)
+				_, qs, err := cli.ResolveContext(qctx, entry, queries[k])
+				qcancel()
+				m.Queries.Inc()
+				m.Latency.Observe(qs.Elapsed)
+				var fp, rd int
+				for _, h := range qs.Hops {
+					if h.Kind == "redirect" && h.Err == "" {
+						rd++
+						if h.Records == 0 && h.Redirects == 0 {
+							fp++
+						}
+					}
+				}
+				if fp > 0 {
+					m.FPDescents.Add(uint64(fp))
+				}
+				resMu.Lock()
+				redirs += rd
+				fpHops += fp
+				if err != nil {
+					failures++
+					m.Failures.Inc()
+				} else {
+					durs = append(durs, qs.Elapsed)
+					covSum += qs.Coverage
+					if qs.Coverage < covMin {
+						covMin = qs.Coverage
+					}
+				}
+				resMu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	driveSecs := time.Since(driveStart).Seconds()
+	bytesMoved := tr.BytesMoved() - bytesStart
+	cancel()
+	churnWg.Wait()
+
+	res.DriveSeconds = driveSecs
+	res.Queries = len(queries)
+	res.Failures = failures
+	if len(durs) > 0 {
+		res.LatencyMean = stats.MeanDuration(durs)
+		res.LatencyP50 = stats.PercentileDuration(durs, 0.50)
+		res.LatencyP95 = stats.PercentileDuration(durs, 0.95)
+		res.LatencyP99 = stats.PercentileDuration(durs, 0.99)
+		res.CoverageMean = covSum / float64(len(durs))
+		res.CoverageMin = covMin
+	}
+	res.RedirectHops = redirs
+	res.FPDescents = fpHops
+	if redirs > 0 {
+		res.FPDescentRate = float64(fpHops) / float64(redirs)
+	}
+	if driveSecs > 0 {
+		res.BytesPerNodePerSec = float64(bytesMoved) / float64(cfg.Servers) / driveSecs
+	}
+	res.RecordChurnEvents = int(recordEvents.Load())
+	res.RecordsReplaced = int(recordsReplaced.Load())
+	res.Kills = int(kills.Load())
+	res.Revives = int(revives.Load())
+	return res, nil
+}
+
+// reviveServer rebuilds a killed server with its old identity, re-attaches
+// its owner (if any), and rejoins through the root seed, mirroring the
+// per-server configuration StartCluster applied. The caller swaps the
+// returned *Server into cl.Servers (under its liveness lock) so teardown
+// and later kills see it.
+func reviveServer(cl *live.Cluster, tr transport.Transport, cfg Config, sumCfg summary.Config, w *workload.Workload, o *policy.Owner, i int, addr string) (*live.Server, error) {
+	scfg := live.DefaultConfig(fmt.Sprintf("srv%03d", i), addr, w.Schema)
+	scfg.Summary = sumCfg
+	scfg.MaxChildren = cfg.FanOut
+	scfg.AggregateEvery = cfg.Tick
+	scfg.HeartbeatEvery = cfg.Tick
+	srv, err := live.NewServer(scfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	if o != nil {
+		if err := srv.AttachOwner(o); err != nil {
+			srv.Stop()
+			return nil, err
+		}
+	}
+	// The old parent may itself be down; seed at server 0 (never killed)
+	// and let the join descend. A few retries ride out windows where
+	// ancestors are mid-recovery.
+	var jerr error
+	for attempt := 0; attempt < 5; attempt++ {
+		if jerr = srv.Join(cl.Servers[0].Addr()); jerr == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if jerr != nil {
+		srv.Stop()
+		return nil, jerr
+	}
+	return srv, nil
+}

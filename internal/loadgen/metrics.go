@@ -1,0 +1,40 @@
+package loadgen
+
+import "roads/internal/obs"
+
+// Metrics are the operational counters the load harness maintains while
+// driving a federation. Register them once per registry with
+// RegisterMetrics and hand the result to Config.Metrics; every name below
+// is documented in OPERATIONS.md (enforced by cmd/docscheck).
+type Metrics struct {
+	// Queries counts resolves issued; Failures the subset that returned
+	// an error (timeout included).
+	Queries  *obs.Counter
+	Failures *obs.Counter
+	// FPDescents counts answered redirect hops that contributed nothing —
+	// no records, no further redirects — i.e. descents a sharper summary
+	// would have pruned (the paper's false-positive forwarding cost).
+	FPDescents *obs.Counter
+	// RecordChurn counts owner record-swap events; Kills and Revives the
+	// server crash / rejoin events the churn schedule injected.
+	RecordChurn *obs.Counter
+	Kills       *obs.Counter
+	Revives     *obs.Counter
+	// Latency is the end-to-end resolve latency distribution.
+	Latency *obs.Histogram
+}
+
+// RegisterMetrics registers the harness metrics on reg and returns the
+// handles. Call it once per registry — obs registries reject duplicate
+// names.
+func RegisterMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Queries:     reg.Counter("roads_loadgen_queries_total", "Queries the load harness has issued."),
+		Failures:    reg.Counter("roads_loadgen_query_failures_total", "Load-harness queries that returned an error (timeouts included)."),
+		FPDescents:  reg.Counter("roads_loadgen_fp_descents_total", "Answered redirect hops that yielded neither records nor further redirects (false-positive descents)."),
+		RecordChurn: reg.Counter("roads_loadgen_record_churn_total", "Owner record-swap events injected by the churn schedule."),
+		Kills:       reg.Counter("roads_loadgen_kills_total", "Servers crash-killed by the churn schedule."),
+		Revives:     reg.Counter("roads_loadgen_revives_total", "Killed servers successfully restarted and rejoined."),
+		Latency:     reg.Histogram("roads_loadgen_query_seconds", "End-to-end query resolve latency.", obs.DefaultLatencyBounds()),
+	}
+}

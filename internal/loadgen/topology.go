@@ -1,0 +1,71 @@
+package loadgen
+
+import "fmt"
+
+// Placement computes the parent index of every server in an n-server
+// hierarchy. parents[0] is -1 (the root); every other parents[i] < i, so
+// building the tree in index order always attaches under an
+// already-attached server — exactly what live.ClusterConfig.JoinVia needs.
+//
+// With minDepth == 0 the shape is a complete fanOut-ary tree (parent of i
+// is (i-1)/fanOut): as wide and shallow as the fan-out allows. A positive
+// minDepth first lays a spine 0→1→…→minDepth — forcing the hierarchy at
+// least that deep — and then fills the remaining servers breadth-first
+// under whichever placed servers still have child capacity, shallowest
+// first. Either way no parent is assigned more than fanOut children.
+func Placement(n, fanOut, minDepth int) ([]int, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("loadgen: placement needs at least one server, got %d", n)
+	}
+	if fanOut < 1 {
+		return nil, fmt.Errorf("loadgen: fan-out must be at least 1, got %d", fanOut)
+	}
+	if minDepth < 0 || minDepth > n-1 {
+		return nil, fmt.Errorf("loadgen: min depth %d needs %d servers, have %d", minDepth, minDepth+1, n)
+	}
+	parents := make([]int, n)
+	parents[0] = -1
+	if minDepth == 0 {
+		for i := 1; i < n; i++ {
+			parents[i] = (i - 1) / fanOut
+		}
+		return parents, nil
+	}
+	kids := make([]int, n)
+	for i := 1; i <= minDepth; i++ {
+		parents[i] = i - 1
+		kids[i-1]++
+	}
+	// Breadth-first fill: the queue holds placed servers in shallowest-
+	// first order; each new server attaches under the front server with
+	// remaining capacity and queues itself.
+	queue := make([]int, 0, n)
+	for i := 0; i <= minDepth; i++ {
+		queue = append(queue, i)
+	}
+	for i := minDepth + 1; i < n; i++ {
+		for kids[queue[0]] >= fanOut {
+			queue = queue[1:]
+		}
+		p := queue[0]
+		parents[i] = p
+		kids[p]++
+		queue = append(queue, i)
+	}
+	return parents, nil
+}
+
+// Depth returns the maximum node depth of a placement (root = depth 0).
+// It requires parents[i] < i for all non-roots, which Placement
+// guarantees.
+func Depth(parents []int) int {
+	depth := make([]int, len(parents))
+	max := 0
+	for i := 1; i < len(parents); i++ {
+		depth[i] = depth[parents[i]] + 1
+		if depth[i] > max {
+			max = depth[i]
+		}
+	}
+	return max
+}
