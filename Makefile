@@ -49,16 +49,23 @@ bench:
 	$(GO) test -bench 'BenchmarkHandleQuery|BenchmarkCodec|BenchmarkAggregationTick' -benchmem -run '^$$' ./internal/live/ ./internal/wire/ \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCHOUT)
 
-# bench-load runs the thousand-server live-topology load harness
-# (cmd/roads-load → internal/loadgen): trace-shaped queries against a deep
-# hierarchy with record churn and server crash/rejoin mid-run, archived as
-# BENCH_pr6.json via cmd/benchjson. Override LOADARGS for other shapes
-# (see EXPERIMENTS.md for the knobs and the archived baseline).
-BENCHLOAD ?= BENCH_pr6.json
+# bench-load runs the live-topology load harness (cmd/roads-load →
+# internal/loadgen) twice and archives both lines as BENCH_pr7.json via
+# cmd/benchjson: the thousand-server record/kill churn run (LOADARGS,
+# name-compatible with the BENCH_pr6 baseline for bench-compare) and a
+# partition-churn run (LOADPARTARGS) that repeatedly severs and heals a
+# ~30% subtree, reporting partitions-healed, split-brain seconds, post-heal
+# re-convergence and the epoch-regression invariant. Override either for
+# other shapes (see EXPERIMENTS.md for the knobs and archived baselines).
+BENCHLOAD ?= BENCH_pr7.json
 LOADARGS ?= -n 1000 -fanout 8 -mindepth 6 -owner-every 4 -queries 400 \
 	-tick 250ms -churn-records 250ms -churn-kill 500ms -churn-revive 1s
+LOADPARTARGS ?= -n 300 -fanout 4 -mindepth 5 -owner-every 4 -queries 300 \
+	-tick 50ms -query-timeout 2s -drive-min 12s \
+	-churn-partition 1s -churn-partition-frac 0.3 -churn-heal 4s
 bench-load:
-	$(GO) run ./cmd/roads-load $(LOADARGS) | tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCHLOAD)
+	( $(GO) run ./cmd/roads-load $(LOADARGS) ; \
+	  $(GO) run ./cmd/roads-load $(LOADPARTARGS) ) | tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCHLOAD)
 
 # bench-compare diffs two benchjson archives; defaults compare this PR's
 # archive against the PR-3 one (only the benchmarks present in both), e.g.

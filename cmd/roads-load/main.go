@@ -38,6 +38,7 @@ func main() {
 	flag.IntVar(&cfg.Queries, "queries", 400, "queries to issue")
 	flag.IntVar(&cfg.Clients, "clients", 4, "concurrent query clients")
 	flag.DurationVar(&cfg.QueryTimeout, "query-timeout", 15*time.Second, "per-query resolve timeout")
+	flag.DurationVar(&cfg.MinDrive, "drive-min", 0, "keep the drive phase alive at least this long (wrap the query list)")
 	flag.DurationVar(&cfg.ConvergeTimeout, "converge-timeout", 5*time.Minute, "post-build convergence wait")
 	flag.DurationVar(&cfg.Tick, "tick", 250*time.Millisecond, "server aggregation/heartbeat period")
 	flag.IntVar(&cfg.Parallelism, "par", 0, "cluster build worker pool (0: library default)")
@@ -47,14 +48,17 @@ func main() {
 	flag.Float64Var(&cfg.Churn.RecordFraction, "churn-frac", 0.2, "fraction of a touched owner's records replaced")
 	flag.DurationVar(&cfg.Churn.KillEvery, "churn-kill", 0, "interval between server crash-kills (0: off)")
 	flag.DurationVar(&cfg.Churn.ReviveAfter, "churn-revive", 2*time.Second, "downtime before a killed server rejoins")
+	flag.DurationVar(&cfg.Churn.PartitionEvery, "churn-partition", 0, "interval between subtree network partitions (0: off)")
+	flag.Float64Var(&cfg.Churn.PartitionFraction, "churn-partition-frac", 0.3, "target fraction of the tree each partition severs")
+	flag.DurationVar(&cfg.Churn.HealAfter, "churn-heal", 2*time.Second, "how long a partition stays severed before healing")
 	promOut := flag.String("metrics-out", "", "also write the harness metrics registry (Prometheus text) to this file")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
 	cfg.Metrics = loadgen.RegisterMetrics(reg)
 
-	fmt.Fprintf(os.Stderr, "roads-load: %d servers, fan-out %d, min depth %d, %d queries, churn(records=%v kill=%v)\n",
-		cfg.Servers, cfg.FanOut, cfg.MinDepth, cfg.Queries, cfg.Churn.RecordEvery, cfg.Churn.KillEvery)
+	fmt.Fprintf(os.Stderr, "roads-load: %d servers, fan-out %d, min depth %d, %d queries, churn(records=%v kill=%v partition=%v)\n",
+		cfg.Servers, cfg.FanOut, cfg.MinDepth, cfg.Queries, cfg.Churn.RecordEvery, cfg.Churn.KillEvery, cfg.Churn.PartitionEvery)
 	res, err := loadgen.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "roads-load:", err)
@@ -70,6 +74,12 @@ func main() {
 	if res.RecordChurnEvents > 0 || res.Kills > 0 {
 		fmt.Fprintf(os.Stderr, "churn: %d record events (%d records), %d kills, %d revives\n",
 			res.RecordChurnEvents, res.RecordsReplaced, res.Kills, res.Revives)
+	}
+	if res.Partitions > 0 {
+		fmt.Fprintf(os.Stderr, "partitions: %d injected, %d healed, split-brain %.2fs, re-converged in %.2fs\n",
+			res.Partitions, res.PartitionsHealed, res.SplitBrainSeconds, res.HealSeconds)
+		fmt.Fprintf(os.Stderr, "membership: final roots %d, final coverage %.4f, %d merges, %d epoch regressions\n",
+			res.FinalRoots, res.FinalCoverage, res.MembershipMerges, res.EpochRegressions)
 	}
 
 	if *promOut != "" {
@@ -93,11 +103,19 @@ func main() {
 	if cfg.Churn.RecordEvery > 0 || cfg.Churn.KillEvery > 0 {
 		name += "/churn"
 	}
+	if cfg.Churn.PartitionEvery > 0 {
+		name += "/partition"
+	}
 	fmt.Printf("goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
-	fmt.Printf("%s\t%d\t%d ns/op\t%d p50-ns/op\t%d p95-ns/op\t%d p99-ns/op\t%.4f coverage\t%.4f fp-rate\t%.1f node-B/s\t%.2f converge-s\t%.2f build-s\n",
+	fmt.Printf("%s\t%d\t%d ns/op\t%d p50-ns/op\t%d p95-ns/op\t%d p99-ns/op\t%.4f coverage\t%.4f fp-rate\t%.1f node-B/s\t%.2f converge-s\t%.2f build-s",
 		name, res.Queries-res.Failures,
 		res.LatencyMean.Nanoseconds(), res.LatencyP50.Nanoseconds(),
 		res.LatencyP95.Nanoseconds(), res.LatencyP99.Nanoseconds(),
 		res.CoverageMean, res.FPDescentRate, res.BytesPerNodePerSec,
 		res.ConvergeSeconds, res.BuildSeconds)
+	if cfg.Churn.PartitionEvery > 0 {
+		fmt.Printf("\t%d partitions-healed\t%.2f split-brain-s\t%.2f heal-s\t%d final-roots\t%d epoch-regressions",
+			res.PartitionsHealed, res.SplitBrainSeconds, res.HealSeconds, res.FinalRoots, res.EpochRegressions)
+	}
+	fmt.Println()
 }

@@ -46,6 +46,9 @@ func main() {
 	ttlFloor := flag.Duration("replica-ttl-floor", live.DefaultReplicaTTLFloor, "minimum overlay-replica TTL, whatever the tick")
 	noDelta := flag.Bool("no-delta", false, "disable change-driven dissemination: rebuild summaries and send full reports/pushes every tick (pre-v3 wire behaviour)")
 	antiEntropy := flag.Int("anti-entropy-every", live.DefaultAntiEntropyEvery, "send full state every Nth aggregation tick even to up-to-date peers (ignored with -no-delta)")
+	noEpoch := flag.Bool("no-epoch", false, "run as a pre-epoch peer: no membership-epoch stamping, fencing, or split-brain root probing (pre-v4 wire behaviour)")
+	var mergeSeeds stringsFlag
+	flag.Var(&mergeSeeds, "merge-seed", "well-known address this server probes for a foreign root while it is a root itself, to detect and merge a split brain (repeatable; the -join seed is remembered automatically)")
 	seed := flag.Int64("seed", 0, "workload seed (0 = derive from ID)")
 	load := flag.String("load", "", "JSON-lines records file to host (overrides -records)")
 	schemaFile := flag.String("schema", "", "schema JSON file (required with -load; default synthetic aN schema otherwise)")
@@ -107,6 +110,8 @@ func main() {
 	cfg.ReplicaTTLFloor = *ttlFloor
 	cfg.DisableDeltaDissemination = *noDelta
 	cfg.AntiEntropyEvery = *antiEntropy
+	cfg.DisableMembershipEpoch = *noEpoch
+	cfg.MergeSeeds = mergeSeeds
 
 	reg := obs.NewRegistry()
 	tr := transport.NewTCP()
@@ -154,6 +159,16 @@ func main() {
 	srv.Stop()
 	log.Printf("roadsd %s: transport %v", *id, tr.Stats())
 	_ = tr.Close()
+}
+
+// stringsFlag collects a repeatable flag's values.
+type stringsFlag []string
+
+func (f *stringsFlag) String() string { return fmt.Sprint([]string(*f)) }
+
+func (f *stringsFlag) Set(v string) error {
+	*f = append(*f, v)
+	return nil
 }
 
 func seedFor(seed int64, id string) int64 {

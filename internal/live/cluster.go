@@ -75,7 +75,19 @@ type ClusterConfig struct {
 	// DisableDeltaDissemination runs every server on the full-state
 	// baseline pipeline.
 	DisableDeltaDissemination bool
-	Cost                      store.CostModel
+	// DisableMembershipEpoch runs every server as a pre-epoch peer: no
+	// epoch stamping, fencing, or split-brain probing (see
+	// Config.DisableMembershipEpoch).
+	DisableMembershipEpoch bool
+	// MergeSeeds are the split-brain probe seed addresses handed to every
+	// server (Config.MergeSeeds); harnesses typically pass server 0's
+	// address so severed subtrees always have one well-known root to
+	// rediscover.
+	MergeSeeds []string
+	// MergeProbeEvery overrides the servers' split-brain probe cadence
+	// (zero derives 4× the heartbeat period; see Config.MergeProbeEvery).
+	MergeProbeEvery time.Duration
+	Cost            store.CostModel
 }
 
 // parallelism returns the effective worker-pool width.
@@ -162,6 +174,9 @@ func StartCluster(tr transport.Transport, cfg ClusterConfig) (*Cluster, error) {
 		scfg.JoinMaxHops = cfg.JoinMaxHops
 		scfg.AntiEntropyEvery = cfg.AntiEntropyEvery
 		scfg.DisableDeltaDissemination = cfg.DisableDeltaDissemination
+		scfg.DisableMembershipEpoch = cfg.DisableMembershipEpoch
+		scfg.MergeSeeds = cfg.MergeSeeds
+		scfg.MergeProbeEvery = cfg.MergeProbeEvery
 		scfg.Cost = cfg.Cost
 		srv, err := NewServer(scfg, tr)
 		if err != nil {

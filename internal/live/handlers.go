@@ -14,6 +14,12 @@ import (
 // calls, which keeps the request/reply protocol deadlock-free on
 // synchronous transports.
 func (s *Server) handle(msg *wire.Message) *wire.Message {
+	// Any stamped message raises our own epoch toward the federation
+	// maximum before per-kind fencing compares against the recorded
+	// relationship epochs.
+	if msg.Epoch != 0 {
+		s.observeEpoch(msg.Epoch)
+	}
 	switch msg.Kind {
 	case wire.KindJoin:
 		return s.handleJoin(msg)
@@ -31,9 +37,26 @@ func (s *Server) handle(msg *wire.Message) *wire.Message {
 		return s.handleLeave(msg)
 	case wire.KindStatus:
 		return s.handleStatus()
-	default:
-		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf("live: unhandled message kind %d", msg.Kind))
+	case wire.KindRootProbe:
+		// A pre-epoch server answers probes with the generic
+		// unhandled-kind error below; DisableMembershipEpoch reproduces
+		// that exactly, which is what probers treat as "not capable".
+		if s.epochEnabled() {
+			return s.handleRootProbe(msg)
+		}
 	}
+	return wire.ErrorMessage(s.cfg.ID, fmt.Errorf("live: unhandled message kind %d", msg.Kind))
+}
+
+// stampReplyTo stamps the reply m with our epoch when the request proved
+// the peer decodes wire v4 by being stamped itself. Replies to unstamped
+// requests stay ≤v3: a pre-epoch peer treats an undecodable reply as a
+// failed call and would spiral into rejoins.
+func (s *Server) stampReplyTo(req, m *wire.Message) *wire.Message {
+	if s.epochEnabled() && req.Epoch != 0 {
+		m.Epoch = s.epoch.Load()
+	}
+	return m
 }
 
 func (s *Server) ack() *wire.Message {
@@ -66,27 +89,42 @@ func (s *Server) handleJoin(msg *wire.Message) *wire.Message {
 	}
 	if c, already := s.children[msg.Join.ID]; already || len(s.children) < s.cfg.MaxChildren {
 		if already {
+			if s.epochEnabled() && msg.Epoch != 0 && msg.Epoch < c.epoch {
+				// Fenced: a re-join stamped from before this child's last
+				// recovery — a healed partition replaying it must not
+				// resurrect the dead relationship.
+				s.mx.fenced.Inc()
+				return wire.ErrorMessage(s.cfg.ID, fmt.Errorf(
+					"live: join from %s fenced: epoch %d < recorded %d", msg.Join.ID, msg.Epoch, c.epoch))
+			}
 			// Re-accepting a known child: keep its branch summary, depth
 			// and descendant counts — rebuilding the state from scratch
 			// clobbered the subtree shape until the next summary report
 			// and skewed join-placement decisions. The delta handshake
 			// does reset: the child may have restarted as (or behind) a
 			// pre-v3 peer, and sending it version-only state it no longer
-			// holds would go unnoticed until anti-entropy.
+			// holds would go unnoticed until anti-entropy. The epoch
+			// relationship restarts at the join's stamp for the same
+			// reason.
 			c.addr = msg.Join.Addr
 			c.lastSeen = time.Now()
 			c.deltaCapable = false
 			c.acked = nil
+			c.epoch = msg.Epoch
+			c.epochCapable = s.epochEnabled() && msg.Epoch != 0
 		} else {
 			s.children[msg.Join.ID] = &childState{
-				id:       msg.Join.ID,
-				addr:     msg.Join.Addr,
-				depth:    1,
-				lastSeen: time.Now(),
+				id:           msg.Join.ID,
+				addr:         msg.Join.Addr,
+				depth:        1,
+				lastSeen:     time.Now(),
+				epoch:        msg.Epoch,
+				epochCapable: s.epochEnabled() && msg.Epoch != 0,
 			}
 		}
+		s.rememberLocked(msg.Join.ID, msg.Join.Addr)
 		s.publishSnapshotLocked()
-		return &wire.Message{
+		return s.stampReplyTo(msg, &wire.Message{
 			Kind: wire.KindJoinReply,
 			From: s.cfg.ID,
 			Addr: s.cfg.Addr,
@@ -95,7 +133,7 @@ func (s *Server) handleJoin(msg *wire.Message) *wire.Message {
 				ParentID:   s.cfg.ID,
 				ParentAddr: s.cfg.Addr,
 			},
-		}
+		})
 	}
 	infos := make([]wire.ChildInfo, 0, len(s.children))
 	for _, c := range s.children {
@@ -123,11 +161,20 @@ func (s *Server) handleSummaryReport(msg *wire.Message) *wire.Message {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		c, ok := s.children[msg.From]
+		if ok && s.epochEnabled() && msg.Epoch != 0 && msg.Epoch < c.epoch {
+			s.mx.fenced.Inc()
+			return wire.ErrorMessage(s.cfg.ID, fmt.Errorf(
+				"live: report from %s fenced: epoch %d < recorded %d", msg.From, msg.Epoch, c.epoch))
+		}
 		if !ok || c.branch == nil || c.version != msg.Report.Version {
 			// Unknown child or stale version: the sender must restate its
 			// branch in full. Answered as an ack, not an error — the
 			// sender proved it speaks v3 by stamping the report.
-			return s.ackWith(&wire.AckInfo{NeedFull: true})
+			return s.stampReplyTo(msg, s.ackWith(&wire.AckInfo{NeedFull: true}))
+		}
+		if s.epochEnabled() && msg.Epoch != 0 {
+			c.epochCapable = true
+			s.advanceRelEpochLocked(&c.epoch, msg.Epoch)
 		}
 		c.depth = msg.Report.Depth
 		c.descendants = msg.Report.Descendants
@@ -137,7 +184,7 @@ func (s *Server) handleSummaryReport(msg *wire.Message) *wire.Message {
 		// The branch content did not change, so neither the branch merge
 		// epoch nor the routing snapshot needs touching — redirect record
 		// counts ride on c.branch, which stands.
-		return s.ackWith(&wire.AckInfo{HaveVersion: c.version})
+		return s.stampReplyTo(msg, s.ackWith(&wire.AckInfo{HaveVersion: c.version}))
 	}
 	if msg.Report == nil || msg.Report.Summary == nil {
 		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf("live: summary report without payload"))
@@ -149,6 +196,13 @@ func (s *Server) handleSummaryReport(msg *wire.Message) *wire.Message {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c, ok := s.children[msg.From]
+	if ok && s.epochEnabled() && msg.Epoch != 0 && msg.Epoch < c.epoch {
+		// Fenced before any mutation: a report from before this child's
+		// last recovery must not refresh the dead relationship.
+		s.mx.fenced.Inc()
+		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf(
+			"live: report from %s fenced: epoch %d < recorded %d", msg.From, msg.Epoch, c.epoch))
+	}
 	if !ok {
 		// A child we do not know (e.g. state lost after restart): adopt it
 		// if capacity allows, otherwise tell it to rejoin.
@@ -157,6 +211,10 @@ func (s *Server) handleSummaryReport(msg *wire.Message) *wire.Message {
 		}
 		c = &childState{id: msg.From, addr: msg.Addr}
 		s.children[msg.From] = c
+	}
+	if s.epochEnabled() && msg.Epoch != 0 {
+		c.epochCapable = true
+		s.advanceRelEpochLocked(&c.epoch, msg.Epoch)
 	}
 	// A full report with the same non-zero version restates unchanged
 	// content (anti-entropy round): swap the object but skip the branch
@@ -182,9 +240,9 @@ func (s *Server) handleSummaryReport(msg *wire.Message) *wire.Message {
 		// Confirm the version so the child can suppress its next reports.
 		// Only stamped reporters get the v3 ack: a pre-v3 child treats an
 		// undecodable reply as a parent miss and spirals into rejoins.
-		return s.ackWith(&wire.AckInfo{HaveVersion: msg.Report.Version})
+		return s.stampReplyTo(msg, s.ackWith(&wire.AckInfo{HaveVersion: msg.Report.Version}))
 	}
-	return s.ack()
+	return s.stampReplyTo(msg, s.ack())
 }
 
 // decodeReplica reconstructs one replica push's summaries against the
@@ -299,15 +357,30 @@ func (s *Server) handleReplicaBatch(msg *wire.Message) *wire.Message {
 		// is what authorizes stamping our reports to it.
 		s.parentV3 = true
 	}
+	if s.epochEnabled() && msg.Epoch != 0 && msg.From == s.parentID {
+		// An epoch-stamped push likewise proves the parent speaks wire
+		// v4, authorizing stamped heartbeats and reports to it. Plain
+		// max, not the fenced advance: a delayed push from before the
+		// parent's recovery rewrites no ancestry, so it is a benign race
+		// here rather than an accepted stale mutation.
+		s.parentEpochCapable = true
+		if msg.Epoch > s.parentEpoch {
+			s.parentEpoch = msg.Epoch
+		}
+	}
 	if len(states) > 0 {
 		s.publishSnapshotLocked()
 	}
 	s.mu.Unlock()
 	s.mx.replicaPushes.Add(uint64(len(states) + len(versionOnly)))
+	// The batch ack is always epoch-stamped when the protocol is on: it is
+	// the capability bootstrap, and senders that cannot decode a v4 ack
+	// ignore batch-ack contents entirely, so the stamp is never acted on
+	// by a peer that cannot read it.
 	if delta {
-		return s.ackWith(&wire.AckInfo{NeedFullOrigins: needFull})
+		return s.stampEpoch(s.ackWith(&wire.AckInfo{NeedFullOrigins: needFull}))
 	}
-	return s.ack()
+	return s.stampEpoch(s.ack())
 }
 
 // handleQuery evaluates the query against local data and held summaries,
@@ -622,6 +695,18 @@ func (s *Server) handleHeartbeat(msg *wire.Message) *wire.Message {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if c, ok := s.children[msg.From]; ok {
+		if s.epochEnabled() && msg.Epoch != 0 && msg.Epoch < c.epoch {
+			// Fenced: a heartbeat from before this child's last recovery —
+			// a healed partition must not resurrect the dead relationship
+			// by refreshing its liveness.
+			s.mx.fenced.Inc()
+			return wire.ErrorMessage(s.cfg.ID, fmt.Errorf(
+				"live: heartbeat from %s fenced: epoch %d < recorded %d", msg.From, msg.Epoch, c.epoch))
+		}
+		if s.epochEnabled() && msg.Epoch != 0 {
+			c.epochCapable = true
+			s.advanceRelEpochLocked(&c.epoch, msg.Epoch)
+		}
 		c.lastSeen = time.Now()
 	}
 	sibs := make([]wire.RedirectInfo, 0, len(s.children))
@@ -631,7 +716,7 @@ func (s *Server) handleHeartbeat(msg *wire.Message) *wire.Message {
 		}
 	}
 	sort.Slice(sibs, func(i, j int) bool { return sibs[i].ID < sibs[j].ID })
-	return &wire.Message{
+	return s.stampReplyTo(msg, &wire.Message{
 		Kind: wire.KindHeartbeatReply,
 		From: s.cfg.ID,
 		Addr: s.cfg.Addr,
@@ -640,7 +725,7 @@ func (s *Server) handleHeartbeat(msg *wire.Message) *wire.Message {
 			PathAddrs: append([]string(nil), s.rootPathAddrs...),
 		},
 		QueryRep: &wire.QueryReply{Redirects: sibs},
-	}
+	})
 }
 
 // handleLeave removes a departing parent or child.
@@ -652,7 +737,7 @@ func (s *Server) handleLeave(msg *wire.Message) *wire.Message {
 	delete(s.children, msg.From)
 	delete(s.replicas, msg.From)
 	var plan *rejoinPlan
-	if msg.From == s.parentID && !s.rejoining {
+	if msg.From == s.parentID && s.tx == txNone {
 		// Capture the recovery plan now, under the lock, before any other
 		// loop can disturb the root path or parent state.
 		plan = s.planRejoinLocked()
@@ -660,9 +745,10 @@ func (s *Server) handleLeave(msg *wire.Message) *wire.Message {
 	s.publishSnapshotLocked()
 	s.mu.Unlock()
 	if plan != nil {
-		// Execute in the background: the handler must not block on
-		// outgoing calls.
-		go s.executeRejoin(plan)
+		// Execute on a tracked goroutine: the handler must not block on
+		// outgoing calls, and an untracked goroutine could outlive
+		// shutdown's Wait.
+		s.spawnRecovery(plan)
 	}
 	return s.ack()
 }

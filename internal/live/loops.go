@@ -351,6 +351,7 @@ func (s *Server) reportToParent() {
 	parentV3 := s.parentV3
 	haveVersion := s.parentHaveVersion
 	needFull := s.parentNeedFull
+	stamp := s.epochEnabled() && s.parentEpochCapable
 	s.mu.Unlock()
 	if parentAddr == "" || branch == nil {
 		return
@@ -376,23 +377,33 @@ func (s *Server) reportToParent() {
 		Addr:   s.cfg.Addr,
 		Report: report,
 	}
+	if stamp {
+		s.stampEpoch(msg)
+	}
 	rep, err := s.tr.Call(parentAddr, msg)
 	if err != nil || wire.RemoteError(rep) != nil {
-		s.noteParentMiss()
+		s.noteParentMiss(missReport)
 		return
 	}
 	s.noteParentOK()
-	if delta && rep.Ack != nil {
+	s.observeEpoch(rep.Epoch)
+	if (delta && rep.Ack != nil) || rep.Epoch != 0 {
 		s.mu.Lock()
 		if s.parentAddr == parentAddr { // parent may have changed mid-flight
-			s.parentV3 = true
-			switch {
-			case rep.Ack.NeedFull:
-				s.parentNeedFull = true
-				s.parentHaveVersion = 0
-			case rep.Ack.HaveVersion != 0:
-				s.parentHaveVersion = rep.Ack.HaveVersion
-				s.parentNeedFull = false
+			if s.epochEnabled() && rep.Epoch != 0 && rep.Epoch >= s.parentEpoch {
+				s.parentEpochCapable = true
+				s.advanceRelEpochLocked(&s.parentEpoch, rep.Epoch)
+			}
+			if delta && rep.Ack != nil {
+				s.parentV3 = true
+				switch {
+				case rep.Ack.NeedFull:
+					s.parentNeedFull = true
+					s.parentHaveVersion = 0
+				case rep.Ack.HaveVersion != 0:
+					s.parentHaveVersion = rep.Ack.HaveVersion
+					s.parentNeedFull = false
+				}
 			}
 		}
 		s.mu.Unlock()
@@ -431,12 +442,14 @@ func (s *Server) pushReplicas() {
 		branch   *summary.Summary
 		kids     []wire.RedirectInfo
 		capable  bool
+		epochCap bool
 		acked    map[string]uint64
 	}
 	s.mu.Lock()
 	children := make([]childSnap, 0, len(s.children))
 	for _, c := range s.children {
-		cs := childSnap{id: c.id, addr: c.addr, branch: c.branch, kids: c.kids}
+		cs := childSnap{id: c.id, addr: c.addr, branch: c.branch, kids: c.kids,
+			epochCap: s.epochEnabled() && c.epochCapable}
 		if delta && c.deltaCapable {
 			cs.capable = true
 			cs.acked = make(map[string]uint64, len(c.acked))
@@ -571,6 +584,9 @@ func (s *Server) pushReplicas() {
 		if s.cfg.DisableReplicaBatch {
 			for _, p := range pushes {
 				msg := &wire.Message{Kind: wire.KindReplicaPush, From: s.cfg.ID, Addr: s.cfg.Addr, Replica: p}
+				if child.epochCap {
+					s.stampEpoch(msg)
+				}
 				_, _ = s.tr.Call(child.addr, msg)
 			}
 			continue
@@ -581,28 +597,55 @@ func (s *Server) pushReplicas() {
 			Addr:  s.cfg.Addr,
 			Batch: &wire.ReplicaBatch{Pushes: pushes},
 		}
-		rep, err := s.tr.Call(child.addr, msg)
-		if !delta || err != nil || rep == nil || rep.Ack == nil {
-			continue // legacy child (or failed call): no delta bookkeeping
+		if child.epochCap {
+			// A stamped push is what proves our v4 capability to the
+			// child, authorizing it to stamp its heartbeats and reports.
+			s.stampEpoch(msg)
 		}
-		// The AckInfo reply is the capability proof; record what the
-		// child now holds, minus anything it explicitly asked refreshed.
+		rep, err := s.tr.Call(child.addr, msg)
+		if err != nil || rep == nil {
+			continue
+		}
+		// A stamped batch ack is the child's v4 proof (batch-ack contents
+		// are ignored by senders that cannot decode them, so children
+		// stamp theirs unconditionally); AckInfo is the v3 delta proof.
+		epochProof := s.epochEnabled() && rep.Epoch != 0
+		if epochProof {
+			s.observeEpoch(rep.Epoch)
+		}
+		deltaAck := delta && rep.Ack != nil
+		if !epochProof && !deltaAck {
+			continue // legacy child: no bookkeeping
+		}
 		s.mu.Lock()
 		if c, ok := s.children[child.id]; ok {
-			c.deltaCapable = true
-			if c.acked == nil {
-				c.acked = make(map[string]uint64, len(sent)+len(pushes))
-			}
-			for _, e := range sent {
-				if e.version != 0 {
-					c.acked[e.origin] = e.version
+			if epochProof {
+				c.epochCapable = true
+				if rep.Epoch > c.epoch {
+					// Plain max, not the fenced advance: a late ack from
+					// before the child's recovery is a benign race here,
+					// not an accepted stale mutation.
+					c.epoch = rep.Epoch
 				}
 			}
-			// A not-yet-capable child acked full unversioned entries; it
-			// holds their content but no version to confirm against, so
-			// nothing is recorded for it until the next stamped round.
-			for _, o := range rep.Ack.NeedFullOrigins {
-				delete(c.acked, o)
+			if deltaAck {
+				// Record what the child now holds, minus anything it
+				// explicitly asked refreshed.
+				c.deltaCapable = true
+				if c.acked == nil {
+					c.acked = make(map[string]uint64, len(sent)+len(pushes))
+				}
+				for _, e := range sent {
+					if e.version != 0 {
+						c.acked[e.origin] = e.version
+					}
+				}
+				// A not-yet-capable child acked full unversioned entries; it
+				// holds their content but no version to confirm against, so
+				// nothing is recorded for it until the next stamped round.
+				for _, o := range rep.Ack.NeedFullOrigins {
+					delete(c.acked, o)
+				}
 			}
 		}
 		s.mu.Unlock()
@@ -672,19 +715,24 @@ func (s *Server) pruneStaleReplicas() {
 }
 
 // sendHeartbeat pings the parent; the reply refreshes the root path and
-// the sibling list (for root election).
+// the sibling list (for root election). The reply is applied only if the
+// parent is still the one the heartbeat was sent to (a slow reply from a
+// just-replaced parent must not overwrite post-rejoin ancestry) and only
+// if it is not fenced (stamped with an epoch below the parent's recorded
+// one — a reply from before the parent's last recovery).
 func (s *Server) sendHeartbeat() {
 	s.mu.Lock()
 	parentAddr := s.parentAddr
-	rejoining := s.rejoining
+	idle := s.tx == txNone
+	stamp := s.epochEnabled() && s.parentEpochCapable
 	s.mu.Unlock()
 	if parentAddr == "" {
 		// Root: its root path is itself — but never clobber the path
-		// while a rejoin is in flight; the failure handler still needs
-		// the pre-failure ancestry.
-		if !rejoining {
+		// while a recovery or merge is in flight; the failure handler
+		// still needs the pre-failure ancestry.
+		if idle {
 			s.mu.Lock()
-			if !s.rejoining && s.parentAddr == "" {
+			if s.tx == txNone && s.parentAddr == "" {
 				s.rootPath = []string{s.cfg.ID}
 				s.rootPathAddrs = []string{s.cfg.Addr}
 				s.publishSnapshotLocked()
@@ -693,42 +741,85 @@ func (s *Server) sendHeartbeat() {
 		}
 		return
 	}
-	rep, err := s.tr.Call(parentAddr, &wire.Message{
+	hb := &wire.Message{
 		Kind: wire.KindHeartbeat,
 		From: s.cfg.ID,
 		Addr: s.cfg.Addr,
-	})
+	}
+	if stamp {
+		s.stampEpoch(hb)
+	}
+	rep, err := s.tr.Call(parentAddr, hb)
 	if err != nil || wire.RemoteError(rep) != nil || rep.Heartbeat == nil {
-		s.noteParentMiss()
+		s.noteParentMiss(missHeartbeat)
 		return
 	}
 	s.noteParentOK()
+	s.observeEpoch(rep.Epoch)
 	s.mu.Lock()
+	if s.parentAddr != parentAddr {
+		// The parent changed while the call was in flight: this reply
+		// describes the dead relationship's ancestry, not the new one's.
+		s.mu.Unlock()
+		return
+	}
+	if s.epochEnabled() && rep.Epoch != 0 {
+		if rep.Epoch < s.parentEpoch {
+			s.mu.Unlock()
+			s.mx.fenced.Inc()
+			return // stale regime: fenced
+		}
+		s.parentEpochCapable = true
+		s.advanceRelEpochLocked(&s.parentEpoch, rep.Epoch)
+	}
 	s.rootPath = append(append([]string(nil), rep.Heartbeat.RootPath...), s.cfg.ID)
 	s.rootPathAddrs = append(append([]string(nil), rep.Heartbeat.PathAddrs...), s.cfg.Addr)
 	if rep.QueryRep != nil {
 		s.siblingsOfMe = rep.QueryRep.Redirects
 	}
+	s.rememberPathLocked()
 	s.publishSnapshotLocked()
 	s.mu.Unlock()
 }
 
-func (s *Server) noteParentMiss() {
+// missSource discriminates which loop observed a parent miss. The report
+// and heartbeat loops tick independently; counting their misses in one
+// shared bucket reached HeartbeatMiss ~2× faster than configured, so each
+// source counts alone and failure is declared when either one reaches the
+// threshold by itself.
+type missSource int
+
+const (
+	missHeartbeat missSource = iota
+	missReport
+)
+
+func (s *Server) noteParentMiss(src missSource) {
 	s.mu.Lock()
-	s.parentMisses++
+	switch src {
+	case missHeartbeat:
+		s.parentMisses++
+	case missReport:
+		s.parentReportMisses++
+	}
+	misses := s.parentMisses
+	if s.parentReportMisses > misses {
+		misses = s.parentReportMisses
+	}
 	var plan *rejoinPlan
-	if s.parentMisses >= s.cfg.HeartbeatMiss && !s.rejoining && s.parentAddr != "" {
+	if misses >= s.cfg.HeartbeatMiss && s.tx == txNone && s.parentAddr != "" {
 		plan = s.planRejoinLocked()
 	}
 	s.mu.Unlock()
 	if plan != nil {
-		s.executeRejoin(plan)
+		s.spawnRecovery(plan)
 	}
 }
 
 func (s *Server) noteParentOK() {
 	s.mu.Lock()
 	s.parentMisses = 0
+	s.parentReportMisses = 0
 	s.mu.Unlock()
 }
 
@@ -745,8 +836,10 @@ type rejoinPlan struct {
 	siblings      []wire.RedirectInfo
 }
 
-// planRejoinLocked builds the plan, marks the rejoin in flight, and clears
-// the dead parent. Callers hold s.mu and must have checked !s.rejoining.
+// planRejoinLocked builds the plan, begins the recovery transaction, bumps
+// the membership epoch (fencing everything still loyal to the dead
+// parent's regime), and clears the dead parent. Callers hold s.mu and must
+// have checked s.tx == txNone.
 func (s *Server) planRejoinLocked() *rejoinPlan {
 	p := &rejoinPlan{
 		deadID:   s.parentID,
@@ -760,59 +853,22 @@ func (s *Server) planRejoinLocked() *rejoinPlan {
 	for i := len(path) - 3; i >= 0 && i < len(addrs); i-- {
 		p.ancestors = append(p.ancestors, addrs[i])
 	}
-	s.rejoining = true
+	// The dying ancestry is exactly what split-brain probing needs later.
+	s.rememberPathLocked()
+	s.tx = txRecovery
+	if s.epochEnabled() {
+		s.epoch.Add(1)
+	}
 	s.parentID = ""
 	s.parentAddr = ""
 	s.parentMisses = 0
+	s.parentReportMisses = 0
 	s.parentV3 = false
 	s.parentHaveVersion = 0
 	s.parentNeedFull = false
+	s.parentEpoch = 0
+	s.parentEpochCapable = false
 	s.publishSnapshotLocked()
 	s.mx.parentFailovers.Inc()
 	return p
-}
-
-// executeRejoin runs the recovery: rejoin via surviving ancestors, or —
-// only if the dead parent was the root — elect a new root among the
-// siblings (smallest ID, paper §III-A).
-func (s *Server) executeRejoin(p *rejoinPlan) {
-	defer func() {
-		s.mu.Lock()
-		s.rejoining = false
-		s.mu.Unlock()
-	}()
-
-	if !p.parentWasRoot {
-		// The true root is still out there: keep trying the surviving
-		// ancestors; never elect a new root over a live one.
-		for attempt := 0; attempt < 4*s.cfg.HeartbeatMiss; attempt++ {
-			for _, addr := range p.ancestors {
-				if s.Join(addr) == nil {
-					return
-				}
-			}
-			time.Sleep(s.cfg.HeartbeatEvery)
-		}
-		return // give up this round; the next detection retries
-	}
-
-	// Parent was the root: elect among the siblings; the smallest ID
-	// (including us) becomes the new root.
-	minID, minAddr := s.cfg.ID, s.cfg.Addr
-	for _, sib := range p.siblings {
-		if sib.ID != p.deadID && sib.ID < minID {
-			minID, minAddr = sib.ID, sib.Addr
-		}
-	}
-	if minID == s.cfg.ID {
-		return // we are the new root; siblings will join us
-	}
-	// Give the winner a moment to notice, then join under it, retrying
-	// while it may still be rejoining itself.
-	for attempt := 0; attempt < 2*s.cfg.HeartbeatMiss; attempt++ {
-		if s.Join(minAddr) == nil {
-			return
-		}
-		time.Sleep(s.cfg.HeartbeatEvery)
-	}
 }

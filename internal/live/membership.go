@@ -1,0 +1,541 @@
+package live
+
+// The epoch-fenced membership layer: every structural tree mutation (join,
+// adoption, rejoin, root election, tree merge) runs as a single-flight
+// transaction (txKind) stamped with a monotonically increasing membership
+// epoch that travels on the wire (codec v4, see internal/wire/binary.go).
+// Epochs fence stale mutations — a heartbeat, report or re-join carrying
+// an epoch lower than the one recorded for that relationship is rejected —
+// so a healed partition cannot resurrect a dead parent/child edge. On top
+// of the fence sits split-brain detection: roots periodically probe their
+// remembered ancestry and the configured merge seeds; when two live roots
+// discover each other the higher-epoch root (tie: smaller ID) wins and the
+// loser joins it, folding its whole tree back as a subtree. Summaries then
+// re-aggregate through the ordinary change-driven pipeline.
+//
+// Like the v3 delta negotiation, epoch stamping is capability-gated so
+// pre-epoch peers never see a v4 payload they must act on: a child proves
+// it decodes v4 by stamping its replica-batch ack (batch-ack contents are
+// ignored by senders that cannot decode them, so stamping there is always
+// safe); the parent then stamps its pushes and replies, which is the
+// child's proof; only proven peers receive stamped requests. Root probes
+// are the exception — they are always stamped, and a pre-epoch receiver
+// answers them with its generic unhandled-kind error, which probers treat
+// as "not epoch-capable".
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"roads/internal/wire"
+)
+
+// txKind names the structural mutation a server currently has in flight.
+// Structural mutations are single-flight: planRejoinLocked, executeMerge
+// and Join-driven adoption all check tx == txNone first, so two recoveries
+// (or a recovery and a merge) can never interleave their parent rewrites.
+type txKind int
+
+const (
+	// txNone: no structural mutation in flight.
+	txNone txKind = iota
+	// txRecovery: a parent loss is being recovered (ancestor rejoin or
+	// root election), see executeRecovery.
+	txRecovery
+	// txMerge: this (losing) root is joining a winning foreign root.
+	txMerge
+)
+
+// knownServerCap bounds the ancestry memory: the id→addr map of every
+// server ever observed on our root path or sibling set, which seeds the
+// split-brain probe candidates. 512 covers any realistic ancestry set;
+// when full, new entries are dropped rather than evicted (the merge seeds
+// in Config remain as the probe floor).
+const knownServerCap = 512
+
+// recoveryEscalateRounds is how many all-ancestors-unreachable rounds an
+// orphan whose dead parent was NOT the root waits before escalating to a
+// sibling election: the true root may be briefly unreachable, and electing
+// over a live root splits the tree (the merge protocol would heal it, but
+// not for free).
+const recoveryEscalateRounds = 2
+
+// recoveryClaimRounds is how many failed election rounds a losing sibling
+// tolerates before claiming the root role itself. Reaching it means the
+// winner and every smaller-ID sibling stayed unreachable through the
+// backoff schedule; claiming beats dangling forever, and a wrong claim is
+// folded back by the merge protocol once connectivity returns.
+const recoveryClaimRounds = 4
+
+// epochEnabled reports whether the membership-epoch protocol is active.
+func (s *Server) epochEnabled() bool { return !s.cfg.DisableMembershipEpoch }
+
+// Epoch returns the server's current membership epoch (1 at startup; 0
+// never appears — a zero on the wire means "not stamped").
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// observeEpoch raises the server's own epoch to e. Epochs only ever move
+// forward: the whole federation converges to the maximum it has seen, so
+// any message stamped from before the latest recovery is recognizably
+// stale everywhere.
+func (s *Server) observeEpoch(e uint64) {
+	if e == 0 || !s.epochEnabled() {
+		return
+	}
+	for {
+		cur := s.epoch.Load()
+		if e <= cur {
+			return
+		}
+		if s.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// advanceRelEpochLocked raises a recorded relationship epoch (a child's
+// or the parent's) to e. A lower e is refused and counted as an epoch
+// regression — the fence checks run before any call to this, so the
+// counter staying zero is the protocol invariant the loadgen partition
+// runs assert. Callers hold s.mu.
+func (s *Server) advanceRelEpochLocked(cur *uint64, e uint64) bool {
+	if e == 0 {
+		return true
+	}
+	if e < *cur {
+		s.mx.epochRegressions.Inc()
+		return false
+	}
+	*cur = e
+	return true
+}
+
+// stampEpoch stamps the outgoing message with the server's epoch. Only
+// call it when the receiver is proven epoch-capable, or on payloads the
+// receiver is free to ignore (batch acks, root probes): a nonzero Epoch
+// forces wire v4, which a pre-epoch peer cannot decode.
+func (s *Server) stampEpoch(m *wire.Message) *wire.Message {
+	if s.epochEnabled() {
+		m.Epoch = s.epoch.Load()
+	}
+	return m
+}
+
+// endTx clears the in-flight transaction if it is still k (a shutdown or
+// a competing path may have superseded it).
+func (s *Server) endTx(k txKind) {
+	s.mu.Lock()
+	if s.tx == k {
+		s.tx = txNone
+	}
+	s.mu.Unlock()
+}
+
+// goTracked runs fn on a waitgroup-tracked goroutine, refusing (false)
+// when the server has stopped. The Add happens under s.mu — the same lock
+// shutdown flips started under — so the goroutine can never Add after
+// shutdown's Wait began.
+func (s *Server) goTracked(fn func()) bool {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return false
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		fn()
+	}()
+	return true
+}
+
+// sleepInterruptible sleeps for d or until the server stops; it reports
+// whether the full sleep elapsed (false = stopping, abandon the work).
+func (s *Server) sleepInterruptible(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-s.stop:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// rememberLocked records one server in the ancestry memory that seeds
+// split-brain probes. Callers hold s.mu.
+func (s *Server) rememberLocked(id, addr string) {
+	if id == "" || addr == "" || id == s.cfg.ID {
+		return
+	}
+	if _, ok := s.knownServers[id]; !ok && len(s.knownServers) >= knownServerCap {
+		return
+	}
+	s.knownServers[id] = addr
+}
+
+// rememberPathLocked records the current root path and sibling set —
+// called whenever a heartbeat reply refreshes them, so the pre-partition
+// ancestry survives in memory after the partition cuts it off.
+func (s *Server) rememberPathLocked() {
+	for i, id := range s.rootPath {
+		if i < len(s.rootPathAddrs) {
+			s.rememberLocked(id, s.rootPathAddrs[i])
+		}
+	}
+	for _, sib := range s.siblingsOfMe {
+		s.rememberLocked(sib.ID, sib.Addr)
+	}
+}
+
+// probeCandidatesLocked lists the addresses a root should probe for
+// foreign roots: the configured merge seeds first, then the remembered
+// ancestry (sorted for determinism). Callers hold s.mu.
+func (s *Server) probeCandidatesLocked() []string {
+	seen := map[string]bool{s.cfg.Addr: true}
+	out := make([]string, 0, len(s.cfg.MergeSeeds)+len(s.knownServers))
+	for _, addr := range s.cfg.MergeSeeds {
+		if !seen[addr] {
+			seen[addr] = true
+			out = append(out, addr)
+		}
+	}
+	ids := make([]string, 0, len(s.knownServers))
+	for id := range s.knownServers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if addr := s.knownServers[id]; !seen[addr] {
+			seen[addr] = true
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+// otherWins decides a root merge: the higher epoch wins; on a tie the
+// smaller ID does. Both roots evaluate the same deterministic order, so
+// they cannot both decide to join the other.
+func otherWins(otherEpoch uint64, otherID string, ourEpoch uint64, ourID string) bool {
+	if otherEpoch != ourEpoch {
+		return otherEpoch > ourEpoch
+	}
+	return otherID < ourID
+}
+
+// probesPerTick bounds how many candidates one membership tick probes, so
+// a root with a long ancestry memory spreads its probing over several
+// ticks instead of bursting.
+const probesPerTick = 3
+
+// membershipLoop is the split-brain detection loop: while this server is
+// a root with no transaction in flight, it probes merge-seed and
+// remembered-ancestry addresses for foreign roots, and executes the merge
+// when a probe (sent or received — handleRootProbe records the pending
+// address) found a root that beats us.
+func (s *Server) membershipLoop() {
+	defer s.wg.Done()
+	rng := loopRng(s.cfg.ID, 0x3c7e)
+	timer := time.NewTimer(jittered(s.cfg.mergeProbeEvery(), rng))
+	defer timer.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-timer.C:
+			s.membershipTick(rng)
+			timer.Reset(jittered(s.cfg.mergeProbeEvery(), rng))
+		}
+	}
+}
+
+// membershipTick runs one round of split-brain detection: first consume a
+// pending merge decision (recorded by handleRootProbe, which must not
+// make outgoing calls itself), then — if still a live idle root — probe a
+// rotating bounded subset of the candidate addresses.
+func (s *Server) membershipTick(rng *rand.Rand) {
+	s.mu.Lock()
+	merge := s.pendingMergeAddr
+	s.pendingMergeAddr = ""
+	isIdleRoot := s.parentAddr == "" && s.tx == txNone
+	var candidates []string
+	if isIdleRoot && merge == "" {
+		candidates = s.probeCandidatesLocked()
+	}
+	s.mu.Unlock()
+	if merge != "" {
+		s.executeMerge(merge)
+		return
+	}
+	if !isIdleRoot || len(candidates) == 0 {
+		return
+	}
+	if len(candidates) > probesPerTick {
+		off := rng.Intn(len(candidates))
+		rot := append(append([]string(nil), candidates[off:]...), candidates[:off]...)
+		candidates = rot[:probesPerTick]
+	}
+	for _, addr := range candidates {
+		s.probeRoot(addr, true)
+	}
+}
+
+// probeMessage builds the (always-stamped) root probe announcing us.
+func (s *Server) probeMessage() *wire.Message {
+	return s.stampEpoch(&wire.Message{
+		Kind:      wire.KindRootProbe,
+		From:      s.cfg.ID,
+		Addr:      s.cfg.Addr,
+		RootProbe: &wire.RootProbe{RootID: s.cfg.ID, RootAddr: s.cfg.Addr},
+	})
+}
+
+// probeRoot asks addr which root it follows. When the reply names a
+// foreign root that beats us, the merge is recorded for the next tick;
+// when it names one we beat, that root is probed directly (chase, one
+// level deep) so the loser learns about us and folds itself in — its own
+// handler records the pending merge.
+func (s *Server) probeRoot(addr string, chase bool) {
+	if addr == "" || addr == s.cfg.Addr {
+		return
+	}
+	s.mx.probes.Inc()
+	rep, err := s.tr.Call(addr, s.probeMessage())
+	if err != nil || rep == nil || wire.RemoteError(rep) != nil || rep.RootProbe == nil {
+		return // unreachable or pre-epoch peer: nothing to learn
+	}
+	s.observeEpoch(rep.Epoch)
+	other := rep.RootProbe
+	s.mu.Lock()
+	s.rememberLocked(rep.From, rep.Addr)
+	s.rememberLocked(other.RootID, other.RootAddr)
+	stillIdleRoot := s.parentAddr == "" && s.tx == txNone
+	if stillIdleRoot && other.RootID != s.cfg.ID &&
+		otherWins(rep.Epoch, other.RootID, s.epoch.Load(), s.cfg.ID) &&
+		s.pendingMergeAddr == "" {
+		s.pendingMergeAddr = other.RootAddr
+	}
+	s.mu.Unlock()
+	if !stillIdleRoot || other.RootID == s.cfg.ID {
+		return
+	}
+	if chase && other.RootAddr != addr &&
+		!otherWins(rep.Epoch, other.RootID, s.epoch.Load(), s.cfg.ID) {
+		s.probeRoot(other.RootAddr, false)
+	}
+}
+
+// executeMerge folds this (losing) root's tree under the winning root at
+// addr: re-verify the decision with a fresh probe — the winner may have
+// merged elsewhere, died, or been overtaken since the decision was
+// recorded — then join it. The join is epoch-stamped (the target proved
+// v4 by answering probes), so the winner fences it like any relationship
+// message and the loser adopts the winner's epoch from the reply.
+func (s *Server) executeMerge(addr string) {
+	s.mu.Lock()
+	if s.tx != txNone || s.parentAddr != "" || !s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.tx = txMerge
+	s.mu.Unlock()
+	defer s.endTx(txMerge)
+
+	rep, err := s.tr.Call(addr, s.probeMessage())
+	if err != nil || rep == nil || wire.RemoteError(rep) != nil || rep.RootProbe == nil {
+		return
+	}
+	s.observeEpoch(rep.Epoch)
+	other := rep.RootProbe
+	if other.RootID == s.cfg.ID ||
+		!otherWins(rep.Epoch, other.RootID, s.epoch.Load(), s.cfg.ID) {
+		return // stale decision: we win now (or the split already healed)
+	}
+	if err := s.join(other.RootAddr, true); err != nil {
+		return // winner unreachable or full everywhere; a later tick retries
+	}
+	s.mx.merges.Inc()
+}
+
+// --- Recovery (parent loss) ---
+
+// spawnRecovery runs executeRecovery on a tracked goroutine; if the
+// server is already stopping, the transaction is released so nothing
+// stays wedged.
+func (s *Server) spawnRecovery(p *rejoinPlan) {
+	if !s.goTracked(func() { s.executeRecovery(p) }) {
+		s.endTx(txRecovery)
+	}
+}
+
+// recoveryBackoff is the inter-round backoff of the standing recovery
+// loop: one heartbeat period per elapsed round, capped at four — enough
+// for a briefly-slow ancestor to answer, without turning a long outage
+// into minutes between attempts.
+func (s *Server) recoveryBackoff(round int) time.Duration {
+	n := round
+	if n > 4 {
+		n = 4
+	}
+	return time.Duration(n) * s.cfg.HeartbeatEvery
+}
+
+// executeRecovery is the standing recovery loop for one parent loss. It
+// never gives up into a silent accidental root (the dangling-orphan bug):
+// each round retries the surviving ancestors nearest-first, then — when
+// the dead parent was the root, or the whole ancestor chain stayed
+// unreachable long enough to escalate — runs the paper's §III-A election
+// (smallest sibling ID wins; losers join the winner, falling back to any
+// smaller-ID sibling so a chain of claims converges without join cycles).
+// Only after the election path is exhausted for recoveryClaimRounds does
+// the server claim the root role itself; a wrong claim is detected and
+// folded back by the split-brain merge protocol.
+func (s *Server) executeRecovery(p *rejoinPlan) {
+	defer s.endTx(txRecovery)
+
+	// Election order: the dead parent's other children, smallest ID
+	// first; only siblings with IDs smaller than ours are join targets
+	// (edges toward smaller IDs cannot form adoption cycles).
+	smaller := make([]wire.RedirectInfo, 0, len(p.siblings))
+	for _, sib := range p.siblings {
+		if sib.ID != p.deadID && sib.ID < s.cfg.ID {
+			smaller = append(smaller, sib)
+		}
+	}
+	sort.Slice(smaller, func(i, j int) bool { return smaller[i].ID < smaller[j].ID })
+
+	for round := 0; ; round++ {
+		if round > 0 {
+			s.mx.orphanRetries.Inc()
+			if !s.sleepInterruptible(s.recoveryBackoff(round)) {
+				return // server stopping
+			}
+		}
+		// Surviving ancestors, nearest (grandparent) first — the true
+		// root is among them, and rejoining it never splits the tree.
+		for _, addr := range p.ancestors {
+			if s.join(addr, false) == nil {
+				return
+			}
+		}
+		if !p.parentWasRoot && round < recoveryEscalateRounds {
+			continue // give the ancestor chain time before electing
+		}
+		// Election (paper §III-A): smallest ID among the ex-siblings
+		// including us.
+		if len(smaller) == 0 {
+			// We are the election winner (or have no siblings at all):
+			// claim the root role; the ex-siblings will join us.
+			s.becomeRoot()
+			return
+		}
+		joined := false
+		for _, sib := range smaller {
+			if s.join(sib.Addr, false) == nil {
+				joined = true
+				break
+			}
+		}
+		if joined {
+			return
+		}
+		if round >= recoveryClaimRounds {
+			// Winner and every smaller sibling stayed unreachable through
+			// the whole backoff schedule: claim the root role rather than
+			// dangle. If any of them is alive behind a partition, the
+			// merge protocol reunifies the trees when it heals.
+			s.becomeRoot()
+			return
+		}
+	}
+}
+
+// becomeRoot assumes the root role after an election or an exhausted
+// recovery: the server roots its own subtree and starts answering (and
+// sending) split-brain probes as a root. The epoch was already bumped
+// when the recovery began, so anything still loyal to the dead parent's
+// regime is fenced.
+func (s *Server) becomeRoot() {
+	s.mu.Lock()
+	s.parentID = ""
+	s.parentAddr = ""
+	s.parentMisses = 0
+	s.parentReportMisses = 0
+	s.rootPath = []string{s.cfg.ID}
+	s.rootPathAddrs = []string{s.cfg.Addr}
+	s.publishSnapshotLocked()
+	s.mu.Unlock()
+	s.mx.elections.Inc()
+}
+
+// MembershipInfo is a snapshot of one server's membership-protocol state,
+// for harnesses and tests (the same values are exported as
+// roads_membership_* series).
+type MembershipInfo struct {
+	// Epoch is the current membership epoch.
+	Epoch uint64
+	// Fenced counts relationship messages rejected for carrying an epoch
+	// lower than the recorded one.
+	Fenced uint64
+	// Elections counts times this server assumed the root role through
+	// recovery (election win or exhausted-recovery claim).
+	Elections uint64
+	// Merges counts split-brain merges this server executed as the
+	// losing root.
+	Merges uint64
+	// Probes counts root probes sent.
+	Probes uint64
+	// OrphanRetries counts recovery rounds retried after every candidate
+	// parent failed.
+	OrphanRetries uint64
+	// EpochRegressions counts attempts to move a recorded relationship
+	// epoch backward that passed the fences — the invariant is that this
+	// stays zero.
+	EpochRegressions uint64
+}
+
+// Membership returns the server's membership-protocol snapshot.
+func (s *Server) Membership() MembershipInfo {
+	return MembershipInfo{
+		Epoch:            s.epoch.Load(),
+		Fenced:           s.mx.fenced.Load(),
+		Elections:        s.mx.elections.Load(),
+		Merges:           s.mx.merges.Load(),
+		Probes:           s.mx.probes.Load(),
+		OrphanRetries:    s.mx.orphanRetries.Load(),
+		EpochRegressions: s.mx.epochRegressions.Load(),
+	}
+}
+
+// handleRootProbe answers a split-brain probe with the root this server
+// currently follows. When this server is itself a live idle root and the
+// prober beats it, the merge is recorded for the membership loop —
+// handlers never make outgoing calls (synchronous-transport deadlock
+// rule), so the loop executes the join.
+func (s *Server) handleRootProbe(msg *wire.Message) *wire.Message {
+	if msg.RootProbe == nil {
+		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf("live: root probe without payload"))
+	}
+	s.mu.Lock()
+	s.rememberLocked(msg.RootProbe.RootID, msg.RootProbe.RootAddr)
+	rootID, rootAddr := s.cfg.ID, s.cfg.Addr
+	if len(s.rootPath) > 0 && len(s.rootPathAddrs) > 0 {
+		rootID, rootAddr = s.rootPath[0], s.rootPathAddrs[0]
+	}
+	if s.parentAddr == "" && s.tx == txNone && s.pendingMergeAddr == "" &&
+		msg.RootProbe.RootID != s.cfg.ID &&
+		otherWins(msg.Epoch, msg.RootProbe.RootID, s.epoch.Load(), s.cfg.ID) {
+		s.pendingMergeAddr = msg.RootProbe.RootAddr
+	}
+	s.mu.Unlock()
+	return s.stampEpoch(&wire.Message{
+		Kind:      wire.KindRootProbeReply,
+		From:      s.cfg.ID,
+		Addr:      s.cfg.Addr,
+		RootProbe: &wire.RootProbe{RootID: rootID, RootAddr: rootAddr},
+	})
+}

@@ -1,0 +1,690 @@
+package live
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"roads/internal/record"
+	"roads/internal/transport"
+	"roads/internal/wire"
+)
+
+// --- helpers ---
+
+// childEpochState snapshots the parent-side epoch record for one child.
+func childEpochState(s *Server, id string) (epoch uint64, capable bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.children[id]
+	if !ok {
+		return 0, false
+	}
+	return c.epoch, c.epochCapable
+}
+
+// parentEpochState snapshots the child-side epoch record.
+func parentEpochState(s *Server) (epoch uint64, capable bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.parentEpoch, s.parentEpochCapable
+}
+
+// rootPathOf snapshots a server's root path.
+func rootPathOf(s *Server) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.rootPath...)
+}
+
+// aliveRoots returns the servers (skipping skipIdx) that currently claim
+// the root role. A killed server's frozen state still reports IsRoot, so
+// chaos tests that crash the root must pass its index.
+func aliveRoots(cl *Cluster, skip map[int]bool) []*Server {
+	var roots []*Server
+	for i, srv := range cl.Servers {
+		if skip[i] {
+			continue
+		}
+		if srv.IsRoot() {
+			roots = append(roots, srv)
+		}
+	}
+	return roots
+}
+
+// sumMembership folds the membership counters across all live servers.
+func sumMembership(cl *Cluster, skip map[int]bool) MembershipInfo {
+	var sum MembershipInfo
+	for i, srv := range cl.Servers {
+		if skip[i] {
+			continue
+		}
+		m := srv.Membership()
+		sum.Fenced += m.Fenced
+		sum.Elections += m.Elections
+		sum.Merges += m.Merges
+		sum.Probes += m.Probes
+		sum.OrphanRetries += m.OrphanRetries
+		sum.EpochRegressions += m.EpochRegressions
+	}
+	return sum
+}
+
+// subtreeOf returns the index set of rootIdx's subtree (itself included),
+// computed from the live parent pointers.
+func subtreeOf(cl *Cluster, rootIdx int) map[int]bool {
+	id := make(map[string]int, len(cl.Servers))
+	for i, srv := range cl.Servers {
+		id[srv.ID()] = i
+	}
+	in := map[int]bool{rootIdx: true}
+	// Parent pointers always lead to an earlier-attached server, but walk
+	// repeatedly anyway so discovery order cannot matter.
+	for changed := true; changed; {
+		changed = false
+		for i, srv := range cl.Servers {
+			if in[i] {
+				continue
+			}
+			if p, ok := id[srv.ParentID()]; ok && in[p] {
+				in[i] = true
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+// --- epoch capability bootstrap and mixed-version interop ---
+
+// TestEpochCapabilityBootstrap drives the capability chain on a parked
+// star with one epoch-capable child and one pre-epoch child: the capable
+// child proves itself via its (always-stamped) replica-batch ack, the
+// parent starts stamping its pushes, which is the child's proof, and from
+// then on both directions of the relationship are stamped — while the
+// pre-epoch child's relationship stays entirely epoch-free, down to the
+// wire version byte.
+func TestEpochCapabilityBootstrap(t *testing.T) {
+	schema := record.DefaultSchema(2)
+	tr := transport.NewChan()
+	p := deltaServerCfg(t, tr, "p", schema, nil)
+	c1 := deltaServerCfg(t, tr, "c1", schema, nil)
+	c2 := deltaServerCfg(t, tr, "c2", schema, func(c *Config) { c.DisableMembershipEpoch = true })
+	for _, srv := range []*Server{p, c1, c2} {
+		attachDeltaOwner(t, srv, schema, 2)
+	}
+	if err := c1.Join(p.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Join(p.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Nobody has proven anything yet.
+	if _, capable := childEpochState(p, "c1"); capable {
+		t.Fatal("c1 marked epoch-capable before any stamped message")
+	}
+
+	// Round 1: p's push is unstamped (c1 unproven), but c1's batch ack is
+	// stamped — the bootstrap — so p learns c1 speaks v4.
+	driveRound(c1, c2, p)
+	if _, capable := childEpochState(p, "c1"); !capable {
+		t.Fatal("c1's stamped batch ack did not mark it epoch-capable on the parent")
+	}
+	if _, capable := childEpochState(p, "c2"); capable {
+		t.Fatal("pre-epoch c2 was marked epoch-capable")
+	}
+	// Round 2: p's push to c1 is now stamped, which is c1's proof.
+	driveRound(c1, c2, p)
+	if _, capable := parentEpochState(c1); !capable {
+		t.Fatal("p's stamped push did not mark the parent epoch-capable on c1")
+	}
+	// Round 3: c1's report is stamped, so the recorded relationship epoch
+	// lands on the parent side.
+	driveRound(c1, c2, p)
+	if epoch, _ := childEpochState(p, "c1"); epoch != c1.Epoch() {
+		t.Fatalf("parent recorded epoch %d for c1; child is at %d", epoch, c1.Epoch())
+	}
+
+	// Wire-level: a stamped heartbeat gets a stamped (v4) reply, an
+	// unstamped one a v2 reply — a pre-epoch peer never sees a v4 payload
+	// on its relationship traffic.
+	rep := p.handle(&wire.Message{Kind: wire.KindHeartbeat, From: "c1", Addr: c1.Addr(), Epoch: c1.Epoch()})
+	if rep.Epoch == 0 {
+		t.Fatal("reply to a stamped heartbeat is unstamped")
+	}
+	if data, err := wire.Encode(rep); err != nil || data[1] != 4 {
+		t.Fatalf("stamped heartbeat reply encoded at version %d (err %v); want 4", data[1], err)
+	}
+	rep = p.handle(&wire.Message{Kind: wire.KindHeartbeat, From: "c2", Addr: c2.Addr()})
+	if rep.Epoch != 0 {
+		t.Fatal("reply to an unstamped heartbeat carries an epoch")
+	}
+	if data, err := wire.Encode(rep); err != nil || data[1] != 2 {
+		t.Fatalf("unstamped heartbeat reply encoded at version %d (err %v); want 2", data[1], err)
+	}
+
+	// Root probes are the capability exception: always stamped, and a
+	// pre-epoch peer answers with its generic unhandled-kind error, which
+	// probers read as "not capable".
+	probe := p.probeMessage()
+	if probe.Epoch == 0 {
+		t.Fatal("root probe left unstamped")
+	}
+	if rep := c2.handle(probe); wire.RemoteError(rep) == nil {
+		t.Fatal("pre-epoch peer answered a root probe instead of erroring")
+	}
+	rep = c1.handle(p.probeMessage())
+	if wire.RemoteError(rep) != nil || rep.RootProbe == nil {
+		t.Fatalf("capable peer rejected a root probe: %+v", rep)
+	}
+	if rep.RootProbe.RootID != "p" {
+		t.Fatalf("c1 follows root %q; want p", rep.RootProbe.RootID)
+	}
+}
+
+// TestEpochLegacyParentNeverStamped is the other interop direction: under
+// a pre-epoch parent, a capable child stamps only its batch acks (which
+// the parent is free to ignore) and never its heartbeats or reports,
+// because the parent can never prove v4 back.
+func TestEpochLegacyParentNeverStamped(t *testing.T) {
+	schema := record.DefaultSchema(2)
+	tr := transport.NewChan()
+	lp := deltaServerCfg(t, tr, "lp", schema, func(c *Config) { c.DisableMembershipEpoch = true })
+	c3 := deltaServerCfg(t, tr, "c3", schema, nil)
+	attachDeltaOwner(t, lp, schema, 2)
+	attachDeltaOwner(t, c3, schema, 2)
+	if err := c3.Join(lp.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		driveRound(c3, lp)
+	}
+	if _, capable := parentEpochState(c3); capable {
+		t.Fatal("child marked a pre-epoch parent epoch-capable")
+	}
+	// The child's relationship messages toward it stay epoch-free, so the
+	// legacy parent never receives v4 traffic it must act on.
+	hb := &wire.Message{Kind: wire.KindHeartbeat, From: "c3", Addr: c3.Addr()}
+	c3.mu.Lock()
+	stamp := c3.epochEnabled() && c3.parentEpochCapable
+	c3.mu.Unlock()
+	if stamp {
+		t.Fatal("child would stamp heartbeats to a pre-epoch parent")
+	}
+	if data, err := wire.Encode(hb); err != nil || data[1] != 2 {
+		t.Fatalf("heartbeat to legacy parent encoded at version %d (err %v); want 2", data[1], err)
+	}
+}
+
+// TestEpochFencesStaleMutations pins the fence on every parent-side
+// relationship handler: once a child's recorded epoch advances, messages
+// stamped from an older regime are rejected with an error and counted,
+// without moving the recorded epoch — and without ever counting an epoch
+// regression, which is the protocol invariant.
+func TestEpochFencesStaleMutations(t *testing.T) {
+	schema := record.DefaultSchema(2)
+	tr := transport.NewChan()
+	p := deltaServerCfg(t, tr, "p", schema, nil)
+	c1 := deltaServerCfg(t, tr, "c1", schema, nil)
+	if err := c1.Join(p.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Advance the recorded relationship epoch to 5 via a stamped heartbeat.
+	rep := p.handle(&wire.Message{Kind: wire.KindHeartbeat, From: "c1", Addr: c1.Addr(), Epoch: 5})
+	if wire.RemoteError(rep) != nil {
+		t.Fatalf("stamped heartbeat rejected: %v", wire.RemoteError(rep))
+	}
+	if epoch, capable := childEpochState(p, "c1"); epoch != 5 || !capable {
+		t.Fatalf("recorded epoch %d capable=%v after stamp; want 5/true", epoch, capable)
+	}
+
+	fencedBefore := p.mx.fenced.Load()
+	stale := []*wire.Message{
+		{Kind: wire.KindHeartbeat, From: "c1", Addr: c1.Addr(), Epoch: 3},
+		{Kind: wire.KindSummaryReport, From: "c1", Addr: c1.Addr(), Epoch: 3,
+			Report: &wire.SummaryReport{Version: 1}},
+		{Kind: wire.KindJoin, From: "c1", Addr: c1.Addr(), Epoch: 3,
+			Join: &wire.Join{ID: "c1", Addr: c1.Addr()}},
+	}
+	for _, msg := range stale {
+		if rep := p.handle(msg); wire.RemoteError(rep) == nil {
+			t.Fatalf("stale kind-%d mutation (epoch 3 < 5) was not fenced", msg.Kind)
+		}
+	}
+	if got := p.mx.fenced.Load() - fencedBefore; got != uint64(len(stale)) {
+		t.Fatalf("fenced counter moved by %d; want %d", got, len(stale))
+	}
+	if epoch, _ := childEpochState(p, "c1"); epoch != 5 {
+		t.Fatalf("fenced traffic moved the recorded epoch to %d", epoch)
+	}
+	// Unstamped traffic (a pre-epoch peer) is never fenced.
+	if rep := p.handle(&wire.Message{Kind: wire.KindHeartbeat, From: "c1", Addr: c1.Addr()}); wire.RemoteError(rep) != nil {
+		t.Fatalf("unstamped heartbeat fenced: %v", wire.RemoteError(rep))
+	}
+	// A current-epoch re-join passes the fence.
+	if rep := p.handle(&wire.Message{Kind: wire.KindJoin, From: "c1", Addr: c1.Addr(), Epoch: 6,
+		Join: &wire.Join{ID: "c1", Addr: c1.Addr()}}); wire.RemoteError(rep) != nil {
+		t.Fatalf("current-epoch rejoin fenced: %v", wire.RemoteError(rep))
+	}
+	if p.mx.epochRegressions.Load() != 0 {
+		t.Fatalf("epoch regressions = %d; the fences must catch staleness first", p.mx.epochRegressions.Load())
+	}
+}
+
+// --- parent-miss accounting (per-source counters) ---
+
+// TestParentMissPerSourceDetection pins the detection-time contract: the
+// heartbeat and report loops miss independently, and failure is declared
+// only when ONE source reaches HeartbeatMiss by itself. The old shared
+// bucket reached the threshold ~2× faster than configured when both loops
+// were missing — interleaved misses below the per-source threshold must
+// not trigger recovery.
+func TestParentMissPerSourceDetection(t *testing.T) {
+	schema := record.DefaultSchema(2)
+	tr := transport.NewChan()
+	p := deltaServerCfg(t, tr, "p", schema, nil)
+	c := deltaServerCfg(t, tr, "c", schema, nil) // DefaultConfig: HeartbeatMiss = 4
+	if err := c.Join(p.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	miss := c.cfg.HeartbeatMiss
+	if miss < 2 {
+		t.Fatalf("HeartbeatMiss = %d; test needs >= 2", miss)
+	}
+
+	// 2×(miss-1) interleaved misses: each source stays below the
+	// threshold. The buggy shared bucket would have fired at `miss` total.
+	for i := 0; i < miss-1; i++ {
+		c.noteParentMiss(missHeartbeat)
+		c.noteParentMiss(missReport)
+	}
+	if got := c.mx.parentFailovers.Load(); got != 0 {
+		t.Fatalf("recovery triggered after %d interleaved misses (threshold %d per source); shared-bucket double counting is back", 2*(miss-1), miss)
+	}
+	if pid := c.ParentID(); pid != "p" {
+		t.Fatalf("parent dropped to %q below the miss threshold", pid)
+	}
+
+	// One more miss from a single source crosses its threshold: detection
+	// happens now, exactly at the configured count.
+	c.noteParentMiss(missHeartbeat)
+	if got := c.mx.parentFailovers.Load(); got != 1 {
+		t.Fatalf("parent failovers = %d after source reached %d misses; want 1", got, miss)
+	}
+	// The orphan has no ancestors and no siblings, so the recovery claims
+	// the root role promptly.
+	deadline := time.Now().Add(convergeTimeout)
+	for !c.IsRoot() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !c.IsRoot() {
+		t.Fatal("orphan with no ancestors or siblings never claimed the root role")
+	}
+	// A recovered (parentless) server ignores further misses.
+	c.noteParentMiss(missReport)
+	if got := c.mx.parentFailovers.Load(); got != 1 {
+		t.Fatalf("parentless server planned another failover (count %d)", got)
+	}
+}
+
+// --- stale heartbeat replies (parent changed mid-flight) ---
+
+// hijackTransport wraps a Transport and lets a test intercept Call.
+type hijackTransport struct {
+	transport.Transport
+	hijack func(addr string, req *wire.Message) (*wire.Message, bool)
+}
+
+func (h *hijackTransport) Call(addr string, req *wire.Message) (*wire.Message, error) {
+	if h.hijack != nil {
+		if rep, ok := h.hijack(addr, req); ok {
+			return rep, nil
+		}
+	}
+	return h.Transport.Call(addr, req)
+}
+
+// TestHeartbeatStaleReplyDiscarded pins the stale-parent guard in
+// sendHeartbeat: when the parent changes while a heartbeat is in flight
+// (a rejoin won the race), the old parent's reply describes the dead
+// relationship's ancestry and must not clobber the post-rejoin root path.
+func TestHeartbeatStaleReplyDiscarded(t *testing.T) {
+	schema := record.DefaultSchema(2)
+	ch := transport.NewChan()
+	hj := &hijackTransport{Transport: ch}
+	p := deltaServerCfg(t, ch, "p", schema, nil)
+	c := deltaServerCfg(t, hj, "c", schema, nil)
+	if err := c.Join(p.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	staleReply := func() *wire.Message {
+		return &wire.Message{
+			Kind: wire.KindHeartbeatReply, From: "p", Addr: p.Addr(),
+			Heartbeat: &wire.Heartbeat{RootPath: []string{"stale-root"}, PathAddrs: []string{"addr-stale-root"}},
+		}
+	}
+
+	// While the heartbeat is in flight, a rejoin moves the parent: the
+	// reply that then lands is from the replaced relationship.
+	hj.hijack = func(addr string, req *wire.Message) (*wire.Message, bool) {
+		if req.Kind != wire.KindHeartbeat {
+			return nil, false
+		}
+		c.mu.Lock()
+		c.parentID, c.parentAddr = "q", "addr-q"
+		c.rootPath = []string{"q", "c"}
+		c.rootPathAddrs = []string{"addr-q", c.Addr()}
+		c.publishSnapshotLocked()
+		c.mu.Unlock()
+		return staleReply(), true
+	}
+	c.sendHeartbeat()
+	if path := rootPathOf(c); len(path) != 2 || path[0] != "q" {
+		t.Fatalf("stale heartbeat reply clobbered the post-rejoin root path: %v", path)
+	}
+	if pid := c.ParentID(); pid != "q" {
+		t.Fatalf("parent rewritten to %q by a stale reply", pid)
+	}
+
+	// Control: the identical reply applies when the parent is unchanged —
+	// proving the guard (not some other rejection) discarded it above.
+	c.mu.Lock()
+	c.parentID, c.parentAddr = "p", p.Addr()
+	c.publishSnapshotLocked()
+	c.mu.Unlock()
+	hj.hijack = func(addr string, req *wire.Message) (*wire.Message, bool) {
+		if req.Kind != wire.KindHeartbeat {
+			return nil, false
+		}
+		return staleReply(), true
+	}
+	c.sendHeartbeat()
+	if path := rootPathOf(c); len(path) != 2 || path[0] != "stale-root" {
+		t.Fatalf("control reply did not apply: %v", path)
+	}
+}
+
+// --- chaos: split-brain, elections, merges ---
+
+// startMembershipCluster is startChaosCluster plus a config mutator, for
+// chaos scenarios that need merge seeds or other membership knobs.
+func startMembershipCluster(t *testing.T, n, maxChildren int, seed int64, mut func(*ClusterConfig)) (*Cluster, *transport.Faulty) {
+	t.Helper()
+	leakCheck(t)
+	f := transport.NewFaulty(transport.NewChan(), seed)
+	f.MaxBlackhole = 5 * time.Millisecond
+	cfg := ClusterConfig{
+		N:               n,
+		Schema:          record.DefaultSchema(2),
+		MaxChildren:     maxChildren,
+		ReplicaTTLFloor: 300 * time.Millisecond,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	cl, err := StartCluster(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+	return cl, f
+}
+
+// awaitRootCount polls until exactly want servers (outside skip) claim the
+// root role.
+func awaitRootCount(t *testing.T, cl *Cluster, skip map[int]bool, want int, what string) []*Server {
+	t.Helper()
+	deadline := time.Now().Add(convergeTimeout)
+	var roots []*Server
+	for time.Now().Before(deadline) {
+		roots = aliveRoots(cl, skip)
+		if len(roots) == want {
+			return roots
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	ids := make([]string, len(roots))
+	for i, r := range roots {
+		ids[i] = r.ID()
+	}
+	t.Fatalf("%s: %d roots %v, want %d", what, len(roots), ids, want)
+	return nil
+}
+
+// awaitCoverage polls until every server outside skip covers exactly
+// total records.
+func awaitCoverage(t *testing.T, cl *Cluster, skip map[int]bool, total uint64, what string) {
+	t.Helper()
+	deadline := time.Now().Add(convergeTimeout)
+	for time.Now().Before(deadline) {
+		ok := true
+		for i, srv := range cl.Servers {
+			if skip[i] {
+				continue
+			}
+			if srv.CoveredRecords() != total {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for i, srv := range cl.Servers {
+		if !skip[i] && srv.CoveredRecords() != total {
+			t.Fatalf("%s: %s covers %d of %d records", what, srv.ID(), srv.CoveredRecords(), total)
+		}
+	}
+}
+
+// TestChaosPartitionHealMerge is the full split-brain lifecycle on a real
+// cluster: a root child's subtree is severed by a network partition, the
+// severed side elects its own root under a bumped epoch, and after the
+// heal the split-brain probes discover the twin root and fold the trees
+// back into exactly one — with full coverage restored and zero epoch
+// regressions anywhere.
+func TestChaosPartitionHealMerge(t *testing.T) {
+	const n, recsPer = 13, 2
+	cl, f := startMembershipCluster(t, n, 3, 81, nil)
+	attachChaosOwners(t, cl, recsPer, -1)
+	root := cl.Root()
+	if root == nil {
+		t.Fatal("no root")
+	}
+
+	// Sever the smallest-ID root child's subtree: as the election winner
+	// among its ex-siblings (none smaller), it claims the root role the
+	// moment it detects the loss — the fastest possible split.
+	var victim *Server
+	var victimIdx int
+	for i, srv := range cl.Servers {
+		if srv.ParentID() == root.ID() && (victim == nil || srv.ID() < victim.ID()) {
+			victim, victimIdx = srv, i
+		}
+	}
+	if victim == nil {
+		t.Fatal("root has no children")
+	}
+	severed := subtreeOf(cl, victimIdx)
+	if len(severed) == n {
+		t.Fatal("victim subtree is the whole cluster")
+	}
+	var sideA, sideB []string
+	for i, srv := range cl.Servers {
+		if severed[i] {
+			sideA = append(sideA, srv.ID())
+		} else {
+			sideB = append(sideB, srv.ID())
+		}
+	}
+	epochBefore := victim.Epoch()
+	f.SetRules(transport.PartitionSets(sideA, sideB)...)
+
+	// Split-brain: the severed side elects its own root.
+	roots := awaitRootCount(t, cl, nil, 2, "during partition")
+	split := roots[0]
+	if split == root {
+		split = roots[1]
+	}
+	if !severed[victimIdx] || !victim.IsRoot() {
+		t.Fatalf("severed subtree elected %s, expected its head %s", split.ID(), victim.ID())
+	}
+	if got := victim.Epoch(); got <= epochBefore {
+		t.Fatalf("election did not bump the epoch: %d -> %d", epochBefore, got)
+	}
+	if dropped, _, _ := f.Injected(); dropped == 0 {
+		t.Fatal("partition rules never fired")
+	}
+
+	// Heal: the twin roots must discover each other (the severed root
+	// remembers its pre-partition ancestry) and merge to exactly one.
+	f.ClearRules()
+	awaitRootCount(t, cl, nil, 1, "after heal")
+	if err := cl.WaitConverged(uint64(n*recsPer), convergeTimeout); err != nil {
+		t.Fatalf("post-merge convergence: %v", err)
+	}
+	sum := sumMembership(cl, nil)
+	if sum.Merges == 0 {
+		t.Fatal("trees reunified without a recorded merge")
+	}
+	if sum.Elections == 0 {
+		t.Fatal("split happened without a recorded election")
+	}
+	if sum.EpochRegressions != 0 {
+		t.Fatalf("epoch fencing invariant violated: %d regressions", sum.EpochRegressions)
+	}
+}
+
+// TestChaosElectionWinnerUnreachable kills the root while the election
+// winner (the smallest-ID ex-sibling) is unreachable: the reachable
+// orphans must not dangle on the dead winner — they claim or re-form
+// elsewhere — and once the winner is reachable again the split-brain
+// protocol converges everything onto it (smallest ID wins every
+// same-epoch merge decision).
+func TestChaosElectionWinnerUnreachable(t *testing.T) {
+	const n, recsPer = 10, 2
+	cl, f := startMembershipCluster(t, n, 3, 82, nil)
+	root := cl.Root()
+	if root == nil {
+		t.Fatal("no root")
+	}
+	rootIdx := -1
+	var winner *Server
+	for i, srv := range cl.Servers {
+		if srv == root {
+			rootIdx = i
+			continue
+		}
+		if srv.ParentID() == root.ID() && (winner == nil || srv.ID() < winner.ID()) {
+			winner = srv
+		}
+	}
+	if winner == nil {
+		t.Fatal("root has no children")
+	}
+	attachChaosOwners(t, cl, recsPer, rootIdx)
+	skip := map[int]bool{rootIdx: true}
+
+	// The winner goes dark first, then the root dies: every orphan's
+	// first-choice election target is unreachable.
+	f.SetRules(transport.Down(winner.Addr()))
+	root.Kill()
+
+	// The reachable survivors must converge on some root of their own
+	// rather than dangle (the winner, cut off, roots itself too).
+	deadline := time.Now().Add(convergeTimeout)
+	for time.Now().Before(deadline) {
+		if len(aliveRoots(cl, skip)) >= 2 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if roots := aliveRoots(cl, skip); len(roots) < 2 {
+		t.Fatalf("survivors never rooted around the unreachable winner: roots %d", len(roots))
+	}
+
+	// Reconnect the winner: everything merges onto it — same epochs tie,
+	// and it has the smallest ID of every candidate root.
+	f.ClearRules()
+	roots := awaitRootCount(t, cl, skip, 1, "after winner reachable")
+	if roots[0] != winner {
+		t.Fatalf("federation converged on %s; want the election winner %s", roots[0].ID(), winner.ID())
+	}
+	awaitCoverage(t, cl, skip, uint64((n-1)*recsPer), "after winner reachable")
+	if sum := sumMembership(cl, skip); sum.EpochRegressions != 0 {
+		t.Fatalf("epoch fencing invariant violated: %d regressions", sum.EpochRegressions)
+	}
+}
+
+// TestChaosRootAndGrandparentDie crashes the root and one of its interior
+// children at the same instant: the dead child's orphans lose their whole
+// surviving ancestry (parent and grandparent at once) and must re-form
+// via election, then rediscover the main tree through the configured
+// merge seeds. Everything alive must end under exactly one root with full
+// coverage of the surviving records.
+func TestChaosRootAndGrandparentDie(t *testing.T) {
+	const n, recsPer = 13, 2
+	// Seed the split-brain probes with the whole address set — the
+	// deployment-config stance of "every server is a well-known address" —
+	// so surviving fragments can rediscover each other no matter which
+	// two servers the crashes take out (dead seeds just fail to answer).
+	seeds := make([]string, n)
+	for i := range seeds {
+		seeds[i] = fmt.Sprintf("srv%03d", i)
+	}
+	cl, _ := startMembershipCluster(t, n, 3, 83, func(cfg *ClusterConfig) {
+		cfg.MergeSeeds = seeds
+	})
+	root := cl.Root()
+	if root == nil {
+		t.Fatal("no root")
+	}
+	rootIdx := -1
+	for i, srv := range cl.Servers {
+		if srv == root {
+			rootIdx = i
+		}
+	}
+	// The second victim: an interior root child, so its children lose
+	// parent and grandparent simultaneously.
+	var mid *Server
+	midIdx := -1
+	for i, srv := range cl.Servers {
+		if srv.ParentID() == root.ID() && srv.NumChildren() > 0 {
+			mid, midIdx = srv, i
+			break
+		}
+	}
+	if mid == nil {
+		t.Fatal("no interior root child; tree too shallow")
+	}
+	attachChaosOwners(t, cl, recsPer, -1)
+	skip := map[int]bool{rootIdx: true, midIdx: true}
+
+	root.Kill()
+	mid.Kill()
+
+	awaitRootCount(t, cl, skip, 1, "after double crash")
+	awaitCoverage(t, cl, skip, uint64((n-2)*recsPer), "after double crash")
+	sum := sumMembership(cl, skip)
+	if sum.Elections == 0 {
+		t.Fatal("double crash recovered without any election")
+	}
+	if sum.EpochRegressions != 0 {
+		t.Fatalf("epoch fencing invariant violated: %d regressions", sum.EpochRegressions)
+	}
+	for i, srv := range cl.Servers {
+		if skip[i] || srv.IsRoot() {
+			continue
+		}
+		if srv.ParentID() == root.ID() || srv.ParentID() == mid.ID() {
+			t.Fatalf("%s still attached to dead parent %s", srv.ID(), srv.ParentID())
+		}
+	}
+}

@@ -35,6 +35,16 @@ type serverMetrics struct {
 	pushDelta         *obs.Counter
 	pushFull          *obs.Counter
 	antiEntropyRounds *obs.Counter
+
+	// Membership-epoch counters (see membership.go); all stay zero while
+	// Config.DisableMembershipEpoch is set, except orphanRetries and
+	// elections, which count the recovery loop either way.
+	fenced           *obs.Counter
+	elections        *obs.Counter
+	merges           *obs.Counter
+	probes           *obs.Counter
+	orphanRetries    *obs.Counter
+	epochRegressions *obs.Counter
 }
 
 // newServerMetrics registers the server's series on reg (which must not
@@ -70,6 +80,18 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 			"Replica-batch entries sent with full summaries while delta dissemination is enabled."),
 		antiEntropyRounds: reg.Counter("roads_antientropy_rounds_total",
 			"Aggregation rounds forced full-state by the anti-entropy cadence (Config.AntiEntropyEvery)."),
+		fenced: reg.Counter("roads_membership_fenced_total",
+			"Relationship messages rejected (or replies discarded) for carrying a membership epoch lower than the recorded one."),
+		elections: reg.Counter("roads_membership_elections_total",
+			"Times this server assumed the root role through recovery (election win or exhausted-recovery claim)."),
+		merges: reg.Counter("roads_membership_merges_total",
+			"Split-brain merges executed as the losing root (this server's whole tree joined the winner as a subtree)."),
+		probes: reg.Counter("roads_membership_probes_total",
+			"Split-brain root probes sent to merge seeds and remembered ancestry."),
+		orphanRetries: reg.Counter("roads_orphan_retries_total",
+			"Recovery rounds retried after every candidate parent failed — the orphan keeps retrying instead of dangling as an accidental root."),
+		epochRegressions: reg.Counter("roads_membership_epoch_regressions_total",
+			"Accepted relationship messages that would move a recorded membership epoch backward; the fencing invariant is that this stays zero."),
 	}
 	reg.GaugeFunc("roads_children",
 		"Current child count.", func() float64 {
@@ -117,6 +139,10 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 				return 0
 			}
 			return time.Since(time.Unix(0, ns)).Seconds()
+		})
+	reg.GaugeFunc("roads_membership_epoch",
+		"Current membership epoch (bumped when a recovery begins; converges to the federation maximum).", func() float64 {
+			return float64(s.epoch.Load())
 		})
 	reg.GaugeFunc("roads_uptime_seconds",
 		"Seconds since NewServer constructed this server.", func() float64 {

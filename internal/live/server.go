@@ -78,6 +78,22 @@ type Config struct {
 	// DefaultAntiEntropyEvery; ignored when delta dissemination is
 	// disabled (every tick is full then).
 	AntiEntropyEvery int
+	// DisableMembershipEpoch turns off the epoch-fenced membership layer
+	// end to end: no message is ever epoch-stamped (so nothing this server
+	// sends requires wire v4), no fencing is applied, no split-brain
+	// probing runs, and incoming root probes are answered with the generic
+	// unhandled-kind error. A disabled server is byte-equivalent to a
+	// pre-epoch peer, which is the mixed-version interop stand-in —
+	// mirroring DisableDeltaDissemination for wire v3.
+	DisableMembershipEpoch bool
+	// MergeSeeds are addresses this server probes for foreign roots while
+	// it is a root itself (split-brain detection), in addition to the
+	// ancestry it remembers from before a partition. Typically the
+	// cluster's well-known seed servers.
+	MergeSeeds []string
+	// MergeProbeEvery is the split-brain probe cadence. Zero derives
+	// 4×HeartbeatEvery.
+	MergeProbeEvery time.Duration
 	// LegacyQueryLocking evaluates queries under the server mutex against
 	// the live routing maps (the pre-snapshot behaviour) instead of
 	// against the lock-free routing snapshot — the measurable baseline
@@ -147,7 +163,18 @@ func (c Config) Validate() error {
 	if c.AntiEntropyEvery < 0 {
 		return fmt.Errorf("live: AntiEntropyEvery must not be negative")
 	}
+	if c.MergeProbeEvery < 0 {
+		return fmt.Errorf("live: MergeProbeEvery must not be negative")
+	}
 	return nil
+}
+
+// mergeProbeEvery returns the split-brain probe cadence, defaulted.
+func (c Config) mergeProbeEvery() time.Duration {
+	if c.MergeProbeEvery > 0 {
+		return c.MergeProbeEvery
+	}
+	return 4 * c.HeartbeatEvery
 }
 
 // antiEntropyEvery returns the configured anti-entropy cadence, defaulted.
@@ -190,6 +217,14 @@ type childState struct {
 	// confirmed holding, so unchanged replicas ship as version-only TTL
 	// refreshes. Entries are dropped when the child asks for full state.
 	acked map[string]uint64
+	// epoch is the highest membership epoch this child stamped on a
+	// relationship message; lower-epoch heartbeats, reports and re-joins
+	// from it are fenced. Reset to the join's epoch when it rejoins.
+	epoch uint64
+	// epochCapable is set once the child stamped any message (batch ack,
+	// report, heartbeat, join), proving it decodes wire v4; only then are
+	// requests to it epoch-stamped.
+	epochCapable bool
 }
 
 // replicaState is one overlay replica.
@@ -227,13 +262,20 @@ type Server struct {
 	cfg Config
 	tr  transport.Transport
 
-	mu            sync.Mutex
-	owners        []*policy.Owner
-	store         *store.Store
-	parentID      string
-	parentAddr    string
-	parentMisses  int
-	rejoining     bool
+	mu         sync.Mutex
+	owners     []*policy.Owner
+	store      *store.Store
+	parentID   string
+	parentAddr string
+	// parentMisses / parentReportMisses count consecutive failed parent
+	// calls per source loop (heartbeat vs. report). The loops tick
+	// independently, so a shared counter reached HeartbeatMiss ~2× faster
+	// than configured; failure is declared when either source alone does.
+	parentMisses       int
+	parentReportMisses int
+	// tx is the structural mutation currently in flight (recovery, merge);
+	// structural mutations are single-flight, see membership.go.
+	tx            txKind
 	rootPath      []string
 	rootPathAddrs []string
 	siblingsOfMe  []wire.RedirectInfo // from heartbeat replies; root election
@@ -241,6 +283,23 @@ type Server struct {
 	replicas      map[string]*replicaState
 	localSummary  *summary.Summary
 	branchSummary *summary.Summary
+
+	// parentEpoch / parentEpochCapable mirror childState.epoch/epochCapable
+	// for the upward edge: the highest epoch the parent stamped (replies
+	// from a lower one are stale and fenced) and whether it proved it
+	// decodes wire v4 (a stamped push or reply), which authorizes stamping
+	// our heartbeats and reports. Reset whenever the parent changes.
+	parentEpoch        uint64
+	parentEpochCapable bool
+	// knownServers is the ancestry memory (id → addr of servers seen on
+	// our root path, sibling set, or probes) that seeds split-brain
+	// probing: after a partition cuts the tree, the pre-partition ancestry
+	// survives here. Bounded at knownServerCap.
+	knownServers map[string]string
+	// pendingMergeAddr is the address of a foreign winning root recorded
+	// by a probe (sent or received); the membership loop executes the
+	// merge — handlers never make outgoing calls.
+	pendingMergeAddr string
 
 	// childEpoch counts child-branch mutations (branch content set,
 	// changed, or child removed); refreshSummaries skips the branch
@@ -277,6 +336,14 @@ type Server struct {
 	// push within one tick) for the anti-entropy cadence.
 	aggRound atomic.Uint64
 
+	// epoch is the membership epoch: starts at 1, bumped when a recovery
+	// begins, raised to any higher epoch observed on the wire, and never
+	// decreased — so the federation converges to the maximum and anything
+	// stamped from before the latest recovery is recognizably stale. An
+	// atomic so the stamping paths read it lock-free; 0 never appears (a
+	// zero on the wire means "not stamped").
+	epoch atomic.Uint64
+
 	// snap is the immutable routing snapshot the lock-free read paths
 	// (handleQuery, handleStatus, the public accessors) evaluate against.
 	// Never nil after NewServer; write paths republish it via
@@ -310,15 +377,17 @@ func NewServer(cfg Config, tr transport.Transport) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:        cfg,
-		tr:         tr,
-		store:      store.New(cfg.Schema, cfg.Cost),
-		children:   make(map[string]*childState),
-		replicas:   make(map[string]*replicaState),
-		ownerCache: make(map[*policy.Owner]ownerCacheEntry),
-		stop:       make(chan struct{}),
-		startTime:  time.Now(),
+		cfg:          cfg,
+		tr:           tr,
+		store:        store.New(cfg.Schema, cfg.Cost),
+		children:     make(map[string]*childState),
+		replicas:     make(map[string]*replicaState),
+		knownServers: make(map[string]string),
+		ownerCache:   make(map[*policy.Owner]ownerCacheEntry),
+		stop:         make(chan struct{}),
+		startTime:    time.Now(),
 	}
+	s.epoch.Store(1)
 	// Publish the empty snapshot so the lock-free paths never see nil —
 	// the metric gauges registered next read it too.
 	s.mu.Lock()
@@ -380,6 +449,10 @@ func (s *Server) Start() error {
 	s.wg.Add(2)
 	go s.aggregationLoop()
 	go s.heartbeatLoop()
+	if s.epochEnabled() {
+		s.wg.Add(1)
+		go s.membershipLoop()
+	}
 	return nil
 }
 
@@ -471,6 +544,14 @@ func (s *Server) joinHopBudget(discovered int) int {
 // child branch until someone accepts, backtracking into other branches if
 // a descent dead-ends (server gone or all refusing).
 func (s *Server) Join(seedAddr string) error {
+	return s.join(seedAddr, false)
+}
+
+// join runs the Join descent. With stamp set, every join request carries
+// the membership epoch: only the merge path sets it, because the target
+// root proved it decodes wire v4 by answering probes — a plain rejoin
+// must stay unstamped so pre-epoch parents can still accept it.
+func (s *Server) join(seedAddr string, stamp bool) error {
 	tried := make(map[string]bool)
 	frontier := []string{seedAddr}
 	var lastErr error
@@ -486,12 +567,16 @@ func (s *Server) Join(seedAddr string) error {
 			continue
 		}
 		tried[addr] = true
-		rep, err := s.tr.Call(addr, &wire.Message{
+		msg := &wire.Message{
 			Kind: wire.KindJoin,
 			From: s.cfg.ID,
 			Addr: s.cfg.Addr,
 			Join: &wire.Join{ID: s.cfg.ID, Addr: s.cfg.Addr},
-		})
+		}
+		if stamp {
+			s.stampEpoch(msg)
+		}
+		rep, err := s.tr.Call(addr, msg)
 		if err != nil {
 			lastErr = err // dead server: backtrack to others
 			unreachable++
@@ -508,15 +593,26 @@ func (s *Server) Join(seedAddr string) error {
 			continue
 		}
 		if jr.Accepted {
+			s.observeEpoch(rep.Epoch)
 			s.mu.Lock()
 			s.parentID = jr.ParentID
 			s.parentAddr = jr.ParentAddr
 			s.parentMisses = 0
+			s.parentReportMisses = 0
 			// A new (or re-joined) parent starts with no proven delta
 			// capability and holds none of our versions.
 			s.parentV3 = false
 			s.parentHaveVersion = 0
 			s.parentNeedFull = false
+			// Epoch state restarts with the new relationship; a stamped
+			// accept is the parent's v4 proof.
+			s.parentEpoch = 0
+			s.parentEpochCapable = false
+			if s.epochEnabled() && rep.Epoch != 0 {
+				s.parentEpoch = rep.Epoch
+				s.parentEpochCapable = true
+			}
+			s.rememberLocked(jr.ParentID, jr.ParentAddr)
 			s.publishSnapshotLocked()
 			s.mu.Unlock()
 			// Prime the parent's view and our root path immediately.

@@ -2,13 +2,15 @@
 // spins up hundreds to thousands of servers on the in-process transport
 // in a configurable deep/wide hierarchy, attaches trace-shaped workloads
 // from internal/workload, resolves selectivity-realistic queries through
-// concurrent clients, and injects churn — owner record swaps and server
-// crash/rejoin — mid-run. It reports end-to-end latency percentiles,
-// coverage, false-positive descent rate and transport bytes per node per
-// second, the yardstick numbers ROADMAP item 1 asks for.
+// concurrent clients, and injects churn — owner record swaps, server
+// crash/rejoin, and whole-subtree network partitions — mid-run. It reports
+// end-to-end latency percentiles, coverage, false-positive descent rate,
+// transport bytes per node per second, and (under partition churn) the
+// split-brain exposure and post-heal re-convergence the membership-epoch
+// protocol delivers — the yardstick numbers ROADMAP item 1 asks for.
 //
 // cmd/roads-load is the CLI front-end; `make bench-load` archives a run
-// as BENCH_pr6.json via cmd/benchjson.
+// as BENCH_pr7.json via cmd/benchjson.
 package loadgen
 
 import (
@@ -47,9 +49,23 @@ type Churn struct {
 	// ID/address, its owner re-attached, and rejoined through the root.
 	KillEvery   time.Duration
 	ReviveAfter time.Duration
+	// PartitionEvery is the interval between network partitions. Each
+	// event severs one whole subtree — the placement node whose subtree
+	// size is closest to PartitionFraction (default 0.3) of the federation
+	// — from the rest of the tree in both directions, then heals it after
+	// HealAfter (default 2s). Partitions run one at a time. The severed
+	// side elects its own root (membership epochs fence the stale parent
+	// edges) and the split-brain merge protocol folds the trees back
+	// together after the heal; the run reports the measured split-brain
+	// exposure and post-heal re-convergence time.
+	PartitionEvery    time.Duration
+	PartitionFraction float64
+	HealAfter         time.Duration
 }
 
-func (c Churn) enabled() bool { return c.RecordEvery > 0 || c.KillEvery > 0 }
+func (c Churn) enabled() bool {
+	return c.RecordEvery > 0 || c.KillEvery > 0 || c.PartitionEvery > 0
+}
 
 // Config sizes a load run. Zero values take the documented defaults.
 type Config struct {
@@ -76,10 +92,16 @@ type Config struct {
 	QueryRange float64
 	// Queries is how many resolves to issue (default 500), spread over
 	// Clients concurrent clients (default 4), each bounded by
-	// QueryTimeout (default 10s).
+	// QueryTimeout (default 10s). MinDrive, when positive, keeps the
+	// drive phase alive at least that long: clients that exhaust the
+	// query list wrap around and keep issuing it (every issue counts in
+	// the results). Churn schedules — partitions in particular, whose
+	// cut+heal cycles span seconds — need a drive phase long enough to
+	// cover them no matter how fast queries resolve.
 	Queries      int
 	Clients      int
 	QueryTimeout time.Duration
+	MinDrive     time.Duration
 	// ConvergeTimeout bounds the post-build wait for full coverage
 	// (default 2m). Tick is the servers' aggregation/heartbeat period
 	// (default 50ms). Parallelism bounds the cluster build worker pool
@@ -146,6 +168,12 @@ func (c Config) withDefaults() Config {
 	if c.Churn.ReviveAfter == 0 {
 		c.Churn.ReviveAfter = 2 * time.Second
 	}
+	if c.Churn.PartitionFraction == 0 {
+		c.Churn.PartitionFraction = 0.3
+	}
+	if c.Churn.HealAfter == 0 {
+		c.Churn.HealAfter = 2 * time.Second
+	}
 	return c
 }
 
@@ -189,6 +217,25 @@ type Result struct {
 	RecordsReplaced   int `json:"records_replaced"`
 	Kills             int `json:"kills"`
 	Revives           int `json:"revives"`
+
+	// Partition-churn results (all zero without Churn.PartitionEvery).
+	// SplitBrainSeconds is the sampled wall time during which more than one
+	// alive server claimed the root role; HealSeconds how long after the
+	// final heal the federation took to return to one root at full
+	// coverage. FinalRoots and FinalCoverage snapshot the end state
+	// (FinalCoverage = min alive coverage / federation records; 1.0 means
+	// every alive server routes to everything). EpochRegressions sums
+	// roads_membership_epoch_regressions_total across alive servers — the
+	// membership-fencing invariant is that it stays zero — and
+	// MembershipMerges the split-brain merges executed.
+	Partitions        int     `json:"partitions"`
+	PartitionsHealed  int     `json:"partitions_healed"`
+	SplitBrainSeconds float64 `json:"split_brain_seconds"`
+	HealSeconds       float64 `json:"heal_seconds"`
+	FinalRoots        int     `json:"final_roots"`
+	FinalCoverage     float64 `json:"final_coverage"`
+	EpochRegressions  int     `json:"epoch_regressions"`
+	MembershipMerges  int     `json:"membership_merges"`
 }
 
 // Run executes one load run: build the hierarchy, attach owners, wait for
@@ -226,9 +273,17 @@ func Run(cfg Config) (*Result, error) {
 	sumCfg := summary.DefaultConfig()
 	sumCfg.Buckets = cfg.SummaryBuckets
 
-	tr := transport.NewChan()
-	buildStart := time.Now()
-	cl, err := live.StartCluster(tr, live.ClusterConfig{
+	addrOf := func(i int) string { return fmt.Sprintf("srv%03d", i) }
+
+	// The in-process transport carries everything; partition churn wraps it
+	// in the fault injector so whole address sets can be severed mid-run.
+	// The Chan handle stays visible for byte accounting either way. Dropped
+	// calls black-hole briefly relative to the tick so severed heartbeats
+	// fail fast instead of serializing behind multi-second holes.
+	ch := transport.NewChan()
+	var tr transport.Transport = ch
+	var faulty *transport.Faulty
+	ccfg := live.ClusterConfig{
 		N:           cfg.Servers,
 		Schema:      w.Schema,
 		Summary:     sumCfg,
@@ -236,7 +291,19 @@ func Run(cfg Config) (*Result, error) {
 		JoinVia:     func(i int) int { return parents[i] },
 		Parallelism: cfg.Parallelism,
 		Tick:        cfg.Tick,
-	})
+	}
+	if cfg.Churn.PartitionEvery > 0 {
+		faulty = transport.NewFaulty(ch, cfg.Seed+307)
+		faulty.MaxBlackhole = cfg.Tick
+		tr = faulty
+		// Server 0 never dies and always sits on the majority side (a
+		// severed subtree never contains the placement root), so it is the
+		// one well-known address a severed root can probe to find its way
+		// back after the heal.
+		ccfg.MergeSeeds = []string{addrOf(0)}
+	}
+	buildStart := time.Now()
+	cl, err := live.StartCluster(tr, ccfg)
 	if err != nil {
 		return nil, err
 	}
@@ -300,13 +367,14 @@ func Run(cfg Config) (*Result, error) {
 		}
 		return 0 // unreachable: server 0 is never killed
 	}
-	addrOf := func(i int) string { return fmt.Sprintf("srv%03d", i) }
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var churnWg sync.WaitGroup
 	var churnSeq atomic.Int64
 	var recordEvents, recordsReplaced, kills, revives atomic.Int64
+	var partitions, partitionsHealed atomic.Int64
+	var splitBrainNs atomic.Int64
 
 	if cfg.Churn.RecordEvery > 0 {
 		churnWg.Add(1)
@@ -406,6 +474,126 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}()
 	}
+	if faulty != nil && cfg.Servers > 2 {
+		// Subtree sizes from the placement: parents[i] < i, so a reverse
+		// pass accumulates every child into its parent before the parent
+		// itself is visited.
+		subSize := make([]int, cfg.Servers)
+		for i := cfg.Servers - 1; i > 0; i-- {
+			subSize[i]++
+			subSize[parents[i]] += subSize[i]
+		}
+		subSize[0]++
+		inSubtree := func(j, v int) bool {
+			for j >= 0 {
+				if j == v {
+					return true
+				}
+				j = parents[j]
+			}
+			return false
+		}
+		// pickCut chooses the subtree to sever: any non-root node whose
+		// subtree size lands within ±50% of the target fraction, picked at
+		// random; if the placement offers none (very flat or very skewed
+		// trees), the closest-sized subtree wins.
+		target := int(cfg.Churn.PartitionFraction * float64(cfg.Servers))
+		if target < 1 {
+			target = 1
+		}
+		pickCut := func(r *rand.Rand) int {
+			lo, hi := target/2, target+target/2
+			if lo < 1 {
+				lo = 1
+			}
+			cands := make([]int, 0, cfg.Servers)
+			for i := 1; i < cfg.Servers; i++ {
+				if subSize[i] >= lo && subSize[i] <= hi {
+					cands = append(cands, i)
+				}
+			}
+			if len(cands) > 0 {
+				return cands[r.Intn(len(cands))]
+			}
+			best, bestDiff := 1, cfg.Servers
+			for i := 1; i < cfg.Servers; i++ {
+				diff := subSize[i] - target
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff < bestDiff {
+					best, bestDiff = i, diff
+				}
+			}
+			return best
+		}
+		churnWg.Add(1)
+		prng := rand.New(rand.NewSource(cfg.Seed + 307))
+		go func() {
+			defer churnWg.Done()
+			tick := time.NewTicker(cfg.Churn.PartitionEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+				v := pickCut(prng)
+				sideA := make([]string, 0, subSize[v])
+				sideB := make([]string, 0, cfg.Servers-subSize[v])
+				for j := 0; j < cfg.Servers; j++ {
+					if inSubtree(j, v) {
+						sideA = append(sideA, addrOf(j))
+					} else {
+						sideB = append(sideB, addrOf(j))
+					}
+				}
+				faulty.SetRules(transport.PartitionSets(sideA, sideB)...)
+				partitions.Add(1)
+				m.Partitions.Inc()
+				// Heal after HealAfter — or immediately at drive end, so
+				// the post-drive re-convergence wait never starts fenced
+				// off behind a live partition.
+				select {
+				case <-ctx.Done():
+				case <-time.After(cfg.Churn.HealAfter):
+				}
+				faulty.ClearRules()
+				partitionsHealed.Add(1)
+				m.PartitionsHealed.Inc()
+			}
+		}()
+		// Split-brain sampler: accumulate wall time during which more than
+		// one alive server claims the root role.
+		churnWg.Add(1)
+		go func() {
+			defer churnWg.Done()
+			tick := time.NewTicker(25 * time.Millisecond)
+			defer tick.Stop()
+			last := time.Now()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+				now := time.Now()
+				roots := 0
+				aliveMu.Lock()
+				for i, srv := range cl.Servers {
+					if alive[i] && srv.IsRoot() {
+						roots++
+					}
+				}
+				aliveMu.Unlock()
+				if roots > 1 {
+					splitBrainNs.Add(int64(now.Sub(last)))
+				}
+				last = now
+			}
+		}()
+	}
 
 	// Drive phase: Clients workers share one query index.
 	var (
@@ -418,8 +606,9 @@ func Run(cfg Config) (*Result, error) {
 		fpHops   int
 		redirs   int
 	)
-	bytesStart := tr.BytesMoved()
+	bytesStart := ch.BytesMoved()
 	driveStart := time.Now()
+	var issued atomic.Int64
 	var wg sync.WaitGroup
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
@@ -431,8 +620,12 @@ func Run(cfg Config) (*Result, error) {
 			for {
 				k := qIdx.Add(1) - 1
 				if k >= int64(len(queries)) {
-					return
+					if cfg.MinDrive <= 0 || time.Since(driveStart) >= cfg.MinDrive {
+						return
+					}
+					k %= int64(len(queries)) // wrap: keep driving until MinDrive
 				}
+				issued.Add(1)
 				entry := addrOf(pickAlive(wrng))
 				qctx, qcancel := context.WithTimeout(ctx, cfg.QueryTimeout)
 				_, qs, err := cli.ResolveContext(qctx, entry, queries[k])
@@ -470,12 +663,76 @@ func Run(cfg Config) (*Result, error) {
 	}
 	wg.Wait()
 	driveSecs := time.Since(driveStart).Seconds()
-	bytesMoved := tr.BytesMoved() - bytesStart
+	bytesMoved := ch.BytesMoved() - bytesStart
 	cancel()
 	churnWg.Wait()
 
+	// Final federation state across alive servers: root count and coverage
+	// (allExact means every alive server routes to exactly the federation
+	// total — converged with no double counting).
+	finalState := func() (roots int, minCov uint64, allExact bool) {
+		allExact = true
+		minCov = ^uint64(0)
+		aliveMu.Lock()
+		defer aliveMu.Unlock()
+		for i, srv := range cl.Servers {
+			if !alive[i] {
+				continue
+			}
+			if srv.IsRoot() {
+				roots++
+			}
+			cov := srv.CoveredRecords()
+			if cov < minCov {
+				minCov = cov
+			}
+			if cov != total {
+				allExact = false
+			}
+		}
+		if minCov == ^uint64(0) {
+			minCov = 0
+		}
+		return
+	}
+	if faulty != nil {
+		// Heal anything still severed (a partition cut short by drive end
+		// already cleared its rules, but be unconditional) and wait for
+		// the membership protocol to merge back to one root at full
+		// coverage. Failures here are reported as the final-state fields,
+		// not an error: the measurement is the point.
+		faulty.ClearRules()
+		healStart := time.Now()
+		deadline := healStart.Add(cfg.ConvergeTimeout)
+		for {
+			roots, _, allExact := finalState()
+			if (roots == 1 && allExact) || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		res.HealSeconds = time.Since(healStart).Seconds()
+	}
+	finalRoots, minCov, _ := finalState()
+	res.FinalRoots = finalRoots
+	if total > 0 {
+		res.FinalCoverage = float64(minCov) / float64(total)
+	}
+	var regress, mMerges uint64
+	aliveMu.Lock()
+	for i, srv := range cl.Servers {
+		if alive[i] {
+			mi := srv.Membership()
+			regress += mi.EpochRegressions
+			mMerges += mi.Merges
+		}
+	}
+	aliveMu.Unlock()
+	res.EpochRegressions = int(regress)
+	res.MembershipMerges = int(mMerges)
+
 	res.DriveSeconds = driveSecs
-	res.Queries = len(queries)
+	res.Queries = int(issued.Load())
 	res.Failures = failures
 	if len(durs) > 0 {
 		res.LatencyMean = stats.MeanDuration(durs)
@@ -497,6 +754,9 @@ func Run(cfg Config) (*Result, error) {
 	res.RecordsReplaced = int(recordsReplaced.Load())
 	res.Kills = int(kills.Load())
 	res.Revives = int(revives.Load())
+	res.Partitions = int(partitions.Load())
+	res.PartitionsHealed = int(partitionsHealed.Load())
+	res.SplitBrainSeconds = time.Duration(splitBrainNs.Load()).Seconds()
 	return res, nil
 }
 

@@ -184,3 +184,60 @@ func TestLoadgenSmoke(t *testing.T) {
 			m.Kills.Load(), res.Kills, m.RecordChurn.Load(), res.RecordChurnEvents)
 	}
 }
+
+// TestLoadgenPartitionChurn is the membership-protocol acceptance run: a
+// 200-server hierarchy repeatedly loses a ~30% subtree to a full network
+// partition mid-drive and heals it. The severed side elects its own root
+// under a bumped membership epoch; the split-brain merge protocol must
+// fold the trees back after each heal, ending at exactly one root with
+// full coverage and zero epoch regressions (the fencing invariant).
+func TestLoadgenPartitionChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale partition test skipped in -short mode")
+	}
+	m := RegisterMetrics(obs.NewRegistry())
+	res, err := Run(Config{
+		Servers:         200,
+		FanOut:          4,
+		MinDepth:        5,
+		OwnerEvery:      4,
+		RecordsPerOwner: 20,
+		SummaryBuckets:  32,
+		Queries:         partitionQueries,
+		Clients:         4,
+		QueryTimeout:    time.Second,
+		MinDrive:        partitionMinDrive,
+		Tick:            partitionTick,
+		ConvergeTimeout: 2 * time.Minute,
+		Seed:            11,
+		Churn: Churn{
+			PartitionEvery:    800 * time.Millisecond,
+			PartitionFraction: 0.3,
+			HealAfter:         4 * time.Second,
+		},
+		Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitions < 2 {
+		t.Fatalf("only %d partitions injected; the drive must cover at least two", res.Partitions)
+	}
+	if res.PartitionsHealed != res.Partitions {
+		t.Fatalf("healed %d of %d partitions", res.PartitionsHealed, res.Partitions)
+	}
+	if res.FinalRoots != 1 {
+		t.Fatalf("federation ended with %d roots, want exactly 1", res.FinalRoots)
+	}
+	if res.FinalCoverage < 0.999 {
+		t.Fatalf("post-heal coverage %.4f, want >= 0.999", res.FinalCoverage)
+	}
+	if res.EpochRegressions != 0 {
+		t.Fatalf("epoch fencing invariant violated: %d regressions", res.EpochRegressions)
+	}
+	if got := m.Partitions.Load(); got != uint64(res.Partitions) {
+		t.Fatalf("metrics/result partition mismatch: %d/%d", got, res.Partitions)
+	}
+	t.Logf("partitions=%d split-brain=%.2fs heal=%.2fs merges=%d",
+		res.Partitions, res.SplitBrainSeconds, res.HealSeconds, res.MembershipMerges)
+}

@@ -20,6 +20,10 @@ type Metrics struct {
 	RecordChurn *obs.Counter
 	Kills       *obs.Counter
 	Revives     *obs.Counter
+	// Partitions counts network partitions injected by the churn schedule;
+	// PartitionsHealed the subset already healed (rules cleared).
+	Partitions       *obs.Counter
+	PartitionsHealed *obs.Counter
 	// Latency is the end-to-end resolve latency distribution.
 	Latency *obs.Histogram
 }
@@ -35,6 +39,9 @@ func RegisterMetrics(reg *obs.Registry) *Metrics {
 		RecordChurn: reg.Counter("roads_loadgen_record_churn_total", "Owner record-swap events injected by the churn schedule."),
 		Kills:       reg.Counter("roads_loadgen_kills_total", "Servers crash-killed by the churn schedule."),
 		Revives:     reg.Counter("roads_loadgen_revives_total", "Killed servers successfully restarted and rejoined."),
+		Partitions:  reg.Counter("roads_loadgen_partitions_total", "Network partitions injected by the churn schedule."),
+		PartitionsHealed: reg.Counter("roads_loadgen_partitions_healed_total",
+			"Injected network partitions healed (fault rules cleared)."),
 		Latency:     reg.Histogram("roads_loadgen_query_seconds", "End-to-end query resolve latency.", obs.DefaultLatencyBounds()),
 	}
 }

@@ -1,0 +1,14 @@
+package loadgen
+
+import "time"
+
+// partitionQueries / partitionMinDrive size TestLoadgenPartitionChurn's
+// drive phase. The race detector slows query evaluation by an order of
+// magnitude at this scale, so race builds (scale_race_test.go) shrink the
+// run — the partition/heal/merge cycle under test is wall-clock paced and
+// survives the smaller drive intact.
+var (
+	partitionQueries  = 600
+	partitionMinDrive = 9 * time.Second
+	partitionTick     = 50 * time.Millisecond
+)

@@ -48,6 +48,12 @@ type FaultRule struct {
 	// From matches the sender against the message's From or Addr field
 	// ("" = any sender). To matches the destination address ("" = any).
 	From, To string
+	// FromIn/ToIn are set-valued variants of From/To: the sender (resp.
+	// destination) must be one of the listed addresses/IDs. Nil means any.
+	// A two-sided rule — FromIn one partition side, ToIn the other —
+	// severs a whole server set from the rest in a single rule, which is
+	// how PartitionSets models a network partition.
+	FromIn, ToIn []string
 	// Kind restricts the rule to one message kind (0 = all kinds).
 	Kind wire.Kind
 	// Action selects the fault; Delay and Err parameterize FaultDelay and
@@ -73,16 +79,44 @@ func (r *FaultRule) matches(addr string, req *wire.Message) bool {
 	if r.From != "" && r.From != req.From && r.From != req.Addr {
 		return false
 	}
+	if len(r.ToIn) > 0 && !containsAddr(r.ToIn, addr, "") {
+		return false
+	}
+	if len(r.FromIn) > 0 && !containsAddr(r.FromIn, req.From, req.Addr) {
+		return false
+	}
 	if r.Kind != 0 && r.Kind != req.Kind {
 		return false
 	}
 	return true
 }
 
+// containsAddr reports whether set holds a (or the alternate b, when
+// non-empty) — the set-membership test behind FromIn/ToIn.
+func containsAddr(set []string, a, b string) bool {
+	for _, s := range set {
+		if s == a || (b != "" && s == b) {
+			return true
+		}
+	}
+	return false
+}
+
 // Partition returns a rule that black-holes all traffic from→to. Combine
 // two (swapped) for a full partition; one alone is a one-way partition.
 func Partition(from, to string) FaultRule {
 	return FaultRule{From: from, To: to, Action: FaultDrop}
+}
+
+// PartitionSets returns the two drop rules that sever server set a from
+// server set b in both directions — a full network partition between the
+// two sides. Traffic within each side still flows. Heal by removing the
+// rules (SetRules/ClearRules).
+func PartitionSets(a, b []string) []FaultRule {
+	return []FaultRule{
+		{FromIn: a, ToIn: b, Action: FaultDrop},
+		{FromIn: b, ToIn: a, Action: FaultDrop},
+	}
 }
 
 // Down returns a rule that black-holes all traffic to addr, simulating an

@@ -171,3 +171,48 @@ func TestFaultyClearRules(t *testing.T) {
 		t.Fatalf("cleared rules must pass traffic: %v", err)
 	}
 }
+
+// TestFaultyPartitionSets: the two-rule set partition severs every pair
+// across the cut, in both directions, while intra-side traffic flows —
+// and set membership matches the sender's From (ID) as well as its Addr,
+// since live servers stamp both.
+func TestFaultyPartitionSets(t *testing.T) {
+	inner := NewChan()
+	for _, id := range []string{"a1", "a2", "b1", "b2"} {
+		id := id
+		if _, err := inner.Listen(id, func(m *wire.Message) *wire.Message {
+			return &wire.Message{Kind: wire.KindAck, From: id}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := NewFaulty(inner, 1)
+	f.MaxBlackhole = 5 * time.Millisecond
+	f.SetRules(PartitionSets([]string{"a1", "a2"}, []string{"b1", "b2"})...)
+
+	cross := []struct{ from, to string }{
+		{"a1", "b1"}, {"a2", "b2"}, {"b1", "a1"}, {"b2", "a2"},
+	}
+	for _, c := range cross {
+		if _, err := f.Call(c.to, &wire.Message{Kind: wire.KindAck, From: c.from}); err == nil {
+			t.Fatalf("%s→%s crossed the partition", c.from, c.to)
+		}
+	}
+	within := []struct{ from, to string }{{"a1", "a2"}, {"b2", "b1"}}
+	for _, c := range within {
+		if _, err := f.Call(c.to, &wire.Message{Kind: wire.KindAck, From: c.from}); err != nil {
+			t.Fatalf("%s→%s blocked inside one side: %v", c.from, c.to, err)
+		}
+	}
+	// A sender identified only by Addr (empty From) is still caught.
+	if _, err := f.Call("b1", &wire.Message{Kind: wire.KindAck, Addr: "a1"}); err == nil {
+		t.Fatal("Addr-identified sender crossed the partition")
+	}
+	// A third party outside both sets is untouched.
+	if _, err := f.Call("b1", &wire.Message{Kind: wire.KindAck, From: "outsider"}); err != nil {
+		t.Fatalf("outsider→b1 should flow: %v", err)
+	}
+	if d, _, _ := f.Injected(); d != 5 {
+		t.Fatalf("dropped = %d, want 5", d)
+	}
+}

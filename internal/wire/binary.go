@@ -34,6 +34,12 @@ package wire
 //	    that a v2 peer could produce stays byte-identical and decodable
 //	    by v2 peers — v3 features activate only after capability
 //	    negotiation proves the receiver understands them.
+//	4 — epoch-fenced membership: Message gains Epoch (appended after
+//	    Ack) and RootProbe (KindRootProbe/KindRootProbeReply split-brain
+//	    probes). Same lowest-sufficient-version rule: a message with
+//	    Epoch == 0 and no RootProbe encodes exactly as before, so
+//	    pre-epoch traffic stays byte-identical and epoch stamping only
+//	    starts once capability negotiation proves the peer decodes v4.
 
 import (
 	"encoding/binary"
@@ -54,7 +60,7 @@ const (
 	// binVersion is the newest codec revision; the decoder accepts this
 	// and every earlier revision. The encoder writes the lowest revision
 	// that can carry the message (encodeVersion), not always the newest.
-	binVersion = 3
+	binVersion = 4
 	// maxRedirectDepth bounds RedirectInfo.Alternates nesting on decode.
 	// Real messages nest one level (alternates carry no alternates); the
 	// bound stops crafted input from recursing the decoder off the stack.
@@ -76,6 +82,9 @@ const (
 	// Only ever set on version-3 payloads: Ack != nil forces the encoder
 	// to version 3, and pre-v3 decoders reject version 3 outright.
 	hasAckInfo
+	// hasRootProbe (v4) marks a Message.RootProbe payload, appended after
+	// Ack/Epoch. Only ever set on version-4 payloads.
+	hasRootProbe
 )
 
 // IsBinary reports whether data is a binary-codec payload (as opposed to
@@ -238,14 +247,18 @@ func (r *binReader) count(elemSize int) int {
 
 // --- Message ---
 
-// encodeVersion picks the codec revision for m: 3 when the message uses
-// any v3 field, 2 otherwise. Writing the lowest sufficient version keeps
-// every message a v2 peer could produce decodable by v2 peers, which is
-// what lets delta-capable and legacy servers share one tree: v3 features
-// only appear on the wire after the sender has proof the receiver
-// understands them. FuzzDecode's encode/decode fixed point tolerates this
-// because a re-encode of a decoded message is already normalized.
+// encodeVersion picks the lowest codec revision that can carry m: 4 when
+// the message uses any v4 field, 3 for v3 fields, 2 otherwise. Writing the
+// lowest sufficient version keeps every message an older peer could
+// produce decodable by that peer's generation, which is what lets mixed
+// generations share one tree: newer features only appear on the wire after
+// the sender has proof the receiver understands them. FuzzDecode's
+// encode/decode fixed point tolerates this because a re-encode of a
+// decoded message is already normalized.
 func encodeVersion(m *Message) byte {
+	if m.Epoch != 0 || m.RootProbe != nil {
+		return 4
+	}
 	if m.Ack != nil {
 		return 3
 	}
@@ -316,6 +329,9 @@ func AppendEncode(buf []byte, m *Message) ([]byte, error) {
 	if m.Ack != nil {
 		bits |= hasAckInfo
 	}
+	if m.RootProbe != nil {
+		bits |= hasRootProbe
+	}
 	b = appendUvarint(b, bits)
 
 	if m.Join != nil {
@@ -359,6 +375,16 @@ func AppendEncode(buf []byte, m *Message) ([]byte, error) {
 		b = appendUvarint(b, m.Ack.HaveVersion)
 		b = appendBool(b, m.Ack.NeedFull)
 		b = appendStrings(b, m.Ack.NeedFullOrigins)
+	}
+	// v4: membership epoch + root-probe payload, appended per the
+	// compatibility rule. Only written on version-4 payloads, and a
+	// nonzero Epoch or non-nil RootProbe forces version 4.
+	if ver >= 4 {
+		b = appendUvarint(b, m.Epoch)
+		if m.RootProbe != nil {
+			b = appendString(b, m.RootProbe.RootID)
+			b = appendString(b, m.RootProbe.RootAddr)
+		}
 	}
 	codecCounters.binaryEncodes.Inc()
 	return b, nil
@@ -427,6 +453,12 @@ func decodeBinary(data []byte) (*Message, error) {
 			HaveVersion:     r.uvarint(),
 			NeedFull:        r.bool(),
 			NeedFullOrigins: readStrings(r),
+		}
+	}
+	if r.ver >= 4 {
+		m.Epoch = r.uvarint()
+		if bits&hasRootProbe != 0 {
+			m.RootProbe = &RootProbe{RootID: r.str(), RootAddr: r.str()}
 		}
 	}
 	if r.err != nil {

@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestEncodeVersionV4Adaptive pins the membership-epoch compatibility
+// contract: a message carrying neither an Epoch nor a RootProbe encodes
+// exactly as before (version 2 or 3 per its fields), so traffic to
+// pre-epoch peers never carries a v4 payload — version 4 appears only
+// once an epoch stamp or a root probe is actually on the message.
+func TestEncodeVersionV4Adaptive(t *testing.T) {
+	cases := []struct {
+		m    *Message
+		want byte
+	}{
+		{&Message{Kind: KindHeartbeat, From: "n"}, 2},
+		{&Message{Kind: KindAck, From: "n", Ack: &AckInfo{HaveVersion: 9}}, 3},
+		{&Message{Kind: KindHeartbeat, From: "n", Epoch: 1}, 4},
+		{&Message{Kind: KindAck, From: "n", Ack: &AckInfo{HaveVersion: 9}, Epoch: 7}, 4},
+		{&Message{Kind: KindRootProbe, From: "n",
+			RootProbe: &RootProbe{RootID: "n", RootAddr: "a"}}, 4},
+	}
+	for _, c := range cases {
+		data, err := Encode(c.m)
+		if err != nil {
+			t.Fatalf("kind %d: %v", c.m.Kind, err)
+		}
+		if data[1] != c.want {
+			t.Fatalf("kind %d (epoch=%d probe=%v) encoded as version %d, want %d",
+				c.m.Kind, c.m.Epoch, c.m.RootProbe != nil, data[1], c.want)
+		}
+	}
+}
+
+// TestBinaryV4RoundTrip checks the membership shapes survive the codec
+// exactly: epoch-stamped relationship messages, root probes and replies,
+// and an epoch-stamped batch ack (the capability bootstrap message).
+func TestBinaryV4RoundTrip(t *testing.T) {
+	msgs := []*Message{
+		{Kind: KindHeartbeat, From: "child", Addr: "ca", Epoch: 3},
+		{Kind: KindSummaryReport, From: "child", Epoch: 12, Report: &SummaryReport{
+			Depth: 2, Version: 0xfeedbeef,
+		}},
+		{Kind: KindRootProbe, From: "r2", Addr: "r2a", Epoch: 5,
+			RootProbe: &RootProbe{RootID: "r2", RootAddr: "r2a"}},
+		{Kind: KindRootProbeReply, From: "n", Addr: "na", Epoch: 9,
+			RootProbe: &RootProbe{RootID: "r1", RootAddr: "r1a"}},
+		{Kind: KindAck, From: "child", Epoch: 2, Ack: &AckInfo{
+			NeedFull: true, NeedFullOrigins: []string{"sib"},
+		}},
+	}
+	for _, msg := range msgs {
+		data, err := Encode(msg)
+		if err != nil {
+			t.Fatalf("kind %d: %v", msg.Kind, err)
+		}
+		if data[1] != 4 {
+			t.Fatalf("kind %d encoded as version %d, want 4", msg.Kind, data[1])
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("kind %d: %v", msg.Kind, err)
+		}
+		if !reflect.DeepEqual(msg, got) {
+			t.Fatalf("kind %d changed across the codec:\nsent %+v\ngot  %+v", msg.Kind, msg, got)
+		}
+	}
+}
+
+// TestBinaryV4KindValues pins the new kind values: appended after
+// KindReplicaBatch, never renumbering earlier kinds.
+func TestBinaryV4KindValues(t *testing.T) {
+	if KindRootProbe != KindReplicaBatch+1 || KindRootProbeReply != KindRootProbe+1 {
+		t.Fatalf("membership kinds renumbered: probe=%d reply=%d batch=%d",
+			KindRootProbe, KindRootProbeReply, KindReplicaBatch)
+	}
+}
+
+// TestBinaryRejectsFutureVersion checks the decoder refuses a payload
+// stamped with a version it does not know (v5), rather than misreading
+// trailing fields.
+func TestBinaryRejectsFutureVersion(t *testing.T) {
+	data, err := Encode(&Message{Kind: KindHeartbeat, From: "n", Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[1] = binVersion + 1
+	if _, err := Decode(data); err == nil {
+		t.Fatalf("decoder accepted version %d payload", binVersion+1)
+	}
+}
+
+// TestBinaryV3NoEpochTail checks a v3 payload must not carry the v4 tail:
+// trailing bytes after the v3 fields are rejected, so an epoch can never
+// ride on a version the receiver would silently truncate.
+func TestBinaryV3NoEpochTail(t *testing.T) {
+	data, err := Encode(&Message{Kind: KindAck, From: "n", Ack: &AckInfo{HaveVersion: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[1] != 3 {
+		t.Fatalf("setup: want v3 payload, got %d", data[1])
+	}
+	if _, err := Decode(append(data, 1)); err == nil {
+		t.Fatal("v3 payload with trailing epoch byte must fail")
+	}
+}

@@ -62,6 +62,13 @@ const (
 	// stable on the wire; peers that predate batching still understand
 	// the individual KindReplicaPush form.
 	KindReplicaBatch
+	// KindRootProbe asks a server which root it currently follows; roots
+	// exchange probes to detect a split brain after a partition heals.
+	// KindRootProbeReply answers with the receiver's root view. Pre-epoch
+	// peers answer both with their generic unhandled-kind error, which
+	// probers treat as "not epoch-capable".
+	KindRootProbe
+	KindRootProbeReply
 )
 
 // Message is the envelope every exchange uses.
@@ -86,6 +93,28 @@ type Message struct {
 	// start suppressing redundant summary payloads toward it. Nil on
 	// plain acks and from pre-v3 peers.
 	Ack *AckInfo
+	// Epoch is the sender's membership epoch (wire v4). Epochs are
+	// monotonically increasing per federation: every recovery action
+	// (parent failover, root election, tree merge) bumps them, and
+	// receivers fence relationship messages that carry an epoch lower
+	// than the one they last recorded for that relationship, so a healed
+	// partition cannot resurrect a dead parent/child edge. Zero means
+	// "not stamped" (pre-epoch peer or epoch disabled); a nonzero value
+	// doubles as the epoch-capability signal.
+	Epoch uint64
+	// RootProbe carries the split-brain probe payload on
+	// KindRootProbe/KindRootProbeReply messages (wire v4).
+	RootProbe *RootProbe
+}
+
+// RootProbe is the split-brain detection payload (wire v4). On a
+// KindRootProbe request it names the probing root; on the reply it names
+// the root the receiver currently follows (its rootPath head). Two live
+// roots that learn of each other this way resolve the split: the
+// higher-epoch root (tie: smaller ID) wins and the loser joins it.
+type RootProbe struct {
+	RootID   string
+	RootAddr string
 }
 
 // AckInfo is the delta-dissemination feedback piggybacked on acks.
