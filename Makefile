@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race chaos docs-check bench-transport bench bench-load bench-compare
+.PHONY: tier1 build vet test race chaos docs-check bench-transport bench bench-store bench-load bench-compare
 
 # tier1 is the gate every change must pass: full build + vet + full test
 # suite, plus race-enabled runs of the concurrency-heavy packages (the
@@ -19,7 +19,7 @@ test: vet
 	$(GO) test ./...
 
 race: vet
-	$(GO) test -race ./internal/live/... ./internal/transport/... ./internal/wire/... ./internal/loadgen/...
+	$(GO) test -race ./internal/live/... ./internal/transport/... ./internal/wire/... ./internal/loadgen/... ./internal/store/...
 
 # chaos drives the deterministic fault-injection transport through the
 # failure scenarios in internal/live/chaos_test.go (crashed redirect
@@ -39,15 +39,24 @@ docs-check:
 bench-transport:
 	$(GO) test -bench 'BenchmarkTCPCall|BenchmarkPushReplicas' -benchmem -run '^$$' ./internal/transport/ ./internal/live/
 
-# bench runs the query-hot-path, wire-codec, and aggregation-tick
-# benchmarks — each carries its own before/after baseline as
+# bench runs the query-hot-path, wire-codec, aggregation-tick, and
+# sharded-store benchmarks — each carries its own before/after baseline as
 # sub-benchmarks (snapshot vs mutex query locking, binary vs gob codec,
-# delta vs full dissemination across churn rates) — and archives the
-# numbers as BENCH_pr5.json via cmd/benchjson (see EXPERIMENTS.md).
-BENCHOUT ?= BENCH_pr5.json
+# delta vs full dissemination across churn rates, sharded vs monolithic
+# summary refresh across churn rates) — and archives the numbers as
+# BENCH_pr8.json via cmd/benchjson (see EXPERIMENTS.md).
+BENCHOUT ?= BENCH_pr8.json
 bench:
-	$(GO) test -bench 'BenchmarkHandleQuery|BenchmarkCodec|BenchmarkAggregationTick' -benchmem -run '^$$' ./internal/live/ ./internal/wire/ \
+	$(GO) test -bench 'BenchmarkHandleQuery|BenchmarkCodec|BenchmarkAggregationTick|BenchmarkShardedIngest|BenchmarkExportChurn' -benchmem -run '^$$' ./internal/live/ ./internal/wire/ ./internal/store/ \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCHOUT)
+
+# bench-store runs only the store-layer benchmarks: bulk-ingest linearity
+# across sizes and shard counts, and the per-refresh summary-export cost at
+# 0%/1%/100% churn, sharded vs the pre-sharding full-rebuild baseline.
+BENCHSTORE ?= BENCH_store.json
+bench-store:
+	$(GO) test -bench 'BenchmarkShardedIngest|BenchmarkExportChurn|BenchmarkSearch' -benchmem -run '^$$' ./internal/store/ \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCHSTORE)
 
 # bench-load runs the live-topology load harness (cmd/roads-load →
 # internal/loadgen) twice and archives both lines as BENCH_pr7.json via
@@ -68,9 +77,9 @@ bench-load:
 	  $(GO) run ./cmd/roads-load $(LOADPARTARGS) ) | tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCHLOAD)
 
 # bench-compare diffs two benchjson archives; defaults compare this PR's
-# archive against the PR-3 one (only the benchmarks present in both), e.g.
+# archive against the PR-5 one (only the benchmarks present in both), e.g.
 #   make bench && make bench-compare
-OLD ?= BENCH_pr3.json
-NEW ?= BENCH_pr5.json
+OLD ?= BENCH_pr5.json
+NEW ?= BENCH_pr8.json
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)

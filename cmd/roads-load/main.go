@@ -46,6 +46,9 @@ func main() {
 	flag.DurationVar(&cfg.Churn.RecordEvery, "churn-records", 0, "interval between owner record-swap events (0: off)")
 	flag.IntVar(&cfg.Churn.RecordOwners, "churn-owners", 1, "owners touched per record-swap event")
 	flag.Float64Var(&cfg.Churn.RecordFraction, "churn-frac", 0.2, "fraction of a touched owner's records replaced")
+	flag.DurationVar(&cfg.Churn.WriteEvery, "churn-writes", 0, "interval between owner add/remove write events (0: off)")
+	flag.IntVar(&cfg.Churn.WriteOwners, "churn-write-owners", 1, "owners touched per write event")
+	flag.Float64Var(&cfg.Churn.WriteFraction, "churn-write-frac", 0.05, "fraction of a touched owner's records removed and re-added per write event")
 	flag.DurationVar(&cfg.Churn.KillEvery, "churn-kill", 0, "interval between server crash-kills (0: off)")
 	flag.DurationVar(&cfg.Churn.ReviveAfter, "churn-revive", 2*time.Second, "downtime before a killed server rejoins")
 	flag.DurationVar(&cfg.Churn.PartitionEvery, "churn-partition", 0, "interval between subtree network partitions (0: off)")
@@ -75,6 +78,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "churn: %d record events (%d records), %d kills, %d revives\n",
 			res.RecordChurnEvents, res.RecordsReplaced, res.Kills, res.Revives)
 	}
+	if res.WriteChurnEvents > 0 {
+		fmt.Fprintf(os.Stderr, "write churn: %d events (%d records removed+added), owner shard rebuilds %d, partial merges %d\n",
+			res.WriteChurnEvents, res.RecordsWritten, res.OwnerShardRebuilds, res.OwnerPartialMerges)
+	}
+	if res.RefreshTicks > 0 {
+		fmt.Fprintf(os.Stderr, "refresh: %d ticks, %d skipped (%.4f skip rate), %.2fs busy CPU across servers\n",
+			res.RefreshTicks, res.RefreshSkipped, res.RefreshSkipRate, res.RefreshBusySeconds)
+	}
 	if res.Partitions > 0 {
 		fmt.Fprintf(os.Stderr, "partitions: %d injected, %d healed, split-brain %.2fs, re-converged in %.2fs\n",
 			res.Partitions, res.PartitionsHealed, res.SplitBrainSeconds, res.HealSeconds)
@@ -100,7 +111,7 @@ func main() {
 	// iteration count is the successful-query count; ns/op is the mean
 	// end-to-end latency so bench-compare diffs it across archives.
 	name := fmt.Sprintf("BenchmarkRoadsLoad/n=%d/fanout=%d/depth=%d", res.Servers, res.FanOut, res.Depth)
-	if cfg.Churn.RecordEvery > 0 || cfg.Churn.KillEvery > 0 {
+	if cfg.Churn.RecordEvery > 0 || cfg.Churn.WriteEvery > 0 || cfg.Churn.KillEvery > 0 {
 		name += "/churn"
 	}
 	if cfg.Churn.PartitionEvery > 0 {
@@ -116,6 +127,10 @@ func main() {
 	if cfg.Churn.PartitionEvery > 0 {
 		fmt.Printf("\t%d partitions-healed\t%.2f split-brain-s\t%.2f heal-s\t%d final-roots\t%d epoch-regressions",
 			res.PartitionsHealed, res.SplitBrainSeconds, res.HealSeconds, res.FinalRoots, res.EpochRegressions)
+	}
+	if cfg.Churn.WriteEvery > 0 {
+		fmt.Printf("\t%.4f refresh-skip-rate\t%.2f refresh-busy-s\t%d shard-rebuilds\t%d partial-merges",
+			res.RefreshSkipRate, res.RefreshBusySeconds, res.OwnerShardRebuilds, res.OwnerPartialMerges)
 	}
 	fmt.Println()
 }

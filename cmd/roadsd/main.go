@@ -47,6 +47,7 @@ func main() {
 	noDelta := flag.Bool("no-delta", false, "disable change-driven dissemination: rebuild summaries and send full reports/pushes every tick (pre-v3 wire behaviour)")
 	antiEntropy := flag.Int("anti-entropy-every", live.DefaultAntiEntropyEvery, "send full state every Nth aggregation tick even to up-to-date peers (ignored with -no-delta)")
 	noEpoch := flag.Bool("no-epoch", false, "run as a pre-epoch peer: no membership-epoch stamping, fencing, or split-brain root probing (pre-v4 wire behaviour)")
+	storeShards := flag.Int("store-shards", 0, "store shard count: records hash to shards, each maintaining its own indexes and partial summary (0 = library default)")
 	var mergeSeeds stringsFlag
 	flag.Var(&mergeSeeds, "merge-seed", "well-known address this server probes for a foreign root while it is a root itself, to detect and merge a split brain (repeatable; the -join seed is remembered automatically)")
 	seed := flag.Int64("seed", 0, "workload seed (0 = derive from ID)")
@@ -112,6 +113,7 @@ func main() {
 	cfg.AntiEntropyEvery = *antiEntropy
 	cfg.DisableMembershipEpoch = *noEpoch
 	cfg.MergeSeeds = mergeSeeds
+	cfg.StoreShards = *storeShards
 
 	reg := obs.NewRegistry()
 	tr := transport.NewTCP()

@@ -91,6 +91,8 @@ const exportWorkers = 4
 // reads instead of O(records × attributes) work. Owners that did change
 // re-export concurrently on a bounded worker pool.
 func (s *Server) refreshSummaries() {
+	start := time.Now()
+	defer func() { s.refreshBusyNs.Add(time.Since(start).Nanoseconds()) }()
 	s.refreshMu.Lock()
 	defer s.refreshMu.Unlock()
 	delta := !s.cfg.DisableDeltaDissemination
@@ -101,9 +103,12 @@ func (s *Server) refreshSummaries() {
 	failed := false
 
 	// Store part: rebuild only when the store's mutation epoch moved.
-	// The epoch is read before the records, so a concurrent mutation can
+	// The epoch is read before the summary, so a concurrent mutation can
 	// only make the cached summary newer than its epoch claims — the next
-	// tick re-exports. Never the stale direction.
+	// tick re-exports. Never the stale direction. The re-export itself is
+	// the store's merge of per-shard partial summaries (maintained
+	// incrementally on write), so even a changed tick costs the shards
+	// touched since the last export, not O(records × attributes).
 	var storeSum *summary.Summary
 	storeFresh := true
 	if delta {
@@ -112,7 +117,7 @@ func (s *Server) refreshSummaries() {
 			storeSum = s.storeSummary
 			storeFresh = false
 		} else {
-			sum, err := summary.FromRecords(s.cfg.Schema, s.cfg.Summary, s.store.Records())
+			sum, err := s.store.ExportSummary()
 			if err != nil {
 				s.noteSummaryError(err)
 				return
@@ -288,6 +293,39 @@ func (s *Server) noteSummaryError(err error) {
 func (s *Server) noteSummaryOK() {
 	if s.summaryFailing.CompareAndSwap(true, false) {
 		log.Printf("live %s: summary refresh recovered", s.cfg.ID)
+	}
+}
+
+// RefreshInfo is a snapshot of the summary-refresh pipeline's economics:
+// how many refresh ticks ran, how many reused every cached summary, how
+// much wall time the refreshes consumed, and the store's partial-summary
+// maintenance counters. The load harness reads it to report refresh CPU
+// and rebuild-skip rates under write churn.
+type RefreshInfo struct {
+	// Ticks counts aggregation refresh rounds run; Skipped the subset
+	// that reused every cached summary (store, owners and children all
+	// unchanged).
+	Ticks   uint64
+	Skipped uint64
+	// BusySeconds is total wall time spent inside refreshSummaries.
+	BusySeconds float64
+	// StoreShardRebuilds / StorePartialMerges / StoreExportsCached are the
+	// server store's partial-summary counters (see store.Stats).
+	StoreShardRebuilds uint64
+	StorePartialMerges uint64
+	StoreExportsCached uint64
+}
+
+// RefreshInfo returns the refresh pipeline counters.
+func (s *Server) RefreshInfo() RefreshInfo {
+	st := s.store.Stats()
+	return RefreshInfo{
+		Ticks:              s.aggRound.Load(),
+		Skipped:            s.mx.rebuildsSkipped.Load(),
+		BusySeconds:        float64(s.refreshBusyNs.Load()) / 1e9,
+		StoreShardRebuilds: st.ShardRebuilds,
+		StorePartialMerges: st.PartialMerges,
+		StoreExportsCached: st.ExportsCached,
 	}
 }
 

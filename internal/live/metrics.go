@@ -93,6 +93,19 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 		epochRegressions: reg.Counter("roads_membership_epoch_regressions_total",
 			"Accepted relationship messages that would move a recorded membership epoch backward; the fencing invariant is that this stays zero."),
 	}
+	reg.CounterFunc("roads_store_shard_rebuilds_total",
+		"Store shard partial-summary rebuilds — the single-shard fallback taken when removals made a shard's partial stale (Bloom mode or the tracked-deletion threshold) or it was never built.",
+		func() uint64 { return s.store.Stats().ShardRebuilds })
+	reg.CounterFunc("roads_summary_partial_merges_total",
+		"Store shard partials folded into merged summary exports (K per non-cached export for a K-shard store).",
+		func() uint64 { return s.store.Stats().PartialMerges })
+	reg.CounterFunc("roads_summary_exports_cached_total",
+		"Store summary exports served entirely from the merged cache because the store epoch had not moved.",
+		func() uint64 { return s.store.Stats().ExportsCached })
+	reg.GaugeFunc("roads_store_shards",
+		"Configured store shard count.", func() float64 {
+			return float64(s.store.NumShards())
+		})
 	reg.GaugeFunc("roads_children",
 		"Current child count.", func() float64 {
 			return float64(len(s.snap.Load().children))

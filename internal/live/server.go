@@ -107,6 +107,12 @@ type Config struct {
 	Metrics *obs.Registry
 	// Cost models the store backend.
 	Cost store.CostModel
+	// StoreShards is the server store's shard count. Records hash to
+	// shards by ID; each shard keeps its own lock, indexes and — while
+	// delta dissemination is on — an incrementally maintained partial
+	// summary, so store churn re-summarizes touched shards instead of
+	// rebuilding the whole store's summary. Zero uses store.DefaultShards.
+	StoreShards int
 }
 
 // DefaultConfig returns test-friendly defaults for the given identity.
@@ -363,7 +369,10 @@ type Server struct {
 	// refresh (0 before the first); roads_summary_age_seconds derives
 	// from it.
 	lastRefresh atomic.Int64
-	startTime   time.Time
+	// refreshBusyNs accumulates wall time spent inside refreshSummaries —
+	// the refresh-CPU number the load harness reports against skip rates.
+	refreshBusyNs atomic.Int64
+	startTime     time.Time
 
 	closer  io.Closer
 	stop    chan struct{}
@@ -376,10 +385,19 @@ func NewServer(cfg Config, tr transport.Transport) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	st := store.NewWithOptions(cfg.Schema, cfg.Cost, store.Options{Shards: cfg.StoreShards})
+	if !cfg.DisableDeltaDissemination {
+		// The delta refresh path exports the store summary as a merge of
+		// per-shard partials maintained on write; the disabled baseline
+		// keeps the monolithic FromRecords rebuild (see refreshSummaries).
+		if err := st.EnableSummaries(cfg.Summary); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		cfg:          cfg,
 		tr:           tr,
-		store:        store.New(cfg.Schema, cfg.Cost),
+		store:        st,
 		children:     make(map[string]*childState),
 		replicas:     make(map[string]*replicaState),
 		knownServers: make(map[string]string),

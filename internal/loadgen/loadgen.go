@@ -43,6 +43,17 @@ type Churn struct {
 	RecordEvery    time.Duration
 	RecordOwners   int
 	RecordFraction float64
+	// WriteEvery is the interval between write-churn events: sustained
+	// per-owner Add/Remove traffic, as opposed to RecordEvery's wholesale
+	// record swaps. Each event picks WriteOwners owners (default 1),
+	// removes WriteFraction of each one's records by ID (default 0.05)
+	// and adds the same number of fresh records, so the owner's store
+	// mutates through its first-class Remove/Add paths — exercising the
+	// incremental per-shard summary maintenance — while the record total
+	// stays constant.
+	WriteEvery    time.Duration
+	WriteOwners   int
+	WriteFraction float64
 	// KillEvery is the interval between server crashes. Each event
 	// crash-kills (no Leave) one random non-root alive server; after
 	// ReviveAfter (default 2s) the server is rebuilt with the same
@@ -64,7 +75,7 @@ type Churn struct {
 }
 
 func (c Churn) enabled() bool {
-	return c.RecordEvery > 0 || c.KillEvery > 0 || c.PartitionEvery > 0
+	return c.RecordEvery > 0 || c.WriteEvery > 0 || c.KillEvery > 0 || c.PartitionEvery > 0
 }
 
 // Config sizes a load run. Zero values take the documented defaults.
@@ -165,6 +176,12 @@ func (c Config) withDefaults() Config {
 	if c.Churn.RecordFraction == 0 {
 		c.Churn.RecordFraction = 0.2
 	}
+	if c.Churn.WriteOwners == 0 {
+		c.Churn.WriteOwners = 1
+	}
+	if c.Churn.WriteFraction == 0 {
+		c.Churn.WriteFraction = 0.05
+	}
 	if c.Churn.ReviveAfter == 0 {
 		c.Churn.ReviveAfter = 2 * time.Second
 	}
@@ -217,6 +234,25 @@ type Result struct {
 	RecordsReplaced   int `json:"records_replaced"`
 	Kills             int `json:"kills"`
 	Revives           int `json:"revives"`
+
+	// Write-churn results (all zero without Churn.WriteEvery):
+	// RecordsWritten counts records removed plus records added by the
+	// Add/Remove churn (equal halves — totals stay constant).
+	WriteChurnEvents int `json:"write_churn_events"`
+	RecordsWritten   int `json:"records_written"`
+
+	// Refresh-pipeline economics sampled across alive servers at drive
+	// end: how many refresh ticks ran federation-wide, what fraction
+	// reused every cached summary, and the wall time refreshes consumed.
+	// OwnerShardRebuilds / OwnerPartialMerges are the owner stores'
+	// partial-summary counters — writes land on owners, so that is where
+	// the sharded-store maintenance shows up.
+	RefreshTicks       uint64  `json:"refresh_ticks"`
+	RefreshSkipped     uint64  `json:"refresh_skipped"`
+	RefreshSkipRate    float64 `json:"refresh_skip_rate"`
+	RefreshBusySeconds float64 `json:"refresh_busy_seconds"`
+	OwnerShardRebuilds uint64  `json:"owner_shard_rebuilds"`
+	OwnerPartialMerges uint64  `json:"owner_partial_merges"`
 
 	// Partition-churn results (all zero without Churn.PartitionEvery).
 	// SplitBrainSeconds is the sampled wall time during which more than one
@@ -373,6 +409,7 @@ func Run(cfg Config) (*Result, error) {
 	var churnWg sync.WaitGroup
 	var churnSeq atomic.Int64
 	var recordEvents, recordsReplaced, kills, revives atomic.Int64
+	var writeEvents, recordsWritten atomic.Int64
 	var partitions, partitionsHealed atomic.Int64
 	var splitBrainNs atomic.Int64
 
@@ -412,6 +449,55 @@ func Run(cfg Config) (*Result, error) {
 				}
 				recordEvents.Add(1)
 				m.RecordChurn.Inc()
+			}
+		}()
+	}
+	if cfg.Churn.WriteEvery > 0 {
+		churnWg.Add(1)
+		wrng := rand.New(rand.NewSource(cfg.Seed + 401))
+		go func() {
+			defer churnWg.Done()
+			tick := time.NewTicker(cfg.Churn.WriteEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+				for j := 0; j < cfg.Churn.WriteOwners; j++ {
+					o := owners[ownerIdx[wrng.Intn(len(ownerIdx))]]
+					cur := o.Records()
+					n := len(cur)
+					if n == 0 {
+						continue
+					}
+					k := int(cfg.Churn.WriteFraction * float64(n))
+					if k < 1 {
+						k = 1
+					}
+					ids := make([]string, 0, k)
+					for r := 0; r < k; r++ {
+						ids = append(ids, cur[wrng.Intn(n)].ID)
+					}
+					removed := o.RemoveRecords(ids...)
+					if removed == 0 {
+						continue
+					}
+					// Add exactly as many fresh records as were removed so
+					// the federation total — and with it every convergence
+					// target — stays constant.
+					fresh := make([]*record.Record, removed)
+					for i := range fresh {
+						nr := cur[wrng.Intn(n)].Clone()
+						nr.ID = fmt.Sprintf("write%06d", churnSeq.Add(1))
+						fresh[i] = nr
+					}
+					o.AddRecords(fresh...)
+					recordsWritten.Add(int64(2 * removed))
+				}
+				writeEvents.Add(1)
+				m.WriteChurn.Inc()
 			}
 		}()
 	}
@@ -725,11 +811,23 @@ func Run(cfg Config) (*Result, error) {
 			mi := srv.Membership()
 			regress += mi.EpochRegressions
 			mMerges += mi.Merges
+			ri := srv.RefreshInfo()
+			res.RefreshTicks += ri.Ticks
+			res.RefreshSkipped += ri.Skipped
+			res.RefreshBusySeconds += ri.BusySeconds
 		}
 	}
 	aliveMu.Unlock()
 	res.EpochRegressions = int(regress)
 	res.MembershipMerges = int(mMerges)
+	if res.RefreshTicks > 0 {
+		res.RefreshSkipRate = float64(res.RefreshSkipped) / float64(res.RefreshTicks)
+	}
+	for _, o := range owners {
+		os := o.StoreStats()
+		res.OwnerShardRebuilds += os.ShardRebuilds
+		res.OwnerPartialMerges += os.PartialMerges
+	}
 
 	res.DriveSeconds = driveSecs
 	res.Queries = int(issued.Load())
@@ -752,6 +850,8 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.RecordChurnEvents = int(recordEvents.Load())
 	res.RecordsReplaced = int(recordsReplaced.Load())
+	res.WriteChurnEvents = int(writeEvents.Load())
+	res.RecordsWritten = int(recordsWritten.Load())
 	res.Kills = int(kills.Load())
 	res.Revives = int(revives.Load())
 	res.Partitions = int(partitions.Load())

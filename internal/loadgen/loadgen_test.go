@@ -185,6 +185,79 @@ func TestLoadgenSmoke(t *testing.T) {
 	}
 }
 
+// TestLoadgenWriteChurn is the write-heavy scale exercise: a 300-server
+// hierarchy whose owners sustain add/remove record churn throughout the
+// drive while queries resolve against it. It asserts the sharded-store
+// economics surface in the harness report — write events land, refresh
+// ticks are counted with a sane skip rate, and owner stores answer the
+// resulting summary exports by merging shard partials rather than full
+// rebuilds.
+func TestLoadgenWriteChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale write-churn test skipped in -short mode")
+	}
+	m := RegisterMetrics(obs.NewRegistry())
+	res, err := Run(Config{
+		Servers:         300,
+		FanOut:          4,
+		MinDepth:        5,
+		OwnerEvery:      4,
+		RecordsPerOwner: 40,
+		SummaryBuckets:  32,
+		Queries:         writeQueries,
+		Clients:         4,
+		MinDrive:        writeMinDrive,
+		Tick:            50 * time.Millisecond,
+		ConvergeTimeout: 2 * time.Minute,
+		Seed:            23,
+		Churn: Churn{
+			WriteEvery:    100 * time.Millisecond,
+			WriteOwners:   2,
+			WriteFraction: 0.1,
+		},
+		Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WriteChurnEvents == 0 {
+		t.Fatal("write churn never fired during the drive phase")
+	}
+	if res.RecordsWritten == 0 {
+		t.Fatal("write churn fired but moved no records")
+	}
+	// Every write event removes k records and adds k fresh ones, so the
+	// federation total is invariant under write churn.
+	if res.Records != 75*40 {
+		t.Fatalf("records = %d, want 3000", res.Records)
+	}
+	if res.RefreshTicks == 0 {
+		t.Fatal("no refresh ticks observed across the federation")
+	}
+	if res.RefreshSkipRate < 0 || res.RefreshSkipRate > 1 {
+		t.Fatalf("refresh skip rate out of range: %g", res.RefreshSkipRate)
+	}
+	// Most of the 300 servers host no owner and see no branch changes
+	// between writes, so some ticks must have reused cached summaries.
+	if res.RefreshSkipped == 0 {
+		t.Fatal("no refresh tick skipped a rebuild; change-driven refresh looks broken")
+	}
+	if res.RefreshBusySeconds <= 0 {
+		t.Fatalf("refresh busy seconds must be positive, got %g", res.RefreshBusySeconds)
+	}
+	// Owner exports under churn merge shard partials instead of rebuilding
+	// from records; the merge counter proves the incremental path ran.
+	if res.OwnerPartialMerges == 0 {
+		t.Fatal("owner stores never merged shard partials; exports fell back to full rebuilds")
+	}
+	if got := m.WriteChurn.Load(); got != uint64(res.WriteChurnEvents) {
+		t.Fatalf("metrics/result write-churn mismatch: %d/%d", got, res.WriteChurnEvents)
+	}
+	t.Logf("write events=%d records moved=%d shard rebuilds=%d partial merges=%d skip rate=%.4f busy=%.2fs",
+		res.WriteChurnEvents, res.RecordsWritten, res.OwnerShardRebuilds,
+		res.OwnerPartialMerges, res.RefreshSkipRate, res.RefreshBusySeconds)
+}
+
 // TestLoadgenPartitionChurn is the membership-protocol acceptance run: a
 // 200-server hierarchy repeatedly loses a ~30% subtree to a full network
 // partition mid-drive and heals it. The severed side elects its own root

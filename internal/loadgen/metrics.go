@@ -15,9 +15,11 @@ type Metrics struct {
 	// no records, no further redirects — i.e. descents a sharper summary
 	// would have pruned (the paper's false-positive forwarding cost).
 	FPDescents *obs.Counter
-	// RecordChurn counts owner record-swap events; Kills and Revives the
-	// server crash / rejoin events the churn schedule injected.
+	// RecordChurn counts owner record-swap events; WriteChurn the
+	// add/remove write events; Kills and Revives the server crash /
+	// rejoin events the churn schedule injected.
 	RecordChurn *obs.Counter
+	WriteChurn  *obs.Counter
 	Kills       *obs.Counter
 	Revives     *obs.Counter
 	// Partitions counts network partitions injected by the churn schedule;
@@ -37,6 +39,7 @@ func RegisterMetrics(reg *obs.Registry) *Metrics {
 		Failures:    reg.Counter("roads_loadgen_query_failures_total", "Load-harness queries that returned an error (timeouts included)."),
 		FPDescents:  reg.Counter("roads_loadgen_fp_descents_total", "Answered redirect hops that yielded neither records nor further redirects (false-positive descents)."),
 		RecordChurn: reg.Counter("roads_loadgen_record_churn_total", "Owner record-swap events injected by the churn schedule."),
+		WriteChurn:  reg.Counter("roads_loadgen_write_churn_total", "Owner add/remove write-churn events injected by the churn schedule."),
 		Kills:       reg.Counter("roads_loadgen_kills_total", "Servers crash-killed by the churn schedule."),
 		Revives:     reg.Counter("roads_loadgen_revives_total", "Killed servers successfully restarted and rejoined."),
 		Partitions:  reg.Counter("roads_loadgen_partitions_total", "Network partitions injected by the churn schedule."),

@@ -11,4 +11,6 @@ func init() {
 	// reading as heartbeat misses, which would spiral into spurious
 	// elections and merge thrash.
 	partitionTick = 100 * time.Millisecond
+	writeQueries = 100
+	writeMinDrive = 4 * time.Second
 }

@@ -12,3 +12,10 @@ var (
 	partitionMinDrive = 9 * time.Second
 	partitionTick     = 50 * time.Millisecond
 )
+
+// writeQueries / writeMinDrive size TestLoadgenWriteChurn the same way:
+// race builds shrink the drive, the write-churn cadence under test stays.
+var (
+	writeQueries  = 300
+	writeMinDrive = 6 * time.Second
+)

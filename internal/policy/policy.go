@@ -13,6 +13,7 @@ import (
 
 	"roads/internal/query"
 	"roads/internal/record"
+	"roads/internal/store"
 	"roads/internal/summary"
 )
 
@@ -104,17 +105,25 @@ func (p *Policy) Apply(requester string, recs []*record.Record) []*record.Record
 // Owner is a resource owner: identity, records, and sharing policy. It is
 // the unit of autonomy in the federation — the entity that exports data and
 // makes the final call on query answers.
+//
+// The records live in a sharded no-index store (internal/store), so owner
+// mutations are first-class — SetRecords, AddRecords, RemoveRecords,
+// UpdateRecords — and summary export rides the store's incrementally
+// maintained per-shard partials: a churn of k records re-summarizes the
+// touched shards' deltas, not the whole owner.
 type Owner struct {
 	ID     string
 	Schema *record.Schema
 	Policy *Policy
 
-	mu      sync.RWMutex
-	records []*record.Record
-	// gen counts record-set mutations. Attachment points cache the owner's
-	// exported summary keyed by this generation, so an unchanged owner
-	// costs no per-tick FromRecords rebuild.
-	gen uint64
+	st *store.Store
+
+	// expMu guards the lazily enabled export configuration: the store's
+	// partial summaries encode bucket/filter geometry, so they follow the
+	// config the attachment point asks for.
+	expMu      sync.Mutex
+	expEnabled bool
+	expCfg     summary.Config
 }
 
 // NewOwner creates an owner with the given policy (nil means a default
@@ -123,61 +132,86 @@ func NewOwner(id string, schema *record.Schema, pol *Policy) *Owner {
 	if pol == nil {
 		pol = NewPolicy(ExportSummary)
 	}
-	return &Owner{ID: id, Schema: schema, Policy: pol}
+	// Owners answer queries by full filter passes (final control applies
+	// per-requester views anyway), so the store skips index maintenance.
+	st := store.NewWithOptions(schema, store.CostModel{}, store.Options{NoIndex: true})
+	return &Owner{ID: id, Schema: schema, Policy: pol, st: st}
 }
 
 // SetRecords replaces the owner's record set.
 func (o *Owner) SetRecords(recs []*record.Record) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	o.records = append(o.records[:0:0], recs...)
-	o.gen++
+	o.st.Replace(recs)
 }
 
 // AddRecords appends records.
 func (o *Owner) AddRecords(recs ...*record.Record) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	o.records = append(o.records, recs...)
-	o.gen++
+	o.st.Add(recs...)
+}
+
+// RemoveRecords deletes the records stored under the given IDs, returning
+// how many were present.
+func (o *Owner) RemoveRecords(ids ...string) int {
+	return o.st.Remove(ids...)
+}
+
+// UpdateRecords upserts records by ID (present IDs replace, absent IDs
+// append), returning how many replaced an existing record.
+func (o *Owner) UpdateRecords(recs ...*record.Record) int {
+	return o.st.Update(recs...)
 }
 
 // Generation returns the owner's record-set mutation counter. A caller
 // holding a summary exported at generation N may keep serving it while
 // Generation still returns N.
 func (o *Owner) Generation() uint64 {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	return o.gen
+	return o.st.Epoch()
 }
 
 // NumRecords returns the record count.
 func (o *Owner) NumRecords() int {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	return len(o.records)
+	return o.st.Len()
 }
 
-// Records returns the owner's records (shared slice; do not mutate).
+// Records returns the owner's records in store-shard order (shared
+// immutable slice; do not mutate).
 func (o *Owner) Records() []*record.Record {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	return o.records
+	return o.st.Records()
+}
+
+// StoreStats returns the owner store's maintenance counters (shard partial
+// rebuilds, partial merges, cached exports) for harness reporting.
+func (o *Owner) StoreStats() store.Stats {
+	return o.st.Stats()
 }
 
 // ExportSummary builds the summary the owner publishes to its attachment
 // point. Regardless of views, the summary covers all records — summaries
 // are coarse enough that exposure is acceptable, which is the premise of
 // the design; fine-grained control happens at answer time.
+//
+// The export is a merge of the store's per-shard partial summaries
+// (content- and version-identical to a monolithic FromRecords build), so
+// its cost scales with the shards touched since the last export, not with
+// the owner's record count.
 func (o *Owner) ExportSummary(cfg summary.Config) (*summary.Summary, error) {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	sum, err := summary.FromRecords(o.Schema, cfg, o.records)
+	o.expMu.Lock()
+	if !o.expEnabled || cfg != o.expCfg {
+		if err := o.st.EnableSummaries(cfg); err != nil {
+			o.expMu.Unlock()
+			return nil, err
+		}
+		o.expEnabled, o.expCfg = true, cfg
+	}
+	o.expMu.Unlock()
+	sum, err := o.st.ExportSummary()
 	if err != nil {
 		return nil, err
 	}
-	sum.Origin = o.ID
-	return sum, nil
+	// The store's summary is shared/cached; hand the caller its own copy
+	// (historically callers own the export outright and may mutate it).
+	out := sum.Clone()
+	out.Origin = o.ID
+	return out, nil
 }
 
 // ExportRecords returns the records the owner pushes to a trusted
@@ -186,9 +220,7 @@ func (o *Owner) ExportRecords() ([]*record.Record, error) {
 	if o.Policy.Mode != ExportRecords {
 		return nil, fmt.Errorf("policy: owner %s exports summaries only", o.ID)
 	}
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	return o.records, nil
+	return o.st.Records(), nil
 }
 
 // Answer resolves a query at the owner: it matches the query against the
@@ -201,8 +233,6 @@ func (o *Owner) Answer(q *query.Query) ([]*record.Record, error) {
 			return nil, err
 		}
 	}
-	o.mu.RLock()
-	matched := q.Filter(o.records)
-	o.mu.RUnlock()
+	matched := q.Filter(o.st.Records())
 	return o.Policy.Apply(q.Requester, matched), nil
 }

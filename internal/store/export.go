@@ -1,0 +1,155 @@
+package store
+
+import (
+	"errors"
+	"sync"
+
+	"roads/internal/summary"
+)
+
+// exportWorkers bounds how many stale shard partials one export rebuilds
+// concurrently: rebuilds are independent CPU-bound passes over one shard's
+// records, but one export must not commandeer the whole machine.
+const exportWorkers = 4
+
+// EnableSummaries turns on write-path partial-summary maintenance: every
+// shard keeps a summary of its own records, updated incrementally on each
+// mutation, and ExportSummary merges the K partials instead of rebuilding
+// from all records. Calling it again with the same config is a no-op; a
+// different config resets every partial (they encode bucket/filter
+// geometry). Mutations made before enabling are covered — partials start
+// stale and rebuild from the shard records at the first export.
+func (st *Store) EnableSummaries(cfg summary.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	st.sumMu.Lock()
+	defer st.sumMu.Unlock()
+	if st.summarize && cfg == st.scfg {
+		return nil
+	}
+	st.scfg = cfg
+	st.summarize = true
+	st.haveMerged = false
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		sh.summarize = true
+		sh.scfg = cfg
+		sh.partial = nil
+		sh.partialStale = true
+		sh.removals = 0
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// SummariesEnabled reports whether EnableSummaries has been called.
+func (st *Store) SummariesEnabled() bool {
+	st.sumMu.Lock()
+	defer st.sumMu.Unlock()
+	return st.summarize
+}
+
+// ErrSummariesDisabled is returned by ExportSummary before EnableSummaries.
+var ErrSummariesDisabled = errors.New("store: summaries not enabled (call EnableSummaries first)")
+
+// ExportSummary returns a summary covering every stored record, built by
+// merging the per-shard partials: stale partials (never built, invalidated
+// by Replace, or fallen behind through Bloom-mode or threshold-exceeding
+// removals) are rebuilt first — each from its own shard's records only, on
+// a pool of exportWorkers — then the K partials merge into one summary in
+// shard order. Because histogram-bucket adds, value-set unions and Bloom
+// ORs are the same commutative operations summary.FromRecords applies per
+// record, the merged summary is content-identical to a monolithic build
+// over Records() and carries the identical ComputeVersion — callers on the
+// wire cannot tell the difference.
+//
+// The merged summary is cached against the store epoch: an unchanged store
+// exports for the cost of one atomic load. The returned summary is shared —
+// callers must not mutate it (Clone first).
+func (st *Store) ExportSummary() (*summary.Summary, error) {
+	st.sumMu.Lock()
+	defer st.sumMu.Unlock()
+	if !st.summarize {
+		return nil, ErrSummariesDisabled
+	}
+	// Epoch before partials: a mutation landing mid-merge can only make
+	// the cached summary newer than its epoch claims, so the next export
+	// redoes the merge. Never the stale direction.
+	e := st.epoch.Load()
+	if st.haveMerged && st.mergedEpoch == e {
+		st.stats.exportsCached.Add(1)
+		return st.merged, nil
+	}
+
+	var stale []*shard
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		s := sh.partialStale || sh.partial == nil
+		sh.mu.RUnlock()
+		if s {
+			stale = append(stale, sh)
+		}
+	}
+	switch {
+	case len(stale) == 1:
+		stale[0].rebuildPartial()
+	case len(stale) > 1:
+		workers := exportWorkers
+		if workers > len(stale) {
+			workers = len(stale)
+		}
+		work := make(chan *shard)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for sh := range work {
+					sh.rebuildPartial()
+				}
+			}()
+		}
+		for _, sh := range stale {
+			work <- sh
+		}
+		close(work)
+		wg.Wait()
+	}
+
+	out, err := summary.New(st.schema, st.scfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		err := out.Merge(sh.partial)
+		sh.mu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	st.stats.partialMerges.Add(uint64(len(st.shards)))
+	out.ComputeVersion()
+	st.merged, st.mergedEpoch, st.haveMerged = out, e, true
+	return out, nil
+}
+
+// rebuildPartial rebuilds one shard's partial summary from its records —
+// the single-shard fallback the tracked-deletion threshold and Bloom-mode
+// removals fall back to.
+func (sh *shard) rebuildPartial() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.partial != nil && !sh.partialStale {
+		return // lost a race with another export pass; already fresh
+	}
+	p := summary.MustNew(sh.st.schema, sh.scfg) // cfg validated by EnableSummaries
+	for _, r := range sh.records {
+		p.AddRecord(r)
+	}
+	sh.partial = p
+	sh.partialStale = false
+	sh.removals = 0
+	sh.st.stats.shardRebuilds.Add(1)
+}

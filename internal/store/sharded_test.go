@@ -1,0 +1,566 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"roads/internal/query"
+	"roads/internal/record"
+	"roads/internal/summary"
+)
+
+// mixedSchema has three numeric attributes and one categorical, so the
+// equivalence tests cover both index families and both summary column
+// types.
+func shardedSchema() *record.Schema {
+	return record.MustSchema([]record.Attribute{
+		{Name: "a0", Kind: record.Numeric},
+		{Name: "a1", Kind: record.Numeric},
+		{Name: "a2", Kind: record.Numeric},
+		{Name: "enc", Kind: record.Categorical},
+	})
+}
+
+var encValues = []string{"h264", "mpeg2", "av1", "vp9"}
+
+func mixedRecord(schema *record.Schema, id string, rng *rand.Rand) *record.Record {
+	r := record.New(schema, id, "owner")
+	for j := 0; j < 3; j++ {
+		r.SetNum(j, rng.Float64())
+	}
+	r.SetStr(3, encValues[rng.Intn(len(encValues))])
+	return r
+}
+
+func sortedIDs(recs []*record.Record) []string {
+	ids := make([]string, len(recs))
+	for i, r := range recs {
+		ids[i] = r.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func sameIDs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardedEquivalence is the sharding correctness property: a 7-shard
+// indexed store driven through a randomized Add/Remove/Update/Replace
+// schedule must stay observationally identical to a single-shard
+// scan-only store fed the same ops — same membership, same search
+// results, same counts, and byte-identical summary exports (equal
+// ComputeVersion, also equal to a from-scratch FromRecords over the same
+// records). The version equality is what guarantees sharding changes
+// nothing on the wire.
+func TestShardedEquivalence(t *testing.T) {
+	schema := shardedSchema()
+	cfg := summary.Config{Buckets: 32, Min: 0, Max: 1, Categorical: summary.UseValueSet}
+	mono := NewWithOptions(schema, CostModel{}, Options{Shards: 1, NoIndex: true})
+	shrd := NewWithOptions(schema, CostModel{}, Options{Shards: 7})
+	if err := mono.EnableSummaries(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := shrd.EnableSummaries(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	var live []string
+	seq := 0
+	fresh := func() *record.Record {
+		seq++
+		id := fmt.Sprintf("r%05d", seq)
+		live = append(live, id)
+		return mixedRecord(schema, id, rng)
+	}
+
+	check := func(step int) {
+		t.Helper()
+		if mono.Len() != shrd.Len() {
+			t.Fatalf("step %d: Len %d (mono) != %d (sharded)", step, mono.Len(), shrd.Len())
+		}
+		mids, sids := sortedIDs(mono.Records()), sortedIDs(shrd.Records())
+		if !sameIDs(mids, sids) {
+			t.Fatalf("step %d: membership diverged: %d vs %d records", step, len(mids), len(sids))
+		}
+		lo := rng.Float64() * 0.8
+		q := query.New("q",
+			query.NewRange("a0", lo, lo+0.3),
+			query.NewEq("enc", encValues[rng.Intn(len(encValues))]),
+		)
+		mres, err := mono.Search(q.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sres, err := shrd.Search(q.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(sortedIDs(mres.Records), sortedIDs(sres.Records)) {
+			t.Fatalf("step %d: search results diverged: %d vs %d matches",
+				step, len(mres.Records), len(sres.Records))
+		}
+		mc, err := mono.Count(q.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := shrd.Count(q.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mc != sc || sc != len(sres.Records) {
+			t.Fatalf("step %d: counts diverged: mono %d, sharded %d, matches %d",
+				step, mc, sc, len(sres.Records))
+		}
+		msum, err := mono.ExportSummary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ssum, err := shrd.ExportSummary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msum.Version != ssum.Version {
+			t.Fatalf("step %d: export versions diverged: %d vs %d", step, msum.Version, ssum.Version)
+		}
+		ref, err := summary.FromRecords(schema, cfg, mono.Records())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ssum.Version != ref.Version {
+			t.Fatalf("step %d: merged export version %d != from-scratch version %d",
+				step, ssum.Version, ref.Version)
+		}
+	}
+
+	for step := 0; step < 240; step++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // bulk add
+			n := 1 + rng.Intn(20)
+			recs := make([]*record.Record, n)
+			for i := range recs {
+				recs[i] = fresh()
+			}
+			mono.Add(recs...)
+			shrd.Add(recs...)
+		case 4, 5: // remove random live IDs (duplicates allowed)
+			if len(live) == 0 {
+				continue
+			}
+			k := 1 + rng.Intn(5)
+			ids := make([]string, 0, k)
+			for i := 0; i < k; i++ {
+				ids = append(ids, live[rng.Intn(len(live))])
+			}
+			mr := mono.Remove(ids...)
+			sr := shrd.Remove(ids...)
+			if mr != sr {
+				t.Fatalf("step %d: Remove returned %d (mono) vs %d (sharded)", step, mr, sr)
+			}
+			gone := make(map[string]bool, len(ids))
+			for _, id := range ids {
+				gone[id] = true
+			}
+			kept := live[:0]
+			for _, id := range live {
+				if !gone[id] {
+					kept = append(kept, id)
+				}
+			}
+			live = kept
+		case 6, 7: // upsert: rewrite existing records and insert new ones
+			recs := make([]*record.Record, 0, 4)
+			if len(live) > 0 {
+				for i := 0; i < 2; i++ {
+					id := live[rng.Intn(len(live))]
+					recs = append(recs, mixedRecord(schema, id, rng))
+				}
+			}
+			recs = append(recs, fresh())
+			mu := mono.Update(recs...)
+			su := shrd.Update(recs...)
+			if mu != su {
+				t.Fatalf("step %d: Update returned %d (mono) vs %d (sharded)", step, mu, su)
+			}
+		case 8: // rare full replace with a regenerated set
+			n := 20 + rng.Intn(40)
+			live = live[:0]
+			recs := make([]*record.Record, n)
+			for i := range recs {
+				recs[i] = fresh()
+			}
+			mono.Replace(recs)
+			shrd.Replace(recs)
+		case 9: // no-op remove of never-issued IDs
+			if mr, sr := mono.Remove("nope-a", "nope-b"), shrd.Remove("nope-a", "nope-b"); mr != 0 || sr != 0 {
+				t.Fatalf("step %d: removing missing IDs returned %d/%d", step, mr, sr)
+			}
+		}
+		if step%20 == 19 {
+			check(step)
+		}
+	}
+	check(-1)
+}
+
+// TestShardedConcurrentAccess hammers a sharded store with concurrent
+// readers (Search, Records, Count, ExportSummary) while one writer churns
+// adds, removes, and updates. It asserts nothing beyond internal
+// consistency — its value is running under the race detector in the tier-1
+// gate, where any unlocked shard state surfaces.
+func TestShardedConcurrentAccess(t *testing.T) {
+	schema := shardedSchema()
+	st := NewWithOptions(schema, CostModel{}, Options{Shards: 4})
+	if err := st.EnableSummaries(summary.Config{Buckets: 16, Min: 0, Max: 1, Categorical: summary.UseValueSet}); err != nil {
+		t.Fatal(err)
+	}
+	seedRng := rand.New(rand.NewSource(7))
+	recs := make([]*record.Record, 200)
+	for i := range recs {
+		recs[i] = mixedRecord(schema, fmt.Sprintf("seed%03d", i), seedRng)
+	}
+	st.Add(recs...)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				q := query.New("q", query.NewRange("a0", 0.2, 0.7))
+				if _, err := st.Search(q); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := st.Count(query.New("c", query.NewEq("enc", encValues[rng.Intn(len(encValues))]))); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = st.Records()
+				if _, err := st.ExportSummary(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(w + 1))
+	}
+
+	wrng := rand.New(rand.NewSource(99))
+	for i := 0; i < 300; i++ {
+		switch i % 3 {
+		case 0:
+			st.Add(mixedRecord(schema, fmt.Sprintf("w%04d", i), wrng))
+		case 1:
+			st.Remove(fmt.Sprintf("seed%03d", wrng.Intn(200)))
+		case 2:
+			st.Update(mixedRecord(schema, fmt.Sprintf("seed%03d", wrng.Intn(200)), wrng))
+		}
+	}
+	close(done)
+	wg.Wait()
+	if st.Len() < 0 || st.Len() > 200+100 {
+		t.Fatalf("implausible final size %d", st.Len())
+	}
+}
+
+// TestBulkIngestLinearAllocs pins the bulk-ingest fix: N one-record Adds
+// must allocate O(N) total, not O(N²). The old Store.Add copied the full
+// record slice on every call — at 20k records that costs ~1.6 GB of
+// copying; the copy-on-write headroom discipline brings it under a few MB.
+// The bound below is ~25× looser than measured so scheduler noise cannot
+// flake it while still sitting three orders of magnitude under quadratic.
+func TestBulkIngestLinearAllocs(t *testing.T) {
+	schema := record.DefaultSchema(8)
+	rng := rand.New(rand.NewSource(3))
+	const n = 20000
+	recs := make([]*record.Record, n)
+	for i := range recs {
+		r := record.New(schema, fmt.Sprintf("r%05d", i), "o")
+		for j := 0; j < 8; j++ {
+			r.SetNum(j, rng.Float64())
+		}
+		recs[i] = r
+	}
+	st := NewWithOptions(schema, CostModel{}, Options{Shards: DefaultShards})
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for _, r := range recs {
+		st.Add(r)
+	}
+	runtime.ReadMemStats(&after)
+	allocated := after.TotalAlloc - before.TotalAlloc
+	if allocated > 64<<20 {
+		t.Fatalf("ingesting %d records one at a time allocated %d MB; quadratic copying is back",
+			n, allocated>>20)
+	}
+	if st.Len() != n {
+		t.Fatalf("Len = %d, want %d", st.Len(), n)
+	}
+}
+
+func addBatch(t *testing.T, st *Store, schema *record.Schema, start, n int, rng *rand.Rand) {
+	t.Helper()
+	recs := make([]*record.Record, n)
+	for i := range recs {
+		recs[i] = mixedRecord(schema, fmt.Sprintf("r%05d", start+i), rng)
+	}
+	st.Add(recs...)
+}
+
+// TestIncrementalIndexAppend verifies appends extend warm indexes in
+// place: after the first search builds every shard's indexes, further Adds
+// must not dirty any shard or force a rebuild — new numeric values land in
+// the pending tails and searches still see every record.
+func TestIncrementalIndexAppend(t *testing.T) {
+	schema := shardedSchema()
+	st := NewWithOptions(schema, CostModel{}, Options{Shards: 4})
+	rng := rand.New(rand.NewSource(5))
+	addBatch(t, st, schema, 0, 400, rng)
+
+	q := query.New("q", query.NewRange("a0", 0, 1))
+	res, err := st.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 400 {
+		t.Fatalf("warm search matched %d of 400", len(res.Records))
+	}
+	base := st.Stats().IndexRebuilds
+	if base != 4 {
+		t.Fatalf("first search built %d shard indexes, want 4", base)
+	}
+
+	addBatch(t, st, schema, 400, 50, rng)
+	pending := 0
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		if sh.dirty {
+			sh.mu.RUnlock()
+			t.Fatal("append dirtied a warm shard; incremental path not taken")
+		}
+		if idx := sh.num[0]; idx != nil {
+			pending += len(idx.pvals)
+		}
+		sh.mu.RUnlock()
+	}
+	// 50 appends across 4 shards stay far below pendingMergeMin, so every
+	// new value must still sit in a pending tail.
+	if pending != 50 {
+		t.Fatalf("pending tail holds %d values, want 50", pending)
+	}
+
+	res, err = st.Search(query.New("q2", query.NewRange("a0", 0, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 450 {
+		t.Fatalf("post-append search matched %d of 450", len(res.Records))
+	}
+	if got := st.Stats().IndexRebuilds; got != base {
+		t.Fatalf("append forced %d index rebuilds", got-base)
+	}
+}
+
+// TestRemoveDirtiesOnlyOwningShard verifies removal invalidation is
+// shard-local: removing one record re-sorts exactly the shard that owned
+// it (one extra rebuild), while the other shards keep their warm indexes.
+func TestRemoveDirtiesOnlyOwningShard(t *testing.T) {
+	schema := shardedSchema()
+	st := NewWithOptions(schema, CostModel{}, Options{Shards: 4})
+	rng := rand.New(rand.NewSource(6))
+	addBatch(t, st, schema, 0, 400, rng)
+	if _, err := st.Search(query.New("q", query.NewRange("a0", 0, 1))); err != nil {
+		t.Fatal(err)
+	}
+	base := st.Stats().IndexRebuilds
+
+	victim := "r00123"
+	owner := st.shardIndex(victim)
+	if got := st.Remove(victim); got != 1 {
+		t.Fatalf("Remove returned %d, want 1", got)
+	}
+	for i, sh := range st.shards {
+		sh.mu.RLock()
+		dirty := sh.dirty
+		sh.mu.RUnlock()
+		if dirty != (i == owner) {
+			t.Fatalf("shard %d dirty=%v after removing from shard %d", i, dirty, owner)
+		}
+	}
+
+	res, err := st.Search(query.New("q2", query.NewRange("a0", 0, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 399 {
+		t.Fatalf("post-remove search matched %d of 399", len(res.Records))
+	}
+	for _, r := range res.Records {
+		if r.ID == victim {
+			t.Fatal("removed record still surfaces in search results")
+		}
+	}
+	if got := st.Stats().IndexRebuilds; got != base+1 {
+		t.Fatalf("removal caused %d rebuilds, want exactly 1", got-base)
+	}
+}
+
+// TestRemovalThresholdRebuild exercises the tracked-deletion fallback:
+// with ValueSet summaries, removals subtract from the shard partial
+// exactly until the tracked-removal fraction trips, at which point the
+// next export rebuilds that shard's partial from its records. Versions
+// must match a from-scratch summary on both sides of the threshold.
+func TestRemovalThresholdRebuild(t *testing.T) {
+	schema := shardedSchema()
+	cfg := summary.Config{Buckets: 32, Min: 0, Max: 1, Categorical: summary.UseValueSet}
+	st := NewWithOptions(schema, CostModel{}, Options{Shards: 1, RemovalRebuildFraction: 0.1})
+	rng := rand.New(rand.NewSource(8))
+	addBatch(t, st, schema, 0, 100, rng)
+	if err := st.EnableSummaries(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ExportSummary(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats().ShardRebuilds; got != 1 {
+		t.Fatalf("first export did %d shard rebuilds, want 1", got)
+	}
+
+	checkVersion := func(when string) {
+		t.Helper()
+		sum, err := st.ExportSummary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := summary.FromRecords(schema, cfg, st.Records())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Version != ref.Version {
+			t.Fatalf("%s: export version %d != from-scratch %d", when, sum.Version, ref.Version)
+		}
+	}
+
+	// 5 removals out of 100: under the 10% threshold, so the partial is
+	// maintained by exact subtraction — no further rebuild.
+	for i := 0; i < 5; i++ {
+		st.Remove(fmt.Sprintf("r%05d", i))
+	}
+	checkVersion("below threshold")
+	if got := st.Stats().ShardRebuilds; got != 1 {
+		t.Fatalf("below-threshold removals forced a rebuild (total %d)", got)
+	}
+
+	// 6 more trips the fraction (11 tracked removals > 0.1 × 89 records):
+	// the partial goes stale and the next export rebuilds the shard.
+	for i := 5; i < 11; i++ {
+		st.Remove(fmt.Sprintf("r%05d", i))
+	}
+	checkVersion("above threshold")
+	if got := st.Stats().ShardRebuilds; got != 2 {
+		t.Fatalf("above-threshold export did %d total rebuilds, want 2", got)
+	}
+}
+
+// TestBloomRemovalForcesRebuild pins the Bloom-mode rule: Bloom filters
+// cannot subtract, so the first removal marks the shard partial stale
+// regardless of the threshold, and the next export rebuilds it.
+func TestBloomRemovalForcesRebuild(t *testing.T) {
+	schema := shardedSchema()
+	cfg := summary.Config{Buckets: 32, Min: 0, Max: 1,
+		Categorical: summary.UseBloom, BloomBits: 256, BloomHashes: 3}
+	st := NewWithOptions(schema, CostModel{}, Options{Shards: 1})
+	rng := rand.New(rand.NewSource(9))
+	addBatch(t, st, schema, 0, 50, rng)
+	if err := st.EnableSummaries(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ExportSummary(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats().ShardRebuilds; got != 1 {
+		t.Fatalf("first export did %d rebuilds, want 1", got)
+	}
+	st.Remove("r00000")
+	sum, err := st.ExportSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats().ShardRebuilds; got != 2 {
+		t.Fatalf("Bloom-mode removal led to %d total rebuilds, want 2", got)
+	}
+	ref, err := summary.FromRecords(schema, cfg, st.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Version != ref.Version {
+		t.Fatalf("post-removal export version %d != from-scratch %d", sum.Version, ref.Version)
+	}
+}
+
+// TestExportSummaryCaching verifies the merged-export cache: repeated
+// exports with no interleaved mutation return the cached summary (counted
+// by ExportsCached), and a no-op Remove of absent IDs does not invalidate
+// it — only real mutations move the store epoch.
+func TestExportSummaryCaching(t *testing.T) {
+	schema := shardedSchema()
+	st := NewWithOptions(schema, CostModel{}, Options{Shards: 4})
+	rng := rand.New(rand.NewSource(10))
+	addBatch(t, st, schema, 0, 80, rng)
+	if err := st.EnableSummaries(summary.Config{Buckets: 16, Min: 0, Max: 1, Categorical: summary.UseValueSet}); err != nil {
+		t.Fatal(err)
+	}
+	first, err := st.ExportSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merges := st.Stats().PartialMerges
+	if merges != 4 {
+		t.Fatalf("first export merged %d partials, want 4", merges)
+	}
+
+	st.Remove("never-existed")
+	again, err := st.ExportSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Fatal("no-op remove invalidated the export cache")
+	}
+	if got := st.Stats().ExportsCached; got != 1 {
+		t.Fatalf("ExportsCached = %d, want 1", got)
+	}
+	if got := st.Stats().PartialMerges; got != merges {
+		t.Fatalf("cached export re-merged partials (%d → %d)", merges, got)
+	}
+
+	st.Add(mixedRecord(schema, "extra", rng))
+	third, err := st.ExportSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third == first || third.Version == first.Version {
+		t.Fatal("mutation did not produce a fresh export")
+	}
+}

@@ -186,6 +186,22 @@ func (sum *Summary) RemoveRecord(r *record.Record) error {
 	return nil
 }
 
+// Subtractable reports whether RemoveRecord can subtract a record exactly:
+// histograms decrement their bucket and value sets decrement (and drop
+// zeroed) value counts, so a summary of those kinds tracks removals
+// without drift — removing a record yields the same content (and the same
+// ComputeVersion) as rebuilding without it. Bloom filters cannot clear
+// bits, so any summary holding one must rebuild instead; the sharded
+// store's tracked-deletion fallback keys off this.
+func (sum *Summary) Subtractable() bool {
+	for i := range sum.Blooms {
+		if sum.Blooms[i] != nil {
+			return false
+		}
+	}
+	return true
+}
+
 // Merge folds other into sum: histograms add bucket-wise, value sets union,
 // Bloom filters OR. This is the bottom-up aggregation operator.
 func (sum *Summary) Merge(other *Summary) error {

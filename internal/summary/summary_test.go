@@ -88,6 +88,24 @@ func TestSummaryBloomMode(t *testing.T) {
 	}
 }
 
+func TestSummarySubtractable(t *testing.T) {
+	s := mixedSchema()
+	if sum := MustNew(s, DefaultConfig()); !sum.Subtractable() {
+		t.Fatal("ValueSet-mode summary must be subtractable (histogram + exact set counts)")
+	}
+	cfg := DefaultConfig()
+	cfg.Categorical = UseBloom
+	if sum := MustNew(s, cfg); sum.Subtractable() {
+		t.Fatal("Bloom-mode summary must not claim subtractability")
+	}
+	// A schema with no categorical attributes carries no Blooms even in
+	// Bloom mode, so it stays subtractable.
+	numOnly := record.DefaultSchema(2)
+	if sum := MustNew(numOnly, cfg); !sum.Subtractable() {
+		t.Fatal("bloom mode without categorical attributes must stay subtractable")
+	}
+}
+
 func TestSummaryRemoveRecord(t *testing.T) {
 	s := mixedSchema()
 	cfg := DefaultConfig()
