@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race chaos docs-check bench-transport bench bench-store bench-load bench-compare
+.PHONY: tier1 build vet test race chaos docs-check bench-transport bench bench-store bench-load bench-cache bench-compare
 
 # tier1 is the gate every change must pass: full build + vet + full test
 # suite, plus race-enabled runs of the concurrency-heavy packages (the
@@ -76,10 +76,32 @@ bench-load:
 	( $(GO) run ./cmd/roads-load $(LOADARGS) ; \
 	  $(GO) run ./cmd/roads-load $(LOADPARTARGS) ) | tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCHLOAD)
 
+# bench-cache runs the result-cache / admission-control load harness three
+# times and archives all lines as BENCH_pr9.json via cmd/benchjson:
+#   1. unloaded baseline — high-priority drive clients with repeat-query
+#      traffic and client+server caches on (the p99 yardstick),
+#   2. hot tenant — a shared low-priority identity flooding a small repeat
+#      set while record churn keeps invalidating cached answers, with no
+#      admission control (everyone's p99 degrades),
+#   3. hot tenant + admission — same flood, but per-requester token
+#      buckets shed the over-budget tenant to coarse summary-only answers;
+#      high-priority p99 must land within 2x the unloaded baseline and
+#      shed queries get coarse answers, never errors (admission-rejected 0).
+# See EXPERIMENTS.md for the archived numbers and the knob rationale.
+BENCHCACHE ?= BENCH_pr9.json
+CACHEBASEARGS ?= -n 200 -fanout 4 -mindepth 4 -owner-every 3 -queries 400 -clients 4 \
+	-tick 250ms -repeat-frac 0.5 -client-cache -client-priority 2 -untraced -drive-min 8s
+CACHEHOTARGS ?= $(CACHEBASEARGS) -churn-records 300ms -churn-owners 2 -hot-clients 8
+CACHEADMARGS ?= $(CACHEHOTARGS) -admission-rate 40 -admission-burst 80
+bench-cache:
+	( $(GO) run ./cmd/roads-load $(CACHEBASEARGS) ; \
+	  $(GO) run ./cmd/roads-load $(CACHEHOTARGS) ; \
+	  $(GO) run ./cmd/roads-load $(CACHEADMARGS) ) | tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCHCACHE)
+
 # bench-compare diffs two benchjson archives; defaults compare this PR's
-# archive against the PR-5 one (only the benchmarks present in both), e.g.
-#   make bench && make bench-compare
-OLD ?= BENCH_pr5.json
-NEW ?= BENCH_pr8.json
+# archive against the PR-8 one (only the benchmarks present in both), e.g.
+#   make bench-cache && make bench-compare
+OLD ?= BENCH_pr8.json
+NEW ?= BENCH_pr9.json
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)

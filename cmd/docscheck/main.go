@@ -1,4 +1,4 @@
-// Command docscheck guards the repository's documentation in two ways:
+// Command docscheck guards the repository's documentation in three ways:
 //
 //  1. Every relative markdown link in the repo's *.md files must point at a
 //     file that exists (external http(s)/mailto links are skipped — CI has
@@ -8,6 +8,11 @@
 //     behind the code. The check builds the registry exactly the way
 //     roadsd does — transport + wire codec + live server, plus the load
 //     harness counters — and greps the handbook for each resulting name.
+//  3. The roadsd and roadsctl flag tables in OPERATIONS.md must match the
+//     flags those commands actually register: the check go/ast-parses each
+//     command's source for flag.* registrations and fails on drift in
+//     either direction — a documented flag the code no longer defines, or
+//     a defined flag the table does not document.
 //
 // Run via `make docs-check` (part of the tier1 gate). Exit status is
 // non-zero when any check fails; every failure is listed, not just the
@@ -16,9 +21,14 @@ package main
 
 import (
 	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
+	"strconv"
 	"strings"
 
 	"roads/internal/live"
@@ -45,6 +55,7 @@ func main() {
 		failures = append(failures, checkLinks(root, f)...)
 	}
 	failures = append(failures, checkMetricsCatalog(root)...)
+	failures = append(failures, checkFlagTables(root)...)
 
 	if len(failures) > 0 {
 		for _, f := range failures {
@@ -53,7 +64,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "docscheck: %d failure(s)\n", len(failures))
 		os.Exit(1)
 	}
-	fmt.Printf("docscheck: %d markdown files OK, metrics catalog complete\n", len(mdFiles))
+	fmt.Printf("docscheck: %d markdown files OK, metrics catalog complete, flag tables match\n", len(mdFiles))
 }
 
 // markdownFiles lists every tracked *.md file under root, skipping
@@ -138,4 +149,143 @@ func checkMetricsCatalog(root string) []string {
 		}
 	}
 	return failures
+}
+
+// flagTableCommands maps the OPERATIONS.md section heading that carries a
+// command's flag table to the command source directory whose flag
+// registrations the table must mirror.
+var flagTableCommands = []struct {
+	heading string // "## <heading>" prefix in OPERATIONS.md
+	dir     string // command source directory under root
+}{
+	{"## roadsd", "cmd/roadsd"},
+	{"## roadsctl", "cmd/roadsctl"},
+}
+
+// flagRowRe matches a flag table row: a table line whose first cell is a
+// backticked flag name, e.g. "| `-tick` | `2s` | ... |".
+var flagRowRe = regexp.MustCompile("^\\|\\s*`(-[a-zA-Z0-9-]+)`")
+
+// checkFlagTables verifies, in both directions, that the per-command flag
+// tables in OPERATIONS.md and the flag.* registrations in the command
+// sources name the same flag sets.
+func checkFlagTables(root string) []string {
+	data, err := os.ReadFile(filepath.Join(root, "OPERATIONS.md"))
+	if err != nil {
+		return []string{fmt.Sprintf("OPERATIONS.md: %v (the flag tables live there)", err)}
+	}
+	// Split the handbook into "## " sections and collect the flag rows of
+	// each command's section.
+	documented := make(map[string]map[string]bool)
+	section := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "## ") {
+			section = ""
+			for _, c := range flagTableCommands {
+				if strings.HasPrefix(line, c.heading) {
+					section = c.dir
+				}
+			}
+			continue
+		}
+		if section == "" {
+			continue
+		}
+		if m := flagRowRe.FindStringSubmatch(line); m != nil {
+			if documented[section] == nil {
+				documented[section] = make(map[string]bool)
+			}
+			documented[section][strings.TrimPrefix(m[1], "-")] = true
+		}
+	}
+
+	var failures []string
+	for _, c := range flagTableCommands {
+		defined, err := definedFlags(filepath.Join(root, c.dir))
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", c.dir, err))
+			continue
+		}
+		if len(defined) == 0 {
+			failures = append(failures, fmt.Sprintf("%s: no flag registrations found — the docscheck flag scan is broken", c.dir))
+			continue
+		}
+		doc := documented[c.dir]
+		if len(doc) == 0 {
+			failures = append(failures, fmt.Sprintf("OPERATIONS.md: no flag table found under the %q section", c.heading))
+			continue
+		}
+		var names []string
+		for name := range defined {
+			names = append(names, name)
+		}
+		for name := range doc {
+			if !defined[name] {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			switch {
+			case !doc[name]:
+				failures = append(failures, fmt.Sprintf(
+					"OPERATIONS.md: %s defines flag -%s but the %q flag table does not document it", c.dir, name, c.heading))
+			case !defined[name]:
+				failures = append(failures, fmt.Sprintf(
+					"OPERATIONS.md: the %q flag table documents -%s but %s no longer defines it", c.heading, name, c.dir))
+			}
+		}
+	}
+	return failures
+}
+
+// definedFlags go/ast-parses every .go file in dir and returns the names
+// registered through the flag package: flag.String/Bool/... (name is the
+// first argument) and flag.StringVar/.../flag.Var (name is the second).
+func definedFlags(dir string) (map[string]bool, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	flags := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				recv, ok := sel.X.(*ast.Ident)
+				if !ok || recv.Name != "flag" {
+					return true
+				}
+				nameArg := -1
+				switch sel.Sel.Name {
+				case "String", "Bool", "Int", "Int64", "Uint", "Uint64", "Float64", "Duration":
+					nameArg = 0
+				case "StringVar", "BoolVar", "IntVar", "Int64Var", "UintVar", "Uint64Var", "Float64Var", "DurationVar", "Var", "Func":
+					nameArg = 1
+				default:
+					return true
+				}
+				if nameArg >= len(call.Args) {
+					return true
+				}
+				lit, ok := call.Args[nameArg].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				if name, err := strconv.Unquote(lit.Value); err == nil && name != "" {
+					flags[name] = true
+				}
+				return true
+			})
+		}
+	}
+	return flags, nil
 }

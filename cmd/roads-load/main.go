@@ -54,8 +54,17 @@ func main() {
 	flag.DurationVar(&cfg.Churn.PartitionEvery, "churn-partition", 0, "interval between subtree network partitions (0: off)")
 	flag.Float64Var(&cfg.Churn.PartitionFraction, "churn-partition-frac", 0.3, "target fraction of the tree each partition severs")
 	flag.DurationVar(&cfg.Churn.HealAfter, "churn-heal", 2*time.Second, "how long a partition stays severed before healing")
+	flag.Float64Var(&cfg.RepeatFraction, "repeat-frac", 0, "probability a drive client re-issues an already-issued query (repeat-query cache workload)")
+	flag.BoolVar(&cfg.ClientCache, "client-cache", false, "enable the drive clients' fingerprint-validated record caches")
+	clientPrio := flag.Int("client-priority", 0, "wire priority class the drive clients claim (0 normal, 1 low, 2 high)")
+	flag.BoolVar(&cfg.Untraced, "untraced", false, "disable per-query tracing (traced queries bypass the server result cache; FP-descent stats report zero)")
+	flag.IntVar(&cfg.HotClients, "hot-clients", 0, "extra low-priority hot-tenant clients hammering a small query set for the whole drive (0: off)")
+	flag.Int64Var(&cfg.ResultCacheBytes, "result-cache-bytes", 0, "per-server result cache LRU byte budget (0: library default, negative: disabled)")
+	flag.Float64Var(&cfg.AdmissionRate, "admission-rate", 0, "per-requester admission token refill rate in queries/sec on every server (0: admission off)")
+	flag.IntVar(&cfg.AdmissionBurst, "admission-burst", 0, "per-requester admission token burst (0: derived from rate)")
 	promOut := flag.String("metrics-out", "", "also write the harness metrics registry (Prometheus text) to this file")
 	flag.Parse()
+	cfg.ClientPriority = uint8(*clientPrio)
 
 	reg := obs.NewRegistry()
 	cfg.Metrics = loadgen.RegisterMetrics(reg)
@@ -92,6 +101,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "membership: final roots %d, final coverage %.4f, %d merges, %d epoch regressions\n",
 			res.FinalRoots, res.FinalCoverage, res.MembershipMerges, res.EpochRegressions)
 	}
+	if res.ServerCacheHits+res.ServerCacheMisses > 0 {
+		fmt.Fprintf(os.Stderr, "result cache: %.4f hit rate (%d hits / %d misses), %d invalidations, %d evictions, %d client cache hits\n",
+			res.ServerCacheHitRate, res.ServerCacheHits, res.ServerCacheMisses,
+			res.ServerCacheInvalidations, res.ServerCacheEvictions, res.ClientCacheHits)
+	}
+	if res.HotQueries > 0 || res.AdmissionAdmitted+res.AdmissionShed+res.AdmissionRejected > 0 {
+		fmt.Fprintf(os.Stderr, "admission: %d admitted, %d shed, %d rejected; hot tenant %d queries (%d coarse, %d failed, p99 %v)\n",
+			res.AdmissionAdmitted, res.AdmissionShed, res.AdmissionRejected,
+			res.HotQueries, res.HotCoarse, res.HotFailures, res.HotLatencyP99)
+	}
 
 	if *promOut != "" {
 		f, err := os.Create(*promOut)
@@ -117,6 +136,15 @@ func main() {
 	if cfg.Churn.PartitionEvery > 0 {
 		name += "/partition"
 	}
+	if cfg.RepeatFraction > 0 || cfg.ClientCache {
+		name += "/cache"
+	}
+	if cfg.HotClients > 0 {
+		name += "/hot"
+	}
+	if cfg.AdmissionRate > 0 {
+		name += "/admission"
+	}
 	fmt.Printf("goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
 	fmt.Printf("%s\t%d\t%d ns/op\t%d p50-ns/op\t%d p95-ns/op\t%d p99-ns/op\t%.4f coverage\t%.4f fp-rate\t%.1f node-B/s\t%.2f converge-s\t%.2f build-s",
 		name, res.Queries-res.Failures,
@@ -131,6 +159,11 @@ func main() {
 	if cfg.Churn.WriteEvery > 0 {
 		fmt.Printf("\t%.4f refresh-skip-rate\t%.2f refresh-busy-s\t%d shard-rebuilds\t%d partial-merges",
 			res.RefreshSkipRate, res.RefreshBusySeconds, res.OwnerShardRebuilds, res.OwnerPartialMerges)
+	}
+	if cfg.RepeatFraction > 0 || cfg.ClientCache || cfg.AdmissionRate > 0 || cfg.HotClients > 0 {
+		fmt.Printf("\t%.4f cache-hit-rate\t%d client-cache-hits\t%d admission-shed\t%d hot-queries\t%d hot-coarse\t%d hot-failures",
+			res.ServerCacheHitRate, res.ClientCacheHits, res.AdmissionShed,
+			res.HotQueries, res.HotCoarse, res.HotFailures)
 	}
 	fmt.Println()
 }

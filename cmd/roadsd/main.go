@@ -48,6 +48,9 @@ func main() {
 	antiEntropy := flag.Int("anti-entropy-every", live.DefaultAntiEntropyEvery, "send full state every Nth aggregation tick even to up-to-date peers (ignored with -no-delta)")
 	noEpoch := flag.Bool("no-epoch", false, "run as a pre-epoch peer: no membership-epoch stamping, fencing, or split-brain root probing (pre-v4 wire behaviour)")
 	storeShards := flag.Int("store-shards", 0, "store shard count: records hash to shards, each maintaining its own indexes and partial summary (0 = library default)")
+	cacheBytes := flag.Int64("result-cache-bytes", 0, "query result cache LRU byte budget (0 = library default, negative = disable the cache)")
+	admissionRate := flag.Float64("admission-rate", 0, "per-requester admission token-bucket refill rate in queries/sec; over-budget wire-v5 requesters are shed to coarse summary-only answers (0 = admission off)")
+	admissionBurst := flag.Int("admission-burst", 0, "per-requester admission token-bucket burst capacity (0 = derive from -admission-rate)")
 	var mergeSeeds stringsFlag
 	flag.Var(&mergeSeeds, "merge-seed", "well-known address this server probes for a foreign root while it is a root itself, to detect and merge a split brain (repeatable; the -join seed is remembered automatically)")
 	seed := flag.Int64("seed", 0, "workload seed (0 = derive from ID)")
@@ -114,6 +117,9 @@ func main() {
 	cfg.DisableMembershipEpoch = *noEpoch
 	cfg.MergeSeeds = mergeSeeds
 	cfg.StoreShards = *storeShards
+	cfg.ResultCacheBytes = *cacheBytes
+	cfg.AdmissionRate = *admissionRate
+	cfg.AdmissionBurst = *admissionBurst
 
 	reg := obs.NewRegistry()
 	tr := transport.NewTCP()

@@ -1,0 +1,141 @@
+package live
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roads/internal/wire"
+)
+
+// admissionMaxBuckets bounds the per-requester bucket map; past it the
+// stalest buckets (full, idle the longest) are reaped, so an adversary
+// minting requester identities costs reaped state, not unbounded memory.
+const admissionMaxBuckets = 4096
+
+// tokenBucket is one requester's admission budget.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// admission is the per-requester admission controller: a lazily built map
+// of token buckets refilled at Config.AdmissionRate queries/second up to
+// Config.AdmissionBurst. High-priority requesters are never shed; everyone
+// else pays one token per query and is shed once the bucket runs dry —
+// to a coarse summary-only answer for wire-v5 requesters, the legacy error
+// shed for older peers (see handleQuery).
+type admission struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+
+	admitted atomic.Uint64
+	shed     atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// newAdmission builds the controller (rate 0 = disabled → nil). A zero
+// burst defaults to 2×rate, floored at 1 — enough slack that a compliant
+// requester's natural burstiness is not shed.
+func newAdmission(rate float64, burst int) *admission {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if burst == 0 {
+		b = 2 * rate
+	}
+	if b < 1 {
+		b = 1
+	}
+	return &admission{rate: rate, burst: b, buckets: make(map[string]*tokenBucket)}
+}
+
+// admit charges the requester one query and reports whether it may run.
+// Priority high always runs (still counted admitted); an empty requester
+// identity shares one anonymous bucket.
+func (a *admission) admit(requester string, priority uint8) bool {
+	if priority == wire.PriorityHigh {
+		a.admitted.Add(1)
+		return true
+	}
+	now := time.Now()
+	a.mu.Lock()
+	b, ok := a.buckets[requester]
+	if !ok {
+		if len(a.buckets) >= admissionMaxBuckets {
+			a.reapLocked(now)
+		}
+		b = &tokenBucket{tokens: a.burst, last: now}
+		a.buckets[requester] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * a.rate
+		if b.tokens > a.burst {
+			b.tokens = a.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		// The caller records the outcome (shed-to-coarse vs. the legacy
+		// rejection) — it depends on the requester's wire version.
+		a.mu.Unlock()
+		return false
+	}
+	b.tokens--
+	a.mu.Unlock()
+	a.admitted.Add(1)
+	return true
+}
+
+// reapLocked drops buckets idle long enough to have refilled completely —
+// indistinguishable from fresh ones, so removing them changes no admission
+// decision.
+func (a *admission) reapLocked(now time.Time) {
+	idle := time.Duration(float64(time.Second) * (a.burst / a.rate))
+	for id, b := range a.buckets {
+		if now.Sub(b.last) > idle {
+			delete(a.buckets, id)
+		}
+	}
+}
+
+// requesters returns the live bucket count.
+func (a *admission) requesters() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.buckets)
+}
+
+// AdmissionInfo is the admission controller's observable state, mirroring
+// the roads_admission_* series for harness and test consumption. Shed
+// counts queries degraded to coarse answers; Rejected counts pre-v5
+// requesters that got the legacy error shed instead.
+type AdmissionInfo struct {
+	Enabled    bool
+	Rate       float64
+	Burst      float64
+	Requesters int
+	Admitted   uint64
+	Shed       uint64
+	Rejected   uint64
+}
+
+// AdmissionInfo reports the server's admission state (zero when disabled).
+func (s *Server) AdmissionInfo() AdmissionInfo {
+	a := s.admission
+	if a == nil {
+		return AdmissionInfo{}
+	}
+	return AdmissionInfo{
+		Enabled:    true,
+		Rate:       a.rate,
+		Burst:      a.burst,
+		Requesters: a.requesters(),
+		Admitted:   a.admitted.Load(),
+		Shed:       a.shed.Load(),
+		Rejected:   a.rejected.Load(),
+	}
+}

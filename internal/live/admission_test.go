@@ -1,0 +1,118 @@
+package live
+
+import (
+	"strings"
+	"testing"
+
+	"roads/internal/policy"
+	"roads/internal/query"
+	"roads/internal/wire"
+)
+
+// admissionStar builds the shared fixture: a parked-loop star with two
+// branches and an admission layer of two tokens per requester that barely
+// refills, so the third query from any non-high requester goes over budget.
+func admissionStar(t *testing.T) (*Server, *policy.Classifier) {
+	t.Helper()
+	cls := policy.NewClassifier()
+	root, _, _, tr, _ := newCacheStar(t, func(cfg *Config) {
+		cfg.AdmissionRate = 0.0001
+		cfg.AdmissionBurst = 2
+		cfg.Classifier = cls
+	}, rangeOf(0, 8), rangeOf(100, 8))
+	_ = tr
+	return root, cls
+}
+
+// TestAdmissionShedsToCoarse: a wire-v5 requester over its token budget
+// gets a coarse summary-only answer — flagged in the reply, not an error.
+func TestAdmissionShedsToCoarse(t *testing.T) {
+	root, _ := admissionStar(t)
+	cli := NewClient(root.tr, "t-low")
+	cli.Priority = wire.PriorityLow
+	q := query.New("q", query.NewRange("a0", -1, 2000))
+
+	for i := 0; i < 2; i++ {
+		recs, stats, err := cli.Resolve(root.Addr(), q)
+		if err != nil {
+			t.Fatalf("resolve %d: %v", i, err)
+		}
+		if stats.Coarse != 0 || len(recs) != 16 {
+			t.Fatalf("resolve %d within budget: coarse=%d records=%d; want full answer", i, stats.Coarse, len(recs))
+		}
+	}
+	recs, stats, err := cli.Resolve(root.Addr(), q)
+	if err != nil {
+		t.Fatalf("over-budget resolve must not error, got: %v", err)
+	}
+	if stats.Coarse != 1 || len(recs) != 0 {
+		t.Fatalf("over-budget resolve: coarse=%d records=%d; want a coarse shed", stats.Coarse, len(recs))
+	}
+	if stats.CoarseEstimate <= 0 {
+		t.Fatalf("coarse reply carried estimate %v; want a positive branch estimate", stats.CoarseEstimate)
+	}
+	if info := root.AdmissionInfo(); info.Shed == 0 || info.Rejected != 0 {
+		t.Fatalf("admission after coarse shed: %+v; want shed counted, nothing rejected", info)
+	}
+}
+
+// TestAdmissionHighPriorityNeverShed: PriorityHigh traffic bypasses the
+// token buckets entirely.
+func TestAdmissionHighPriorityNeverShed(t *testing.T) {
+	root, _ := admissionStar(t)
+	cli := NewClient(root.tr, "t-high")
+	cli.Priority = wire.PriorityHigh
+	q := query.New("q", query.NewRange("a0", -1, 2000))
+	for i := 0; i < 6; i++ {
+		recs, stats, err := cli.Resolve(root.Addr(), q)
+		if err != nil {
+			t.Fatalf("resolve %d: %v", i, err)
+		}
+		if stats.Coarse != 0 || len(recs) != 16 {
+			t.Fatalf("resolve %d: coarse=%d records=%d; high priority must never be shed", i, stats.Coarse, len(recs))
+		}
+	}
+}
+
+// TestAdmissionPreV5RequesterGetsError: a requester whose query carries no
+// wire-v5 field cannot decode a coarse reply, so over budget it gets the
+// legacy error shed, counted as rejected.
+func TestAdmissionPreV5RequesterGetsError(t *testing.T) {
+	root, _ := admissionStar(t)
+	cli := NewClient(root.tr, "t-pre")
+	q := query.New("q", query.NewRange("a0", -1, 2000))
+	for i := 0; i < 2; i++ {
+		if _, _, err := cli.Resolve(root.Addr(), q); err != nil {
+			t.Fatalf("resolve %d: %v", i, err)
+		}
+	}
+	_, _, err := cli.Resolve(root.Addr(), q)
+	if err == nil || !strings.Contains(err.Error(), "admission") {
+		t.Fatalf("over-budget pre-v5 resolve: err=%v; want an admission error", err)
+	}
+	if info := root.AdmissionInfo(); info.Rejected == 0 {
+		t.Fatalf("admission after pre-v5 shed: %+v; want rejected counted", info)
+	}
+}
+
+// TestAdmissionClassifierOverridesClaimedPriority: a server-side Classifier
+// pin beats whatever priority class the requester claims on the wire.
+func TestAdmissionClassifierOverridesClaimedPriority(t *testing.T) {
+	root, cls := admissionStar(t)
+	cls.Pin("t-pinned", policy.ClassLow)
+	cli := NewClient(root.tr, "t-pinned")
+	cli.Priority = wire.PriorityHigh // claimed high, pinned low
+	q := query.New("q", query.NewRange("a0", -1, 2000))
+	for i := 0; i < 2; i++ {
+		if _, _, err := cli.Resolve(root.Addr(), q); err != nil {
+			t.Fatalf("resolve %d: %v", i, err)
+		}
+	}
+	_, stats, err := cli.Resolve(root.Addr(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Coarse != 1 {
+		t.Fatalf("pinned-low requester claiming high was not shed (coarse=%d); the classifier must override the wire priority", stats.Coarse)
+	}
+}

@@ -1,10 +1,12 @@
 package live
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
@@ -13,6 +15,10 @@ import (
 	"roads/internal/transport"
 	"roads/internal/wire"
 )
+
+// DefaultClientCacheBytes is the client result cache's byte budget applied
+// when CacheBytes is zero.
+const DefaultClientCacheBytes = 1 << 20
 
 // Client resolves queries against a live ROADS deployment by following
 // redirects, querying redirect targets concurrently — one goroutine per
@@ -45,9 +51,37 @@ type Client struct {
 	// failover stand-ins spawned for them. Tracing adds a few fields per
 	// hop on the wire and is off by default.
 	Trace bool
+	// Priority is the admission priority class stamped on every contact
+	// (wire v5; see wire.PriorityNormal/Low/High). Zero claims the normal
+	// class and keeps queries encodable at pre-v5 versions.
+	Priority uint8
+	// CacheResults caches each resolve's deduplicated record set keyed by
+	// (entry address, normalized query) together with the entry server's
+	// reply fingerprint. A repeat resolve then sends one revalidation
+	// query carrying the fingerprint: if the entry server answers
+	// NotModified the cached records are returned with zero descent — the
+	// whole repeat costs exactly one RPC. Any fingerprint change falls
+	// back to a full resolve. Off by default.
+	CacheResults bool
+	// CacheBytes bounds the client cache (0 = DefaultClientCacheBytes).
+	CacheBytes int64
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	// cacheMu guards the client-side result cache (an LRU over resolved
+	// record sets).
+	cacheMu    sync.Mutex
+	cacheLRU   *list.List
+	cacheByKey map[string]*list.Element
+	cacheBytes int64
+
+	// downMu guards downgraded: addresses that rejected a wire-v5 payload
+	// ("unknown binary codec version"); contacts to them retry and stay
+	// pre-v5 from then on — the optimistic-probe negotiation v3 and v4
+	// also use.
+	downMu     sync.Mutex
+	downgraded map[string]bool
 }
 
 // NewClient creates a client over the transport.
@@ -100,6 +134,16 @@ type QueryStats struct {
 	// Hops records every server contact of a traced resolve, in completion
 	// order (empty unless the client has Trace enabled).
 	Hops []HopTrace
+	// CacheHit reports the resolve was served from the client cache: the
+	// entry server confirmed the cached fingerprint (NotModified), so the
+	// records returned are the cached set and no descent happened.
+	CacheHit bool
+	// Coarse counts contacts that answered with a degraded summary-only
+	// reply (admission control or budget shedding, wire v5): no records,
+	// only an estimate. CoarseEstimate sums those servers' estimated
+	// match counts.
+	Coarse         int
+	CoarseEstimate float64
 }
 
 // HopTrace is one server contact of a traced resolve: how the target was
@@ -218,7 +262,21 @@ func (c *Client) ResolveScopedContext(ctx context.Context, startAddr string, q *
 		// discovered redirect region, reached those whose target (or a
 		// stand-in alternate) answered.
 		known, reached uint64
+		// startFP is the fingerprint the entry server stamped on its full
+		// answer; the resolve's record set is cached under it at the end.
+		startFP uint64
 	)
+
+	// Client cache: the cached record set and fingerprint for this exact
+	// (entry address, normalized query) pair, captured up front so a
+	// NotModified answer always has the records it vouches for.
+	var ckey string
+	var cachedRecs []*record.Record
+	var cachedFP uint64
+	if c.CacheResults {
+		ckey = startAddr + "\x00" + cacheKey(c.Requester, scope, true, q.Preds)
+		cachedRecs, cachedFP = c.cacheGet(ckey)
+	}
 
 	var contact func(t target, start bool)
 	contact = func(t target, start bool) {
@@ -230,6 +288,15 @@ func (c *Client) ResolveScopedContext(ctx context.Context, startAddr string, q *
 			dto.Trace = true
 			dto.TraceID = stats.TraceID
 			dto.Path = t.path
+		}
+		if !c.isDowngraded(t.addr) {
+			// Optimistic wire-v5 fields; a peer that rejects them is
+			// remembered and re-contacted pre-v5.
+			dto.Priority = c.Priority
+			if start && c.CacheResults {
+				dto.WantFingerprint = true
+				dto.CacheFingerprint = cachedFP
+			}
 		}
 		var rep *wire.Message
 		var err error
@@ -257,6 +324,15 @@ func (c *Client) ResolveScopedContext(ctx context.Context, startAddr string, q *
 			}
 			if err == nil && rep.QueryRep == nil {
 				err = fmt.Errorf("live: %s returned %v to a query", rep.From, rep.Kind)
+			}
+			if err != nil && isV5Reject(err) &&
+				(dto.Priority != 0 || dto.WantFingerprint || dto.CacheFingerprint != 0) {
+				// The peer cannot decode wire v5: remember it and re-send
+				// this contact pre-v5 immediately (not charged as a retry).
+				c.markDowngraded(t.addr)
+				dto.Priority, dto.WantFingerprint, dto.CacheFingerprint = 0, false, 0
+				attempt--
+				continue
 			}
 			if err == nil || attempt >= retries || ctx.Err() != nil {
 				break
@@ -322,6 +398,30 @@ func (c *Client) ResolveScopedContext(ctx context.Context, startAddr string, q *
 		stats.Contacted++
 		stats.Servers = append(stats.Servers, rep.From)
 		reached += t.records
+		if rep.QueryRep.NotModified {
+			// The entry server confirmed the cached fingerprint: the
+			// cached record set is current and there is nothing to
+			// descend into.
+			stats.CacheHit = true
+			for _, r := range cachedRecs {
+				key := r.Owner + "/" + r.ID
+				if !seenRec[key] {
+					seenRec[key] = true
+					records = append(records, r)
+				}
+			}
+			return
+		}
+		if rep.QueryRep.Coarse {
+			// Degraded summary-only answer: the server shed the
+			// evaluation but vouches for roughly this many matches.
+			stats.Coarse++
+			stats.CoarseEstimate += rep.QueryRep.CoarseEstimate
+			return
+		}
+		if start && rep.QueryRep.Fingerprint != 0 {
+			startFP = rep.QueryRep.Fingerprint
+		}
 		for _, dto := range rep.QueryRep.Records {
 			key := dto.Owner + "/" + dto.ID
 			if !seenRec[key] {
@@ -362,7 +462,101 @@ func (c *Client) ResolveScopedContext(ctx context.Context, startAddr string, q *
 	if firstEr != nil && stats.Contacted == 0 {
 		return nil, stats, firstEr
 	}
+	if c.CacheResults && !stats.CacheHit && startFP != 0 &&
+		stats.Failed == 0 && stats.Coarse == 0 {
+		// Cache only complete resolves: a partial or degraded answer
+		// replayed through NotModified would pin its gaps until the
+		// fingerprint happens to move.
+		c.cacheStore(ckey, records, startFP)
+	}
 	return records, stats, nil
+}
+
+// isV5Reject reports whether the error is a peer rejecting a wire-v5
+// payload — the decoder's unknown-version sentinel, surfaced through the
+// transport as the call error.
+func isV5Reject(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "unknown binary codec version")
+}
+
+// isDowngraded reports whether addr previously rejected a v5 payload.
+func (c *Client) isDowngraded(addr string) bool {
+	c.downMu.Lock()
+	defer c.downMu.Unlock()
+	return c.downgraded[addr]
+}
+
+// markDowngraded remembers addr as pre-v5.
+func (c *Client) markDowngraded(addr string) {
+	c.downMu.Lock()
+	defer c.downMu.Unlock()
+	if c.downgraded == nil {
+		c.downgraded = make(map[string]bool)
+	}
+	c.downgraded[addr] = true
+}
+
+// clientCacheEntry is one cached resolve: the deduplicated record set and
+// the entry-server fingerprint that vouches for it.
+type clientCacheEntry struct {
+	key     string
+	records []*record.Record
+	fp      uint64
+	size    int64
+}
+
+// cacheGet returns the cached record set and fingerprint for the key
+// (nil, 0 on miss), refreshing its LRU position.
+func (c *Client) cacheGet(key string) ([]*record.Record, uint64) {
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	el, ok := c.cacheByKey[key]
+	if !ok {
+		return nil, 0
+	}
+	c.cacheLRU.MoveToFront(el)
+	e := el.Value.(*clientCacheEntry)
+	return e.records, e.fp
+}
+
+// cacheStore caches a resolve's record set under the key, evicting LRU
+// entries past the byte budget.
+func (c *Client) cacheStore(key string, records []*record.Record, fp uint64) {
+	size := int64(len(key)) + 128
+	for _, r := range records {
+		size += int64(len(r.ID)+len(r.Owner)+48) + int64(len(r.Values))*24
+	}
+	budget := c.CacheBytes
+	if budget <= 0 {
+		budget = DefaultClientCacheBytes
+	}
+	if size > budget {
+		return
+	}
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	if c.cacheByKey == nil {
+		c.cacheByKey = make(map[string]*list.Element)
+		c.cacheLRU = list.New()
+	}
+	if el, ok := c.cacheByKey[key]; ok {
+		c.cacheBytes -= el.Value.(*clientCacheEntry).size
+		c.cacheLRU.Remove(el)
+		delete(c.cacheByKey, key)
+	}
+	e := &clientCacheEntry{key: key, records: records, fp: fp, size: size}
+	c.cacheByKey[key] = c.cacheLRU.PushFront(e)
+	c.cacheBytes += size
+	for c.cacheBytes > budget {
+		back := c.cacheLRU.Back()
+		if back == nil {
+			break
+		}
+		old := back.Value.(*clientCacheEntry)
+		c.cacheBytes -= old.size
+		c.cacheLRU.Remove(back)
+		delete(c.cacheByKey, old.key)
+	}
 }
 
 // newTraceID draws a 64-bit hex trace ID from the client's seeded RNG —

@@ -88,6 +88,14 @@ type ClusterConfig struct {
 	// (zero derives 4× the heartbeat period; see Config.MergeProbeEvery).
 	MergeProbeEvery time.Duration
 	Cost            store.CostModel
+	// ResultCacheBytes, AdmissionRate, AdmissionBurst and Classifier are
+	// handed to every server verbatim (see the Config fields of the same
+	// names). The zero values keep the result cache at its default budget
+	// and admission control off.
+	ResultCacheBytes int64
+	AdmissionRate    float64
+	AdmissionBurst   int
+	Classifier       *policy.Classifier
 }
 
 // parallelism returns the effective worker-pool width.
@@ -178,6 +186,10 @@ func StartCluster(tr transport.Transport, cfg ClusterConfig) (*Cluster, error) {
 		scfg.MergeSeeds = cfg.MergeSeeds
 		scfg.MergeProbeEvery = cfg.MergeProbeEvery
 		scfg.Cost = cfg.Cost
+		scfg.ResultCacheBytes = cfg.ResultCacheBytes
+		scfg.AdmissionRate = cfg.AdmissionRate
+		scfg.AdmissionBurst = cfg.AdmissionBurst
+		scfg.Classifier = cfg.Classifier
 		srv, err := NewServer(scfg, tr)
 		if err != nil {
 			errs[i] = err

@@ -1,0 +1,32 @@
+// Package live is the runnable ROADS prototype: real servers exchanging
+// wire messages over a pluggable transport (in-process or TCP), each
+// running its own goroutines for aggregation ticks, heartbeats, and query
+// serving. It mirrors the paper's Java prototype: the simulator
+// (internal/core) answers "what are the costs", the live stack answers
+// "does the protocol actually run".
+//
+// A Server is one node of the hierarchy. Children report branch summaries
+// upward each aggregation tick (loops.go), parents push overlay replicas
+// back down, and queries descend client-driven: each contacted server
+// answers from local data and names the child branches and overlay
+// replicas whose summaries match (handlers.go), which the Client then
+// contacts concurrently. Membership is epoch-fenced (membership.go) so
+// partition healing cannot resurrect dead relationships.
+//
+// Three read-path caches keep the hot paths off the server mutex (see
+// ARCHITECTURE.md for the full map):
+//
+//   - the routing snapshot (snapshot.go): an immutable copy-on-write view
+//     of owners, children and replicas, republished by every write path and
+//     read with one atomic load;
+//   - the owner export cache (loops.go): per-owner summaries keyed by
+//     record-set generation, so refresh ticks skip unchanged owners;
+//   - the query result cache (cache.go): complete replies keyed by
+//     normalized predicates and revalidated against the exact version set
+//     they were computed from, with a per-requester admission layer
+//     (admission.go) shedding over-budget tenants to coarse summary-only
+//     answers.
+//
+// Cluster (cluster.go) spins up and joins many servers in-process for
+// tests and the load harness.
+package live

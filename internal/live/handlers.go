@@ -403,25 +403,101 @@ func (s *Server) handleQuery(msg *wire.Message) *wire.Message {
 		return s.handleQueryLegacy(msg)
 	}
 	began := time.Now()
+	snap := s.snap.Load()
+	// A query carrying any v5 field proves the requester decodes wire v5,
+	// so it may be answered with coarse and NotModified replies (which
+	// a pre-v5 peer could not decode).
+	v5 := msg.Query.Priority != 0 || msg.Query.CacheFingerprint != 0 || msg.Query.WantFingerprint
+	q := msg.Query.ToQuery()
+	if err := q.Bind(s.cfg.Schema); err != nil {
+		return wire.ErrorMessage(s.cfg.ID, err)
+	}
+	wrap := func(rep *wire.QueryReply) *wire.Message {
+		return &wire.Message{Kind: wire.KindQueryReply, From: s.cfg.ID, Addr: s.cfg.Addr, QueryRep: rep}
+	}
+
+	// Admission first, before any evaluation work: an over-budget
+	// requester is shed to a coarse summary-only answer (v5) or the
+	// legacy error (older peers). The effective class is the operator's
+	// pinned one when a Classifier is configured — a requester cannot
+	// promote itself past admission by claiming PriorityHigh.
+	if s.admission != nil {
+		prio := s.cfg.Classifier.ClassFor(msg.Query.Requester, msg.Query.Priority)
+		if !s.admission.admit(msg.Query.Requester, prio) {
+			if v5 {
+				s.admission.shed.Add(1)
+				return wrap(s.coarseReply(snap, q))
+			}
+			s.admission.rejected.Add(1)
+			return wire.ErrorMessage(s.cfg.ID, fmt.Errorf(
+				"live: query %s shed: requester %q over admission budget", msg.Query.ID, msg.Query.Requester))
+		}
+	}
+
 	overBudget := func() bool {
 		return msg.Query.Budget > 0 && time.Since(began) > msg.Query.Budget
 	}
 	shed := func() *wire.Message {
 		s.mx.shed.Inc()
+		if v5 {
+			// Shed to coarse, not to an error: the requester still gets a
+			// flagged summary-only estimate it can act on.
+			return wrap(s.coarseReply(snap, q))
+		}
 		return wire.ErrorMessage(s.cfg.ID, fmt.Errorf(
 			"live: query %s shed: %v deadline budget exhausted", msg.Query.ID, msg.Query.Budget))
 	}
-	q := msg.Query.ToQuery()
-	if err := q.Bind(s.cfg.Schema); err != nil {
-		return wire.ErrorMessage(s.cfg.ID, err)
+
+	// Fingerprint revalidation (wire v5): when the requester's cached
+	// fingerprint still matches the current routing state, nothing this
+	// server would answer has changed — reply NotModified with no
+	// evaluation at all.
+	var fp uint64
+	if v5 && (msg.Query.WantFingerprint || msg.Query.CacheFingerprint != 0) {
+		fp = s.queryFingerprint(snap)
+		if fp != 0 && fp == msg.Query.CacheFingerprint {
+			s.mx.notModified.Inc()
+			s.mx.queries.Inc()
+			s.mx.evalLatency.Observe(time.Since(began))
+			return wrap(&wire.QueryReply{NotModified: true, Fingerprint: fp})
+		}
 	}
 
-	snap := s.snap.Load()
+	// Result cache: traced queries bypass (their replies carry per-query
+	// trace payloads). A hit is revalidated against the live store epoch,
+	// owner generations and the snapshot's dep hashes inside lookup, so it
+	// is byte-identical to the evaluation below.
+	tracing := msg.Query.Trace
+	caching := s.resultCache != nil && !tracing
+	var key string
+	if caching {
+		key = cacheKey(msg.Query.Requester, msg.Query.Scope, msg.Query.Start, msg.Query.Preds)
+		if cached, age, ok := s.resultCache.lookup(s, snap, key, q); ok {
+			rep := *cached // shallow copy: the shared entry is never mutated
+			if msg.Query.WantFingerprint {
+				rep.Fingerprint = fp
+			}
+			s.mx.cacheHitAge.Observe(age)
+			s.mx.queries.Inc()
+			s.mx.redirects.Add(uint64(len(rep.Redirects)))
+			s.mx.evalLatency.Observe(time.Since(began))
+			return wrap(&rep)
+		}
+	}
+
 	reply := &wire.QueryReply{}
 	// Trace collection is opt-in per query; the untraced hot path never
 	// touches these.
-	tracing := msg.Query.Trace
 	var matchedChildren, matchedReplicas []string
+
+	// Local dependency versions are captured before the work they cover:
+	// tagging results computed from older state with a newer version would
+	// let a stale entry validate.
+	storeEpoch := s.store.Epoch()
+	var ownerDeps []ownerDep
+	if caching && len(snap.owners) > 0 {
+		ownerDeps = make([]ownerDep, len(snap.owners))
+	}
 
 	// Local matches: the trusted store plus each summary-mode owner's
 	// policy-filtered answer (the "final control" step).
@@ -433,7 +509,10 @@ func (s *Server) handleQuery(msg *wire.Message) *wire.Message {
 	if overBudget() {
 		return shed()
 	}
-	for _, o := range snap.owners {
+	for i, o := range snap.owners {
+		if ownerDeps != nil {
+			ownerDeps[i] = ownerDep{gen: o.Generation(), rev: o.Policy.Rev()}
+		}
 		if o.Policy.Mode != policy.ExportSummary {
 			continue // records-mode owners answer via the store
 		}
@@ -451,24 +530,40 @@ func (s *Server) handleQuery(msg *wire.Message) *wire.Message {
 	// first contact (paper Fig. 2: redirected servers search their own
 	// branches). The snapshot pre-built each redirect and pre-filtered
 	// replicas shadowed by a child, so this is pure summary matching.
-	for _, c := range snap.children {
-		if c.branch != nil && q.MatchSummary(c.branch) {
+	// When caching, every match decision is recorded as a dep: the entry
+	// dies exactly when a decision could flip.
+	var childDeps, replicaDeps []cacheDep
+	if caching {
+		childDeps = make([]cacheDep, len(snap.children))
+	}
+	for i, c := range snap.children {
+		matched := c.branch != nil && q.MatchSummary(c.branch)
+		if matched {
 			reply.Redirects = append(reply.Redirects, c.ri)
 			if tracing {
 				matchedChildren = append(matchedChildren, c.ri.ID)
 			}
 		}
+		if caching {
+			childDeps[i] = cacheDep{id: c.ri.ID, dep: c.dep, matched: matched, inScope: true}
+		}
 	}
 	if msg.Query.Start {
-		for _, r := range snap.replicas {
-			if msg.Query.Scope >= 0 && r.level > msg.Query.Scope {
-				continue // outside the requested search scope
-			}
-			if q.MatchSummary(r.match) {
+		if caching {
+			replicaDeps = make([]cacheDep, len(snap.replicas))
+		}
+		for i, r := range snap.replicas {
+			inScope := msg.Query.Scope < 0 || r.level <= msg.Query.Scope
+			matched := false
+			if inScope && q.MatchSummary(r.match) {
+				matched = true
 				reply.Redirects = append(reply.Redirects, r.ri)
 				if tracing {
 					matchedReplicas = append(matchedReplicas, r.ri.ID)
 				}
+			}
+			if caching {
+				replicaDeps[i] = cacheDep{id: r.ri.ID, dep: r.dep, matched: matched, inScope: inScope}
 			}
 		}
 	}
@@ -486,10 +581,31 @@ func (s *Server) handleQuery(msg *wire.Message) *wire.Message {
 			MatchedReplicas: matchedReplicas,
 		}
 	}
+	if caching {
+		// Cache a fingerprint-free shallow copy: fingerprints are
+		// per-request (WantFingerprint), not part of the shared answer.
+		cached := *reply
+		cached.Fingerprint = 0
+		s.resultCache.insert(&cacheEntry{
+			key:        key,
+			reply:      &cached,
+			size:       replySize(key, &cached),
+			storeEpoch: storeEpoch,
+			ownerDeps:  ownerDeps,
+			children:   childDeps,
+			replicas:   replicaDeps,
+			start:      msg.Query.Start,
+			scope:      msg.Query.Scope,
+			insertedAt: time.Now(),
+		})
+	}
+	if msg.Query.WantFingerprint {
+		reply.Fingerprint = fp
+	}
 	s.mx.queries.Inc()
 	s.mx.redirects.Add(uint64(len(reply.Redirects)))
 	s.mx.evalLatency.Observe(time.Since(began))
-	return &wire.Message{Kind: wire.KindQueryReply, From: s.cfg.ID, Addr: s.cfg.Addr, QueryRep: reply}
+	return wrap(reply)
 }
 
 // handleQueryLegacy is the pre-snapshot query path: every routing lookup

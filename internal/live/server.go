@@ -1,9 +1,3 @@
-// Package live is the runnable ROADS prototype: real servers exchanging
-// wire messages over a pluggable transport (in-process or TCP), each
-// running its own goroutines for aggregation ticks, heartbeats, and query
-// serving. It mirrors the paper's Java prototype: the simulator
-// (internal/core) answers "what are the costs", the live stack answers
-// "does the protocol actually run".
 package live
 
 import (
@@ -113,6 +107,27 @@ type Config struct {
 	// summary, so store churn re-summarizes touched shards instead of
 	// rebuilding the whole store's summary. Zero uses store.DefaultShards.
 	StoreShards int
+	// ResultCacheBytes is the query result cache's LRU byte budget. Zero
+	// uses DefaultResultCacheBytes; negative disables the cache. Cached
+	// replies are revalidated against the exact version set they were
+	// computed from (store epoch, owner generations, child/replica dep
+	// hashes), so a hit is always byte-identical to a fresh evaluation.
+	ResultCacheBytes int64
+	// AdmissionRate is the per-requester admission budget in queries per
+	// second. Zero disables admission control entirely. Requesters over
+	// budget are shed: wire-v5 requesters get a coarse summary-only
+	// answer, older peers the legacy error shed; PriorityHigh is never
+	// shed.
+	AdmissionRate float64
+	// AdmissionBurst is the token-bucket depth (how many queries a
+	// requester may burst above the sustained rate). Zero derives
+	// 2×AdmissionRate, floored at 1.
+	AdmissionBurst int
+	// Classifier optionally pins requester identities to priority classes
+	// server-side, overriding the priority their queries claim — the
+	// serving site keeps final control over scheduling just as owners keep
+	// it over answers. Nil trusts the wire priority.
+	Classifier *policy.Classifier
 }
 
 // DefaultConfig returns test-friendly defaults for the given identity.
@@ -171,6 +186,12 @@ func (c Config) Validate() error {
 	}
 	if c.MergeProbeEvery < 0 {
 		return fmt.Errorf("live: MergeProbeEvery must not be negative")
+	}
+	if c.AdmissionRate < 0 {
+		return fmt.Errorf("live: AdmissionRate must not be negative")
+	}
+	if c.AdmissionBurst < 0 {
+		return fmt.Errorf("live: AdmissionBurst must not be negative")
 	}
 	return nil
 }
@@ -356,6 +377,15 @@ type Server struct {
 	// publishSnapshotLocked while holding s.mu.
 	snap atomic.Pointer[routingSnapshot]
 
+	// resultCache caches complete query replies keyed by normalized
+	// predicates and revalidated against exact dependency versions (nil
+	// when disabled). admission is the per-requester token-bucket layer
+	// (nil when disabled). Both are built in NewServer before the first
+	// snapshot publish and never replaced, so the handlers read them
+	// without synchronization.
+	resultCache *resultCache
+	admission   *admission
+
 	// mx holds the operational counters (monotone since startup) as named
 	// obs series. The counters are atomics, not mutex-guarded fields: the
 	// query hot path bumps them without touching s.mu, and a /metrics
@@ -402,6 +432,8 @@ func NewServer(cfg Config, tr transport.Transport) (*Server, error) {
 		replicas:     make(map[string]*replicaState),
 		knownServers: make(map[string]string),
 		ownerCache:   make(map[*policy.Owner]ownerCacheEntry),
+		resultCache:  newResultCache(cfg.ResultCacheBytes),
+		admission:    newAdmission(cfg.AdmissionRate, cfg.AdmissionBurst),
 		stop:         make(chan struct{}),
 		startTime:    time.Now(),
 	}

@@ -14,6 +14,13 @@ import (
 type snapChild struct {
 	branch *summary.Summary
 	ri     wire.RedirectInfo
+	// dep hashes everything about this child a query reply can depend on:
+	// its branch content version, address and failover alternates. The
+	// result cache stores the dep hashes an entry was computed from and
+	// revalidates them in lockstep on lookup, so a changed branch kills
+	// exactly the entries it could have influenced. Zero (a pre-v3 child
+	// with no content version) marks the child uncacheable.
+	dep uint64
 }
 
 // snapReplica is one overlay replica as the query path sees it. match is
@@ -25,6 +32,10 @@ type snapReplica struct {
 	level int
 	match *summary.Summary
 	ri    wire.RedirectInfo
+	// dep mirrors snapChild.dep for the replica: origin identity, level
+	// (scope filtering keys on it) and content version. Zero marks it
+	// uncacheable (unversioned push).
+	dep uint64
 }
 
 // routingSnapshot is the immutable routing state the hot paths read. Write
@@ -60,6 +71,13 @@ type routingSnapshot struct {
 	// covered is the precomputed CoveredRecords value: own branch plus
 	// each non-ancestor replica's branch plus each ancestor's local data.
 	covered uint64
+
+	// fpBase folds every child and replica dep hash into the snapshot's
+	// routing fingerprint base; queryFingerprint combines it with the live
+	// store epoch and owner generations to stamp wire-v5 replies. Zero
+	// (some dependency is unversioned) suppresses fingerprints — clients
+	// then get no revalidation token and fall back to full resolves.
+	fpBase uint64
 }
 
 // publishSnapshotLocked rebuilds the routing snapshot from the live maps
@@ -91,6 +109,14 @@ func (s *Server) publishSnapshotLocked() {
 			if c.branch != nil {
 				sc.ri.Records = c.branch.Records
 			}
+			if c.version != 0 {
+				dh := newDepHasher()
+				dh.u64(c.version)
+				dh.str(c.id)
+				dh.str(c.addr)
+				dh.redirects(c.kids)
+				sc.dep = dh.h
+			}
 			snap.children = append(snap.children, sc)
 		}
 		sort.Slice(snap.children, func(i, j int) bool {
@@ -114,12 +140,16 @@ func (s *Server) publishSnapshotLocked() {
 				continue
 			}
 			sr := snapReplica{level: r.level}
+			version := r.version
 			if r.ancestor {
 				if r.local == nil {
 					continue
 				}
 				sr.match = r.local
 				sr.ri = wire.RedirectInfo{ID: r.originID, Addr: r.originAddr, Records: r.local.Records}
+				// The ancestor route matches on its local data, which the
+				// push versions independently of the branch.
+				version = r.local.Version
 			} else {
 				sr.match = r.branch
 				sr.ri = wire.RedirectInfo{
@@ -129,11 +159,45 @@ func (s *Server) publishSnapshotLocked() {
 					Alternates: r.fallbacks,
 				}
 			}
+			if version != 0 {
+				dh := newDepHasher()
+				dh.u64(version)
+				dh.str(r.originID)
+				dh.str(r.originAddr)
+				dh.u64(uint64(r.level))
+				if r.ancestor {
+					dh.u64(1)
+				} else {
+					dh.u64(0)
+					dh.redirects(r.fallbacks)
+				}
+				sr.dep = dh.h
+			}
 			snap.replicas = append(snap.replicas, sr)
 		}
 		sort.Slice(snap.replicas, func(i, j int) bool {
 			return snap.replicas[i].ri.ID < snap.replicas[j].ri.ID
 		})
 	}
+	fb := newDepHasher()
+	fb.u64(uint64(len(snap.children)))
+	for i := range snap.children {
+		if snap.children[i].dep == 0 {
+			fb.h = 0
+			break
+		}
+		fb.u64(snap.children[i].dep)
+	}
+	if fb.h != 0 {
+		fb.u64(uint64(len(snap.replicas)))
+		for i := range snap.replicas {
+			if snap.replicas[i].dep == 0 {
+				fb.h = 0
+				break
+			}
+			fb.u64(snap.replicas[i].dep)
+		}
+	}
+	snap.fpBase = fb.h
 	s.snap.Store(snap)
 }

@@ -1,16 +1,3 @@
-// Package loadgen drives a live ROADS federation at topology scale: it
-// spins up hundreds to thousands of servers on the in-process transport
-// in a configurable deep/wide hierarchy, attaches trace-shaped workloads
-// from internal/workload, resolves selectivity-realistic queries through
-// concurrent clients, and injects churn — owner record swaps, server
-// crash/rejoin, and whole-subtree network partitions — mid-run. It reports
-// end-to-end latency percentiles, coverage, false-positive descent rate,
-// transport bytes per node per second, and (under partition churn) the
-// split-brain exposure and post-heal re-convergence the membership-epoch
-// protocol delivers — the yardstick numbers ROADMAP item 1 asks for.
-//
-// cmd/roads-load is the CLI front-end; `make bench-load` archives a run
-// as BENCH_pr7.json via cmd/benchjson.
 package loadgen
 
 import (
@@ -28,6 +15,7 @@ import (
 	"roads/internal/stats"
 	"roads/internal/summary"
 	"roads/internal/transport"
+	"roads/internal/wire"
 	"roads/internal/workload"
 )
 
@@ -120,6 +108,35 @@ type Config struct {
 	ConvergeTimeout time.Duration
 	Tick            time.Duration
 	Parallelism     int
+	// RepeatFraction, when positive, makes each drive client re-issue an
+	// already-issued query with that probability instead of advancing to
+	// a fresh one — the repeat-query workload the PR 9 result cache is
+	// built to serve.
+	RepeatFraction float64
+	// ClientCache enables the drive clients' fingerprint-validated
+	// record caches (live.Client.CacheResults); ClientPriority is the
+	// wire priority class they claim (wire.PriorityHigh under overload
+	// runs, so the admission layer protects them from the hot tenant).
+	ClientCache    bool
+	ClientPriority uint8
+	// Untraced disables per-query tracing. Traced queries bypass the
+	// server result cache by design, so cache-measuring runs must set it;
+	// FP-descent accounting, which rides on traces, reports zero then.
+	Untraced bool
+	// HotClients, when positive, adds that many extra low-priority
+	// clients sharing one requester identity ("hot-tenant") that hammer a
+	// small hot query set for the whole drive phase — the overload the
+	// admission layer sheds to coarse answers. Their resolves are tallied
+	// separately (HotQueries, HotCoarse, HotFailures, HotLatencyP99) and
+	// never enter the main latency/coverage stats.
+	HotClients int
+	// ResultCacheBytes, AdmissionRate and AdmissionBurst configure every
+	// server's result cache and admission layer. ResultCacheBytes follows
+	// live.Config: zero takes the default budget, negative disables the
+	// cache. AdmissionRate zero leaves admission off.
+	ResultCacheBytes int64
+	AdmissionRate    float64
+	AdmissionBurst   int
 	// Seed makes workload, placement and schedule deterministic
 	// (default 1).
 	Seed int64
@@ -272,6 +289,29 @@ type Result struct {
 	FinalCoverage     float64 `json:"final_coverage"`
 	EpochRegressions  int     `json:"epoch_regressions"`
 	MembershipMerges  int     `json:"membership_merges"`
+
+	// Result-cache and admission results (all zero unless the run enables
+	// the cache/admission paths). Server-side counters are summed across
+	// alive servers at drive end; ServerCacheHitRate is hits over
+	// hits+misses. ClientCacheHits counts main-client resolves served off
+	// the client cache via a NotModified revalidation; CoarseAnswers the
+	// main-client resolves shed to coarse summary-only answers (stays
+	// zero while main clients run PriorityHigh). The Hot* fields tally
+	// the hot tenant's traffic separately.
+	ServerCacheHits          uint64        `json:"server_cache_hits"`
+	ServerCacheMisses        uint64        `json:"server_cache_misses"`
+	ServerCacheHitRate       float64       `json:"server_cache_hit_rate"`
+	ServerCacheInvalidations uint64        `json:"server_cache_invalidations"`
+	ServerCacheEvictions     uint64        `json:"server_cache_evictions"`
+	ClientCacheHits          int           `json:"client_cache_hits"`
+	CoarseAnswers            int           `json:"coarse_answers"`
+	AdmissionAdmitted        uint64        `json:"admission_admitted"`
+	AdmissionShed            uint64        `json:"admission_shed"`
+	AdmissionRejected        uint64        `json:"admission_rejected"`
+	HotQueries               int           `json:"hot_queries"`
+	HotCoarse                int           `json:"hot_coarse"`
+	HotFailures              int           `json:"hot_failures"`
+	HotLatencyP99            time.Duration `json:"hot_latency_p99_ns"`
 }
 
 // Run executes one load run: build the hierarchy, attach owners, wait for
@@ -320,13 +360,16 @@ func Run(cfg Config) (*Result, error) {
 	var tr transport.Transport = ch
 	var faulty *transport.Faulty
 	ccfg := live.ClusterConfig{
-		N:           cfg.Servers,
-		Schema:      w.Schema,
-		Summary:     sumCfg,
-		MaxChildren: cfg.FanOut,
-		JoinVia:     func(i int) int { return parents[i] },
-		Parallelism: cfg.Parallelism,
-		Tick:        cfg.Tick,
+		N:                cfg.Servers,
+		Schema:           w.Schema,
+		Summary:          sumCfg,
+		MaxChildren:      cfg.FanOut,
+		JoinVia:          func(i int) int { return parents[i] },
+		Parallelism:      cfg.Parallelism,
+		Tick:             cfg.Tick,
+		ResultCacheBytes: cfg.ResultCacheBytes,
+		AdmissionRate:    cfg.AdmissionRate,
+		AdmissionBurst:   cfg.AdmissionBurst,
 	}
 	if cfg.Churn.PartitionEvery > 0 {
 		faulty = transport.NewFaulty(ch, cfg.Seed+307)
@@ -683,14 +726,20 @@ func Run(cfg Config) (*Result, error) {
 
 	// Drive phase: Clients workers share one query index.
 	var (
-		qIdx     atomic.Int64
-		resMu    sync.Mutex
-		durs     = make([]time.Duration, 0, len(queries))
-		covSum   float64
-		covMin   = 1.0
-		failures int
-		fpHops   int
-		redirs   int
+		qIdx       atomic.Int64
+		resMu      sync.Mutex
+		durs       = make([]time.Duration, 0, len(queries))
+		covSum     float64
+		covMin     = 1.0
+		failures   int
+		fpHops     int
+		redirs     int
+		cliHits    int
+		coarse     int
+		hotDurs    []time.Duration
+		hotCoarse  int
+		hotFailed  int
+		hotIssued  atomic.Int64
 	)
 	bytesStart := ch.BytesMoved()
 	driveStart := time.Now()
@@ -701,8 +750,15 @@ func Run(cfg Config) (*Result, error) {
 		go func(c int) {
 			defer wg.Done()
 			cli := live.NewClient(tr, fmt.Sprintf("loadgen-%d", c))
-			cli.Trace = true
+			cli.Trace = !cfg.Untraced
+			cli.Priority = cfg.ClientPriority
+			cli.CacheResults = cfg.ClientCache
 			wrng := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919 + 17))
+			// A caching client sticks to one entry server (the client
+			// cache keys on the entry address, like a real client that
+			// keeps talking to its nearby server); it re-picks only after
+			// a failure in case its server died.
+			sticky := -1
 			for {
 				k := qIdx.Add(1) - 1
 				if k >= int64(len(queries)) {
@@ -711,11 +767,28 @@ func Run(cfg Config) (*Result, error) {
 					}
 					k %= int64(len(queries)) // wrap: keep driving until MinDrive
 				}
+				if cfg.RepeatFraction > 0 && k > 0 && wrng.Float64() < cfg.RepeatFraction {
+					// Re-issue an already-issued query: the repeat-query
+					// workload the result cache serves. The ticket is still
+					// consumed, so the total issue count is unchanged.
+					k = int64(wrng.Intn(int(min64(k, int64(len(queries))))))
+				}
 				issued.Add(1)
-				entry := addrOf(pickAlive(wrng))
+				var entry string
+				if cfg.ClientCache {
+					if sticky < 0 {
+						sticky = pickAlive(wrng)
+					}
+					entry = addrOf(sticky)
+				} else {
+					entry = addrOf(pickAlive(wrng))
+				}
 				qctx, qcancel := context.WithTimeout(ctx, cfg.QueryTimeout)
 				_, qs, err := cli.ResolveContext(qctx, entry, queries[k])
 				qcancel()
+				if err != nil {
+					sticky = -1
+				}
 				m.Queries.Inc()
 				m.Latency.Observe(qs.Elapsed)
 				var fp, rd int
@@ -730,13 +803,26 @@ func Run(cfg Config) (*Result, error) {
 				if fp > 0 {
 					m.FPDescents.Add(uint64(fp))
 				}
+				if qs.CacheHit {
+					m.ClientCacheHits.Inc()
+				}
 				resMu.Lock()
 				redirs += rd
 				fpHops += fp
-				if err != nil {
+				switch {
+				case err != nil:
 					failures++
 					m.Failures.Inc()
-				} else {
+				case qs.Coarse > 0:
+					// A shed answer is a success on the wire but carries no
+					// records; keep it out of the latency/coverage stats so
+					// they keep describing full resolves.
+					coarse++
+					m.CoarseAnswers.Inc()
+				default:
+					if qs.CacheHit {
+						cliHits++
+					}
 					durs = append(durs, qs.Elapsed)
 					covSum += qs.Coverage
 					if qs.Coverage < covMin {
@@ -747,7 +833,56 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}(c)
 	}
+
+	// Hot tenant: extra clients sharing one requester identity hammer a
+	// small hot query set at low priority until the main drive completes.
+	// With admission enabled they burn one shared token bucket per entry
+	// server and get shed to coarse answers; their numbers stay out of the
+	// main stats.
+	hotCtx, hotCancel := context.WithCancel(ctx)
+	var hotWg sync.WaitGroup
+	for h := 0; h < cfg.HotClients; h++ {
+		hotWg.Add(1)
+		go func(h int) {
+			defer hotWg.Done()
+			cli := live.NewClient(tr, "hot-tenant")
+			cli.Priority = wire.PriorityLow
+			cli.CacheResults = cfg.ClientCache
+			hrng := rand.New(rand.NewSource(cfg.Seed + int64(h)*104729 + 31))
+			hotSet := len(queries)
+			if hotSet > 4 {
+				hotSet = 4
+			}
+			for {
+				select {
+				case <-hotCtx.Done():
+					return
+				default:
+				}
+				entry := addrOf(pickAlive(hrng))
+				qctx, qcancel := context.WithTimeout(hotCtx, cfg.QueryTimeout)
+				_, qs, err := cli.ResolveContext(qctx, entry, queries[hrng.Intn(hotSet)])
+				qcancel()
+				hotIssued.Add(1)
+				m.HotQueries.Inc()
+				resMu.Lock()
+				switch {
+				case err != nil:
+					hotFailed++
+				case qs.Coarse > 0:
+					hotCoarse++
+					m.CoarseAnswers.Inc()
+				default:
+					hotDurs = append(hotDurs, qs.Elapsed)
+				}
+				resMu.Unlock()
+				time.Sleep(time.Millisecond) // keep the hammer off 100% CPU
+			}
+		}(h)
+	}
 	wg.Wait()
+	hotCancel()
+	hotWg.Wait()
 	driveSecs := time.Since(driveStart).Seconds()
 	bytesMoved := ch.BytesMoved() - bytesStart
 	cancel()
@@ -815,9 +950,21 @@ func Run(cfg Config) (*Result, error) {
 			res.RefreshTicks += ri.Ticks
 			res.RefreshSkipped += ri.Skipped
 			res.RefreshBusySeconds += ri.BusySeconds
+			ci := srv.CacheInfo()
+			res.ServerCacheHits += ci.Hits
+			res.ServerCacheMisses += ci.Misses
+			res.ServerCacheInvalidations += ci.Invalidations
+			res.ServerCacheEvictions += ci.Evictions
+			ai := srv.AdmissionInfo()
+			res.AdmissionAdmitted += ai.Admitted
+			res.AdmissionShed += ai.Shed
+			res.AdmissionRejected += ai.Rejected
 		}
 	}
 	aliveMu.Unlock()
+	if lookups := res.ServerCacheHits + res.ServerCacheMisses; lookups > 0 {
+		res.ServerCacheHitRate = float64(res.ServerCacheHits) / float64(lookups)
+	}
 	res.EpochRegressions = int(regress)
 	res.MembershipMerges = int(mMerges)
 	if res.RefreshTicks > 0 {
@@ -857,7 +1004,22 @@ func Run(cfg Config) (*Result, error) {
 	res.Partitions = int(partitions.Load())
 	res.PartitionsHealed = int(partitionsHealed.Load())
 	res.SplitBrainSeconds = time.Duration(splitBrainNs.Load()).Seconds()
+	res.ClientCacheHits = cliHits
+	res.CoarseAnswers = coarse
+	res.HotQueries = int(hotIssued.Load())
+	res.HotCoarse = hotCoarse
+	res.HotFailures = hotFailed
+	if len(hotDurs) > 0 {
+		res.HotLatencyP99 = stats.PercentileDuration(hotDurs, 0.99)
+	}
 	return res, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // reviveServer rebuilds a killed server with its old identity, re-attaches
@@ -871,6 +1033,9 @@ func reviveServer(cl *live.Cluster, tr transport.Transport, cfg Config, sumCfg s
 	scfg.MaxChildren = cfg.FanOut
 	scfg.AggregateEvery = cfg.Tick
 	scfg.HeartbeatEvery = cfg.Tick
+	scfg.ResultCacheBytes = cfg.ResultCacheBytes
+	scfg.AdmissionRate = cfg.AdmissionRate
+	scfg.AdmissionBurst = cfg.AdmissionBurst
 	srv, err := live.NewServer(scfg, tr)
 	if err != nil {
 		return nil, err

@@ -314,3 +314,69 @@ func TestLoadgenPartitionChurn(t *testing.T) {
 	t.Logf("partitions=%d split-brain=%.2fs heal=%.2fs merges=%d",
 		res.Partitions, res.SplitBrainSeconds, res.HealSeconds, res.MembershipMerges)
 }
+
+// TestLoadgenHotTenantCacheMode exercises the PR 9 overload mode end to
+// end at small scale: caching clients replay a repeat-heavy workload at
+// high priority while a low-priority hot tenant hammers a tiny query set
+// through rate-limited servers. The run must surface server cache hits,
+// shed the hot tenant to coarse answers rather than errors, and keep the
+// high-priority traffic fully answered.
+func TestLoadgenHotTenantCacheMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale smoke test skipped in -short mode")
+	}
+	m := RegisterMetrics(obs.NewRegistry())
+	res, err := Run(Config{
+		Servers:         60,
+		FanOut:          4,
+		OwnerEvery:      3,
+		RecordsPerOwner: 20,
+		SummaryBuckets:  32,
+		Queries:         150,
+		Clients:         3,
+		Tick:            50 * time.Millisecond,
+		ConvergeTimeout: 2 * time.Minute,
+		Seed:            11,
+		RepeatFraction:  0.6,
+		ClientCache:     true,
+		ClientPriority:  2, // wire.PriorityHigh
+		Untraced:        true,
+		HotClients:      3,
+		AdmissionRate:   2,
+		AdmissionBurst:  4,
+		Metrics:         m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures > 0 {
+		t.Fatalf("%d high-priority queries failed; admission must never error protected traffic", res.Failures)
+	}
+	if res.CoarseAnswers != 0 {
+		t.Fatalf("%d high-priority queries were shed to coarse answers", res.CoarseAnswers)
+	}
+	if res.ServerCacheHits == 0 {
+		t.Fatal("repeat-heavy untraced workload produced no server cache hits")
+	}
+	if res.ServerCacheHitRate <= 0 || res.ServerCacheHitRate > 1 {
+		t.Fatalf("cache hit rate out of range: %g", res.ServerCacheHitRate)
+	}
+	if res.HotQueries == 0 {
+		t.Fatal("hot tenant never issued a query")
+	}
+	if res.HotCoarse == 0 {
+		t.Fatal("rate-limited hot tenant was never shed to a coarse answer")
+	}
+	if res.HotFailures > 0 {
+		t.Fatalf("hot tenant saw %d errors; overload must shed to coarse answers, not errors", res.HotFailures)
+	}
+	if res.AdmissionShed == 0 {
+		t.Fatal("servers recorded no admission sheds despite hot-tenant overload")
+	}
+	if got := m.HotQueries.Load(); got != uint64(res.HotQueries) {
+		t.Fatalf("metrics/result hot-query mismatch: %d/%d", got, res.HotQueries)
+	}
+	t.Logf("hit-rate=%.3f client-hits=%d hot=%d coarse=%d shed=%d p99=%v hot-p99=%v",
+		res.ServerCacheHitRate, res.ClientCacheHits, res.HotQueries,
+		res.HotCoarse, res.AdmissionShed, res.LatencyP99, res.HotLatencyP99)
+}

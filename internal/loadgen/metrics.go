@@ -26,6 +26,13 @@ type Metrics struct {
 	// PartitionsHealed the subset already healed (rules cleared).
 	Partitions       *obs.Counter
 	PartitionsHealed *obs.Counter
+	// ClientCacheHits counts resolves served off a client's record cache
+	// via a NotModified revalidation; CoarseAnswers resolves shed by
+	// admission to coarse summary-only answers (main and hot clients
+	// combined); HotQueries the hot tenant's resolves.
+	ClientCacheHits *obs.Counter
+	CoarseAnswers   *obs.Counter
+	HotQueries      *obs.Counter
 	// Latency is the end-to-end resolve latency distribution.
 	Latency *obs.Histogram
 }
@@ -45,6 +52,12 @@ func RegisterMetrics(reg *obs.Registry) *Metrics {
 		Partitions:  reg.Counter("roads_loadgen_partitions_total", "Network partitions injected by the churn schedule."),
 		PartitionsHealed: reg.Counter("roads_loadgen_partitions_healed_total",
 			"Injected network partitions healed (fault rules cleared)."),
+		ClientCacheHits: reg.Counter("roads_loadgen_client_cache_hits_total",
+			"Resolves served off a client record cache via a NotModified revalidation."),
+		CoarseAnswers: reg.Counter("roads_loadgen_coarse_answers_total",
+			"Resolves shed by admission to coarse summary-only answers (main and hot clients combined)."),
+		HotQueries: reg.Counter("roads_loadgen_hot_queries_total",
+			"Resolves issued by the hot-tenant clients (Config.HotClients)."),
 		Latency:     reg.Histogram("roads_loadgen_query_seconds", "End-to-end query resolve latency.", obs.DefaultLatencyBounds()),
 	}
 }

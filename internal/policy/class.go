@@ -1,0 +1,63 @@
+package policy
+
+import "sync"
+
+// Requester priority classes, mirroring the wire encoding
+// (wire.PriorityNormal/Low/High): the zero value is the default class, so
+// requesters nobody classified behave exactly like pre-classification
+// traffic.
+const (
+	ClassNormal uint8 = 0
+	ClassLow    uint8 = 1
+	ClassHigh   uint8 = 2
+)
+
+// Classifier pins requester identities to admission priority classes. It is
+// the operator-side counterpart of the priority a client claims on the wire:
+// voluntary sharing gives owners final control over answers, and the
+// classifier gives the serving site final control over scheduling — a pinned
+// class overrides whatever priority the query carried, so a misbehaving
+// tenant cannot promote itself out of admission control, and a critical
+// tenant keeps its class even through clients that predate wire v5.
+//
+// The zero Classifier classifies nobody (every requester keeps its claimed
+// class). Safe for concurrent use.
+type Classifier struct {
+	mu      sync.RWMutex
+	classes map[string]uint8
+}
+
+// NewClassifier returns an empty classifier.
+func NewClassifier() *Classifier { return &Classifier{} }
+
+// Pin fixes the requester's class, overriding the wire priority.
+func (c *Classifier) Pin(requester string, class uint8) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.classes == nil {
+		c.classes = make(map[string]uint8)
+	}
+	c.classes[requester] = class
+}
+
+// Unpin removes the requester's pinned class; it reverts to the class its
+// queries claim.
+func (c *Classifier) Unpin(requester string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.classes, requester)
+}
+
+// ClassFor resolves the requester's effective class: the pinned class when
+// one exists, otherwise the class the query claimed.
+func (c *Classifier) ClassFor(requester string, claimed uint8) uint8 {
+	if c == nil {
+		return claimed
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if class, ok := c.classes[requester]; ok {
+		return class
+	}
+	return claimed
+}

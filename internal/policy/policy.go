@@ -58,6 +58,8 @@ type Policy struct {
 	// DefaultView applies to unknown requesters.
 	views       map[string]View
 	DefaultView View
+	// rev counts view mutations; see Rev.
+	rev uint64
 }
 
 // NewPolicy creates a policy with the given export mode and an
@@ -74,7 +76,22 @@ func NewPolicy(mode ExportMode) *Policy {
 func (p *Policy) SetView(requester string, v View) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.views == nil {
+		p.views = make(map[string]View)
+	}
 	p.views[requester] = v
+	p.rev++
+}
+
+// Rev returns the policy's view-revision counter, bumped on every SetView.
+// Together with Owner.Generation it versions an owner's answers: a cached
+// answer computed at (generation G, revision R) is current while both still
+// match. Direct writes to the exported Mode and DefaultView fields are not
+// tracked — set them before serving queries.
+func (p *Policy) Rev() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.rev
 }
 
 // ViewFor returns the view applying to the requester.

@@ -1,18 +1,3 @@
-// Package store is the local resource store attached to a ROADS server or
-// resource owner. It plays the role of the DB2 backend in the paper's
-// prototype: it indexes records per attribute so that matching is faster
-// than a full scan, and it charges a configurable retrieval cost per
-// matched record so the Fig. 11 response-time experiment can model backend
-// work that pure network simulation cannot.
-//
-// The store is sharded by record-key hash into K independent shards, each
-// with its own lock, copy-on-write record slice, per-attribute indexes and
-// mutation epoch. Sharding keeps bulk ingest O(N) (appends land in one
-// shard's capacity headroom instead of recopying one global slice), lets
-// mutations and searches on different shards proceed concurrently, and —
-// via EnableSummaries — lets each shard maintain a partial summary
-// incrementally on write so that summary export is a cheap merge of K
-// partials instead of an O(records×attrs) rebuild (see export.go).
 package store
 
 import (

@@ -40,6 +40,14 @@ package wire
 //	    Epoch == 0 and no RootProbe encodes exactly as before, so
 //	    pre-epoch traffic stays byte-identical and epoch stamping only
 //	    starts once capability negotiation proves the peer decodes v4.
+//	5 — result cache + admission control: QueryDTO gains Priority,
+//	    CacheFingerprint and WantFingerprint; QueryReply gains Coarse,
+//	    CoarseEstimate, NotModified and Fingerprint. Same rule again: a
+//	    query with all of them zero encodes as before, servers respond
+//	    in kind (v5 reply fields only when the request carried v5
+//	    fields), and clients that enable caching/priorities probe
+//	    optimistically and downgrade per address when a peer rejects the
+//	    version.
 
 import (
 	"encoding/binary"
@@ -60,7 +68,7 @@ const (
 	// binVersion is the newest codec revision; the decoder accepts this
 	// and every earlier revision. The encoder writes the lowest revision
 	// that can carry the message (encodeVersion), not always the newest.
-	binVersion = 4
+	binVersion = 5
 	// maxRedirectDepth bounds RedirectInfo.Alternates nesting on decode.
 	// Real messages nest one level (alternates carry no alternates); the
 	// bound stops crafted input from recursing the decoder off the stack.
@@ -247,15 +255,25 @@ func (r *binReader) count(elemSize int) int {
 
 // --- Message ---
 
-// encodeVersion picks the lowest codec revision that can carry m: 4 when
-// the message uses any v4 field, 3 for v3 fields, 2 otherwise. Writing the
-// lowest sufficient version keeps every message an older peer could
-// produce decodable by that peer's generation, which is what lets mixed
-// generations share one tree: newer features only appear on the wire after
-// the sender has proof the receiver understands them. FuzzDecode's
-// encode/decode fixed point tolerates this because a re-encode of a
-// decoded message is already normalized.
+// encodeVersion picks the lowest codec revision that can carry m: 5 when
+// the message uses any v5 field, 4 for v4 fields, 3 for v3 fields, 2
+// otherwise. Writing the lowest sufficient version keeps every message an
+// older peer could produce decodable by that peer's generation, which is
+// what lets mixed generations share one tree: newer features only appear
+// on the wire after the sender has proof the receiver understands them.
+// FuzzDecode's encode/decode fixed point tolerates this because a
+// re-encode of a decoded message is already normalized.
 func encodeVersion(m *Message) byte {
+	if q := m.Query; q != nil {
+		if q.Priority != 0 || q.CacheFingerprint != 0 || q.WantFingerprint {
+			return 5
+		}
+	}
+	if qr := m.QueryRep; qr != nil {
+		if qr.Coarse || qr.CoarseEstimate != 0 || qr.NotModified || qr.Fingerprint != 0 {
+			return 5
+		}
+	}
 	if m.Epoch != 0 || m.RootProbe != nil {
 		return 4
 	}
@@ -359,10 +377,10 @@ func AppendEncode(buf []byte, m *Message) ([]byte, error) {
 		}
 	}
 	if m.Query != nil {
-		b = appendQuery(b, m.Query)
+		b = appendQuery(b, m.Query, ver)
 	}
 	if m.QueryRep != nil {
-		b = appendQueryReply(b, m.QueryRep)
+		b = appendQueryReply(b, m.QueryRep, ver)
 	}
 	if m.Heartbeat != nil {
 		b = appendStrings(b, m.Heartbeat.RootPath)
@@ -633,7 +651,7 @@ func readReplicaPush(r *binReader) *ReplicaPush {
 	return p
 }
 
-func appendQuery(b []byte, q *QueryDTO) []byte {
+func appendQuery(b []byte, q *QueryDTO, ver byte) []byte {
 	b = appendString(b, q.ID)
 	b = appendString(b, q.Requester)
 	b = appendBool(b, q.Start)
@@ -652,6 +670,13 @@ func appendQuery(b []byte, q *QueryDTO) []byte {
 	b = appendString(b, q.TraceID)
 	b = appendBool(b, q.Trace)
 	b = appendStrings(b, q.Path)
+	// v5: priority class + client-cache revalidation, appended per the
+	// compatibility rule. Any of them nonzero forces version 5.
+	if ver >= 5 {
+		b = append(b, q.Priority)
+		b = appendUvarint(b, q.CacheFingerprint)
+		b = appendBool(b, q.WantFingerprint)
+	}
 	return b
 }
 
@@ -681,10 +706,15 @@ func readQuery(r *binReader) *QueryDTO {
 		q.Trace = r.bool()
 		q.Path = readStrings(r)
 	}
+	if r.ver >= 5 {
+		q.Priority = r.u8()
+		q.CacheFingerprint = r.uvarint()
+		q.WantFingerprint = r.bool()
+	}
 	return q
 }
 
-func appendQueryReply(b []byte, qr *QueryReply) []byte {
+func appendQueryReply(b []byte, qr *QueryReply, ver byte) []byte {
 	b = appendUvarint(b, uint64(len(qr.Records)))
 	for i := range qr.Records {
 		rec := &qr.Records[i]
@@ -707,6 +737,14 @@ func appendQueryReply(b []byte, qr *QueryReply) []byte {
 		b = appendVarint(b, int64(ti.Replicas))
 		b = appendStrings(b, ti.MatchedChildren)
 		b = appendStrings(b, ti.MatchedReplicas)
+	}
+	// v5: coarse-answer and cache-revalidation fields, appended per the
+	// compatibility rule. Any of them nonzero forces version 5.
+	if ver >= 5 {
+		b = appendBool(b, qr.Coarse)
+		b = appendF64(b, qr.CoarseEstimate)
+		b = appendBool(b, qr.NotModified)
+		b = appendUvarint(b, qr.Fingerprint)
 	}
 	return b
 }
@@ -739,6 +777,12 @@ func readQueryReply(r *binReader) *QueryReply {
 			MatchedChildren: readStrings(r),
 			MatchedReplicas: readStrings(r),
 		}
+	}
+	if r.ver >= 5 {
+		qr.Coarse = r.bool()
+		qr.CoarseEstimate = r.f64()
+		qr.NotModified = r.bool()
+		qr.Fingerprint = r.uvarint()
 	}
 	return qr
 }

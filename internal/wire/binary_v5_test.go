@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestEncodeVersionV5Adaptive pins the result-cache/admission
+// compatibility contract: a query or reply carrying none of the v5 fields
+// encodes exactly as before, so traffic to pre-v5 peers never sees a v5
+// payload — version 5 appears only when a priority class, a cache
+// fingerprint exchange, or a coarse answer is actually on the message.
+func TestEncodeVersionV5Adaptive(t *testing.T) {
+	cases := []struct {
+		m    *Message
+		want byte
+	}{
+		{&Message{Kind: KindQuery, From: "c", Query: &QueryDTO{ID: "q"}}, 2},
+		{&Message{Kind: KindQueryReply, From: "s", QueryRep: &QueryReply{}}, 2},
+		{&Message{Kind: KindQuery, From: "c", Query: &QueryDTO{ID: "q", Priority: PriorityHigh}}, 5},
+		{&Message{Kind: KindQuery, From: "c", Query: &QueryDTO{ID: "q", WantFingerprint: true}}, 5},
+		{&Message{Kind: KindQuery, From: "c", Query: &QueryDTO{ID: "q", CacheFingerprint: 7}}, 5},
+		{&Message{Kind: KindQueryReply, From: "s", QueryRep: &QueryReply{Coarse: true, CoarseEstimate: 12.5}}, 5},
+		{&Message{Kind: KindQueryReply, From: "s", QueryRep: &QueryReply{NotModified: true}}, 5},
+		{&Message{Kind: KindQueryReply, From: "s", QueryRep: &QueryReply{Fingerprint: 99}}, 5},
+		// v5 fields coexist with the v4 epoch stamp: both tails ride.
+		{&Message{Kind: KindQuery, From: "c", Epoch: 3, Query: &QueryDTO{ID: "q", Priority: PriorityLow}}, 5},
+		{&Message{Kind: KindQuery, From: "c", Epoch: 3, Query: &QueryDTO{ID: "q"}}, 4},
+	}
+	for i, c := range cases {
+		data, err := Encode(c.m)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if data[1] != c.want {
+			t.Fatalf("case %d encoded as version %d, want %d", i, data[1], c.want)
+		}
+	}
+}
+
+// TestBinaryV5RoundTrip checks the v5 shapes survive the codec exactly:
+// priority-stamped queries, fingerprint revalidations, coarse answers and
+// NotModified replies — including alongside the older trace and epoch
+// fields.
+func TestBinaryV5RoundTrip(t *testing.T) {
+	msgs := []*Message{
+		{Kind: KindQuery, From: "cli", Addr: "ca", Query: &QueryDTO{
+			ID: "q1", Requester: "tenant-a", Start: true, Scope: -1,
+			Priority: PriorityHigh, WantFingerprint: true,
+		}},
+		{Kind: KindQuery, From: "cli", Query: &QueryDTO{
+			ID: "q2", Requester: "tenant-b", Scope: -1,
+			Priority: PriorityLow, CacheFingerprint: 0xdeadbeef,
+			TraceID: "t1", Trace: true, Path: []string{"s1", "s2"},
+		}},
+		{Kind: KindQueryReply, From: "srv", Addr: "sa", QueryRep: &QueryReply{
+			Coarse: true, CoarseEstimate: 41.25, Fingerprint: 0xcafe,
+		}},
+		{Kind: KindQueryReply, From: "srv", QueryRep: &QueryReply{
+			NotModified: true, Fingerprint: 0xdeadbeef,
+		}},
+		{Kind: KindQueryReply, From: "srv", Epoch: 6, QueryRep: &QueryReply{
+			Redirects:   []RedirectInfo{{ID: "c1", Addr: "c1a", Records: 10}},
+			Fingerprint: 17,
+			Trace:       &TraceInfo{ServerID: "srv", EvalMicros: 120, MatchedChildren: []string{"c1"}},
+		}},
+	}
+	for _, msg := range msgs {
+		data, err := Encode(msg)
+		if err != nil {
+			t.Fatalf("kind %d: %v", msg.Kind, err)
+		}
+		if data[1] != 5 {
+			t.Fatalf("kind %d encoded as version %d, want 5", msg.Kind, data[1])
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("kind %d: %v", msg.Kind, err)
+		}
+		if !reflect.DeepEqual(msg, got) {
+			t.Fatalf("kind %d changed across the codec:\nsent %+v\ngot  %+v", msg.Kind, msg, got)
+		}
+	}
+}
+
+// TestBinaryV4NoV5Tail checks a v4 payload must not carry the v5 tail:
+// trailing bytes after the v4 fields are rejected, so cache fields can
+// never ride on a version the receiver would silently truncate.
+func TestBinaryV4NoV5Tail(t *testing.T) {
+	data, err := Encode(&Message{Kind: KindQuery, From: "c", Epoch: 2, Query: &QueryDTO{ID: "q"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[1] != 4 {
+		t.Fatalf("setup: want v4 payload, got %d", data[1])
+	}
+	if _, err := Decode(append(data, 1)); err == nil {
+		t.Fatal("v4 payload with trailing v5 byte must fail")
+	}
+}
+
+// TestBinaryRejectsV6 checks the decoder still refuses the next unknown
+// version with the sentinel error the client downgrade path sniffs for.
+func TestBinaryRejectsV6(t *testing.T) {
+	data, err := Encode(&Message{Kind: KindQuery, From: "c", Query: &QueryDTO{ID: "q", Priority: PriorityHigh}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[1] = binVersion + 1
+	if _, err := Decode(data); err == nil {
+		t.Fatalf("decoder accepted version %d payload", binVersion+1)
+	}
+}

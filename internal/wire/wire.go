@@ -289,6 +289,22 @@ type ReplicaBatch struct {
 // evaluation (depth ≤ 5) ever produces.
 const MaxTracePath = 32
 
+// Priority classes a query may carry (wire v5). The zero value is the
+// default class, so pre-v5 peers — which never encode the field — are
+// indistinguishable from normal-priority requesters.
+const (
+	// PriorityNormal is the default class: admitted while the
+	// requester's token bucket has budget, shed to a coarse answer under
+	// overload.
+	PriorityNormal uint8 = 0
+	// PriorityLow marks background/batch traffic: first to be shed to
+	// coarse answers when a server is overloaded.
+	PriorityLow uint8 = 1
+	// PriorityHigh marks interactive/operator traffic: never shed by
+	// admission control (deadline shedding still applies).
+	PriorityHigh uint8 = 2
+)
+
 // QueryDTO is the wire form of a query.
 type QueryDTO struct {
 	ID        string
@@ -320,6 +336,22 @@ type QueryDTO struct {
 	// routed through to reach the receiver, oldest first (the redirect
 	// chain from the start server). Capped at MaxTracePath entries.
 	Path []string
+	// Priority is the requester's priority class (wire v5, see the
+	// Priority* constants). Admission control never sheds PriorityHigh;
+	// PriorityLow goes first. Zero (PriorityNormal) from pre-v5 peers.
+	Priority uint8
+	// CacheFingerprint revalidates a client-cached resolve (wire v5): the
+	// fingerprint the client got with its last full answer from this
+	// server. When it still matches the server's current routing state the
+	// server answers NotModified instead of re-evaluating, and the client
+	// reuses its cached records — a repeat query then costs one RPC and
+	// zero descent. Zero means "no cached answer to revalidate".
+	CacheFingerprint uint64
+	// WantFingerprint asks the server to stamp its current fingerprint on
+	// the reply (wire v5) so the client can cache the resolved answer and
+	// revalidate it later. Off by default: pre-v5 traffic never sees the
+	// field.
+	WantFingerprint bool
 }
 
 // ToQuery converts to the in-memory form.
@@ -363,6 +395,29 @@ type QueryReply struct {
 	// Trace carries the server's evaluation detail when the query asked
 	// for it (QueryDTO.Trace); nil otherwise.
 	Trace *TraceInfo
+	// Coarse marks a degraded summary-only answer (wire v5): admission
+	// control or budget exhaustion shed the evaluation, so the reply
+	// carries no records or redirects — only CoarseEstimate. Clients must
+	// not treat a coarse answer as "no matches"; it means "not evaluated,
+	// roughly this many matches exist". Only sent to requesters whose
+	// query carried v5 fields; pre-v5 peers still get the legacy error
+	// shed.
+	Coarse bool
+	// CoarseEstimate is the server's summary-derived estimate of how many
+	// records under its branch match the query (wire v5, set on coarse
+	// answers).
+	CoarseEstimate float64
+	// NotModified answers a CacheFingerprint revalidation (wire v5): the
+	// fingerprint still matches, the client's cached records are current,
+	// and the reply intentionally carries no records or redirects.
+	NotModified bool
+	// Fingerprint is the server's current routing-state fingerprint
+	// (wire v5), stamped when the query asked via WantFingerprint (or
+	// revalidated one). It covers the branch summary version, every
+	// child/replica routing dependency, the local store epoch and owner
+	// generations — any change that could alter this server's answer
+	// changes the fingerprint. Zero means "unavailable, don't cache".
+	Fingerprint uint64
 }
 
 // TraceInfo is one server's evaluation detail for a traced query: how the
