@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race chaos docs-check bench-transport bench bench-store bench-load bench-cache bench-compare
+.PHONY: tier1 build vet test race chaos docs-check bench-transport bench bench-store bench-load bench-cache bench-fp bench-compare
 
 # tier1 is the gate every change must pass: full build + vet + full test
 # suite, plus race-enabled runs of the concurrency-heavy packages (the
@@ -98,10 +98,42 @@ bench-cache:
 	  $(GO) run ./cmd/roads-load $(CACHEHOTARGS) ; \
 	  $(GO) run ./cmd/roads-load $(CACHEADMARGS) ) | tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCHCACHE)
 
+# bench-fp runs the false-positive-descent load harness three times and
+# archives all lines as BENCH_pr10.json via cmd/benchjson:
+#   1. static baseline — a skewed workload (every query a narrow range on
+#      the one hot window attribute) against the fixed summary geometry,
+#      with adaptation disabled; the FP-descent yardstick,
+#   2. adaptive — the identical workload and seed with feedback-driven
+#      resolution on, under a summary byte budget matching the static
+#      geometry's footprint (8 numeric attrs x (16 + 4x64) ≈ 2.2 KB), so
+#      the planner must shed cold-attribute resolution to fund the hot
+#      attribute's climb; fp-rate must land at <= half the static arm's at
+#      equal (1.0) coverage,
+#   3. categorical — hierarchical dotted categorical values summarized as
+#      live Blooms with value-set condensation, mixed-dimension skewed
+#      queries; exercises the wire-v6 plan/mode path and condensation
+#      under load (conjunctive cross-attribute false positives dominate
+#      here, which per-attribute resolution cannot remove — the line
+#      documents byte cost and recall, not an fp-rate win).
+# See EXPERIMENTS.md for the archived numbers and the knob rationale.
+BENCHFP ?= BENCH_pr10.json
+FPSTATICARGS ?= -n 120 -fanout 4 -mindepth 4 -owner-every 3 -records 6 \
+	-buckets 64 -queries 800 -dims 1 -range 0.04 -query-skew 1.0 \
+	-tick 100ms -replan-every 1 -drive-min 15s -seed 1
+FPADAPTARGS ?= $(FPSTATICARGS) -summary-budget 2200
+FPCATARGS ?= -n 160 -fanout 4 -mindepth 4 -owner-every 3 -records 12 \
+	-buckets 32 -queries 800 -dims 2 -range 0.1 -query-skew 0.8 \
+	-cat-attrs 2 -cat-vocab 24 -cat-depth 3 -summary-bloom -condense-above 12 \
+	-tick 100ms -replan-every 2 -drive-min 8s -seed 1
+bench-fp:
+	( $(GO) run ./cmd/roads-load $(FPSTATICARGS) -no-adaptive ; \
+	  $(GO) run ./cmd/roads-load $(FPADAPTARGS) ; \
+	  $(GO) run ./cmd/roads-load $(FPCATARGS) ) | tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCHFP)
+
 # bench-compare diffs two benchjson archives; defaults compare this PR's
-# archive against the PR-8 one (only the benchmarks present in both), e.g.
-#   make bench-cache && make bench-compare
-OLD ?= BENCH_pr8.json
-NEW ?= BENCH_pr9.json
+# archive against the PR-9 one (only the benchmarks present in both), e.g.
+#   make bench-fp && make bench-compare
+OLD ?= BENCH_pr9.json
+NEW ?= BENCH_pr10.json
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)

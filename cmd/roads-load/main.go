@@ -35,6 +35,15 @@ func main() {
 	flag.IntVar(&cfg.SummaryBuckets, "buckets", 32, "summary histogram buckets per attribute")
 	flag.IntVar(&cfg.QueryDims, "dims", 3, "query dimensions")
 	flag.Float64Var(&cfg.QueryRange, "range", 0.25, "per-dimension query range length")
+	flag.Float64Var(&cfg.QuerySkew, "query-skew", 0, "fraction of queries made hot: narrow range on one window attribute plus a categorical Eq (0: off)")
+	flag.IntVar(&cfg.CategoricalAttrs, "cat-attrs", 0, "categorical attributes appended to the workload (0: none)")
+	flag.IntVar(&cfg.CategoricalVocab, "cat-vocab", 0, "categorical vocabulary size (0: workload default 16)")
+	flag.IntVar(&cfg.CategoricalDepth, "cat-depth", 0, "dotted-path segments per categorical value (<=1: flat tokens)")
+	flag.BoolVar(&cfg.SummaryBloom, "summary-bloom", false, "summarize categorical attributes with Bloom filters instead of exact value sets")
+	flag.IntVar(&cfg.CondenseAbove, "condense-above", 0, "collapse categorical value sets larger than this into dotted-prefix wildcards (0: off)")
+	flag.BoolVar(&cfg.DisableAdaptive, "no-adaptive", false, "disable feedback-driven summary resolution (static baseline)")
+	flag.IntVar(&cfg.SummaryByteBudget, "summary-budget", 0, "per-server summary byte budget the adaptive planner honours (0: unbounded)")
+	flag.IntVar(&cfg.ReplanEvery, "replan-every", 0, "aggregation rounds between adaptive replans (0: library default)")
 	flag.IntVar(&cfg.Queries, "queries", 400, "queries to issue")
 	flag.IntVar(&cfg.Clients, "clients", 4, "concurrent query clients")
 	flag.DurationVar(&cfg.QueryTimeout, "query-timeout", 15*time.Second, "per-query resolve timeout")
@@ -83,6 +92,10 @@ func main() {
 		res.Queries, res.DriveSeconds, res.Failures, res.LatencyMean, res.LatencyP50, res.LatencyP95, res.LatencyP99)
 	fmt.Fprintf(os.Stderr, "coverage mean %.4f min %.4f, fp descents %d/%d (%.4f), %.1f bytes/node/s\n",
 		res.CoverageMean, res.CoverageMin, res.FPDescents, res.RedirectHops, res.FPDescentRate, res.BytesPerNodePerSec)
+	if len(res.FPDescentsByDepth) > 0 || res.SummaryReplans > 0 || res.ServerFPDescents > 0 {
+		fmt.Fprintf(os.Stderr, "fp by depth %v; adaptive: %d replans, %d server-side fp descents, plan deviation %d\n",
+			res.FPDescentsByDepth, res.SummaryReplans, res.ServerFPDescents, res.PlanDeviationSum)
+	}
 	if res.RecordChurnEvents > 0 || res.Kills > 0 {
 		fmt.Fprintf(os.Stderr, "churn: %d record events (%d records), %d kills, %d revives\n",
 			res.RecordChurnEvents, res.RecordsReplaced, res.Kills, res.Revives)
@@ -145,6 +158,14 @@ func main() {
 	if cfg.AdmissionRate > 0 {
 		name += "/admission"
 	}
+	if cfg.QuerySkew > 0 {
+		name += "/skew"
+	}
+	if cfg.DisableAdaptive {
+		name += "/static"
+	} else if cfg.QuerySkew > 0 || cfg.SummaryByteBudget > 0 {
+		name += "/adaptive"
+	}
 	fmt.Printf("goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
 	fmt.Printf("%s\t%d\t%d ns/op\t%d p50-ns/op\t%d p95-ns/op\t%d p99-ns/op\t%.4f coverage\t%.4f fp-rate\t%.1f node-B/s\t%.2f converge-s\t%.2f build-s",
 		name, res.Queries-res.Failures,
@@ -164,6 +185,19 @@ func main() {
 		fmt.Printf("\t%.4f cache-hit-rate\t%d client-cache-hits\t%d admission-shed\t%d hot-queries\t%d hot-coarse\t%d hot-failures",
 			res.ServerCacheHitRate, res.ClientCacheHits, res.AdmissionShed,
 			res.HotQueries, res.HotCoarse, res.HotFailures)
+	}
+	if cfg.QuerySkew > 0 || !cfg.DisableAdaptive {
+		// Deep false positives (chain length >= 2) are the expensive ones;
+		// surface them plus the adaptation counters so bench-compare can
+		// diff adaptive against static archives.
+		deep := 0
+		for d, n := range res.FPDescentsByDepth {
+			if d >= 2 {
+				deep += n
+			}
+		}
+		fmt.Printf("\t%d fp-descents\t%d fp-deep\t%d replans\t%d plan-deviation",
+			res.FPDescents, deep, res.SummaryReplans, res.PlanDeviationSum)
 	}
 	fmt.Println()
 }

@@ -51,6 +51,10 @@ func main() {
 	cacheBytes := flag.Int64("result-cache-bytes", 0, "query result cache LRU byte budget (0 = library default, negative = disable the cache)")
 	admissionRate := flag.Float64("admission-rate", 0, "per-requester admission token-bucket refill rate in queries/sec; over-budget wire-v5 requesters are shed to coarse summary-only answers (0 = admission off)")
 	admissionBurst := flag.Int("admission-burst", 0, "per-requester admission token-bucket burst capacity (0 = derive from -admission-rate)")
+	noAdaptive := flag.Bool("no-adaptive", false, "disable feedback-driven summary resolution: keep the static summary geometry and never flag wire-v6 capability (pre-v6 wire behaviour)")
+	summaryBudget := flag.Int("summary-budget", 0, "summary byte budget the adaptive planner reallocates within (0 = unbounded)")
+	replanEvery := flag.Int("replan-every", 0, "aggregation rounds between adaptive resolution replans (0 = library default)")
+	condenseAbove := flag.Int("condense-above", 0, "collapse categorical value sets larger than this into dotted-prefix wildcards (0 = off)")
 	var mergeSeeds stringsFlag
 	flag.Var(&mergeSeeds, "merge-seed", "well-known address this server probes for a foreign root while it is a root itself, to detect and merge a split brain (repeatable; the -join seed is remembered automatically)")
 	seed := flag.Int64("seed", 0, "workload seed (0 = derive from ID)")
@@ -107,7 +111,7 @@ func main() {
 	}
 
 	cfg := live.DefaultConfig(*id, *listen, schema)
-	cfg.Summary = summary.Config{Buckets: *buckets, Min: 0, Max: 1, Categorical: summary.UseValueSet}
+	cfg.Summary = summary.Config{Buckets: *buckets, Min: 0, Max: 1, Categorical: summary.UseValueSet, CondenseAbove: *condenseAbove}
 	cfg.MaxChildren = *degree
 	cfg.AggregateEvery = *tick
 	cfg.HeartbeatEvery = *tick
@@ -120,6 +124,9 @@ func main() {
 	cfg.ResultCacheBytes = *cacheBytes
 	cfg.AdmissionRate = *admissionRate
 	cfg.AdmissionBurst = *admissionBurst
+	cfg.DisableAdaptiveSummaries = *noAdaptive
+	cfg.SummaryByteBudget = *summaryBudget
+	cfg.ReplanEvery = *replanEvery
 
 	reg := obs.NewRegistry()
 	tr := transport.NewTCP()

@@ -1,0 +1,313 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"roads/internal/policy"
+	"roads/internal/query"
+	"roads/internal/record"
+	"roads/internal/transport"
+	"roads/internal/wire"
+)
+
+// adaptiveCluster builds a parked-loop root with two leaf children over
+// tr, with coarse 8-bucket summaries and a replan every aggregation round
+// so tests drive the feedback loop deterministically via driveRound. The
+// first child hosts nHot records clustered in a0's lowest 1/16th — narrow
+// queries just above the cluster match the coarse bucket but no records,
+// the exact false-positive shape adaptation exists to kill. The second
+// child hosts one record at a0=0.9 so sibling pushes flow.
+func adaptiveCluster(t *testing.T, tr transport.Transport, nHot int, mut func(id string, c *Config)) (root, hot, cold *Server) {
+	t.Helper()
+	schema := record.DefaultSchema(4)
+	mk := func(id string) *Server {
+		return deltaServerCfg(t, tr, id, schema, func(c *Config) {
+			c.Summary.Buckets = 8
+			c.ReplanEvery = 1
+			c.AntiEntropyEvery = 1
+			if mut != nil {
+				mut(id, c)
+			}
+		})
+	}
+	root, hot, cold = mk("root"), mk("hot"), mk("cold")
+
+	oh := policy.NewOwner("own-hot", schema, nil)
+	recs := make([]*record.Record, nHot)
+	for i := range recs {
+		r := record.New(schema, fmt.Sprintf("hot-r%d", i), oh.ID)
+		r.SetNum(0, 0.003*float64(i)) // all below 0.0625 = one 16-bucket cell
+		for a := 1; a < 4; a++ {
+			r.SetNum(a, 0.5)
+		}
+		recs[i] = r
+	}
+	oh.SetRecords(recs)
+	if err := hot.AttachOwner(oh); err != nil {
+		t.Fatal(err)
+	}
+
+	oc := policy.NewOwner("own-cold", schema, nil)
+	r := record.New(schema, "cold-r0", oc.ID)
+	r.SetNum(0, 0.9)
+	for a := 1; a < 4; a++ {
+		r.SetNum(a, 0.5)
+	}
+	oc.SetRecords([]*record.Record{r})
+	if err := cold.AttachOwner(oc); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, c := range []*Server{hot, cold} {
+		if err := c.Join(root.Addr()); err != nil {
+			t.Fatalf("%s join: %v", c.ID(), err)
+		}
+	}
+	return root, hot, cold
+}
+
+// fpQueries drives n distinct narrow-range queries through the root that
+// match the hot child's coarse bucket 0 but none of its records, and
+// returns how many produced zero records (all should).
+func fpQueries(t *testing.T, tr transport.Transport, root *Server, n, gen int) int {
+	t.Helper()
+	cli := NewClient(tr, "probe")
+	empties := 0
+	for i := 0; i < n; i++ {
+		lo := 0.07 + 0.003*float64(i)
+		q := query.New(fmt.Sprintf("fp-%d-%d", gen, i), query.NewRange("a0", lo, 0.124))
+		recs, _, err := cli.Resolve(root.Addr(), q)
+		if err != nil {
+			t.Fatalf("fp query %d: %v", i, err)
+		}
+		if len(recs) == 0 {
+			empties++
+		}
+	}
+	return empties
+}
+
+// TestAdaptiveFeedbackKillsFPDescents is the end-to-end tentpole test:
+// false-positive descents heat the attribute they routed on, the next
+// replan refines that attribute's resolution, the refined summary reports
+// up natively (the parent proved wire-v6), and the same query shape stops
+// descending — while genuine matches keep full recall throughout.
+func TestAdaptiveFeedbackKillsFPDescents(t *testing.T) {
+	tr := transport.NewChan()
+	root, hot, cold := adaptiveCluster(t, tr, 20, nil)
+
+	// Negotiation warm-up: child acks flag capability, the root's next
+	// pushes run flagged, reports turn native after that.
+	for i := 0; i < 4; i++ {
+		driveRound(hot, cold, root)
+		driveRound(root)
+	}
+	if got := root.CoveredRecords(); got != 21 {
+		t.Fatalf("root covers %d records before queries, want 21", got)
+	}
+
+	if got := fpQueries(t, tr, root, 12, 0); got != 12 {
+		t.Fatalf("%d/12 probe queries were empty; the coarse baseline must redirect all of them", got)
+	}
+	di := hot.AdaptiveInfo()
+	if !di.Enabled {
+		t.Fatal("adaptive summaries must be on by default")
+	}
+	if di.FPDescents == 0 {
+		t.Fatal("empty descents were not counted as false positives")
+	}
+
+	// Fold the heat: replan on the hot child, re-export, report up, and
+	// let the root push the refreshed state around.
+	for i := 0; i < 3; i++ {
+		driveRound(hot, cold, root)
+		driveRound(root)
+	}
+	di = hot.AdaptiveInfo()
+	if di.Replans == 0 {
+		t.Fatal("heated child never replanned")
+	}
+	if di.PlanDeviation == 0 {
+		t.Fatal("replan left the geometry at the static base despite concentrated heat")
+	}
+
+	// The same query shape must now stop at the root: the refined a0
+	// histogram separates the occupied cell from the probed range.
+	before := hot.AdaptiveInfo().FPDescents
+	if got := fpQueries(t, tr, root, 12, 1); got != 12 {
+		t.Fatalf("%d/12 post-replan probes returned records; they target an empty range", got)
+	}
+	after := hot.AdaptiveInfo().FPDescents
+	if after != before {
+		t.Fatalf("refined summary still drew %d false-positive descents", after-before)
+	}
+
+	// Recall check: a genuine match still returns the full cluster.
+	cli := NewClient(tr, "probe")
+	recs, _, err := cli.Resolve(root.Addr(), query.New("real", query.NewRange("a0", 0, 0.06)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 20 {
+		t.Fatalf("adaptive refinement lost recall: %d records, want 20", len(recs))
+	}
+}
+
+// TestAdaptiveDisabledStaticBaseline pins the escape hatch: with
+// DisableAdaptiveSummaries the same workload keeps the static geometry —
+// no replans, zero plan deviation — so false positives persist, while the
+// descent counter still measures them for the baseline comparison.
+func TestAdaptiveDisabledStaticBaseline(t *testing.T) {
+	tr := transport.NewChan()
+	root, hot, cold := adaptiveCluster(t, tr, 20, func(_ string, c *Config) {
+		c.DisableAdaptiveSummaries = true
+	})
+	for i := 0; i < 4; i++ {
+		driveRound(hot, cold, root)
+		driveRound(root)
+	}
+
+	fpQueries(t, tr, root, 12, 0)
+	before := hot.AdaptiveInfo()
+	if before.Enabled {
+		t.Fatal("DisableAdaptiveSummaries left adaptation enabled")
+	}
+	if before.FPDescents == 0 {
+		t.Fatal("static baseline must still count false-positive descents")
+	}
+
+	for i := 0; i < 3; i++ {
+		driveRound(hot, cold, root)
+		driveRound(root)
+	}
+	di := hot.AdaptiveInfo()
+	if di.Replans != 0 || di.PlanDeviation != 0 {
+		t.Fatalf("static baseline replanned anyway: %d replans, deviation %d",
+			di.Replans, di.PlanDeviation)
+	}
+
+	// The identical query shape keeps descending: nothing refined.
+	fpQueries(t, tr, root, 12, 1)
+	if after := hot.AdaptiveInfo().FPDescents; after <= before.FPDescents {
+		t.Fatal("static geometry should keep drawing false-positive descents")
+	}
+	cli := NewClient(tr, "probe")
+	recs, _, err := cli.Resolve(root.Addr(), query.New("real", query.NewRange("a0", 0, 0.06)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 20 {
+		t.Fatalf("static baseline lost recall: %d records, want 20", len(recs))
+	}
+}
+
+// verSniffer wraps a transport and records, per destination address, every
+// wire version byte its requests encode to. The in-process Chan transport
+// round-trips real codec bytes but exposes none of them, so the sniffer
+// re-encodes each outgoing message — Encode is deterministic, so the
+// recorded byte is exactly what crossed the wire.
+type verSniffer struct {
+	transport.Transport
+	mu   sync.Mutex
+	seen map[string]map[byte]int
+}
+
+func newVerSniffer(inner transport.Transport) *verSniffer {
+	return &verSniffer{Transport: inner, seen: make(map[string]map[byte]int)}
+}
+
+func (v *verSniffer) record(addr string, req *wire.Message) {
+	data, err := wire.Encode(req)
+	if err != nil || len(data) < 2 {
+		return
+	}
+	v.mu.Lock()
+	if v.seen[addr] == nil {
+		v.seen[addr] = make(map[byte]int)
+	}
+	v.seen[addr][data[1]]++
+	v.mu.Unlock()
+}
+
+func (v *verSniffer) Call(addr string, req *wire.Message) (*wire.Message, error) {
+	v.record(addr, req)
+	return v.Transport.Call(addr, req)
+}
+
+// versions returns how many requests to addr used a version byte
+// satisfying pred.
+func (v *verSniffer) versions(addr string, pred func(byte) bool) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := 0
+	for ver, c := range v.seen[addr] {
+		if pred(ver) {
+			n += c
+		}
+	}
+	return n
+}
+
+// TestAdaptiveMixedVersionInterop is the v5/v6 interop regression: an
+// adaptive root and child negotiate up to wire v6 and exchange native
+// adaptive summaries, while a legacy sibling (adaptation disabled, so it
+// never flags capability — the stand-in for a pre-v6 build) keeps seeing
+// only legacy-versioned, flattened traffic. Queries through either entry
+// keep full recall across the boundary.
+func TestAdaptiveMixedVersionInterop(t *testing.T) {
+	tr := newVerSniffer(transport.NewChan())
+	// The "cold" child is built as a pre-v6 peer: adaptation disabled, so
+	// it never flags capability — the stand-in for a legacy build.
+	root, hot, legacy := adaptiveCluster(t, tr, 20, func(id string, c *Config) {
+		if id == "cold" {
+			c.DisableAdaptiveSummaries = true
+		}
+	})
+
+	for i := 0; i < 4; i++ {
+		driveRound(hot, legacy, root)
+		driveRound(root)
+	}
+	// Heat the adaptive child so its native summaries carry a real plan
+	// (Mode != 0): only then does v6 traffic actually appear.
+	fpQueries(t, tr, root, 12, 0)
+	for i := 0; i < 4; i++ {
+		driveRound(hot, legacy, root)
+		driveRound(root)
+	}
+	if di := hot.AdaptiveInfo(); di.Replans == 0 || di.PlanDeviation == 0 {
+		t.Fatalf("adaptive child never refined: %+v", di)
+	}
+
+	// The proven pair speaks v6: flagged pushes root→hot, and — once the
+	// parent proved itself — native Mode-carrying reports hot→root.
+	if tr.versions(hot.Addr(), func(b byte) bool { return b >= 6 }) == 0 {
+		t.Fatal("no v6 request ever reached the adaptive child; capability negotiation failed")
+	}
+	if tr.versions(root.Addr(), func(b byte) bool { return b >= 6 }) == 0 {
+		t.Fatal("the adaptive child never sent the root a v6 request")
+	}
+	// The legacy child must never see a v6 byte: every summary pushed to
+	// it — including the adaptive sibling's refined branch — arrives
+	// flattened to the uniform base geometry (Mode 0 never stamps v6).
+	if n := tr.versions(legacy.Addr(), func(b byte) bool { return b >= 6 }); n != 0 {
+		t.Fatalf("%d wire-v6 requests reached the legacy peer", n)
+	}
+	if tr.versions(legacy.Addr(), func(b byte) bool { return b < 6 }) == 0 {
+		t.Fatal("no legacy-versioned traffic reached the legacy peer at all")
+	}
+
+	// Full recall through both entries, across the version boundary.
+	for _, entry := range []*Server{root, legacy} {
+		cli := NewClient(tr, "probe-"+entry.ID())
+		recs, _, err := cli.Resolve(entry.Addr(), query.New("all-"+entry.ID(), query.NewRange("a0", 0, 1)))
+		if err != nil {
+			t.Fatalf("entry %s: %v", entry.ID(), err)
+		}
+		if len(recs) != 21 {
+			t.Fatalf("entry %s resolved %d records, want 21", entry.ID(), len(recs))
+		}
+	}
+}

@@ -87,7 +87,14 @@ type ClusterConfig struct {
 	// MergeProbeEvery overrides the servers' split-brain probe cadence
 	// (zero derives 4× the heartbeat period; see Config.MergeProbeEvery).
 	MergeProbeEvery time.Duration
-	Cost            store.CostModel
+	// DisableAdaptiveSummaries, SummaryByteBudget and ReplanEvery
+	// configure every server's feedback-driven resolution loop (see the
+	// Config fields of the same names); the zero values leave adaptation
+	// on with an unbounded plan budget at the default replan cadence.
+	DisableAdaptiveSummaries bool
+	SummaryByteBudget        int
+	ReplanEvery              int
+	Cost                     store.CostModel
 	// ResultCacheBytes, AdmissionRate, AdmissionBurst and Classifier are
 	// handed to every server verbatim (see the Config fields of the same
 	// names). The zero values keep the result cache at its default budget
@@ -185,6 +192,9 @@ func StartCluster(tr transport.Transport, cfg ClusterConfig) (*Cluster, error) {
 		scfg.DisableMembershipEpoch = cfg.DisableMembershipEpoch
 		scfg.MergeSeeds = cfg.MergeSeeds
 		scfg.MergeProbeEvery = cfg.MergeProbeEvery
+		scfg.DisableAdaptiveSummaries = cfg.DisableAdaptiveSummaries
+		scfg.SummaryByteBudget = cfg.SummaryByteBudget
+		scfg.ReplanEvery = cfg.ReplanEvery
 		scfg.Cost = cfg.Cost
 		scfg.ResultCacheBytes = cfg.ResultCacheBytes
 		scfg.AdmissionRate = cfg.AdmissionRate

@@ -110,6 +110,7 @@ func (s *Server) handleJoin(msg *wire.Message) *wire.Message {
 			c.lastSeen = time.Now()
 			c.deltaCapable = false
 			c.acked = nil
+			c.adaptiveCapable = false
 			c.epoch = msg.Epoch
 			c.epochCapable = s.epochEnabled() && msg.Epoch != 0
 		} else {
@@ -176,6 +177,9 @@ func (s *Server) handleSummaryReport(msg *wire.Message) *wire.Message {
 			c.epochCapable = true
 			s.advanceRelEpochLocked(&c.epoch, msg.Epoch)
 		}
+		if msg.Adaptive && s.cfg.adaptiveOn() {
+			c.adaptiveCapable = true
+		}
 		c.depth = msg.Report.Depth
 		c.descendants = msg.Report.Descendants
 		c.kids = msg.Report.Children
@@ -215,6 +219,13 @@ func (s *Server) handleSummaryReport(msg *wire.Message) *wire.Message {
 	if s.epochEnabled() && msg.Epoch != 0 {
 		c.epochCapable = true
 		s.advanceRelEpochLocked(&c.epoch, msg.Epoch)
+	}
+	if msg.Adaptive && s.cfg.adaptiveOn() {
+		// A flagged report proves the child decodes wire v6 (children only
+		// flag after we proved the capability to them, but a report can
+		// arrive before the first batch ack lands — e.g. right after a
+		// re-adopt cleared the record).
+		c.adaptiveCapable = true
 	}
 	// A full report with the same non-zero version restates unchanged
 	// content (anti-entropy round): swap the object but skip the branch
@@ -357,6 +368,11 @@ func (s *Server) handleReplicaBatch(msg *wire.Message) *wire.Message {
 		// is what authorizes stamping our reports to it.
 		s.parentV3 = true
 	}
+	if msg.Adaptive && msg.From == s.parentID && s.cfg.adaptiveOn() {
+		// An Adaptive-flagged batch proves the parent speaks wire v6,
+		// authorizing adaptive-geometry and condensed reports upward.
+		s.parentAdaptive = true
+	}
 	if s.epochEnabled() && msg.Epoch != 0 && msg.From == s.parentID {
 		// An epoch-stamped push likewise proves the parent speaks wire
 		// v4, authorizing stamped heartbeats and reports to it. Plain
@@ -373,14 +389,47 @@ func (s *Server) handleReplicaBatch(msg *wire.Message) *wire.Message {
 	}
 	s.mu.Unlock()
 	s.mx.replicaPushes.Add(uint64(len(states) + len(versionOnly)))
-	// The batch ack is always epoch-stamped when the protocol is on: it is
-	// the capability bootstrap, and senders that cannot decode a v4 ack
-	// ignore batch-ack contents entirely, so the stamp is never acted on
-	// by a peer that cannot read it.
+	// The batch ack is always epoch-stamped when the protocol is on, and
+	// Adaptive-flagged when adaptive summaries are on: the ack is the
+	// capability bootstrap for both, and senders that cannot decode a
+	// v4/v6 ack ignore batch-ack contents entirely, so neither marker is
+	// ever acted on by a peer that cannot read it.
+	var ackRep *wire.Message
 	if delta {
-		return s.stampEpoch(s.ackWith(&wire.AckInfo{NeedFullOrigins: needFull}))
+		ackRep = s.ackWith(&wire.AckInfo{NeedFullOrigins: needFull})
+	} else {
+		ackRep = s.ack()
 	}
-	return s.stampEpoch(s.ack())
+	if s.cfg.adaptiveOn() {
+		ackRep.Adaptive = true
+	}
+	return s.stampEpoch(ackRep)
+}
+
+// noteFPDescent closes the feedback loop behind adaptive summaries: a
+// non-start query that found nothing here — no local records and no
+// further redirects — means the summary some peer routed on matched
+// spuriously, so the whole descent hop was a false positive. Each
+// predicate attribute draws one unit of heat; the next replan spends
+// summary resolution where the heat concentrates. Start-contact queries
+// are excluded (no summary advertised this server to the requester), as
+// are NotModified revalidations and shed/coarse answers. The counter runs
+// even with adaptation disabled — it is the baseline the adaptive mode is
+// measured against — only the heat feed is conditional.
+func (s *Server) noteFPDescent(q *wire.QueryDTO, rep *wire.QueryReply) {
+	if q.Start || rep.NotModified || rep.Coarse ||
+		len(rep.Records) > 0 || len(rep.Redirects) > 0 {
+		return
+	}
+	s.mx.fpDescents.Inc()
+	if s.fpHeat == nil {
+		return
+	}
+	for _, p := range q.Preds {
+		if i, ok := s.cfg.Schema.Index(p.Attr); ok && i < len(s.fpHeat) {
+			s.fpHeat[i].Add(1)
+		}
+	}
 }
 
 // handleQuery evaluates the query against local data and held summaries,
@@ -481,6 +530,7 @@ func (s *Server) handleQuery(msg *wire.Message) *wire.Message {
 			s.mx.queries.Inc()
 			s.mx.redirects.Add(uint64(len(rep.Redirects)))
 			s.mx.evalLatency.Observe(time.Since(began))
+			s.noteFPDescent(msg.Query, &rep)
 			return wrap(&rep)
 		}
 	}
@@ -605,6 +655,7 @@ func (s *Server) handleQuery(msg *wire.Message) *wire.Message {
 	s.mx.queries.Inc()
 	s.mx.redirects.Add(uint64(len(reply.Redirects)))
 	s.mx.evalLatency.Observe(time.Since(began))
+	s.noteFPDescent(msg.Query, reply)
 	return wrap(reply)
 }
 

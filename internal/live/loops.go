@@ -100,6 +100,9 @@ func (s *Server) refreshSummaries() {
 	if delta && round%s.cfg.antiEntropyEvery() == 0 {
 		s.mx.antiEntropyRounds.Inc()
 	}
+	if s.cfg.adaptiveOn() && round%s.cfg.replanEvery() == 0 {
+		s.replanLocked()
+	}
 	failed := false
 
 	// Store part: rebuild only when the store's mutation epoch moved.
@@ -156,13 +159,17 @@ func (s *Server) refreshSummaries() {
 		}
 		need = append(need, i)
 	}
+	// Owners export in the current adaptive geometry (curCfg is refresh
+	// state, stable while refreshMu is held; it equals Config.Summary when
+	// adaptation is off or the plan is at base).
+	curCfg := s.curCfg
 	export := func(i int) {
 		o := owners[i]
 		// Generation before export: a mutation landing between the two
 		// makes the cached summary newer than its generation claims, so
 		// the next tick re-exports — never the stale direction.
 		gens[i] = o.Generation()
-		exports[i], errs[i] = o.ExportSummary(s.cfg.Summary)
+		exports[i], errs[i] = o.ExportSummary(curCfg)
 		fresh[i] = true
 	}
 	if delta && len(need) > 1 {
@@ -262,6 +269,11 @@ func (s *Server) refreshSummaries() {
 			_ = branch.Merge(c.branch)
 		}
 	}
+	// Re-condense after the child merges: children export their own
+	// condensed sets, but merging branches can push the union back over
+	// the threshold. Must precede ComputeVersion so the stamped version
+	// reflects the condensed content.
+	branch.Condense()
 	branch.ComputeVersion()
 	s.branchSummary = branch
 	s.lastChildEpoch = s.childEpoch
@@ -276,6 +288,82 @@ func (s *Server) refreshSummaries() {
 	if !failed {
 		s.noteSummaryOK()
 	}
+}
+
+// replanLocked folds the accumulated false-positive heat into the planner
+// and installs the resulting geometry as the current export configuration.
+// Callers hold refreshMu. Drained heat decays by half each replan (EWMA),
+// so an attribute that stops attracting false-positive descents cools off
+// and its resolution drifts back to base. A changed plan re-keys every
+// summary source: the store re-summarizes under the new geometry and the
+// owner export cache is dropped so owners re-export (Owner.ExportSummary
+// re-enables its own store on a config change by itself).
+func (s *Server) replanLocked() {
+	for i := range s.fpHeat {
+		h := s.fpHeat[i].Swap(0)
+		name := s.cfg.Schema.Attr(i).Name
+		s.heat[name] = s.heat[name]*0.5 + float64(h)
+	}
+	plan := s.planner.Replan(s.cfg.Schema, s.heat)
+	newCfg := s.cfg.Summary
+	newCfg.Resolution = plan
+	deviation := 0
+	for _, l := range s.planner.Levels() {
+		if l != 0 {
+			deviation++
+		}
+	}
+	s.planDeviation.Store(int64(deviation))
+	if newCfg.Equal(s.curCfg) {
+		return
+	}
+	// Re-key the store's partial summaries to the new geometry before
+	// adopting it; on failure the previous geometry stays installed and
+	// the next replan retries.
+	if err := s.store.EnableSummaries(newCfg); err != nil {
+		s.noteSummaryError(err)
+		return
+	}
+	s.curCfg = newCfg
+	s.haveStore = false
+	for o := range s.ownerCache {
+		delete(s.ownerCache, o)
+	}
+	s.mx.replans.Inc()
+}
+
+// needsFlatten reports whether sum cannot be sent to a pre-v6 peer as is:
+// it carries per-attribute geometry overrides (the wire layer would stamp
+// v6 Mode/Plan) or condensed wildcards (a legacy matcher would silently
+// produce false negatives).
+func needsFlatten(sum *summary.Summary) bool {
+	return sum != nil && (!sum.Cfg.Uniform() || sum.HasWildcards())
+}
+
+// flattenForLegacy returns branch re-expressed in the uniform base
+// geometry for pre-v6 peers, or branch itself when it is already
+// legacy-safe. The result is cached per source branch version, so the
+// flatten runs once per content change rather than once per tick; and
+// FlattenTo stamps deterministic versions, so version-only report
+// suppression keeps working against the flattened variant.
+func (s *Server) flattenForLegacy(branch *summary.Summary) *summary.Summary {
+	if !needsFlatten(branch) {
+		return branch
+	}
+	s.flatMu.Lock()
+	defer s.flatMu.Unlock()
+	if s.flatSum != nil && branch.Version != 0 && s.flatSrcVer == branch.Version {
+		return s.flatSum
+	}
+	flat, err := branch.FlattenTo(s.cfg.Summary)
+	if err != nil {
+		// Unflattenable (schema drift): send the raw branch — the legacy
+		// peer rejects it visibly instead of routing on silence.
+		s.noteSummaryError(err)
+		return branch
+	}
+	s.flatSum, s.flatSrcVer = flat, branch.Version
+	return flat
 }
 
 // noteSummaryError counts one summary-refresh failure and logs only on
@@ -326,6 +414,33 @@ func (s *Server) RefreshInfo() RefreshInfo {
 		StoreShardRebuilds: st.ShardRebuilds,
 		StorePartialMerges: st.PartialMerges,
 		StoreExportsCached: st.ExportsCached,
+	}
+}
+
+// AdaptiveInfo is a snapshot of one server's adaptive-summary state: the
+// feedback the planner has consumed and the plan it is currently running.
+type AdaptiveInfo struct {
+	// Enabled reports whether adaptive resolution is active (on by
+	// default; off when DisableAdaptiveSummaries or either of the batch /
+	// delta dissemination layers it rides on is disabled).
+	Enabled bool
+	// Replans counts summary-geometry changes installed; FPDescents the
+	// false-positive descents detected on the query path (counted whether
+	// or not adaptation is enabled, so static baselines measure too).
+	Replans    uint64
+	FPDescents uint64
+	// PlanDeviation is the summed |resolution level| across attributes —
+	// zero means the current plan is the static base configuration.
+	PlanDeviation int64
+}
+
+// AdaptiveInfo returns the adaptive-summary counters.
+func (s *Server) AdaptiveInfo() AdaptiveInfo {
+	return AdaptiveInfo{
+		Enabled:       s.cfg.adaptiveOn(),
+		Replans:       s.mx.replans.Load(),
+		FPDescents:    s.mx.fpDescents.Load(),
+		PlanDeviation: s.planDeviation.Load(),
 	}
 }
 
@@ -387,6 +502,7 @@ func (s *Server) reportToParent() {
 	desc := s.descendantsLocked()
 	kids := s.childRedirectsLocked()
 	parentV3 := s.parentV3
+	parentAdaptive := s.parentAdaptive
 	haveVersion := s.parentHaveVersion
 	needFull := s.parentNeedFull
 	stamp := s.epochEnabled() && s.parentEpochCapable
@@ -394,26 +510,42 @@ func (s *Server) reportToParent() {
 	if parentAddr == "" || branch == nil {
 		return
 	}
+	// Respond in kind (wire v6): adaptive-geometry or condensed branches
+	// go up as-is only once the parent proved the capability; until then
+	// the report carries the branch flattened to the uniform base
+	// geometry. Suppression and the parent's HaveVersion acks track the
+	// version of whichever variant is actually sent.
+	adaptive := s.cfg.adaptiveOn()
+	sendSum := branch
+	if adaptive && !parentAdaptive {
+		sendSum = s.flattenForLegacy(branch)
+	}
 	report := &wire.SummaryReport{
 		Depth:       depth,
 		Descendants: desc,
 		Children:    kids,
 	}
 	if delta && parentV3 {
-		report.Version = branch.Version
+		report.Version = sendSum.Version
 	}
 	suppress := delta && parentV3 && !needFull && !fullRound &&
-		branch.Version != 0 && haveVersion == branch.Version
+		sendSum.Version != 0 && haveVersion == sendSum.Version
 	if suppress {
 		s.mx.reportsSuppressed.Inc()
 	} else {
-		report.Summary = wire.FromSummary(branch)
+		report.Summary = wire.FromSummary(sendSum)
 	}
 	msg := &wire.Message{
 		Kind:   wire.KindSummaryReport,
 		From:   s.cfg.ID,
 		Addr:   s.cfg.Addr,
 		Report: report,
+	}
+	if adaptive && parentAdaptive {
+		// The flag both keeps the parent's capability record warm and is
+		// only legal here: it forces a v6 envelope, which an unproven
+		// parent might not decode.
+		msg.Adaptive = true
 	}
 	if stamp {
 		s.stampEpoch(msg)
@@ -481,13 +613,16 @@ func (s *Server) pushReplicas() {
 		kids     []wire.RedirectInfo
 		capable  bool
 		epochCap bool
+		adaptCap bool
 		acked    map[string]uint64
 	}
+	adaptive := s.cfg.adaptiveOn()
 	s.mu.Lock()
 	children := make([]childSnap, 0, len(s.children))
 	for _, c := range s.children {
 		cs := childSnap{id: c.id, addr: c.addr, branch: c.branch, kids: c.kids,
-			epochCap: s.epochEnabled() && c.epochCapable}
+			epochCap: s.epochEnabled() && c.epochCapable,
+			adaptCap: adaptive && c.adaptiveCapable}
 		if delta && c.deltaCapable {
 			cs.capable = true
 			cs.acked = make(map[string]uint64, len(c.acked))
@@ -519,40 +654,96 @@ func (s *Server) pushReplicas() {
 
 	// Build every push DTO once; the per-child batches share them. The
 	// shared DTOs stay unversioned — capable children get shallow stamped
-	// copies, so a legacy child never sees a v3 payload.
+	// copies, so a legacy child never sees a v3 payload. Each entry keeps
+	// its source summaries so a legacy (pre-v6) variant — every summary
+	// flattened to the uniform base geometry — can be built lazily, at
+	// most once per tick, when some child has not proven the adaptive
+	// capability. Native and flattened variants carry their own content
+	// versions, so version-only suppression tracks exactly what each
+	// child holds.
+	type pushEntry struct {
+		p             *wire.ReplicaPush
+		ver           uint64
+		branch, local *summary.Summary
+		flat          *wire.ReplicaPush
+		flatVer       uint64
+		flatBuilt     bool
+	}
+	// variant picks the form child gets: native for adaptive-capable
+	// children and for entries that are legacy-safe anyway; otherwise the
+	// flattened copy. A nil push means the entry cannot be expressed for
+	// this child (flatten failed) and is skipped.
+	variant := func(e *pushEntry, adaptCap bool) (*wire.ReplicaPush, uint64) {
+		if adaptCap || (!needsFlatten(e.branch) && !needsFlatten(e.local)) {
+			return e.p, e.ver
+		}
+		if !e.flatBuilt {
+			e.flatBuilt = true
+			fb, err := e.branch.FlattenTo(s.cfg.Summary)
+			if err != nil {
+				s.noteSummaryError(err)
+			} else {
+				fp := *e.p // shallow: identity/level/fallback fields
+				fp.Branch = wire.FromSummary(fb)
+				fp.Version = 0
+				if e.local != nil {
+					fl, lerr := e.local.FlattenTo(s.cfg.Summary)
+					if lerr != nil {
+						s.noteSummaryError(lerr)
+						fb = nil
+					} else {
+						fp.Local = wire.FromSummary(fl)
+					}
+				}
+				if fb != nil {
+					e.flat, e.flatVer = &fp, fb.Version
+				}
+			}
+		}
+		if e.flat == nil {
+			return nil, 0
+		}
+		return e.flat, e.flatVer
+	}
 	// Sibling branches: distance 1 from the child.
-	sibPush := make([]*wire.ReplicaPush, len(children))
+	sibPush := make([]*pushEntry, len(children))
 	for i, sib := range children {
 		if sib.branch == nil {
 			continue
 		}
-		sibPush[i] = &wire.ReplicaPush{
-			OriginID:   sib.id,
-			OriginAddr: sib.addr,
-			Branch:     wire.FromSummary(sib.branch),
-			Level:      1,
-			Fallbacks:  sib.kids,
+		sibPush[i] = &pushEntry{
+			p: &wire.ReplicaPush{
+				OriginID:   sib.id,
+				OriginAddr: sib.addr,
+				Branch:     wire.FromSummary(sib.branch),
+				Level:      1,
+				Fallbacks:  sib.kids,
+			},
+			ver:    sibVersion[i],
+			branch: sib.branch,
 		}
 	}
 	// Self as ancestor (branch + local piggyback): distance 1.
-	var ancestor *wire.ReplicaPush
-	var ancestorVersion uint64
+	var ancestor *pushEntry
 	if ownBranch != nil {
-		ancestor = &wire.ReplicaPush{
-			OriginID:   s.cfg.ID,
-			OriginAddr: s.cfg.Addr,
-			Branch:     wire.FromSummary(ownBranch),
-			Local:      wire.FromSummary(ownLocal),
-			Ancestor:   true,
-			Level:      1,
+		ancestor = &pushEntry{
+			p: &wire.ReplicaPush{
+				OriginID:   s.cfg.ID,
+				OriginAddr: s.cfg.Addr,
+				Branch:     wire.FromSummary(ownBranch),
+				Local:      wire.FromSummary(ownLocal),
+				Ancestor:   true,
+				Level:      1,
+			},
+			ver:    ownBranch.Version,
+			branch: ownBranch,
+			local:  ownLocal,
 		}
-		ancestorVersion = ownBranch.Version
 	}
 	// Forward everything this server replicates (its siblings and
 	// ancestors become the child's ancestor-siblings and ancestors, one
 	// level further away).
-	forwarded := make([]*wire.ReplicaPush, 0, len(reps))
-	forwardedVersion := make([]uint64, 0, len(reps))
+	forwarded := make([]*pushEntry, 0, len(reps))
 	for _, r := range reps {
 		p := &wire.ReplicaPush{
 			OriginID:   r.originID,
@@ -562,11 +753,12 @@ func (s *Server) pushReplicas() {
 			Level:      r.level + 1,
 			Fallbacks:  r.fallbacks,
 		}
+		e := &pushEntry{p: p, ver: r.version, branch: r.branch}
 		if r.ancestor && r.local != nil {
 			p.Local = wire.FromSummary(r.local)
+			e.local = r.local
 		}
-		forwarded = append(forwarded, p)
-		forwardedVersion = append(forwardedVersion, r.version)
+		forwarded = append(forwarded, e)
 	}
 
 	type sentEntry struct {
@@ -578,8 +770,14 @@ func (s *Server) pushReplicas() {
 		var sent []sentEntry
 		// appendEntry adds one origin's entry: version-only when the child
 		// already confirmed holding this version, a stamped full copy when
-		// the child is capable, the shared unversioned DTO otherwise.
-		appendEntry := func(p *wire.ReplicaPush, ver uint64) {
+		// the child is capable, the shared unversioned DTO otherwise. The
+		// payload and version are the child's variant (native vs.
+		// flattened), so what is acked is what was actually held.
+		appendEntry := func(e *pushEntry) {
+			p, ver := variant(e, child.adaptCap)
+			if p == nil {
+				return
+			}
 			switch {
 			case child.capable && ver != 0 && !fullRound && child.acked[p.OriginID] == ver:
 				pushes = append(pushes, &wire.ReplicaPush{
@@ -605,16 +803,16 @@ func (s *Server) pushReplicas() {
 				sent = append(sent, sentEntry{origin: p.OriginID, version: ver})
 			}
 		}
-		for j, p := range sibPush {
-			if j != i && p != nil {
-				appendEntry(p, sibVersion[j])
+		for j, e := range sibPush {
+			if j != i && e != nil {
+				appendEntry(e)
 			}
 		}
 		if ancestor != nil {
-			appendEntry(ancestor, ancestorVersion)
+			appendEntry(ancestor)
 		}
-		for j, p := range forwarded {
-			appendEntry(p, forwardedVersion[j])
+		for _, e := range forwarded {
+			appendEntry(e)
 		}
 		if len(pushes) == 0 {
 			continue
@@ -640,6 +838,13 @@ func (s *Server) pushReplicas() {
 			// child, authorizing it to stamp its heartbeats and reports.
 			s.stampEpoch(msg)
 		}
+		if child.adaptCap {
+			// Mirroring the epoch stamp one version up: a flagged batch is
+			// what proves our v6 capability to the child, authorizing it to
+			// report adaptive-geometry branches upward. Only proven-v6
+			// children get the flag — it forces a v6 envelope.
+			msg.Adaptive = true
+		}
 		rep, err := s.tr.Call(child.addr, msg)
 		if err != nil || rep == nil {
 			continue
@@ -652,11 +857,18 @@ func (s *Server) pushReplicas() {
 			s.observeEpoch(rep.Epoch)
 		}
 		deltaAck := delta && rep.Ack != nil
-		if !epochProof && !deltaAck {
+		// An Adaptive-flagged ack is the child's v6 proof (same
+		// justification as the epoch stamp: senders that cannot decode the
+		// ack ignore it entirely).
+		adaptAck := adaptive && rep.Adaptive
+		if !epochProof && !deltaAck && !adaptAck {
 			continue // legacy child: no bookkeeping
 		}
 		s.mu.Lock()
 		if c, ok := s.children[child.id]; ok {
+			if adaptAck {
+				c.adaptiveCapable = true
+			}
 			if epochProof {
 				c.epochCapable = true
 				if rep.Epoch > c.epoch {
@@ -904,6 +1116,7 @@ func (s *Server) planRejoinLocked() *rejoinPlan {
 	s.parentV3 = false
 	s.parentHaveVersion = 0
 	s.parentNeedFull = false
+	s.parentAdaptive = false
 	s.parentEpoch = 0
 	s.parentEpochCapable = false
 	s.publishSnapshotLocked()

@@ -51,6 +51,12 @@ type serverMetrics struct {
 	// atomics); both stay zero while the cache is disabled.
 	cacheHitAge *obs.Histogram
 	notModified *obs.Counter
+
+	// Adaptive-summary series. fpDescents counts regardless of
+	// Config.DisableAdaptiveSummaries (it is the baseline the adaptive
+	// mode is measured against); replans only moves while the loop is on.
+	fpDescents *obs.Counter
+	replans    *obs.Counter
 }
 
 // newServerMetrics registers the server's series on reg (which must not
@@ -103,6 +109,10 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 			obs.DefaultLatencyBounds()),
 		notModified: reg.Counter("roads_cache_not_modified_total",
 			"Queries answered NotModified because the requester's cached fingerprint still matched — zero evaluation, zero descent."),
+		fpDescents: reg.Counter("roads_fp_descents_total",
+			"False-positive descents absorbed: redirected (non-start) queries that found no records and no further redirects here — the summary a peer routed on matched spuriously."),
+		replans: reg.Counter("roads_summary_replans_total",
+			"Adaptive replans that changed the installed summary geometry (plans identical to the current one do not count)."),
 	}
 	reg.CounterFunc("roads_cache_hits_total",
 		"Result-cache lookups whose entry revalidated against the current version set and was served.",
@@ -242,6 +252,41 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 				return 0
 			}
 			return time.Since(time.Unix(0, ns)).Seconds()
+		})
+	reg.GaugeFunc("roads_summary_plan_deviation",
+		"Attributes whose adaptive resolution currently sits off the base ladder level (0 = the plan is byte-identical to the static configuration).",
+		func() float64 {
+			return float64(s.planDeviation.Load())
+		})
+	reg.GaugeFunc("roads_summary_bloom_fill",
+		"Worst (highest) fill ratio across the branch summary's Bloom filters; 0 when no attribute is Bloom-summarized.",
+		func() float64 {
+			worst := 0.0
+			if b := s.snap.Load().branchSummary; b != nil {
+				for _, bl := range b.Blooms {
+					if bl != nil {
+						if f := bl.FillRatio(); f > worst {
+							worst = f
+						}
+					}
+				}
+			}
+			return worst
+		})
+	reg.GaugeFunc("roads_summary_bloom_fpr",
+		"Worst (highest) estimated false-positive rate across the branch summary's Bloom filters (fill ratio raised to the hash count).",
+		func() float64 {
+			worst := 0.0
+			if b := s.snap.Load().branchSummary; b != nil {
+				for _, bl := range b.Blooms {
+					if bl != nil {
+						if p := bl.FalsePositiveRate(); p > worst {
+							worst = p
+						}
+					}
+				}
+			}
+			return worst
 		})
 	reg.GaugeFunc("roads_membership_epoch",
 		"Current membership epoch (bumped when a recovery begins; converges to the federation maximum).", func() float64 {

@@ -88,6 +88,29 @@ type Config struct {
 	// MergeProbeEvery is the split-brain probe cadence. Zero derives
 	// 4×HeartbeatEvery.
 	MergeProbeEvery time.Duration
+	// DisableAdaptiveSummaries turns off the feedback-driven resolution
+	// loop end to end: no false-positive heat is folded into resolution
+	// plans, exported summaries keep the uniform Config.Summary geometry
+	// forever, and no wire-v6 field (the Adaptive capability flag, summary
+	// Mode/Plan) is ever emitted. A disabled server is byte-equivalent to
+	// a wire-v5 peer, which is both the measurable static baseline and
+	// the mixed-version interop stand-in — mirroring
+	// DisableDeltaDissemination for v3 and DisableMembershipEpoch for v4.
+	// Adaptive summaries also require delta dissemination and replica
+	// batching (the capability handshake rides on batch acks), so
+	// disabling either of those disables this too.
+	DisableAdaptiveSummaries bool
+	// SummaryByteBudget caps the estimated wire size of the adaptive
+	// resolution plan across plannable attributes: the planner spends the
+	// budget where false-positive heat concentrates and sheds resolution
+	// from the coldest attributes when over. Zero leaves the plan
+	// unbounded (every attribute may climb to the ladder ceiling).
+	SummaryByteBudget int
+	// ReplanEvery is the adaptive replan cadence in aggregation ticks:
+	// every Nth refresh folds the accumulated false-positive heat into
+	// the planner and installs the resulting geometry. Zero uses
+	// DefaultReplanEvery.
+	ReplanEvery int
 	// LegacyQueryLocking evaluates queries under the server mutex against
 	// the live routing maps (the pre-snapshot behaviour) instead of
 	// against the lock-free routing snapshot — the measurable baseline
@@ -158,6 +181,13 @@ const DefaultReplicaTTLFloor = 5 * time.Second
 // full-state cadence.
 const DefaultAntiEntropyEvery = 16
 
+// DefaultReplanEvery is the adaptive replan cadence applied when
+// Config.ReplanEvery is zero: the planner re-evaluates the false-positive
+// heat every 4 aggregation ticks — slow enough that heat accumulates into
+// a signal, fast enough that a hot attribute refines within a few refresh
+// periods.
+const DefaultReplanEvery = 4
+
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if c.ID == "" || c.Addr == "" {
@@ -193,7 +223,29 @@ func (c Config) Validate() error {
 	if c.AdmissionBurst < 0 {
 		return fmt.Errorf("live: AdmissionBurst must not be negative")
 	}
+	if c.SummaryByteBudget < 0 {
+		return fmt.Errorf("live: SummaryByteBudget must not be negative")
+	}
+	if c.ReplanEvery < 0 {
+		return fmt.Errorf("live: ReplanEvery must not be negative")
+	}
 	return nil
+}
+
+// adaptiveOn reports whether the feedback-driven resolution loop runs.
+// Adaptive summaries ride on the delta pipeline (plans are installed by
+// the change-driven refresh) and bootstrap capability through replica-batch
+// acks, so disabling delta dissemination or batching disables them too.
+func (c Config) adaptiveOn() bool {
+	return !c.DisableAdaptiveSummaries && !c.DisableDeltaDissemination && !c.DisableReplicaBatch
+}
+
+// replanEvery returns the configured replan cadence, defaulted.
+func (c Config) replanEvery() uint64 {
+	if c.ReplanEvery > 0 {
+		return uint64(c.ReplanEvery)
+	}
+	return DefaultReplanEvery
 }
 
 // mergeProbeEvery returns the split-brain probe cadence, defaulted.
@@ -252,6 +304,13 @@ type childState struct {
 	// report, heartbeat, join), proving it decodes wire v4; only then are
 	// requests to it epoch-stamped.
 	epochCapable bool
+	// adaptiveCapable is set once the child attached the Adaptive flag to
+	// a replica-batch ack or a summary report, proving it decodes wire v6;
+	// only then may pushes to it carry adaptive-geometry or condensed
+	// summaries (and the Adaptive flag). Unproven children receive
+	// summaries flattened to the uniform base geometry. Reset when the
+	// child rejoins.
+	adaptiveCapable bool
 }
 
 // replicaState is one overlay replica.
@@ -344,6 +403,12 @@ type Server struct {
 	parentV3          bool
 	parentHaveVersion uint64
 	parentNeedFull    bool
+	// parentAdaptive is set once the parent flags a replica batch with the
+	// Adaptive capability (wire v6), which authorizes sending it
+	// adaptive-geometry and condensed branch reports; until then reports
+	// are flattened to the uniform base geometry. Guarded by s.mu, reset
+	// whenever the parent changes.
+	parentAdaptive bool
 
 	// refreshMu serializes refreshSummaries: the incremental-refresh
 	// caches below are its private state, and tests drive refreshes
@@ -362,6 +427,28 @@ type Server struct {
 	// aggRound counts aggregation rounds (shared by refresh, report and
 	// push within one tick) for the anti-entropy cadence.
 	aggRound atomic.Uint64
+
+	// Adaptive-summary state. fpHeat accumulates false-positive descents
+	// per schema attribute (bumped lock-free on the query path; drained by
+	// the replan). planner, heat (the drained EWMA) and curCfg (the
+	// geometry exports currently build with) are refresh-private state
+	// guarded by refreshMu. planDeviation counts attributes currently off
+	// their base resolution level, for the gauge. All idle when
+	// Config.adaptiveOn() is false — curCfg then stays Config.Summary.
+	fpHeat        []atomic.Uint64
+	planner       *summary.Planner
+	heat          map[string]float64
+	curCfg        summary.Config
+	planDeviation atomic.Int64
+	// flatMu guards the legacy-report flatten cache: the branch summary
+	// re-expressed in the uniform base geometry for a pre-v6 parent,
+	// keyed by the source branch version so one flatten serves every tick
+	// until the branch actually changes. (FlattenTo stamps deterministic
+	// versions, so version-only suppression keeps working on the
+	// flattened variant.)
+	flatMu     sync.Mutex
+	flatSrcVer uint64
+	flatSum    *summary.Summary
 
 	// epoch is the membership epoch: starts at 1, bumped when a recovery
 	// begins, raised to any higher epoch observed on the wire, and never
@@ -436,6 +523,12 @@ func NewServer(cfg Config, tr transport.Transport) (*Server, error) {
 		admission:    newAdmission(cfg.AdmissionRate, cfg.AdmissionBurst),
 		stop:         make(chan struct{}),
 		startTime:    time.Now(),
+	}
+	s.curCfg = cfg.Summary
+	if cfg.adaptiveOn() {
+		s.planner = summary.NewPlanner(cfg.Summary, cfg.SummaryByteBudget)
+		s.heat = make(map[string]float64)
+		s.fpHeat = make([]atomic.Uint64, cfg.Schema.NumAttrs())
 	}
 	s.epoch.Store(1)
 	// Publish the empty snapshot so the lock-free paths never see nil —
@@ -650,10 +743,11 @@ func (s *Server) join(seedAddr string, stamp bool) error {
 			s.parentMisses = 0
 			s.parentReportMisses = 0
 			// A new (or re-joined) parent starts with no proven delta
-			// capability and holds none of our versions.
+			// or adaptive capability and holds none of our versions.
 			s.parentV3 = false
 			s.parentHaveVersion = 0
 			s.parentNeedFull = false
+			s.parentAdaptive = false
 			// Epoch state restarts with the new relationship; a stamped
 			// accept is the parent's v4 proof.
 			s.parentEpoch = 0

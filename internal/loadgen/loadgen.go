@@ -89,6 +89,31 @@ type Config struct {
 	// range length workload.DefaultQueryRange).
 	QueryDims  int
 	QueryRange float64
+	// QuerySkew, when positive, is the fraction of queries made "hot"
+	// (workload.GenQuerySkewed): a narrow range — QueryRange/4 — on the
+	// first Window-family attribute, plus an Eq predicate on c0 when the
+	// workload has categorical attributes. Narrow ranges against coarse
+	// histogram buckets concentrate false-positive descents on one
+	// attribute, the signal adaptive summary resolution feeds on.
+	QuerySkew float64
+	// CategoricalAttrs appends that many categorical attributes to the
+	// workload (vocabulary CategoricalVocab, default 16; dotted paths of
+	// CategoricalDepth segments when that is > 1). SummaryBloom summarizes
+	// them with Bloom filters instead of exact value sets; CondenseAbove,
+	// when positive, collapses value sets larger than that into
+	// dotted-prefix wildcards.
+	CategoricalAttrs int
+	CategoricalVocab int
+	CategoricalDepth int
+	SummaryBloom     bool
+	CondenseAbove    int
+	// DisableAdaptive turns feedback-driven summary resolution off on
+	// every server (live.Config.DisableAdaptiveSummaries) — the static
+	// baseline arm of the false-positive benchmark. SummaryByteBudget and
+	// ReplanEvery pass through to the matching live.Config fields.
+	DisableAdaptive   bool
+	SummaryByteBudget int
+	ReplanEvery       int
 	// Queries is how many resolves to issue (default 500), spread over
 	// Clients concurrent clients (default 4), each bounded by
 	// QueryTimeout (default 10s). MinDrive, when positive, keeps the
@@ -238,10 +263,23 @@ type Result struct {
 
 	// RedirectHops counts answered redirect descents across all queries;
 	// FPDescents the subset that yielded neither records nor further
-	// redirects; FPDescentRate their ratio.
-	RedirectHops  int     `json:"redirect_hops"`
-	FPDescents    int     `json:"fp_descents"`
-	FPDescentRate float64 `json:"fp_descent_rate"`
+	// redirects; FPDescentRate their ratio. FPDescentsByDepth breaks the
+	// false positives down by tree depth (index d = descents whose
+	// redirect chain was d hops long; index 0 unused) — deep entries are
+	// the expensive ones, each a full wasted walk down the hierarchy.
+	RedirectHops      int     `json:"redirect_hops"`
+	FPDescents        int     `json:"fp_descents"`
+	FPDescentRate     float64 `json:"fp_descent_rate"`
+	FPDescentsByDepth []int   `json:"fp_descents_by_depth,omitempty"`
+
+	// SummaryReplans sums the servers' adaptive-resolution geometry
+	// changes; ServerFPDescents the false-positive descents the servers
+	// themselves detected (counted even with adaptation disabled);
+	// PlanDeviationSum the summed |resolution level| across alive servers
+	// at drive end (zero = everyone still runs the static base config).
+	SummaryReplans   uint64 `json:"summary_replans"`
+	ServerFPDescents uint64 `json:"server_fp_descents"`
+	PlanDeviationSum int64  `json:"plan_deviation_sum"`
 
 	// BytesPerNodePerSec is transport bytes moved during the drive phase
 	// divided by server count and drive seconds.
@@ -338,9 +376,12 @@ func Run(cfg Config) (*Result, error) {
 		ownerIdx = append(ownerIdx, i)
 	}
 	w, err := workload.Generate(workload.Config{
-		Nodes:          len(ownerIdx),
-		RecordsPerNode: cfg.RecordsPerOwner,
-		AttrsPerDist:   cfg.AttrsPerDist,
+		Nodes:            len(ownerIdx),
+		RecordsPerNode:   cfg.RecordsPerOwner,
+		AttrsPerDist:     cfg.AttrsPerDist,
+		CategoricalAttrs: cfg.CategoricalAttrs,
+		CategoricalVocab: cfg.CategoricalVocab,
+		CategoricalDepth: cfg.CategoricalDepth,
 	}, rng)
 	if err != nil {
 		return nil, err
@@ -348,6 +389,10 @@ func Run(cfg Config) (*Result, error) {
 
 	sumCfg := summary.DefaultConfig()
 	sumCfg.Buckets = cfg.SummaryBuckets
+	if cfg.SummaryBloom {
+		sumCfg.Categorical = summary.UseBloom
+	}
+	sumCfg.CondenseAbove = cfg.CondenseAbove
 
 	addrOf := func(i int) string { return fmt.Sprintf("srv%03d", i) }
 
@@ -370,6 +415,10 @@ func Run(cfg Config) (*Result, error) {
 		ResultCacheBytes: cfg.ResultCacheBytes,
 		AdmissionRate:    cfg.AdmissionRate,
 		AdmissionBurst:   cfg.AdmissionBurst,
+
+		DisableAdaptiveSummaries: cfg.DisableAdaptive,
+		SummaryByteBudget:        cfg.SummaryByteBudget,
+		ReplanEvery:              cfg.ReplanEvery,
 	}
 	if cfg.Churn.PartitionEvery > 0 {
 		faulty = transport.NewFaulty(ch, cfg.Seed+307)
@@ -405,7 +454,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	convSecs := time.Since(convStart).Seconds()
 
-	queries, err := w.GenQueries(cfg.Queries, cfg.QueryDims, cfg.QueryRange, rng)
+	queries, err := w.GenQueriesSkewed(cfg.Queries, cfg.QueryDims, cfg.QueryRange, cfg.QuerySkew, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -733,6 +782,7 @@ func Run(cfg Config) (*Result, error) {
 		covMin     = 1.0
 		failures   int
 		fpHops     int
+		fpByDepth  []int
 		redirs     int
 		cliHits    int
 		coarse     int
@@ -792,11 +842,17 @@ func Run(cfg Config) (*Result, error) {
 				m.Queries.Inc()
 				m.Latency.Observe(qs.Elapsed)
 				var fp, rd int
+				var fpDepths []int
 				for _, h := range qs.Hops {
 					if h.Kind == "redirect" && h.Err == "" {
 						rd++
 						if h.Records == 0 && h.Redirects == 0 {
 							fp++
+							// The redirect chain length is the tree depth
+							// at which the false positive bottomed out.
+							d := len(h.Path)
+							fpDepths = append(fpDepths, d)
+							m.FPDepth.Observe(time.Duration(d))
 						}
 					}
 				}
@@ -809,6 +865,12 @@ func Run(cfg Config) (*Result, error) {
 				resMu.Lock()
 				redirs += rd
 				fpHops += fp
+				for _, d := range fpDepths {
+					for len(fpByDepth) <= d {
+						fpByDepth = append(fpByDepth, 0)
+					}
+					fpByDepth[d]++
+				}
 				switch {
 				case err != nil:
 					failures++
@@ -959,6 +1021,10 @@ func Run(cfg Config) (*Result, error) {
 			res.AdmissionAdmitted += ai.Admitted
 			res.AdmissionShed += ai.Shed
 			res.AdmissionRejected += ai.Rejected
+			di := srv.AdaptiveInfo()
+			res.SummaryReplans += di.Replans
+			res.ServerFPDescents += di.FPDescents
+			res.PlanDeviationSum += di.PlanDeviation
 		}
 	}
 	aliveMu.Unlock()
@@ -989,6 +1055,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.RedirectHops = redirs
 	res.FPDescents = fpHops
+	res.FPDescentsByDepth = fpByDepth
 	if redirs > 0 {
 		res.FPDescentRate = float64(fpHops) / float64(redirs)
 	}
@@ -1036,6 +1103,9 @@ func reviveServer(cl *live.Cluster, tr transport.Transport, cfg Config, sumCfg s
 	scfg.ResultCacheBytes = cfg.ResultCacheBytes
 	scfg.AdmissionRate = cfg.AdmissionRate
 	scfg.AdmissionBurst = cfg.AdmissionBurst
+	scfg.DisableAdaptiveSummaries = cfg.DisableAdaptive
+	scfg.SummaryByteBudget = cfg.SummaryByteBudget
+	scfg.ReplanEvery = cfg.ReplanEvery
 	srv, err := live.NewServer(scfg, tr)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,10 @@
 package loadgen
 
-import "roads/internal/obs"
+import (
+	"time"
+
+	"roads/internal/obs"
+)
 
 // Metrics are the operational counters the load harness maintains while
 // driving a federation. Register them once per registry with
@@ -14,7 +18,11 @@ type Metrics struct {
 	// FPDescents counts answered redirect hops that contributed nothing —
 	// no records, no further redirects — i.e. descents a sharper summary
 	// would have pruned (the paper's false-positive forwarding cost).
+	// FPDepth is the distribution of tree depths (redirect-chain lengths)
+	// at which those false positives bottomed out: deep observations are
+	// the expensive ones.
 	FPDescents *obs.Counter
+	FPDepth    *obs.Histogram
 	// RecordChurn counts owner record-swap events; WriteChurn the
 	// add/remove write events; Kills and Revives the server crash /
 	// rejoin events the churn schedule injected.
@@ -45,6 +53,9 @@ func RegisterMetrics(reg *obs.Registry) *Metrics {
 		Queries:     reg.Counter("roads_loadgen_queries_total", "Queries the load harness has issued."),
 		Failures:    reg.Counter("roads_loadgen_query_failures_total", "Load-harness queries that returned an error (timeouts included)."),
 		FPDescents:  reg.Counter("roads_loadgen_fp_descents_total", "Answered redirect hops that yielded neither records nor further redirects (false-positive descents)."),
+		FPDepth: reg.Histogram("roads_loadgen_fp_depth",
+			"Tree depth (redirect-chain length) at which false-positive descents bottomed out; unit is hops, not time.",
+			[]time.Duration{1, 2, 3, 4, 5, 6, 8, 12}),
 		RecordChurn: reg.Counter("roads_loadgen_record_churn_total", "Owner record-swap events injected by the churn schedule."),
 		WriteChurn:  reg.Counter("roads_loadgen_write_churn_total", "Owner add/remove write-churn events injected by the churn schedule."),
 		Kills:       reg.Counter("roads_loadgen_kills_total", "Servers crash-killed by the churn schedule."),

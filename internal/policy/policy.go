@@ -212,7 +212,7 @@ func (o *Owner) StoreStats() store.Stats {
 // the owner's record count.
 func (o *Owner) ExportSummary(cfg summary.Config) (*summary.Summary, error) {
 	o.expMu.Lock()
-	if !o.expEnabled || cfg != o.expCfg {
+	if !o.expEnabled || !cfg.Equal(o.expCfg) {
 		if err := o.st.EnableSummaries(cfg); err != nil {
 			o.expMu.Unlock()
 			return nil, err

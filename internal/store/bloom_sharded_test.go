@@ -1,0 +1,69 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"roads/internal/summary"
+)
+
+// TestShardedBloomRemovalEquivalence drives Bloom-mode summaries through
+// the sharded partial pipeline under removals. Blooms cannot subtract, so
+// every remove must push the touched shards onto the rebuild path — and
+// after any mix of adds and removes, the merged export must be
+// content-identical (same ComputeVersion) to a monolithic FromRecords over
+// the surviving records.
+func TestShardedBloomRemovalEquivalence(t *testing.T) {
+	schema := shardedSchema()
+	cfg := summary.DefaultConfig()
+	cfg.Buckets = 32
+	cfg.Categorical = summary.UseBloom
+	cfg.BloomBits = 256
+	cfg.BloomHashes = 4
+
+	st := NewWithOptions(schema, CostModel{}, Options{Shards: 4})
+	if err := st.EnableSummaries(cfg); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 60; i++ {
+		st.Add(mixedRecord(schema, fmt.Sprintf("r%03d", i), rng))
+	}
+	if _, err := st.ExportSummary(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remove a third of the records, hitting every shard.
+	ids := make([]string, 0, 20)
+	for i := 0; i < 60; i += 3 {
+		ids = append(ids, fmt.Sprintf("r%03d", i))
+	}
+	if got := st.Remove(ids...); got != len(ids) {
+		t.Fatalf("removed %d records, want %d", got, len(ids))
+	}
+
+	exported, err := st.ExportSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := summary.FromRecords(schema, cfg, st.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exported.Records != mono.Records {
+		t.Fatalf("exported %d records, monolithic %d", exported.Records, mono.Records)
+	}
+	if exported.ComputeVersion() != mono.ComputeVersion() {
+		t.Fatal("bloom-mode sharded export diverged from monolithic rebuild after removals")
+	}
+	// The rebuild must have genuinely cleared the removed members' bits
+	// whenever their hash positions are no longer covered: at minimum, the
+	// exported Bloom equals the monolithic one bit-for-bit.
+	if !exported.Blooms[3].Equal(mono.Blooms[3]) {
+		t.Fatal("exported Bloom bits differ from monolithic rebuild")
+	}
+	if st.Stats().ShardRebuilds == 0 {
+		t.Fatal("bloom-mode removals must force shard partial rebuilds")
+	}
+}

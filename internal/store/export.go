@@ -25,7 +25,7 @@ func (st *Store) EnableSummaries(cfg summary.Config) error {
 	}
 	st.sumMu.Lock()
 	defer st.sumMu.Unlock()
-	if st.summarize && cfg == st.scfg {
+	if st.summarize && cfg.Equal(st.scfg) {
 		return nil
 	}
 	st.scfg = cfg
@@ -130,6 +130,12 @@ func (st *Store) ExportSummary() (*summary.Summary, error) {
 		}
 	}
 	st.stats.partialMerges.Add(uint64(len(st.shards)))
+	// Condense only the merged export, never the shard partials: partials
+	// must stay exact so they remain subtractable and merge losslessly.
+	// Condensation is deterministic, so condensing the merge of exact
+	// partials equals condensing a monolithic rebuild — the content-version
+	// equivalence above survives.
+	out.Condense()
 	out.ComputeVersion()
 	st.merged, st.mergedEpoch, st.haveMerged = out, e, true
 	return out, nil

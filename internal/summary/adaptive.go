@@ -1,0 +1,226 @@
+package summary
+
+import (
+	"math"
+
+	"roads/internal/record"
+)
+
+// Adaptive resolution planning (ROADMAP item 3): summary resolution becomes
+// a closed loop driven by query feedback. Each server counts, per
+// attribute, the false-positive descents its exported summary attracted (a
+// peer descended because the summary matched, then found nothing). On the
+// aggregation tick the Planner converts that heat into a resolution plan
+// within a fixed byte budget: hot attributes climb a ×2 resolution ladder
+// (finer histogram buckets, larger Bloom filters), cold attributes descend
+// it, and a Schmitt-trigger hysteresis band keeps the plan from flapping
+// when heat hovers near the fair share.
+
+// DefaultPlanHi and DefaultPlanLo are the hysteresis thresholds, expressed
+// as multiples of the fair per-attribute heat share: an attribute's
+// resolution steps up only above Hi x fair share and down only below
+// Lo x fair share, so the band between them is sticky.
+const (
+	DefaultPlanHi = 2.0
+	DefaultPlanLo = 0.5
+)
+
+// minPlanBuckets floors the histogram ladder so a cold attribute never
+// coarsens into uselessness.
+const minPlanBuckets = 8
+
+// minPlanBloomBits floors the Bloom ladder at one word.
+const minPlanBloomBits = 64
+
+// Planner turns per-attribute false-positive heat into resolution plans.
+// It is stateful: each attribute carries a ladder level in
+// [MinLevel,MaxLevel] (geometry multiplier 2^level) that moves at most one
+// step per Replan, which together with the hysteresis band prevents
+// resolution flapping. A Planner is not safe for concurrent use.
+type Planner struct {
+	Base   Config
+	Budget int     // byte budget across plannable attributes; 0 = unbounded
+	Hi, Lo float64 // hysteresis thresholds (multiples of fair share)
+
+	MinLevel, MaxLevel int
+
+	levels map[string]int
+}
+
+// NewPlanner creates a planner over the given base geometry and byte
+// budget with the default ladder ([-2,+2]) and hysteresis band.
+func NewPlanner(base Config, budget int) *Planner {
+	return &Planner{
+		Base: base, Budget: budget,
+		Hi: DefaultPlanHi, Lo: DefaultPlanLo,
+		MinLevel: -2, MaxLevel: 2,
+		levels: make(map[string]int),
+	}
+}
+
+// plannable reports whether attribute a's geometry is under planner
+// control: numeric attributes always (bucket count), categorical ones only
+// in Bloom mode (bit count) — exact value sets have no resolution to trade.
+func (p *Planner) plannable(a record.Attribute) bool {
+	if a.Kind == record.Numeric {
+		return true
+	}
+	return p.Base.Categorical == UseBloom
+}
+
+// bucketsAt returns the histogram bucket count at a ladder level.
+func (p *Planner) bucketsAt(level int) int {
+	b := p.Base.Buckets
+	for ; level > 0; level-- {
+		b *= 2
+	}
+	for ; level < 0; level++ {
+		b /= 2
+	}
+	if b < minPlanBuckets {
+		b = minPlanBuckets
+	}
+	return b
+}
+
+// bloomBitsAt returns the Bloom bit count at a ladder level. The base is
+// rounded up to a power of two so every pair of ladder sizes divides —
+// the precondition for Bloom fold/smear merges staying conservative.
+func (p *Planner) bloomBitsAt(level int) int {
+	b := pow2Ceil(p.Base.BloomBits)
+	for ; level > 0; level-- {
+		b *= 2
+	}
+	for ; level < 0; level++ {
+		b /= 2
+	}
+	if b < minPlanBloomBits {
+		b = minPlanBloomBits
+	}
+	return b
+}
+
+// attrSizeAt estimates the wire bytes attribute a costs at a ladder level
+// (mirrors Histogram.SizeBytes / Bloom.SizeBytes).
+func (p *Planner) attrSizeAt(a record.Attribute, level int) int {
+	if a.Kind == record.Numeric {
+		return 16 + 4*p.bucketsAt(level)
+	}
+	return 8 + p.bloomBitsAt(level)/8
+}
+
+// Replan moves each plannable attribute at most one ladder step according
+// to its share of the false-positive heat, then walks the plan back down
+// (coldest attributes first) until it fits the byte budget. It returns the
+// resolution overrides to install, or nil when every attribute sits at the
+// base level — a nil plan is byte-identical to the static configuration on
+// the wire. With zero heat everywhere, levels drift one step per call back
+// toward base, so disabling feedback converges to the static baseline.
+func (p *Planner) Replan(schema *record.Schema, heat map[string]float64) []AttrResolution {
+	attrs := make([]record.Attribute, 0, schema.NumAttrs())
+	var total float64
+	for i := 0; i < schema.NumAttrs(); i++ {
+		a := schema.Attr(i)
+		if p.plannable(a) {
+			attrs = append(attrs, a)
+			total += heat[a.Name]
+		}
+	}
+	if len(attrs) == 0 {
+		return nil
+	}
+	if total <= 0 {
+		for _, a := range attrs {
+			if l := p.levels[a.Name]; l > 0 {
+				p.levels[a.Name] = l - 1
+			} else if l < 0 {
+				p.levels[a.Name] = l + 1
+			}
+		}
+		return p.plan(attrs)
+	}
+	fair := total / float64(len(attrs))
+	for _, a := range attrs {
+		h, l := heat[a.Name], p.levels[a.Name]
+		switch {
+		case h > p.Hi*fair && l < p.MaxLevel:
+			p.levels[a.Name] = l + 1
+		case h < p.Lo*fair && l > p.MinLevel:
+			p.levels[a.Name] = l - 1
+		}
+	}
+	// Budget pass: shed resolution from the coldest attributes first.
+	if p.Budget > 0 {
+		for {
+			size := 0
+			for _, a := range attrs {
+				size += p.attrSizeAt(a, p.levels[a.Name])
+			}
+			if size <= p.Budget {
+				break
+			}
+			victim := -1
+			for i, a := range attrs {
+				if p.levels[a.Name] <= p.MinLevel {
+					continue
+				}
+				if victim < 0 || heat[a.Name] < heat[attrs[victim].Name] {
+					victim = i
+				}
+			}
+			if victim < 0 {
+				break // floor everywhere; budget is simply too small
+			}
+			p.levels[attrs[victim].Name]--
+		}
+	}
+	return p.plan(attrs)
+}
+
+// plan materializes the current levels as resolution overrides.
+func (p *Planner) plan(attrs []record.Attribute) []AttrResolution {
+	var out []AttrResolution
+	for _, a := range attrs {
+		l := p.levels[a.Name]
+		if l == 0 {
+			continue
+		}
+		r := AttrResolution{Attr: a.Name}
+		if a.Kind == record.Numeric {
+			r.Buckets = p.bucketsAt(l)
+		} else {
+			r.BloomBits = p.bloomBitsAt(l)
+			r.BloomHashes = p.Base.BloomHashes
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Levels exposes a copy of the current ladder state, for metrics.
+func (p *Planner) Levels() map[string]int {
+	out := make(map[string]int, len(p.levels))
+	for k, v := range p.levels {
+		out[k] = v
+	}
+	return out
+}
+
+// BloomSizing picks wire-ladder-compatible Bloom geometry for n expected
+// elements at target false-positive probability p: the standard optimal
+// sizing (OptimalBloom), with the bit count rounded up to a power of two
+// so adaptive resizing can fold/smear it conservatively.
+func BloomSizing(n int, fpr float64) (nbits, k int) {
+	b := OptimalBloom(n, fpr)
+	return pow2Ceil(int(b.NumBit)), int(b.Hashes)
+}
+
+// pow2Ceil rounds n up to the next power of two (minimum 64, keeping the
+// result word-aligned for the Bloom bit array).
+func pow2Ceil(n int) int {
+	p := minPlanBloomBits
+	for p < n && p < math.MaxInt/2 {
+		p *= 2
+	}
+	return p
+}

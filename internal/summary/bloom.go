@@ -108,6 +108,71 @@ func (b *Bloom) Merge(other *Bloom) error {
 	return nil
 }
 
+// MergeAny ORs other into b, tolerating geometry mismatches the way the
+// adaptive resolution ladder produces them. Identical geometry merges
+// exactly. Otherwise the merge is conservative (never loses a membership)
+// when the smaller bit count divides the larger — the planner only emits
+// power-of-two sizes, so sibling plans always divide — and b probes no
+// more hash positions than other guaranteed set (b.Hashes <= other.Hashes):
+//
+//   - fold: other is larger — bit i of other ORs into bit i mod b.NumBit,
+//     because probe positions mod a divisor of the modulus are preserved;
+//   - smear: other is smaller — bit i of other ORs into every position
+//     congruent to i mod other.NumBit.
+//
+// Any non-dividing size pair or a hash-count increase would create false
+// negatives, so those cases saturate b instead: match-anything keeps the
+// no-false-negative contract at the price of extra descents.
+func (b *Bloom) MergeAny(other *Bloom) {
+	if other == nil {
+		return
+	}
+	if b.NumBit == other.NumBit && b.Hashes == other.Hashes {
+		_ = b.Merge(other)
+		return
+	}
+	defer func() { b.N += other.N }()
+	if b.Hashes > other.Hashes {
+		b.Saturate()
+		return
+	}
+	switch {
+	case b.NumBit <= other.NumBit && other.NumBit%b.NumBit == 0:
+		// Fold: word-aligned because bit counts are multiples of 64.
+		for i, w := range other.Bits {
+			b.Bits[i%len(b.Bits)] |= w
+		}
+	case b.NumBit%other.NumBit == 0:
+		// Smear: replicate the smaller filter across every block.
+		for base := 0; base < len(b.Bits); base += len(other.Bits) {
+			for i, w := range other.Bits {
+				b.Bits[base+i] |= w
+			}
+		}
+	default:
+		b.Saturate()
+	}
+}
+
+// Saturate sets every bit, turning the filter into match-anything — the
+// conservative degradation when a merge or flatten cannot preserve exact
+// membership information.
+func (b *Bloom) Saturate() {
+	for i := range b.Bits {
+		b.Bits[i] = ^uint64(0)
+	}
+}
+
+// Saturated reports whether every bit is set (the filter matches anything).
+func (b *Bloom) Saturated() bool {
+	for _, w := range b.Bits {
+		if w != ^uint64(0) {
+			return false
+		}
+	}
+	return true
+}
+
 // FillRatio returns the fraction of set bits, a load indicator.
 func (b *Bloom) FillRatio() float64 {
 	ones := 0

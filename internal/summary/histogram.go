@@ -103,6 +103,60 @@ func (h *Histogram) Merge(other *Histogram) error {
 	return nil
 }
 
+// MergeResample adds other's counters into h, resampling when the bucket
+// counts differ (the adaptive planner re-buckets attributes per child, so
+// sibling branch summaries no longer share geometry). Identical geometry
+// merges exactly. Otherwise each non-empty source bucket distributes its
+// count pro-rata over the destination buckets it overlaps, rounding up so
+// every overlapped destination bucket stays non-zero — occupancy is never
+// lost, which preserves the no-false-negative routing contract (counts may
+// inflate slightly; they are estimates already). The numeric domains must
+// agree: a domain mismatch is a configuration bug, not a resolution choice.
+func (h *Histogram) MergeResample(other *Histogram) error {
+	if other == nil {
+		return nil
+	}
+	if len(h.Counts) == len(other.Counts) && h.Min == other.Min && h.Max == other.Max {
+		return h.Merge(other)
+	}
+	if h.Min != other.Min || h.Max != other.Max {
+		return fmt.Errorf("summary: resampling histograms with different domains ([%g,%g) vs [%g,%g))",
+			h.Min, h.Max, other.Min, other.Max)
+	}
+	srcWidth := (other.Max - other.Min) / float64(len(other.Counts))
+	dstWidth := (h.Max - h.Min) / float64(len(h.Counts))
+	for j, c := range other.Counts {
+		if c == 0 {
+			continue
+		}
+		sLo := other.Min + float64(j)*srcWidth
+		sHi := sLo + srcWidth
+		iLo := int((sLo - h.Min) / dstWidth)
+		iHi := int(math.Ceil((sHi-h.Min)/dstWidth)) - 1
+		if iLo < 0 {
+			iLo = 0
+		}
+		if iHi >= len(h.Counts) {
+			iHi = len(h.Counts) - 1
+		}
+		for i := iLo; i <= iHi; i++ {
+			dLo := h.Min + float64(i)*dstWidth
+			dHi := dLo + dstWidth
+			overlap := math.Min(sHi, dHi) - math.Max(sLo, dLo)
+			if overlap <= 0 {
+				continue
+			}
+			share := uint32(math.Ceil(float64(c) * overlap / srcWidth))
+			if share == 0 {
+				share = 1
+			}
+			h.Counts[i] += share
+		}
+	}
+	h.Total += other.Total
+	return nil
+}
+
 // MatchRange reports whether any recorded value *may* fall in [lo,hi]. It is
 // conservative: it returns true when any bucket overlapping [lo,hi] is
 // non-empty. False positives are possible (bucket granularity), false

@@ -30,6 +30,17 @@ const (
 	UseBloom
 )
 
+// AttrResolution overrides the summary geometry for one attribute. The
+// adaptive planner emits these to spend a fixed byte budget where query
+// feedback says false positives concentrate: hot numeric attributes get
+// finer buckets, hot Bloom attributes more bits, cold ones coarser/smaller.
+type AttrResolution struct {
+	Attr        string
+	Buckets     int // numeric attrs; 0 = inherit Config.Buckets
+	BloomBits   int // categorical attrs in Bloom mode; 0 = inherit
+	BloomHashes int // 0 = inherit Config.BloomHashes
+}
+
 // Config controls summary construction. The zero value is not usable; use
 // DefaultConfig or fill every field.
 type Config struct {
@@ -45,6 +56,69 @@ type Config struct {
 	BloomBits, BloomHashes int
 	// TTL is the soft-state lifetime of a summary. Zero means no expiry.
 	TTL time.Duration
+	// Resolution carries per-attribute geometry overrides (the adaptive
+	// plan). Nil means uniform geometry — wire-identical to the static
+	// configuration. Entries for unknown attributes are ignored.
+	Resolution []AttrResolution
+	// CondenseAbove, when positive, collapses value sets with more than
+	// this many distinct values into dotted-prefix wildcards ("a.b.*") per
+	// Portnoi & Swany's heuristic summarization. Zero disables.
+	CondenseAbove int
+}
+
+// resFor returns the resolution override for attr, if any.
+func (c Config) resFor(attr string) (AttrResolution, bool) {
+	for _, r := range c.Resolution {
+		if r.Attr == attr {
+			return r, true
+		}
+	}
+	return AttrResolution{}, false
+}
+
+// BucketsFor returns the histogram bucket count for the named attribute,
+// honoring any Resolution override.
+func (c Config) BucketsFor(attr string) int {
+	if r, ok := c.resFor(attr); ok && r.Buckets > 0 {
+		return r.Buckets
+	}
+	return c.Buckets
+}
+
+// BloomParamsFor returns the Bloom geometry for the named attribute,
+// honoring any Resolution override.
+func (c Config) BloomParamsFor(attr string) (nbits, k int) {
+	nbits, k = c.BloomBits, c.BloomHashes
+	if r, ok := c.resFor(attr); ok {
+		if r.BloomBits > 0 {
+			nbits = r.BloomBits
+		}
+		if r.BloomHashes > 0 {
+			k = r.BloomHashes
+		}
+	}
+	return nbits, k
+}
+
+// Uniform reports whether the config carries no per-attribute overrides
+// (and therefore encodes identically under codec v5).
+func (c Config) Uniform() bool { return len(c.Resolution) == 0 }
+
+// Equal reports whether two configs build identical summaries. Config is
+// no longer comparable with == because Resolution is a slice.
+func (c Config) Equal(o Config) bool {
+	if c.Buckets != o.Buckets || c.Min != o.Min || c.Max != o.Max ||
+		c.Categorical != o.Categorical || c.BloomBits != o.BloomBits ||
+		c.BloomHashes != o.BloomHashes || c.TTL != o.TTL ||
+		c.CondenseAbove != o.CondenseAbove || len(c.Resolution) != len(o.Resolution) {
+		return false
+	}
+	for i, r := range c.Resolution {
+		if r != o.Resolution[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // DefaultConfig returns the paper's simulation defaults: 1000-bucket
@@ -63,6 +137,17 @@ func (c Config) Validate() error {
 	}
 	if c.Categorical == UseBloom && (c.BloomBits <= 0 || c.BloomHashes <= 0) {
 		return fmt.Errorf("summary: bloom mode needs positive BloomBits/BloomHashes")
+	}
+	for _, r := range c.Resolution {
+		if r.Attr == "" {
+			return fmt.Errorf("summary: resolution override with empty attribute name")
+		}
+		if r.Buckets < 0 || r.BloomBits < 0 || r.BloomHashes < 0 {
+			return fmt.Errorf("summary: negative resolution override for %q", r.Attr)
+		}
+	}
+	if c.CondenseAbove < 0 {
+		return fmt.Errorf("summary: CondenseAbove must be non-negative, got %d", c.CondenseAbove)
 	}
 	return nil
 }
@@ -112,12 +197,14 @@ func New(s *record.Schema, cfg Config) (*Summary, error) {
 		Blooms: make([]*Bloom, s.NumAttrs()),
 	}
 	for i := 0; i < s.NumAttrs(); i++ {
+		name := s.Attr(i).Name
 		switch s.Attr(i).Kind {
 		case record.Numeric:
-			sum.Hists[i] = MustHistogram(cfg.Buckets, cfg.Min, cfg.Max)
+			sum.Hists[i] = MustHistogram(cfg.BucketsFor(name), cfg.Min, cfg.Max)
 		case record.Categorical:
 			if cfg.Categorical == UseBloom {
-				sum.Blooms[i] = MustBloom(cfg.BloomBits, cfg.BloomHashes)
+				nbits, k := cfg.BloomParamsFor(name)
+				sum.Blooms[i] = MustBloom(nbits, k)
 			} else {
 				sum.Sets[i] = NewValueSet()
 			}
@@ -135,8 +222,8 @@ func MustNew(s *record.Schema, cfg Config) *Summary {
 	return sum
 }
 
-// FromRecords builds a summary of the given records, stamped with its
-// content version.
+// FromRecords builds a summary of the given records, condensed per
+// cfg.CondenseAbove and stamped with its content version.
 func FromRecords(s *record.Schema, cfg Config, recs []*record.Record) (*Summary, error) {
 	sum, err := New(s, cfg)
 	if err != nil {
@@ -145,6 +232,7 @@ func FromRecords(s *record.Schema, cfg Config, recs []*record.Record) (*Summary,
 	for _, r := range recs {
 		sum.AddRecord(r)
 	}
+	sum.Condense()
 	sum.ComputeVersion()
 	return sum, nil
 }
@@ -203,7 +291,13 @@ func (sum *Summary) Subtractable() bool {
 }
 
 // Merge folds other into sum: histograms add bucket-wise, value sets union,
-// Bloom filters OR. This is the bottom-up aggregation operator.
+// Bloom filters OR. This is the bottom-up aggregation operator. With
+// adaptive summaries in play, the two sides may disagree on geometry or
+// even categorical kind — Merge degrades conservatively instead of
+// erroring: histograms resample across bucket counts (MergeResample),
+// Blooms fold/smear/saturate across sizes (MergeAny), and a value set
+// meeting a Bloom converts to a Bloom. Mismatched numeric domains are
+// still a hard error (a real configuration bug, not a resolution choice).
 func (sum *Summary) Merge(other *Summary) error {
 	if other == nil {
 		return nil
@@ -218,25 +312,50 @@ func (sum *Summary) Merge(other *Summary) error {
 			if other.Hists[i] == nil {
 				return fmt.Errorf("summary: attr %d numeric in one summary, not the other", i)
 			}
-			if err := sum.Hists[i].Merge(other.Hists[i]); err != nil {
+			if err := sum.Hists[i].MergeResample(other.Hists[i]); err != nil {
 				return err
 			}
 		case sum.Blooms[i] != nil:
-			if other.Blooms[i] == nil {
-				return fmt.Errorf("summary: attr %d bloom in one summary, not the other", i)
-			}
-			if err := sum.Blooms[i].Merge(other.Blooms[i]); err != nil {
-				return err
+			switch {
+			case other.Blooms[i] != nil:
+				sum.Blooms[i].MergeAny(other.Blooms[i])
+			case other.Sets[i] != nil:
+				mergeSetIntoBloom(sum.Blooms[i], other.Sets[i])
+			default:
+				return fmt.Errorf("summary: attr %d categorical in one summary, not the other", i)
 			}
 		case sum.Sets[i] != nil:
-			if other.Sets[i] == nil {
-				return fmt.Errorf("summary: attr %d value-set in one summary, not the other", i)
+			switch {
+			case other.Sets[i] != nil:
+				sum.Sets[i].Merge(other.Sets[i])
+			case other.Blooms[i] != nil:
+				// A set cannot absorb a Bloom (its members are unknown);
+				// convert this attribute to a Bloom and fold the set in.
+				b := other.Blooms[i].Clone()
+				mergeSetIntoBloom(b, sum.Sets[i])
+				sum.Blooms[i], sum.Sets[i] = b, nil
+			default:
+				return fmt.Errorf("summary: attr %d categorical in one summary, not the other", i)
 			}
-			sum.Sets[i].Merge(other.Sets[i])
 		}
 	}
 	sum.Records += other.Records
 	return nil
+}
+
+// mergeSetIntoBloom inserts a value set's members into a Bloom filter. A
+// set holding condensed wildcards cannot be enumerated exactly (a wildcard
+// stands for unknown members), so the filter saturates — match-anything is
+// the only conservative answer.
+func mergeSetIntoBloom(b *Bloom, s *ValueSet) {
+	if s.HasWildcards() {
+		b.Saturate()
+		b.N += uint64(s.Len())
+		return
+	}
+	for v := range s.Counts {
+		b.Add(v)
+	}
 }
 
 // MatchRange reports whether attribute position i may contain a value in
@@ -250,13 +369,25 @@ func (sum *Summary) MatchRange(i int, lo, hi float64) bool {
 }
 
 // MatchEq reports whether attribute position i may contain the categorical
-// value v.
+// value v. Value sets are probed for v itself and for every condensed
+// dotted-prefix wildcard covering it ("a.b.c" also probes "a.b.*" and
+// "a.*"), so condensation never produces false negatives.
 func (sum *Summary) MatchEq(i int, v string) bool {
 	if sum.Blooms[i] != nil {
 		return sum.Blooms[i].Contains(v)
 	}
-	if sum.Sets[i] != nil {
-		return sum.Sets[i].Contains(v)
+	if s := sum.Sets[i]; s != nil {
+		if s.Contains(v) {
+			return true
+		}
+		if s.wild == 0 {
+			return false
+		}
+		for p := parentPrefix(v); p != ""; p = parentPrefix(p) {
+			if s.Contains(p + wildcardSuffix) {
+				return true
+			}
+		}
 	}
 	return false
 }

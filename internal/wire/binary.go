@@ -48,6 +48,15 @@ package wire
 //	    fields), and clients that enable caching/priorities probe
 //	    optimistically and downgrade per address when a peer rejects the
 //	    version.
+//	6 — adaptive summaries: SummaryDTO gains Mode (adaptive-geometry and
+//	    condensed-wildcard bits) and a per-attribute resolution Plan,
+//	    both appended after the Bloom section; Message gains the
+//	    Adaptive capability flag (appended after the v4 epoch block).
+//	    Same rule again: a uniform, wildcard-free summary has Mode 0 and
+//	    an unflagged message encodes as before, so adaptive geometry
+//	    only reaches peers that proved the capability (children flag
+//	    replica-batch acks, parents flag pushes to proven children) —
+//	    everyone else receives summaries flattened to base geometry.
 
 import (
 	"encoding/binary"
@@ -68,7 +77,7 @@ const (
 	// binVersion is the newest codec revision; the decoder accepts this
 	// and every earlier revision. The encoder writes the lowest revision
 	// that can carry the message (encodeVersion), not always the newest.
-	binVersion = 5
+	binVersion = 6
 	// maxRedirectDepth bounds RedirectInfo.Alternates nesting on decode.
 	// Real messages nest one level (alternates carry no alternates); the
 	// bound stops crafted input from recursing the decoder off the stack.
@@ -264,6 +273,22 @@ func (r *binReader) count(elemSize int) int {
 // FuzzDecode's encode/decode fixed point tolerates this because a
 // re-encode of a decoded message is already normalized.
 func encodeVersion(m *Message) byte {
+	if m.Adaptive {
+		return 6
+	}
+	if m.Report != nil && m.Report.Summary != nil && m.Report.Summary.Mode != 0 {
+		return 6
+	}
+	if p := m.Replica; p != nil && replicaPushV6(p) {
+		return 6
+	}
+	if m.Batch != nil {
+		for _, p := range m.Batch.Pushes {
+			if p != nil && replicaPushV6(p) {
+				return 6
+			}
+		}
+	}
 	if q := m.Query; q != nil {
 		if q.Priority != 0 || q.CacheFingerprint != 0 || q.WantFingerprint {
 			return 5
@@ -301,6 +326,12 @@ func encodeVersion(m *Message) byte {
 		}
 	}
 	return 2
+}
+
+// replicaPushV6 reports whether a replica push carries any v6 summary
+// feature (adaptive geometry or condensed wildcards).
+func replicaPushV6(p *ReplicaPush) bool {
+	return (p.Branch != nil && p.Branch.Mode != 0) || (p.Local != nil && p.Local.Mode != 0)
 }
 
 // AppendEncode appends m's binary encoding to buf and returns the grown
@@ -404,6 +435,11 @@ func AppendEncode(buf []byte, m *Message) ([]byte, error) {
 			b = appendString(b, m.RootProbe.RootAddr)
 		}
 	}
+	// v6: adaptive-summaries capability flag, appended per the
+	// compatibility rule. A set flag forces version 6.
+	if ver >= 6 {
+		b = appendBool(b, m.Adaptive)
+	}
 	codecCounters.binaryEncodes.Inc()
 	return b, nil
 }
@@ -478,6 +514,9 @@ func decodeBinary(data []byte) (*Message, error) {
 		if bits&hasRootProbe != 0 {
 			m.RootProbe = &RootProbe{RootID: r.str(), RootAddr: r.str()}
 		}
+	}
+	if r.ver >= 6 {
+		m.Adaptive = r.bool()
 	}
 	if r.err != nil {
 		return nil, r.err
@@ -580,7 +619,7 @@ func readRedirects(r *binReader, depth int) []RedirectInfo {
 func appendReport(b []byte, rep *SummaryReport, ver byte) []byte {
 	b = appendBool(b, rep.Summary != nil)
 	if rep.Summary != nil {
-		b = appendSummary(b, rep.Summary)
+		b = appendSummary(b, rep.Summary, ver)
 	}
 	b = appendVarint(b, int64(rep.Depth))
 	b = appendVarint(b, int64(rep.Descendants))
@@ -620,10 +659,10 @@ func appendReplicaPush(b []byte, p *ReplicaPush, ver byte) []byte {
 	}
 	b = append(b, flags)
 	if p.Branch != nil {
-		b = appendSummary(b, p.Branch)
+		b = appendSummary(b, p.Branch, ver)
 	}
 	if p.Local != nil {
-		b = appendSummary(b, p.Local)
+		b = appendSummary(b, p.Local, ver)
 	}
 	b = appendVarint(b, int64(p.Level))
 	b = appendRedirects(b, p.Fallbacks)
@@ -874,8 +913,10 @@ func readStatus(r *binReader) *Status {
 // little-endian uint32 bucket arrays, value sets as sorted (value, count)
 // pairs, and Bloom filters as raw little-endian uint64 bitsets. Raw arrays
 // beat per-element varints here: buckets and bitset words are dense and
-// uniformly sized, so the copy is one memmove each way.
-func appendSummary(b []byte, s *SummaryDTO) []byte {
+// uniformly sized, so the copy is one memmove each way. Version-6 payloads
+// append the Mode byte and resolution plan after the Bloom section; any
+// nonzero Mode forces the enclosing message to version 6 (encodeVersion).
+func appendSummary(b []byte, s *SummaryDTO, ver byte) []byte {
 	b = appendString(b, s.Origin)
 	b = appendUvarint(b, s.Version)
 	b = appendUvarint(b, s.Records)
@@ -920,6 +961,19 @@ func appendSummary(b []byte, s *SummaryDTO) []byte {
 		b = appendUvarint(b, uint64(len(bl.Bits)))
 		for _, w := range bl.Bits {
 			b = binary.LittleEndian.AppendUint64(b, w)
+		}
+	}
+	// v6: summary mode + resolution plan, appended per the compatibility
+	// rule.
+	if ver >= 6 {
+		b = append(b, s.Mode)
+		b = appendUvarint(b, uint64(len(s.Plan)))
+		for i := range s.Plan {
+			p := &s.Plan[i]
+			b = appendVarint(b, int64(p.Attr))
+			b = appendVarint(b, int64(p.Buckets))
+			b = appendVarint(b, int64(p.BloomBits))
+			b = appendVarint(b, int64(p.BloomHashes))
 		}
 	}
 	return b
@@ -995,6 +1049,21 @@ func readSummary(r *binReader) *SummaryDTO {
 			}
 		}
 		s.Blooms = append(s.Blooms, bl)
+	}
+	if r.ver >= 6 {
+		s.Mode = r.u8()
+		np := r.count(4)
+		if np > 0 {
+			s.Plan = make([]AttrPlanDTO, 0, np)
+		}
+		for i := 0; i < np && r.err == nil; i++ {
+			s.Plan = append(s.Plan, AttrPlanDTO{
+				Attr:        int(r.varint()),
+				Buckets:     int(r.varint()),
+				BloomBits:   int(r.varint()),
+				BloomHashes: int(r.varint()),
+			})
+		}
 	}
 	return s
 }

@@ -102,7 +102,7 @@ func encodeV2Report(from string, rep *SummaryReport) []byte {
 	b = appendUvarint(b, hasReport)
 	b = appendBool(b, rep.Summary != nil)
 	if rep.Summary != nil {
-		b = appendSummary(b, rep.Summary)
+		b = appendSummary(b, rep.Summary, 2)
 	}
 	b = appendVarint(b, int64(rep.Depth))
 	b = appendVarint(b, int64(rep.Descendants))

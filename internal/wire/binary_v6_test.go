@@ -1,0 +1,212 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+// v6SummaryDTO builds a summary DTO exercising every v6 field: adaptive
+// per-attribute geometry overrides and condensed prefix wildcards in the
+// value sets.
+func v6SummaryDTO() *SummaryDTO {
+	return &SummaryDTO{
+		Origin: "srv1", Version: 41, Records: 120,
+		Buckets: 32, Min: 0, Max: 1,
+		Hists: []HistDTO{{Attr: 0, Total: 120, Counts: []uint32{60, 60}}},
+		Sets: []SetDTO{{Attr: 1, Counts: map[string]uint32{
+			"s1.m2.*": 80, "s3.v9": 40,
+		}}},
+		Blooms: []BloomDTO{{Attr: 2, NumBit: 128, Hashes: 3, N: 120, Bits: []uint64{0xdead, 0xbeef}}},
+		Mode:   SummaryModeAdaptive | SummaryModeCondensed,
+		Plan: []AttrPlanDTO{
+			{Attr: 0, Buckets: 128},
+			{Attr: 2, BloomBits: 512, BloomHashes: 5},
+		},
+	}
+}
+
+// TestEncodeVersionV6 pins the adaptive-summary compatibility contract: the
+// codec writes version 6 only when a message actually carries a v6 feature
+// — the Adaptive capability flag or a summary with nonzero Mode — so
+// traffic to unproven peers stays decodable by their generation.
+func TestEncodeVersionV6(t *testing.T) {
+	plain := &SummaryDTO{Origin: "s", Version: 3, Buckets: 8, Max: 1}
+	cases := []struct {
+		m    *Message
+		want byte
+	}{
+		{&Message{Kind: KindAck, From: "a", Adaptive: true}, 6},
+		{&Message{Kind: KindSummaryReport, From: "s", Report: &SummaryReport{Version: 3, Summary: v6SummaryDTO()}}, 6},
+		{&Message{Kind: KindReplicaPush, From: "s", Replica: &ReplicaPush{OriginID: "o", Version: 3, Branch: v6SummaryDTO()}}, 6},
+		{&Message{Kind: KindReplicaBatch, From: "s", Batch: &ReplicaBatch{Pushes: []*ReplicaPush{{OriginID: "o", Version: 3, Local: v6SummaryDTO()}}}}, 6},
+		// Mode 0 summaries ride the old wire: no v6 byte appears.
+		{&Message{Kind: KindSummaryReport, From: "s", Report: &SummaryReport{Version: 3, Summary: plain}}, 3},
+		{&Message{Kind: KindReplicaPush, From: "s", Replica: &ReplicaPush{OriginID: "o", Version: 3, Branch: plain}}, 3},
+		{&Message{Kind: KindAck, From: "a"}, 2},
+		// Adaptive coexists with the v4 epoch stamp and v5 reply fields.
+		{&Message{Kind: KindAck, From: "a", Epoch: 7, Adaptive: true}, 6},
+	}
+	for i, c := range cases {
+		data, err := Encode(c.m)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if data[1] != c.want {
+			t.Fatalf("case %d encoded as version %d, want %d", i, data[1], c.want)
+		}
+	}
+}
+
+// TestBinaryV6RoundTrip checks the v6 shapes survive the codec exactly:
+// the Adaptive flag, summary Mode bits, per-attribute plans, and condensed
+// wildcard value sets.
+func TestBinaryV6RoundTrip(t *testing.T) {
+	msgs := []*Message{
+		{Kind: KindAck, From: "child", Adaptive: true},
+		{Kind: KindAck, From: "child", Epoch: 9, Adaptive: true,
+			Ack: &AckInfo{NeedFullOrigins: []string{"o1"}}},
+		{Kind: KindSummaryReport, From: "srv", Adaptive: true,
+			Report: &SummaryReport{Version: 41, Depth: 2, Summary: v6SummaryDTO()}},
+		{Kind: KindReplicaBatch, From: "parent", Adaptive: true, Batch: &ReplicaBatch{
+			Pushes: []*ReplicaPush{
+				{OriginID: "sib", OriginAddr: "sa", Version: 41, Level: 1, Branch: v6SummaryDTO()},
+				{OriginID: "anc", OriginAddr: "aa", Version: 7, Level: 2},
+			},
+		}},
+	}
+	for _, msg := range msgs {
+		data, err := Encode(msg)
+		if err != nil {
+			t.Fatalf("kind %d: %v", msg.Kind, err)
+		}
+		if data[1] != 6 {
+			t.Fatalf("kind %d encoded as version %d, want 6", msg.Kind, data[1])
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("kind %d: %v", msg.Kind, err)
+		}
+		if !reflect.DeepEqual(msg, got) {
+			t.Fatalf("kind %d round trip mismatch:\nsent %+v\ngot  %+v", msg.Kind, msg, got)
+		}
+	}
+}
+
+// TestBinaryV6LegacyCannotDecode pins the interop rule the live layer's
+// capability negotiation rests on: a v6 payload is NOT a v5 payload with a
+// tail a legacy peer could skip. Re-labelling v6 bytes as version 5 leaves
+// the Mode byte and plan dangling, and the strict decoder rejects them as
+// trailing garbage — which is why the live layer only sets v6 fields on
+// batch acks (ignorable end-to-end) or toward proven-v6 peers.
+func TestBinaryV6LegacyCannotDecode(t *testing.T) {
+	msg := &Message{Kind: KindSummaryReport, From: "srv",
+		Report: &SummaryReport{Version: 41, Summary: v6SummaryDTO()}}
+	data, err := Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[1] != 6 {
+		t.Fatalf("encoded as version %d, want 6", data[1])
+	}
+	legacy := append([]byte(nil), data...)
+	legacy[1] = 5
+	if _, err := Decode(legacy); err == nil {
+		t.Fatal("v6 payload re-labelled v5 must fail to decode, not half-parse")
+	}
+}
+
+// TestBinaryV6Truncation feeds the decoder every prefix of a valid v6
+// message: none may panic, none may succeed (the full message is the only
+// valid prefix).
+func TestBinaryV6Truncation(t *testing.T) {
+	msg := &Message{Kind: KindReplicaPush, From: "srv", Adaptive: true,
+		Replica: &ReplicaPush{OriginID: "o", OriginAddr: "oa", Version: 41, Branch: v6SummaryDTO()}}
+	data, err := Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(data); i++ {
+		if _, err := Decode(data[:i]); err == nil {
+			t.Fatalf("truncated prefix of %d/%d bytes decoded successfully", i, len(data))
+		}
+	}
+}
+
+// TestBinaryV6CorruptPlan flips bytes inside the v6 tail (mode byte and
+// plan) one at a time: the decoder must never panic, and whatever decodes
+// must re-encode cleanly (the fuzz fixed-point property, pinned here for
+// the new section specifically).
+func TestBinaryV6CorruptPlan(t *testing.T) {
+	msg := &Message{Kind: KindSummaryReport, From: "srv",
+		Report: &SummaryReport{Version: 41, Summary: v6SummaryDTO()}}
+	data, err := Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The v6 tail is everything after the Bloom words; corrupting the last
+	// 24 bytes covers the mode byte and the plan varints.
+	start := len(data) - 24
+	if start < 2 {
+		start = 2
+	}
+	for i := start; i < len(data); i++ {
+		for _, flip := range []byte{0x01, 0x80, 0xff} {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= flip
+			m, err := Decode(mut)
+			if err != nil {
+				continue
+			}
+			if _, err := Encode(m); err != nil {
+				t.Fatalf("byte %d^%#x: decoded message failed to re-encode: %v", i, flip, err)
+			}
+		}
+	}
+}
+
+// FuzzDecodeV6 seeds the decoder fuzzer with v6 shapes — adaptive flags,
+// mode bits, plans, wildcard sets — and holds the same invariants as
+// FuzzDecode: no panic, and a decode/encode fixed point.
+func FuzzDecodeV6(f *testing.F) {
+	msgs := []*Message{
+		{Kind: KindAck, From: "a", Adaptive: true},
+		{Kind: KindSummaryReport, From: "s", Adaptive: true,
+			Report: &SummaryReport{Version: 41, Summary: v6SummaryDTO()}},
+		{Kind: KindReplicaBatch, From: "p", Adaptive: true, Batch: &ReplicaBatch{
+			Pushes: []*ReplicaPush{{OriginID: "o", Version: 3, Branch: v6SummaryDTO()}}}},
+	}
+	for _, msg := range msgs {
+		data, err := Encode(msg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		// Truncated and version-relabelled variants steer the fuzzer at
+		// the v6 tail parsing.
+		f.Add(data[:len(data)-1])
+		relabel := append([]byte(nil), data...)
+		relabel[1] = 5
+		f.Add(relabel)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Encode(m)
+		if err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+		m2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+		re2, err := Encode(m2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if len(re) != len(re2) {
+			t.Fatalf("codec has no fixed point: %d vs %d bytes", len(re), len(re2))
+		}
+	})
+}

@@ -105,6 +105,16 @@ type Message struct {
 	// RootProbe carries the split-brain probe payload on
 	// KindRootProbe/KindRootProbeReply messages (wire v4).
 	RootProbe *RootProbe
+	// Adaptive is the adaptive-summaries capability flag (wire v6). A
+	// sender sets it to announce it understands adaptive summary geometry
+	// (SummaryDTO Mode/Plan) and condensed value-set wildcards. Children
+	// attach it to replica-batch acks (legacy senders ignore ack contents
+	// they cannot decode, so the flag is a safe capability bootstrap, like
+	// v3's AckInfo); parents stamp it on pushes to proven children. Only
+	// after a peer has proven the capability may adaptive-geometry or
+	// condensed summaries be sent to it — everyone else gets summaries
+	// flattened to the uniform base geometry.
+	Adaptive bool
 }
 
 // RootProbe is the split-brain detection payload (wire v4). On a
@@ -465,6 +475,29 @@ func FromRecords(recs []*record.Record) []RecordDTO {
 	return out
 }
 
+// Summary mode bits (wire v6). A summary with Mode 0 is uniform and
+// wildcard-free — byte-identical to its v5 encoding — so adaptive features
+// only force codec v6 when actually present.
+const (
+	// SummaryModeAdaptive marks per-attribute geometry overrides: the
+	// DTO carries a resolution plan and its histograms/Blooms may differ
+	// from the uniform header geometry.
+	SummaryModeAdaptive uint8 = 1 << 0
+	// SummaryModeCondensed marks value sets holding condensed prefix
+	// wildcards ("a.b.*"), which pre-v6 peers would evaluate with false
+	// negatives; senders must flatten instead of sending these to them.
+	SummaryModeCondensed uint8 = 1 << 1
+)
+
+// AttrPlanDTO is one attribute's geometry override in a summary's
+// resolution plan (wire v6). Attr is the schema position.
+type AttrPlanDTO struct {
+	Attr        int
+	Buckets     int
+	BloomBits   int
+	BloomHashes int
+}
+
 // SummaryDTO is the wire form of a summary. Histograms carry their bucket
 // counts; categorical attributes carry either the value-set counts or the
 // Bloom bits.
@@ -479,6 +512,13 @@ type SummaryDTO struct {
 	Hists  []HistDTO
 	Sets   []SetDTO
 	Blooms []BloomDTO
+
+	// Mode carries the SummaryMode* bits (wire v6); zero from older peers
+	// and for summaries in uniform geometry without wildcards.
+	Mode uint8
+	// Plan lists the per-attribute geometry overrides when Mode has
+	// SummaryModeAdaptive set (wire v6).
+	Plan []AttrPlanDTO
 }
 
 // HistDTO is one histogram (Attr = schema position).
@@ -503,7 +543,9 @@ type BloomDTO struct {
 	N      uint64
 }
 
-// FromSummary converts a summary to wire form.
+// FromSummary converts a summary to wire form. Adaptive geometry (per-attr
+// resolution overrides) and condensed wildcards stamp the v6 Mode bits and
+// plan; a uniform, wildcard-free summary encodes byte-identically to v5.
 func FromSummary(s *summary.Summary) *SummaryDTO {
 	if s == nil {
 		return nil
@@ -522,16 +564,36 @@ func FromSummary(s *summary.Summary) *SummaryDTO {
 		}
 		if vs := s.Sets[i]; vs != nil {
 			dto.Sets = append(dto.Sets, SetDTO{Attr: i, Counts: vs.Counts})
+			if vs.HasWildcards() {
+				dto.Mode |= SummaryModeCondensed
+			}
 		}
 		if b := s.Blooms[i]; b != nil {
 			dto.Blooms = append(dto.Blooms, BloomDTO{Attr: i, Bits: b.Bits, NumBit: b.NumBit, Hashes: b.Hashes, N: b.N})
+		}
+	}
+	if len(s.Cfg.Resolution) > 0 {
+		for _, res := range s.Cfg.Resolution {
+			idx, ok := s.Schema.Index(res.Attr)
+			if !ok {
+				continue
+			}
+			dto.Plan = append(dto.Plan, AttrPlanDTO{
+				Attr: idx, Buckets: res.Buckets,
+				BloomBits: res.BloomBits, BloomHashes: res.BloomHashes,
+			})
+		}
+		if len(dto.Plan) > 0 {
+			dto.Mode |= SummaryModeAdaptive
 		}
 	}
 	return dto
 }
 
 // ToSummary reconstructs a summary against the shared schema. The summary
-// config is rebuilt from the DTO's histogram geometry.
+// config is rebuilt from the DTO's histogram geometry; a v6 resolution plan
+// (SummaryModeAdaptive) reintroduces the per-attribute overrides so the
+// per-attr geometry checks below stay strict even for adaptive summaries.
 func (dto *SummaryDTO) ToSummary(schema *record.Schema) (*summary.Summary, error) {
 	if dto == nil {
 		return nil, nil
@@ -542,10 +604,36 @@ func (dto *SummaryDTO) ToSummary(schema *record.Schema) (*summary.Summary, error
 		Max:         dto.Max,
 		Categorical: summary.UseValueSet,
 	}
+	planned := make(map[int]bool, len(dto.Plan))
+	if dto.Mode&SummaryModeAdaptive != 0 {
+		for _, p := range dto.Plan {
+			if p.Attr < 0 || p.Attr >= schema.NumAttrs() {
+				return nil, fmt.Errorf("wire: resolution plan for invalid attr %d", p.Attr)
+			}
+			if p.Buckets < 0 || p.BloomBits < 0 || p.BloomHashes < 0 {
+				return nil, fmt.Errorf("wire: negative resolution plan for attr %d", p.Attr)
+			}
+			cfg.Resolution = append(cfg.Resolution, summary.AttrResolution{
+				Attr: schema.Attr(p.Attr).Name, Buckets: p.Buckets,
+				BloomBits: p.BloomBits, BloomHashes: p.BloomHashes,
+			})
+			planned[p.Attr] = true
+		}
+	}
 	if len(dto.Blooms) > 0 {
 		cfg.Categorical = summary.UseBloom
-		cfg.BloomBits = int(dto.Blooms[0].NumBit)
-		cfg.BloomHashes = int(dto.Blooms[0].Hashes)
+		// Base geometry comes from a Bloom the plan does not override (an
+		// overridden one would misrepresent the unplanned attributes);
+		// fall back to the first when every Bloom carries an override.
+		base := dto.Blooms[0]
+		for i := range dto.Blooms {
+			if !planned[dto.Blooms[i].Attr] {
+				base = dto.Blooms[i]
+				break
+			}
+		}
+		cfg.BloomBits = int(base.NumBit)
+		cfg.BloomHashes = int(base.Hashes)
 	}
 	s, err := summary.New(schema, cfg)
 	if err != nil {
@@ -558,8 +646,8 @@ func (dto *SummaryDTO) ToSummary(schema *record.Schema) (*summary.Summary, error
 		if h.Attr < 0 || h.Attr >= schema.NumAttrs() || s.Hists[h.Attr] == nil {
 			return nil, fmt.Errorf("wire: histogram for invalid attr %d", h.Attr)
 		}
-		if len(h.Counts) != dto.Buckets {
-			return nil, fmt.Errorf("wire: histogram attr %d has %d buckets; header says %d", h.Attr, len(h.Counts), dto.Buckets)
+		if want := cfg.BucketsFor(schema.Attr(h.Attr).Name); len(h.Counts) != want {
+			return nil, fmt.Errorf("wire: histogram attr %d has %d buckets; geometry says %d", h.Attr, len(h.Counts), want)
 		}
 		copy(s.Hists[h.Attr].Counts, h.Counts)
 		s.Hists[h.Attr].Total = h.Total
@@ -569,14 +657,20 @@ func (dto *SummaryDTO) ToSummary(schema *record.Schema) (*summary.Summary, error
 			return nil, fmt.Errorf("wire: value set for invalid attr %d", vs.Attr)
 		}
 		for v, c := range vs.Counts {
-			s.Sets[vs.Attr].Counts[v] = c
+			// SetCount keeps the set's wildcard index accurate, so
+			// condensed summaries keep matching after a wire round trip.
+			s.Sets[vs.Attr].SetCount(v, c)
 		}
 	}
 	for _, b := range dto.Blooms {
 		if b.Attr < 0 || b.Attr >= schema.NumAttrs() || s.Blooms[b.Attr] == nil {
 			return nil, fmt.Errorf("wire: bloom for invalid attr %d", b.Attr)
 		}
+		if int(b.NumBit) != 64*len(s.Blooms[b.Attr].Bits) || len(b.Bits)*64 != int(b.NumBit) {
+			return nil, fmt.Errorf("wire: bloom attr %d has %d bits; geometry says %d", b.Attr, b.NumBit, 64*len(s.Blooms[b.Attr].Bits))
+		}
 		copy(s.Blooms[b.Attr].Bits, b.Bits)
+		s.Blooms[b.Attr].Hashes = b.Hashes
 		s.Blooms[b.Attr].N = b.N
 	}
 	return s, nil
